@@ -1,0 +1,341 @@
+//! Berger–Rigoutsos grid generation.
+//!
+//! Turns a [`TagMap`] of cells flagged for refinement into a set of
+//! rectangular patches, following the classic Berger–Rigoutsos point
+//! clustering algorithm AMReX uses: recursively split tag clusters at
+//! signature holes, then at inflection points of the signature's second
+//! difference, until every box meets the target filling efficiency
+//! (`amr.grid_eff`, default 0.7).
+
+use crate::index_box::IndexBox;
+use crate::intvect::{Coord, SPACEDIM};
+use crate::tagging::TagMap;
+
+/// Tunable knobs of the clustering algorithm.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClusterParams {
+    /// Minimum fraction of tagged cells a produced box must contain
+    /// (AMReX `amr.grid_eff`).
+    pub grid_eff: f64,
+    /// Minimum side length of any produced box, in the tag map's index
+    /// space. When clustering at blocking-factor granularity this is 1.
+    pub min_width: Coord,
+}
+
+impl Default for ClusterParams {
+    fn default() -> Self {
+        Self {
+            grid_eff: 0.7,
+            min_width: 1,
+        }
+    }
+}
+
+/// Clusters tagged cells into boxes in the tag map's own index space.
+///
+/// Guarantees:
+/// * every tagged cell is covered by exactly one returned box;
+/// * returned boxes are mutually disjoint and lie inside `tags.domain()`;
+/// * each box is the minimal bounding box of the tags it contains.
+pub fn cluster(tags: &TagMap, params: ClusterParams) -> Vec<IndexBox> {
+    assert!(
+        params.grid_eff > 0.0 && params.grid_eff <= 1.0,
+        "cluster: grid_eff must be in (0, 1], got {}",
+        params.grid_eff
+    );
+    assert!(params.min_width >= 1, "cluster: min_width must be >= 1");
+
+    let mut out = Vec::new();
+    let root = tags.bounding_box();
+    if !root.is_valid() {
+        return out;
+    }
+    let mut work = vec![root];
+    while let Some(b) = work.pop() {
+        let count = tags.count_in(&b);
+        if count == 0 {
+            continue;
+        }
+        let b = shrink_to_tags(tags, &b);
+        let eff = count as f64 / b.num_pts() as f64;
+        if eff >= params.grid_eff {
+            out.push(b);
+            continue;
+        }
+        match split(tags, &b, params.min_width) {
+            Some((b1, b2)) => {
+                work.push(b1);
+                work.push(b2);
+            }
+            None => out.push(b),
+        }
+    }
+    out
+}
+
+/// Minimal box containing all tags inside `b` (assumes at least one tag).
+fn shrink_to_tags(tags: &TagMap, b: &IndexBox) -> IndexBox {
+    let mut lo = b.lo();
+    let mut hi = b.hi();
+    for dir in 0..SPACEDIM {
+        let sig = tags.signatures(b, dir);
+        let first = sig.iter().position(|&s| s > 0).expect("tags present");
+        let last = sig.iter().rposition(|&s| s > 0).expect("tags present");
+        lo.set(dir, b.lo().get(dir) + first as Coord);
+        hi.set(dir, b.lo().get(dir) + last as Coord);
+    }
+    IndexBox::new(lo, hi)
+}
+
+/// Chooses a split position for `b`, or `None` when the box cannot be split
+/// without violating `min_width`.
+fn split(tags: &TagMap, b: &IndexBox, min_width: Coord) -> Option<(IndexBox, IndexBox)> {
+    // 1. Holes: a zero in the signature separates two clusters cleanly.
+    //    Prefer the hole closest to the box center, longest direction first.
+    let mut dirs = [b.longest_dir(), 1 - b.longest_dir()];
+    if b.length(dirs[0]) == b.length(dirs[1]) {
+        dirs = [0, 1];
+    }
+    for dir in dirs {
+        if let Some(at) = find_hole(tags, b, dir, min_width) {
+            return Some(b.chop(dir, at));
+        }
+    }
+    // 2. Inflection points of the signature's second difference.
+    let mut best: Option<(usize, Coord, usize)> = None; // (dir, at, strength)
+    for dir in dirs {
+        if let Some((at, strength)) = find_inflection(tags, b, dir, min_width) {
+            if best.map(|(_, _, s)| strength > s).unwrap_or(true) {
+                best = Some((dir, at, strength));
+            }
+        }
+    }
+    if let Some((dir, at, _)) = best {
+        return Some(b.chop(dir, at));
+    }
+    // 3. Fall back to a midpoint bisection of the longest side.
+    let dir = b.longest_dir();
+    if b.length(dir) >= 2 * min_width {
+        let at = b.lo().get(dir) + b.length(dir) / 2;
+        return Some(b.chop(dir, at));
+    }
+    None
+}
+
+/// Finds the interior hole (zero signature slice) closest to the center,
+/// honouring `min_width` on both sides; returns the chop coordinate.
+fn find_hole(tags: &TagMap, b: &IndexBox, dir: usize, min_width: Coord) -> Option<Coord> {
+    let sig = tags.signatures(b, dir);
+    let len = sig.len() as Coord;
+    let mid = len / 2;
+    let mut best: Option<(Coord, Coord)> = None; // (distance to mid, index)
+    for (i, &s) in sig.iter().enumerate() {
+        let i = i as Coord;
+        if s == 0 && i >= min_width && i <= len - 1 - min_width {
+            let d = (i - mid).abs();
+            if best.map(|(bd, _)| d < bd).unwrap_or(true) {
+                best = Some((d, i));
+            }
+        }
+    }
+    best.map(|(_, i)| b.lo().get(dir) + i)
+}
+
+/// Finds the strongest sign change of the second difference of the
+/// signature (Berger–Rigoutsos "Laplacian" criterion); returns the chop
+/// coordinate and the change magnitude.
+fn find_inflection(
+    tags: &TagMap,
+    b: &IndexBox,
+    dir: usize,
+    min_width: Coord,
+) -> Option<(Coord, usize)> {
+    let sig = tags.signatures(b, dir);
+    if sig.len() < 4 {
+        return None;
+    }
+    let d2: Vec<i64> = (1..sig.len() - 1)
+        .map(|i| sig[i + 1] as i64 - 2 * sig[i] as i64 + sig[i - 1] as i64)
+        .collect();
+    let len = sig.len() as Coord;
+    let mut best: Option<(Coord, usize)> = None;
+    for i in 0..d2.len() - 1 {
+        if d2[i].signum() * d2[i + 1].signum() < 0 {
+            // Chop between signature slots i+1 and i+2 (d2 index i maps to
+            // signature index i+1).
+            let at_rel = (i + 2) as Coord;
+            if at_rel < min_width || at_rel > len - min_width {
+                continue;
+            }
+            let strength = (d2[i + 1] - d2[i]).unsigned_abs() as usize;
+            if best.map(|(_, s)| strength > s).unwrap_or(true) {
+                best = Some((b.lo().get(dir) + at_rel, strength));
+            }
+        }
+    }
+    best
+}
+
+/// Overall filling efficiency of a set of boxes for the given tags:
+/// tagged cells / total box cells.
+pub fn efficiency(tags: &TagMap, boxes: &[IndexBox]) -> f64 {
+    let covered: Coord = boxes.iter().map(IndexBox::num_pts).sum();
+    if covered == 0 {
+        return 1.0;
+    }
+    let tagged: usize = boxes.iter().map(|b| tags.count_in(b)).sum();
+    tagged as f64 / covered as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::box_array::BoxArray;
+    use crate::intvect::IntVect;
+
+    fn dom(n: Coord) -> IndexBox {
+        IndexBox::at_origin(IntVect::splat(n))
+    }
+
+    fn check_invariants(tags: &TagMap, boxes: &[IndexBox]) {
+        // Disjoint.
+        assert!(BoxArray::new(boxes.to_vec()).is_disjoint(), "{boxes:?}");
+        // Every tag covered exactly once.
+        let covered: usize = boxes.iter().map(|b| tags.count_in(b)).sum();
+        assert_eq!(covered, tags.count());
+        // Inside the domain.
+        for b in boxes {
+            assert!(tags.domain().contains_box(b));
+        }
+    }
+
+    #[test]
+    fn empty_tags_produce_no_boxes() {
+        let tags = TagMap::new(dom(16));
+        assert!(cluster(&tags, ClusterParams::default()).is_empty());
+    }
+
+    #[test]
+    fn single_cluster_single_box() {
+        let mut tags = TagMap::new(dom(16));
+        tags.tag_region(&IndexBox::new(IntVect::new(3, 4), IntVect::new(6, 9)));
+        let boxes = cluster(&tags, ClusterParams::default());
+        assert_eq!(boxes.len(), 1);
+        assert_eq!(
+            boxes[0],
+            IndexBox::new(IntVect::new(3, 4), IntVect::new(6, 9))
+        );
+        check_invariants(&tags, &boxes);
+        assert_eq!(efficiency(&tags, &boxes), 1.0);
+    }
+
+    #[test]
+    fn two_separated_clusters_split_at_hole() {
+        let mut tags = TagMap::new(dom(32));
+        tags.tag_region(&IndexBox::new(IntVect::new(2, 2), IntVect::new(5, 5)));
+        tags.tag_region(&IndexBox::new(IntVect::new(20, 20), IntVect::new(25, 25)));
+        let boxes = cluster(&tags, ClusterParams::default());
+        assert_eq!(boxes.len(), 2);
+        check_invariants(&tags, &boxes);
+        assert_eq!(efficiency(&tags, &boxes), 1.0);
+    }
+
+    #[test]
+    fn l_shape_splits_into_efficient_boxes() {
+        let mut tags = TagMap::new(dom(32));
+        // L shape: vertical bar + horizontal bar.
+        tags.tag_region(&IndexBox::new(IntVect::new(0, 0), IntVect::new(3, 19)));
+        tags.tag_region(&IndexBox::new(IntVect::new(0, 0), IntVect::new(19, 3)));
+        let p = ClusterParams::default();
+        let boxes = cluster(&tags, p);
+        check_invariants(&tags, &boxes);
+        assert!(boxes.len() >= 2);
+        assert!(
+            efficiency(&tags, &boxes) >= p.grid_eff,
+            "eff {}",
+            efficiency(&tags, &boxes)
+        );
+    }
+
+    #[test]
+    fn annulus_meets_efficiency_target() {
+        // A ring of tags like the Sedov shock front.
+        let n = 64;
+        let mut tags = TagMap::new(dom(n));
+        let c = n as f64 / 2.0;
+        for p in dom(n).cells() {
+            let dx = p.x as f64 + 0.5 - c;
+            let dy = p.y as f64 + 0.5 - c;
+            let r = (dx * dx + dy * dy).sqrt();
+            if (r - 20.0).abs() < 2.5 {
+                tags.set(p, true);
+            }
+        }
+        let p = ClusterParams::default();
+        let boxes = cluster(&tags, p);
+        check_invariants(&tags, &boxes);
+        assert!(
+            efficiency(&tags, &boxes) >= p.grid_eff,
+            "eff {} with {} boxes",
+            efficiency(&tags, &boxes),
+            boxes.len()
+        );
+        // A thin ring cannot be one efficient rectangle.
+        assert!(boxes.len() >= 4);
+    }
+
+    #[test]
+    fn min_width_is_respected() {
+        let mut tags = TagMap::new(dom(64));
+        for p in dom(64).cells() {
+            if (p.x + p.y) % 9 == 0 {
+                tags.set(p, true);
+            }
+        }
+        let p = ClusterParams {
+            grid_eff: 0.95,
+            min_width: 4,
+        };
+        let boxes = cluster(&tags, p);
+        check_invariants(&tags, &boxes);
+        // Boxes shrink to tag bounds, so widths below min_width can appear
+        // only via shrinking, never via splitting; the pre-shrink pieces are
+        // all >= min_width, so no box can be wider than the root. Check we
+        // still terminated with full coverage (the real invariant).
+        assert!(!boxes.is_empty());
+    }
+
+    #[test]
+    fn full_domain_tags_return_domain() {
+        let mut tags = TagMap::new(dom(16));
+        tags.tag_region(&dom(16));
+        let boxes = cluster(&tags, ClusterParams::default());
+        assert_eq!(boxes, vec![dom(16)]);
+    }
+
+    #[test]
+    fn diagonal_line_terminates_and_covers() {
+        let mut tags = TagMap::new(dom(64));
+        for i in 0..64 {
+            tags.set(IntVect::new(i, i), true);
+        }
+        let p = ClusterParams::default();
+        let boxes = cluster(&tags, p);
+        check_invariants(&tags, &boxes);
+        // Diagonal features force many small boxes.
+        assert!(boxes.len() >= 8, "got {} boxes", boxes.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "grid_eff")]
+    fn invalid_grid_eff_panics() {
+        let tags = TagMap::new(dom(4));
+        cluster(
+            &tags,
+            ClusterParams {
+                grid_eff: 0.0,
+                min_width: 1,
+            },
+        );
+    }
+}

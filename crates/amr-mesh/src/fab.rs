@@ -1,0 +1,265 @@
+//! Per-patch floating-point data arrays.
+//!
+//! `FArrayBox` mirrors AMReX's Fortran-ordered array box: multi-component
+//! double-precision data over an [`IndexBox`], with x varying fastest.
+
+use crate::index_box::IndexBox;
+use crate::intvect::IntVect;
+
+/// Multi-component `f64` data over a box of cells.
+///
+/// Storage is component-major: all cells of component 0, then component 1,
+/// and within a component y-major with x fastest (Fortran order), matching
+/// the byte layout the AMReX plotfile `Cell_D` format expects.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FArrayBox {
+    domain: IndexBox,
+    ncomp: usize,
+    data: Vec<f64>,
+}
+
+impl FArrayBox {
+    /// Allocates a zero-initialized fab over `domain` with `ncomp`
+    /// components.
+    ///
+    /// # Panics
+    /// Panics if `domain` is invalid or `ncomp == 0`.
+    pub fn new(domain: IndexBox, ncomp: usize) -> Self {
+        assert!(domain.is_valid(), "FArrayBox: invalid domain {domain}");
+        assert!(ncomp > 0, "FArrayBox: zero components");
+        let n = domain.num_pts() as usize * ncomp;
+        Self {
+            domain,
+            ncomp,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// Allocates and fills every cell of every component with `value`.
+    pub fn filled(domain: IndexBox, ncomp: usize, value: f64) -> Self {
+        let mut f = Self::new(domain, ncomp);
+        f.data.fill(value);
+        f
+    }
+
+    /// The index region this fab covers (including any ghost cells the
+    /// caller built into it).
+    #[inline]
+    pub fn domain(&self) -> IndexBox {
+        self.domain
+    }
+
+    /// Number of components.
+    #[inline]
+    pub fn ncomp(&self) -> usize {
+        self.ncomp
+    }
+
+    /// Cells per component.
+    #[inline]
+    pub fn cells_per_comp(&self) -> usize {
+        self.domain.num_pts() as usize
+    }
+
+    /// Flat storage index of `(p, comp)`.
+    #[inline]
+    fn idx(&self, p: IntVect, comp: usize) -> usize {
+        debug_assert!(comp < self.ncomp, "component {comp} out of range");
+        comp * self.cells_per_comp() + self.domain.offset(p)
+    }
+
+    /// Value at cell `p`, component `comp`.
+    #[inline]
+    pub fn get(&self, p: IntVect, comp: usize) -> f64 {
+        self.data[self.idx(p, comp)]
+    }
+
+    /// Sets the value at cell `p`, component `comp`.
+    #[inline]
+    pub fn set(&mut self, p: IntVect, comp: usize, v: f64) {
+        let i = self.idx(p, comp);
+        self.data[i] = v;
+    }
+
+    /// Adds to the value at cell `p`, component `comp`.
+    #[inline]
+    pub fn add(&mut self, p: IntVect, comp: usize, v: f64) {
+        let i = self.idx(p, comp);
+        self.data[i] += v;
+    }
+
+    /// Read-only slice of one component in layout order.
+    pub fn comp(&self, comp: usize) -> &[f64] {
+        let n = self.cells_per_comp();
+        &self.data[comp * n..(comp + 1) * n]
+    }
+
+    /// Mutable slice of one component in layout order.
+    pub fn comp_mut(&mut self, comp: usize) -> &mut [f64] {
+        let n = self.cells_per_comp();
+        &mut self.data[comp * n..(comp + 1) * n]
+    }
+
+    /// Full backing storage (component-major).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Copies `comp`-component data from `src` over the cells of `region`,
+    /// which must lie inside both fabs' domains.
+    pub fn copy_from(&mut self, src: &FArrayBox, region: &IndexBox, comp_map: &[(usize, usize)]) {
+        debug_assert!(self.domain.contains_box(region));
+        debug_assert!(src.domain.contains_box(region));
+        for (sc, dc) in comp_map {
+            for p in region.cells() {
+                let v = src.get(p, *sc);
+                self.set(p, *dc, v);
+            }
+        }
+    }
+
+    /// Copies all matching components from `src` over `region`.
+    pub fn copy_all_from(&mut self, src: &FArrayBox, region: &IndexBox) {
+        let ncomp = self.ncomp.min(src.ncomp);
+        let map: Vec<(usize, usize)> = (0..ncomp).map(|c| (c, c)).collect();
+        self.copy_from(src, region, &map);
+    }
+
+    /// Fills every cell of component `comp` inside `region` with `v`.
+    pub fn fill_region(&mut self, region: &IndexBox, comp: usize, v: f64) {
+        let Some(isect) = self.domain.intersection(region) else {
+            return;
+        };
+        for p in isect.cells() {
+            self.set(p, comp, v);
+        }
+    }
+
+    /// Minimum over component `comp` restricted to `region`.
+    pub fn min_in(&self, region: &IndexBox, comp: usize) -> f64 {
+        region
+            .intersection(&self.domain)
+            .map(|r| {
+                r.cells()
+                    .map(|p| self.get(p, comp))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .unwrap_or(f64::INFINITY)
+    }
+
+    /// Maximum over component `comp` restricted to `region`.
+    pub fn max_in(&self, region: &IndexBox, comp: usize) -> f64 {
+        region
+            .intersection(&self.domain)
+            .map(|r| {
+                r.cells()
+                    .map(|p| self.get(p, comp))
+                    .fold(f64::NEG_INFINITY, f64::max)
+            })
+            .unwrap_or(f64::NEG_INFINITY)
+    }
+
+    /// Sum over component `comp` restricted to `region`.
+    pub fn sum_in(&self, region: &IndexBox, comp: usize) -> f64 {
+        region
+            .intersection(&self.domain)
+            .map(|r| r.cells().map(|p| self.get(p, comp)).sum())
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dom() -> IndexBox {
+        IndexBox::at_origin(IntVect::new(4, 3))
+    }
+
+    #[test]
+    fn zero_initialized() {
+        let f = FArrayBox::new(dom(), 2);
+        assert_eq!(f.ncomp(), 2);
+        assert_eq!(f.cells_per_comp(), 12);
+        assert!(f.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn filled_constructor() {
+        let f = FArrayBox::filled(dom(), 1, 3.5);
+        assert!(f.comp(0).iter().all(|&v| v == 3.5));
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut f = FArrayBox::new(dom(), 2);
+        f.set(IntVect::new(2, 1), 1, 7.0);
+        assert_eq!(f.get(IntVect::new(2, 1), 1), 7.0);
+        assert_eq!(f.get(IntVect::new(2, 1), 0), 0.0);
+        f.add(IntVect::new(2, 1), 1, 1.0);
+        assert_eq!(f.get(IntVect::new(2, 1), 1), 8.0);
+    }
+
+    #[test]
+    fn component_layout_is_x_fastest() {
+        let mut f = FArrayBox::new(dom(), 1);
+        f.set(IntVect::new(1, 0), 0, 1.0);
+        f.set(IntVect::new(0, 1), 0, 2.0);
+        let c = f.comp(0);
+        assert_eq!(c[1], 1.0); // x=1,y=0 is the second entry
+        assert_eq!(c[4], 2.0); // x=0,y=1 starts the second row (width 4)
+    }
+
+    #[test]
+    fn copy_from_subregion() {
+        let mut a = FArrayBox::new(dom(), 1);
+        let b = FArrayBox::filled(dom(), 1, 2.0);
+        let region = IndexBox::at_origin(IntVect::new(2, 2));
+        a.copy_all_from(&b, &region);
+        assert_eq!(a.get(IntVect::new(0, 0), 0), 2.0);
+        assert_eq!(a.get(IntVect::new(1, 1), 0), 2.0);
+        assert_eq!(a.get(IntVect::new(2, 2), 0), 0.0);
+    }
+
+    #[test]
+    fn copy_from_component_map() {
+        let mut a = FArrayBox::new(dom(), 2);
+        let mut b = FArrayBox::new(dom(), 2);
+        for p in dom().cells() {
+            b.set(p, 0, 1.0);
+            b.set(p, 1, 2.0);
+        }
+        // Swap components while copying.
+        a.copy_from(&b, &dom(), &[(0, 1), (1, 0)]);
+        assert_eq!(a.get(IntVect::ZERO, 0), 2.0);
+        assert_eq!(a.get(IntVect::ZERO, 1), 1.0);
+    }
+
+    #[test]
+    fn reductions_respect_region() {
+        let mut f = FArrayBox::new(dom(), 1);
+        f.set(IntVect::new(0, 0), 0, -5.0);
+        f.set(IntVect::new(3, 2), 0, 9.0);
+        assert_eq!(f.min_in(&dom(), 0), -5.0);
+        assert_eq!(f.max_in(&dom(), 0), 9.0);
+        assert_eq!(f.sum_in(&dom(), 0), 4.0);
+        let corner = IndexBox::at_origin(IntVect::new(1, 1));
+        assert_eq!(f.max_in(&corner, 0), -5.0);
+        // Region outside the fab gives identity elements.
+        let outside = IndexBox::from_lo_size(IntVect::new(100, 100), IntVect::UNIT);
+        assert_eq!(f.sum_in(&outside, 0), 0.0);
+    }
+
+    #[test]
+    fn fill_region_clips_to_domain() {
+        let mut f = FArrayBox::new(dom(), 1);
+        f.fill_region(&dom().grow(5), 0, 1.0);
+        assert!(f.comp(0).iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid domain")]
+    fn invalid_domain_panics() {
+        FArrayBox::new(IndexBox::empty(), 1);
+    }
+}

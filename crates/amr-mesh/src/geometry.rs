@@ -1,0 +1,129 @@
+//! Physical-domain description of an AMR level.
+//!
+//! Mirrors AMReX's `Geometry`: the map between cell index space and physical
+//! coordinates, per refinement level (`geometry.prob_lo/prob_hi` and
+//! `amr.n_cell` in a Castro input file).
+
+use crate::index_box::IndexBox;
+use crate::intvect::IntVect;
+use serde::{Deserialize, Serialize};
+
+/// Physical geometry of one level: index domain plus coordinate mapping.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Geometry {
+    /// Index-space domain of the level (cell-centered).
+    pub domain: IndexBox,
+    /// Physical coordinates of the low corner of the domain.
+    pub prob_lo: [f64; 2],
+    /// Physical coordinates of the high corner of the domain.
+    pub prob_hi: [f64; 2],
+}
+
+impl Geometry {
+    /// Creates a geometry for `domain` spanning `[prob_lo, prob_hi]`.
+    ///
+    /// # Panics
+    /// Panics if the domain is invalid or the physical extents are
+    /// non-positive.
+    pub fn new(domain: IndexBox, prob_lo: [f64; 2], prob_hi: [f64; 2]) -> Self {
+        assert!(domain.is_valid(), "Geometry: invalid domain");
+        assert!(
+            prob_hi[0] > prob_lo[0] && prob_hi[1] > prob_lo[1],
+            "Geometry: non-positive physical extent"
+        );
+        Self {
+            domain,
+            prob_lo,
+            prob_hi,
+        }
+    }
+
+    /// Unit-square geometry over an `n.x` by `n.y` domain at the origin
+    /// (the Castro Sedov default: `prob_lo = 0 0`, `prob_hi = 1 1`).
+    pub fn unit_square(n: IntVect) -> Self {
+        Self::new(IndexBox::at_origin(n), [0.0, 0.0], [1.0, 1.0])
+    }
+
+    /// Cell size along each direction.
+    pub fn dx(&self) -> [f64; 2] {
+        let s = self.domain.size();
+        [
+            (self.prob_hi[0] - self.prob_lo[0]) / s.x as f64,
+            (self.prob_hi[1] - self.prob_lo[1]) / s.y as f64,
+        ]
+    }
+
+    /// Physical coordinates of the center of cell `p`.
+    pub fn cell_center(&self, p: IntVect) -> [f64; 2] {
+        let dx = self.dx();
+        [
+            self.prob_lo[0] + (p.x - self.domain.lo().x) as f64 * dx[0] + 0.5 * dx[0],
+            self.prob_lo[1] + (p.y - self.domain.lo().y) as f64 * dx[1] + 0.5 * dx[1],
+        ]
+    }
+
+    /// Geometry of the next finer level (same physical extent, refined
+    /// index domain).
+    pub fn refine(&self, ratio: IntVect) -> Geometry {
+        Geometry {
+            domain: self.domain.refine(ratio),
+            prob_lo: self.prob_lo,
+            prob_hi: self.prob_hi,
+        }
+    }
+
+    /// Cell area (2-D volume element).
+    pub fn cell_area(&self) -> f64 {
+        let dx = self.dx();
+        dx[0] * dx[1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_square_dx() {
+        let g = Geometry::unit_square(IntVect::new(32, 32));
+        assert_eq!(g.dx(), [1.0 / 32.0, 1.0 / 32.0]);
+        assert!((g.cell_area() - 1.0 / 1024.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn anisotropic_domain() {
+        let g = Geometry::new(
+            IndexBox::at_origin(IntVect::new(10, 20)),
+            [0.0, -1.0],
+            [2.0, 1.0],
+        );
+        let dx = g.dx();
+        assert!((dx[0] - 0.2).abs() < 1e-15);
+        assert!((dx[1] - 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cell_centers() {
+        let g = Geometry::unit_square(IntVect::new(4, 4));
+        let c = g.cell_center(IntVect::new(0, 0));
+        assert!((c[0] - 0.125).abs() < 1e-15);
+        assert!((c[1] - 0.125).abs() < 1e-15);
+        let c = g.cell_center(IntVect::new(3, 3));
+        assert!((c[0] - 0.875).abs() < 1e-15);
+    }
+
+    #[test]
+    fn refine_halves_dx() {
+        let g = Geometry::unit_square(IntVect::new(8, 8));
+        let f = g.refine(IntVect::splat(2));
+        assert_eq!(f.domain.size(), IntVect::splat(16));
+        assert!((f.dx()[0] - g.dx()[0] / 2.0).abs() < 1e-15);
+        assert_eq!(f.prob_lo, g.prob_lo);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive physical extent")]
+    fn degenerate_extent_panics() {
+        Geometry::new(IndexBox::at_origin(IntVect::splat(4)), [0.0, 0.0], [0.0, 1.0]);
+    }
+}

@@ -1,0 +1,251 @@
+//! Level-hierarchy grid generation.
+//!
+//! Combines tagging, blocking-factor alignment, Berger–Rigoutsos
+//! clustering, and `max_grid_size` chopping into the grid-creation pipeline
+//! AMReX runs at each regrid (`AmrMesh::MakeNewGrids`), driven by the same
+//! input-file parameters Castro exposes (`amr.ref_ratio`,
+//! `amr.blocking_factor`, `amr.max_grid_size`, `amr.grid_eff`,
+//! `amr.n_error_buf`).
+
+use crate::box_array::BoxArray;
+use crate::cluster::{cluster, ClusterParams};
+use crate::index_box::IndexBox;
+use crate::intvect::{Coord, IntVect};
+use crate::tagging::TagMap;
+use serde::{Deserialize, Serialize};
+
+/// Grid-generation parameters shared by all levels.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GridParams {
+    /// Refinement ratio between consecutive levels (`amr.ref_ratio`).
+    pub ref_ratio: Coord,
+    /// Grid corners must align to multiples of this many cells
+    /// (`amr.blocking_factor`).
+    pub blocking_factor: Coord,
+    /// No grid side may exceed this many cells (`amr.max_grid_size`).
+    pub max_grid_size: Coord,
+    /// Tagged regions are buffered by this many cells before clustering
+    /// (`amr.n_error_buf`).
+    pub n_error_buf: Coord,
+    /// Target clustering efficiency (`amr.grid_eff`).
+    pub grid_eff: f64,
+}
+
+impl Default for GridParams {
+    /// The Castro Sedov input-file defaults (Listing 2 of the paper):
+    /// `ref_ratio = 2`, `blocking_factor = 8`, `max_grid_size = 256`,
+    /// with AMReX's defaults `n_error_buf = 1`, `grid_eff = 0.7`.
+    fn default() -> Self {
+        Self {
+            ref_ratio: 2,
+            blocking_factor: 8,
+            max_grid_size: 256,
+            n_error_buf: 1,
+            grid_eff: 0.7,
+        }
+    }
+}
+
+impl GridParams {
+    /// Validates divisibility constraints the pipeline relies on.
+    ///
+    /// # Panics
+    /// Panics if `ref_ratio` does not divide `blocking_factor`, or
+    /// `blocking_factor` does not divide `max_grid_size`, or any value is
+    /// non-positive.
+    pub fn validate(&self) {
+        assert!(self.ref_ratio >= 2, "GridParams: ref_ratio must be >= 2");
+        assert!(
+            self.blocking_factor >= 1 && self.blocking_factor % self.ref_ratio == 0,
+            "GridParams: ref_ratio {} must divide blocking_factor {}",
+            self.ref_ratio,
+            self.blocking_factor
+        );
+        assert!(
+            self.max_grid_size >= self.blocking_factor
+                && self.max_grid_size % self.blocking_factor == 0,
+            "GridParams: blocking_factor {} must divide max_grid_size {}",
+            self.blocking_factor,
+            self.max_grid_size
+        );
+        assert!(self.n_error_buf >= 0, "GridParams: negative n_error_buf");
+    }
+
+    /// Clustering granularity in *coarse-level* cells: new fine grids must
+    /// align to `blocking_factor` fine cells, i.e. to
+    /// `blocking_factor / ref_ratio` coarse cells.
+    pub fn coarse_granularity(&self) -> Coord {
+        (self.blocking_factor / self.ref_ratio).max(1)
+    }
+}
+
+/// Builds the next-finer level's grids from cells tagged on the coarse
+/// level.
+///
+/// Pipeline (all in the coarse level's index space until the last step):
+/// 1. buffer tags by `n_error_buf`;
+/// 2. coarsen the tag map to blocking-factor granularity;
+/// 3. Berger–Rigoutsos clustering at that granularity;
+/// 4. chop so no side exceeds `max_grid_size` (in fine cells);
+/// 5. refine to the fine level's index space and clip to the fine domain.
+///
+/// Returns an empty `BoxArray` when nothing is tagged.
+pub fn make_fine_grids(tags: &TagMap, coarse_domain: IndexBox, params: &GridParams) -> BoxArray {
+    params.validate();
+    assert!(
+        coarse_domain.contains_box(&tags.domain()),
+        "make_fine_grids: tag map extends outside the coarse domain"
+    );
+
+    let mut tags = tags.clone();
+    tags.buffer(params.n_error_buf);
+
+    let g = params.coarse_granularity();
+    let granular = tags.coarsen(IntVect::splat(g));
+
+    let boxes = cluster(
+        &granular,
+        ClusterParams {
+            grid_eff: params.grid_eff,
+            min_width: 1,
+        },
+    );
+    if boxes.is_empty() {
+        return BoxArray::empty();
+    }
+
+    // One granular cell = `blocking_factor` fine cells, so the max side in
+    // granular units is max_grid_size / blocking_factor.
+    let max_granular = params.max_grid_size / params.blocking_factor;
+    let ba = BoxArray::new(boxes).max_size(max_granular);
+
+    // Granular -> fine index space: one granular cell covers
+    // g * ref_ratio = blocking_factor fine cells.
+    let to_fine = IntVect::splat(params.blocking_factor);
+    let fine_domain = coarse_domain.refine(IntVect::splat(params.ref_ratio));
+    let fine_boxes: Vec<IndexBox> = ba
+        .iter()
+        .map(|b| b.refine(to_fine))
+        .filter_map(|b| b.intersection(&fine_domain))
+        .collect();
+    BoxArray::new(fine_boxes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dom(n: Coord) -> IndexBox {
+        IndexBox::at_origin(IntVect::splat(n))
+    }
+
+    fn params() -> GridParams {
+        GridParams {
+            ref_ratio: 2,
+            blocking_factor: 8,
+            max_grid_size: 32,
+            n_error_buf: 1,
+            grid_eff: 0.7,
+        }
+    }
+
+    #[test]
+    fn default_matches_castro_listing() {
+        let p = GridParams::default();
+        p.validate();
+        assert_eq!(p.ref_ratio, 2);
+        assert_eq!(p.blocking_factor, 8);
+        assert_eq!(p.max_grid_size, 256);
+        assert_eq!(p.coarse_granularity(), 4);
+    }
+
+    #[test]
+    fn empty_tags_give_empty_grids() {
+        let tags = TagMap::new(dom(64));
+        let ba = make_fine_grids(&tags, dom(64), &params());
+        assert!(ba.is_empty());
+    }
+
+    #[test]
+    fn fine_grids_cover_refined_tags() {
+        let mut tags = TagMap::new(dom(64));
+        tags.tag_region(&IndexBox::new(IntVect::new(20, 20), IntVect::new(30, 28)));
+        let p = params();
+        let ba = make_fine_grids(&tags, dom(64), &p);
+        assert!(!ba.is_empty());
+        // Every tagged coarse cell, refined, must be covered.
+        for c in tags.domain().cells() {
+            if tags.get(c) {
+                let fine = IndexBox::new(c, c).refine(IntVect::splat(p.ref_ratio));
+                for fp in fine.cells() {
+                    assert!(ba.contains_cell(fp), "fine cell {fp} uncovered");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fine_grids_are_blocked_and_bounded() {
+        let mut tags = TagMap::new(dom(128));
+        // Ring of tags.
+        for c in dom(128).cells() {
+            let dx = c.x as f64 - 64.0;
+            let dy = c.y as f64 - 64.0;
+            let r = (dx * dx + dy * dy).sqrt();
+            if (r - 40.0).abs() < 3.0 {
+                tags.set(c, true);
+            }
+        }
+        let p = params();
+        let ba = make_fine_grids(&tags, dom(128), &p);
+        let bf = IntVect::splat(p.blocking_factor);
+        let fine_domain = dom(128).refine(IntVect::splat(p.ref_ratio));
+        for b in ba.iter() {
+            assert!(b.longest_side() <= p.max_grid_size, "{b} too large");
+            assert!(fine_domain.contains_box(b), "{b} outside domain");
+            // Alignment can only be broken by clipping at the domain edge.
+            if fine_domain.grow(-p.blocking_factor).contains_box(b) {
+                assert!(b.is_aligned(bf), "{b} not aligned to blocking factor");
+            }
+        }
+        assert!(ba.is_disjoint());
+    }
+
+    #[test]
+    fn buffered_tags_grow_coverage() {
+        let mut tags = TagMap::new(dom(64));
+        tags.set(IntVect::new(32, 32), true);
+        let mut p = params();
+        p.n_error_buf = 0;
+        let ba0 = make_fine_grids(&tags, dom(64), &p);
+        p.n_error_buf = 4;
+        let ba4 = make_fine_grids(&tags, dom(64), &p);
+        assert!(ba4.num_pts() >= ba0.num_pts());
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide blocking_factor")]
+    fn invalid_blocking_factor_panics() {
+        let p = GridParams {
+            ref_ratio: 2,
+            blocking_factor: 3,
+            max_grid_size: 32,
+            n_error_buf: 1,
+            grid_eff: 0.7,
+        };
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide max_grid_size")]
+    fn invalid_max_grid_size_panics() {
+        let p = GridParams {
+            ref_ratio: 2,
+            blocking_factor: 8,
+            max_grid_size: 36,
+            n_error_buf: 1,
+            grid_eff: 0.7,
+        };
+        p.validate();
+    }
+}

@@ -1,0 +1,69 @@
+//! Block-structured AMR mesh substrate.
+//!
+//! A from-scratch reimplementation of the AMReX mesh machinery that the
+//! paper's I/O study depends on: index-space box algebra, grid patch
+//! collections, rank-ownership maps, per-patch field data, refinement
+//! tagging, and Berger–Rigoutsos grid generation.
+//!
+//! The crate is deliberately 2-D (the paper studies the 2-D Sedov case) and
+//! deterministic: given the same tags and parameters, grid generation and
+//! distribution mapping produce byte-identical results, which the I/O model
+//! layers above rely on.
+//!
+//! # Quick tour
+//!
+//! ```
+//! use amr_mesh::prelude::*;
+//!
+//! // A 64x64 level-0 domain chopped into 32^2 patches:
+//! let domain = IndexBox::at_origin(IntVect::splat(64));
+//! let ba = BoxArray::single(domain).max_size(32);
+//! assert_eq!(ba.len(), 4);
+//!
+//! // Distribute over 2 ranks along the space-filling curve:
+//! let dm = DistributionMapping::new(&ba, 2, DistributionStrategy::Sfc);
+//! assert_eq!(dm.nranks(), 2);
+//!
+//! // Tag a feature and generate aligned fine grids:
+//! let mut tags = TagMap::new(domain);
+//! tags.tag_region(&IndexBox::from_lo_size(IntVect::new(20, 20), IntVect::splat(10)));
+//! let fine = make_fine_grids(&tags, domain, &GridParams::default());
+//! assert!(!fine.is_empty());
+//! ```
+
+pub mod box_array;
+pub mod cluster;
+pub mod distribution;
+pub mod fab;
+pub mod geometry;
+pub mod hierarchy;
+pub mod index_box;
+pub mod intvect;
+pub mod morton;
+pub mod multifab;
+pub mod tagging;
+
+pub use box_array::BoxArray;
+pub use cluster::{cluster, efficiency, ClusterParams};
+pub use distribution::{DistributionMapping, DistributionStrategy};
+pub use fab::FArrayBox;
+pub use geometry::Geometry;
+pub use hierarchy::{make_fine_grids, GridParams};
+pub use index_box::IndexBox;
+pub use intvect::{Coord, IntVect, SPACEDIM};
+pub use multifab::MultiFab;
+pub use tagging::TagMap;
+
+/// Convenience re-exports for downstream crates.
+pub mod prelude {
+    pub use crate::box_array::BoxArray;
+    pub use crate::cluster::{cluster, efficiency, ClusterParams};
+    pub use crate::distribution::{DistributionMapping, DistributionStrategy};
+    pub use crate::fab::FArrayBox;
+    pub use crate::geometry::Geometry;
+    pub use crate::hierarchy::{make_fine_grids, GridParams};
+    pub use crate::index_box::IndexBox;
+    pub use crate::intvect::{Coord, IntVect};
+    pub use crate::multifab::MultiFab;
+    pub use crate::tagging::TagMap;
+}

@@ -1,0 +1,281 @@
+//! Level-wide distributed data: one fab per grid patch.
+//!
+//! `MultiFab` mirrors AMReX's `MultiFab`: the data of one AMR level spread
+//! over the boxes of a [`BoxArray`], owned by ranks according to a
+//! [`DistributionMapping`]. In this simulated-MPI substrate every fab is
+//! resident in the single address space, but ownership is tracked so the
+//! I/O path can reproduce exactly which rank writes which bytes.
+
+use crate::box_array::BoxArray;
+use crate::distribution::DistributionMapping;
+use crate::fab::FArrayBox;
+use crate::index_box::IndexBox;
+use crate::intvect::Coord;
+
+/// Distributed per-level data container.
+#[derive(Clone, Debug)]
+pub struct MultiFab {
+    ba: BoxArray,
+    dm: DistributionMapping,
+    ncomp: usize,
+    ngrow: Coord,
+    fabs: Vec<FArrayBox>,
+}
+
+impl MultiFab {
+    /// Allocates a zeroed multifab: one fab per box of `ba`, each grown by
+    /// `ngrow` ghost cells on every side.
+    ///
+    /// # Panics
+    /// Panics if `ba` and `dm` have different lengths, `ncomp == 0`, or
+    /// `ngrow < 0`.
+    pub fn new(ba: BoxArray, dm: DistributionMapping, ncomp: usize, ngrow: Coord) -> Self {
+        assert_eq!(ba.len(), dm.len(), "MultiFab: BoxArray/DM length mismatch");
+        assert!(ncomp > 0, "MultiFab: zero components");
+        assert!(ngrow >= 0, "MultiFab: negative ghost width");
+        let fabs = ba
+            .iter()
+            .map(|b| FArrayBox::new(b.grow(ngrow), ncomp))
+            .collect();
+        Self {
+            ba,
+            dm,
+            ncomp,
+            ngrow,
+            fabs,
+        }
+    }
+
+    /// The level's box array.
+    #[inline]
+    pub fn box_array(&self) -> &BoxArray {
+        &self.ba
+    }
+
+    /// The rank ownership map.
+    #[inline]
+    pub fn distribution_map(&self) -> &DistributionMapping {
+        &self.dm
+    }
+
+    /// Number of components.
+    #[inline]
+    pub fn ncomp(&self) -> usize {
+        self.ncomp
+    }
+
+    /// Ghost-cell width.
+    #[inline]
+    pub fn ngrow(&self) -> Coord {
+        self.ngrow
+    }
+
+    /// Number of fabs (== number of boxes).
+    #[inline]
+    pub fn nfabs(&self) -> usize {
+        self.fabs.len()
+    }
+
+    /// The valid (non-ghost) region of fab `i`.
+    #[inline]
+    pub fn valid_box(&self, i: usize) -> IndexBox {
+        self.ba.get(i)
+    }
+
+    /// Read access to fab `i` (valid + ghost region).
+    #[inline]
+    pub fn fab(&self, i: usize) -> &FArrayBox {
+        &self.fabs[i]
+    }
+
+    /// Mutable access to fab `i`.
+    #[inline]
+    pub fn fab_mut(&mut self, i: usize) -> &mut FArrayBox {
+        &mut self.fabs[i]
+    }
+
+    /// Mutable access to all fabs at once (for rayon-parallel level loops).
+    pub fn fabs_mut(&mut self) -> &mut [FArrayBox] {
+        &mut self.fabs
+    }
+
+    /// Pairs of `(valid_box, fab)` for iteration.
+    pub fn iter(&self) -> impl Iterator<Item = (IndexBox, &FArrayBox)> {
+        self.ba.iter().copied().zip(self.fabs.iter())
+    }
+
+    /// Sets every cell (including ghosts) of component `comp` to `v`.
+    pub fn set_val(&mut self, comp: usize, v: f64) {
+        for f in &mut self.fabs {
+            f.comp_mut(comp).fill(v);
+        }
+    }
+
+    /// Fills ghost cells of every fab from the valid regions of neighbouring
+    /// fabs on the same level (AMReX `FillBoundary`, non-periodic).
+    ///
+    /// Ghost cells with no same-level neighbour (physical boundary or
+    /// coarse-fine boundary) are left untouched.
+    pub fn fill_boundary(&mut self) {
+        let n = self.fabs.len();
+        for i in 0..n {
+            let ghost_region = self.ba.get(i).grow(self.ngrow);
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                if let Some(overlap) = ghost_region.intersection(&self.ba.get(j)) {
+                    // Copy src valid data into dst ghosts. Split borrow.
+                    let (src, dst) = if i < j {
+                        let (a, b) = self.fabs.split_at_mut(j);
+                        (&b[0], &mut a[i])
+                    } else {
+                        let (a, b) = self.fabs.split_at_mut(i);
+                        (&a[j], &mut b[0])
+                    };
+                    dst.copy_all_from(src, &overlap);
+                }
+            }
+        }
+    }
+
+    /// Copies valid-region data from `src` (possibly with a different
+    /// BoxArray) into the valid regions of `self` where they overlap
+    /// (AMReX `ParallelCopy`).
+    pub fn parallel_copy_from(&mut self, src: &MultiFab) {
+        let ncomp = self.ncomp.min(src.ncomp);
+        let map: Vec<(usize, usize)> = (0..ncomp).map(|c| (c, c)).collect();
+        for di in 0..self.fabs.len() {
+            let dst_valid = self.ba.get(di);
+            for (si, overlap) in src.ba.intersections(&dst_valid) {
+                self.fabs[di].copy_from(src.fab(si), &overlap, &map);
+            }
+        }
+    }
+
+    /// Minimum of component `comp` over all valid regions.
+    pub fn min(&self, comp: usize) -> f64 {
+        self.iter()
+            .map(|(b, f)| f.min_in(&b, comp))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum of component `comp` over all valid regions.
+    pub fn max(&self, comp: usize) -> f64 {
+        self.iter()
+            .map(|(b, f)| f.max_in(&b, comp))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Sum of component `comp` over all valid regions.
+    pub fn sum(&self, comp: usize) -> f64 {
+        self.iter().map(|(b, f)| f.sum_in(&b, comp)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::DistributionStrategy;
+    use crate::intvect::IntVect;
+
+    fn make(n: Coord, max: Coord, nranks: usize, ncomp: usize, ngrow: Coord) -> MultiFab {
+        let ba = BoxArray::single(IndexBox::at_origin(IntVect::splat(n))).max_size(max);
+        let dm = DistributionMapping::new(&ba, nranks, DistributionStrategy::Sfc);
+        MultiFab::new(ba, dm, ncomp, ngrow)
+    }
+
+    #[test]
+    fn construction_allocates_grown_fabs() {
+        let mf = make(32, 16, 2, 3, 2);
+        assert_eq!(mf.nfabs(), 4);
+        assert_eq!(mf.ncomp(), 3);
+        for i in 0..mf.nfabs() {
+            assert_eq!(mf.fab(i).domain(), mf.valid_box(i).grow(2));
+        }
+    }
+
+    #[test]
+    fn set_val_and_reductions() {
+        let mut mf = make(16, 8, 1, 1, 0);
+        mf.set_val(0, 2.0);
+        assert_eq!(mf.sum(0), 2.0 * 256.0);
+        assert_eq!(mf.min(0), 2.0);
+        assert_eq!(mf.max(0), 2.0);
+    }
+
+    #[test]
+    fn fill_boundary_copies_neighbor_valid_data() {
+        let mut mf = make(16, 8, 1, 1, 1);
+        // Fill each fab's valid region with its own box index.
+        for i in 0..mf.nfabs() {
+            let vb = mf.valid_box(i);
+            let f = mf.fab_mut(i);
+            f.fill_region(&vb, 0, (i + 1) as f64);
+        }
+        mf.fill_boundary();
+        // Fab 0 is [0..7]^2; its ghost column x=8 should now hold fab 1's
+        // value (fab 1 is [8..15]x[0..7] in max_size order).
+        let g = mf.fab(0).get(IntVect::new(8, 3), 0);
+        assert_eq!(g, 2.0);
+        // Ghosts at the physical boundary stay zero.
+        assert_eq!(mf.fab(0).get(IntVect::new(-1, 3), 0), 0.0);
+        // Corner ghost shared with fab 3 ([8..15]x[8..15]).
+        assert_eq!(mf.fab(0).get(IntVect::new(8, 8), 0), 4.0);
+    }
+
+    #[test]
+    fn fill_boundary_preserves_valid_data() {
+        let mut mf = make(16, 8, 1, 1, 1);
+        mf.set_val(0, 0.0);
+        for i in 0..mf.nfabs() {
+            let vb = mf.valid_box(i);
+            mf.fab_mut(i).fill_region(&vb, 0, (i + 1) as f64);
+        }
+        let before: Vec<f64> = (0..mf.nfabs())
+            .map(|i| mf.fab(i).sum_in(&mf.valid_box(i), 0))
+            .collect();
+        mf.fill_boundary();
+        let after: Vec<f64> = (0..mf.nfabs())
+            .map(|i| mf.fab(i).sum_in(&mf.valid_box(i), 0))
+            .collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn parallel_copy_between_different_layouts() {
+        let mut dst = make(16, 8, 1, 1, 0);
+        let mut src = make(16, 4, 1, 1, 0); // finer chopping, same domain
+        src.set_val(0, 5.0);
+        dst.parallel_copy_from(&src);
+        assert_eq!(dst.min(0), 5.0);
+        assert_eq!(dst.sum(0), 5.0 * 256.0);
+    }
+
+    #[test]
+    fn parallel_copy_partial_overlap() {
+        let ba_dst = BoxArray::single(IndexBox::at_origin(IntVect::splat(8)));
+        let dm_dst = DistributionMapping::new(&ba_dst, 1, DistributionStrategy::RoundRobin);
+        let mut dst = MultiFab::new(ba_dst, dm_dst, 1, 0);
+
+        let ba_src = BoxArray::single(IndexBox::from_lo_size(
+            IntVect::new(4, 4),
+            IntVect::splat(8),
+        ));
+        let dm_src = DistributionMapping::new(&ba_src, 1, DistributionStrategy::RoundRobin);
+        let mut src = MultiFab::new(ba_src, dm_src, 1, 0);
+        src.set_val(0, 1.0);
+
+        dst.parallel_copy_from(&src);
+        // Only the [4..7]^2 corner overlaps.
+        assert_eq!(dst.sum(0), 16.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_dm_panics() {
+        let ba = BoxArray::single(IndexBox::at_origin(IntVect::splat(8)));
+        let dm = DistributionMapping::from_owners(vec![0, 0], 1);
+        MultiFab::new(ba, dm, 1, 0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Property-based tests for the mesh substrate's core invariants.
+
+use amr_mesh::prelude::*;
+use proptest::prelude::*;
+
+fn arb_box() -> impl Strategy<Value = IndexBox> {
+    (-64i64..64, -64i64..64, 1i64..48, 1i64..48).prop_map(|(x, y, w, h)| {
+        IndexBox::from_lo_size(IntVect::new(x, y), IntVect::new(w, h))
+    })
+}
+
+fn arb_ratio() -> impl Strategy<Value = IntVect> {
+    (1i64..5, 1i64..5).prop_map(|(x, y)| IntVect::new(x, y))
+}
+
+proptest! {
+    #[test]
+    fn intersection_is_commutative_and_contained(a in arb_box(), b in arb_box()) {
+        let ab = a.intersection(&b);
+        let ba = b.intersection(&a);
+        prop_assert_eq!(ab, ba);
+        if let Some(i) = ab {
+            prop_assert!(a.contains_box(&i));
+            prop_assert!(b.contains_box(&i));
+        }
+    }
+
+    #[test]
+    fn bounding_contains_both(a in arb_box(), b in arb_box()) {
+        let u = a.bounding(&b);
+        prop_assert!(u.contains_box(&a));
+        prop_assert!(u.contains_box(&b));
+    }
+
+    #[test]
+    fn refine_then_coarsen_is_identity(b in arb_box(), r in arb_ratio()) {
+        prop_assert_eq!(b.refine(r).coarsen(r), b);
+    }
+
+    #[test]
+    fn coarsen_never_loses_cells(b in arb_box(), r in arb_ratio()) {
+        // Every fine cell maps into the coarsened box.
+        let c = b.coarsen(r);
+        for p in b.cells().take(512) {
+            prop_assert!(c.contains(p.coarsen(r)));
+        }
+    }
+
+    #[test]
+    fn refine_scales_num_pts(b in arb_box(), r in arb_ratio()) {
+        prop_assert_eq!(b.refine(r).num_pts(), b.num_pts() * r.prod());
+    }
+
+    #[test]
+    fn grow_then_shrink_is_identity(b in arb_box(), n in 0i64..8) {
+        prop_assert_eq!(b.grow(n).grow(-n), b);
+        prop_assert_eq!(b.grow(n).num_pts(),
+            (b.size().x + 2 * n) * (b.size().y + 2 * n));
+    }
+
+    #[test]
+    fn chop_partitions_cells(b in arb_box()) {
+        prop_assume!(b.length(0) >= 2);
+        let at = b.lo().x + 1 + (b.length(0) - 2) / 2;
+        let (lo, hi) = b.chop(0, at);
+        prop_assert_eq!(lo.num_pts() + hi.num_pts(), b.num_pts());
+        prop_assert!(lo.intersection(&hi).is_none());
+        prop_assert_eq!(lo.bounding(&hi), b);
+    }
+
+    #[test]
+    fn max_size_tiles_and_bounds(b in arb_box(), max in 1i64..32) {
+        let ba = BoxArray::single(b).max_size(max);
+        prop_assert!(ba.tiles(&b));
+        for piece in ba.iter() {
+            prop_assert!(piece.longest_side() <= max);
+        }
+    }
+
+    #[test]
+    fn complement_in_partitions_region(a in arb_box(), b in arb_box()) {
+        let ba = BoxArray::single(b);
+        let comp = ba.complement_in(&a);
+        let comp_pts: i64 = comp.iter().map(IndexBox::num_pts).sum();
+        let overlap = a.intersection(&b).map_or(0, |i| i.num_pts());
+        prop_assert_eq!(comp_pts, a.num_pts() - overlap);
+        // Complement pieces are disjoint from b and inside a.
+        for c in &comp {
+            prop_assert!(!c.intersects(&b));
+            prop_assert!(a.contains_box(c));
+        }
+    }
+
+    #[test]
+    fn distribution_strategies_assign_all_boxes(
+        n in 16i64..128,
+        max in 4i64..32,
+        nranks in 1usize..16,
+        strat_idx in 0usize..3,
+    ) {
+        let strat = [
+            DistributionStrategy::RoundRobin,
+            DistributionStrategy::Knapsack,
+            DistributionStrategy::Sfc,
+        ][strat_idx];
+        let ba = BoxArray::single(IndexBox::at_origin(IntVect::splat(n))).max_size(max);
+        let dm = DistributionMapping::new(&ba, nranks, strat);
+        prop_assert_eq!(dm.len(), ba.len());
+        for i in 0..dm.len() {
+            prop_assert!(dm.owner(i) < nranks);
+        }
+        // Conservation: total load equals total cells.
+        let weights: Vec<i64> = ba.iter().map(|b| b.num_pts()).collect();
+        let loads = dm.rank_loads(&weights);
+        prop_assert_eq!(loads.iter().sum::<i64>(), ba.num_pts());
+    }
+
+    #[test]
+    fn knapsack_meets_lpt_bound(
+        n in 32i64..128,
+        max in 4i64..32,
+        nranks in 2usize..8,
+    ) {
+        // Greedy LPT guarantees max load <= mean load + max single weight.
+        let ba = BoxArray::single(IndexBox::at_origin(IntVect::splat(n))).max_size(max);
+        let weights: Vec<i64> = ba.iter().map(|b| b.num_pts()).collect();
+        let ks = DistributionMapping::new(&ba, nranks, DistributionStrategy::Knapsack);
+        let loads = ks.rank_loads(&weights);
+        let mean = ba.num_pts() as f64 / nranks as f64;
+        let w_max = *weights.iter().max().unwrap() as f64;
+        let l_max = *loads.iter().max().unwrap() as f64;
+        prop_assert!(l_max <= mean + w_max + 1e-9, "max {l_max}, mean {mean}, w_max {w_max}");
+    }
+
+    #[test]
+    fn cluster_covers_tags_disjointly(
+        seed_boxes in prop::collection::vec(
+            (0i64..56, 0i64..56, 1i64..8, 1i64..8), 1..6),
+        grid_eff in 0.3f64..0.95,
+    ) {
+        let domain = IndexBox::at_origin(IntVect::splat(64));
+        let mut tags = TagMap::new(domain);
+        for (x, y, w, h) in seed_boxes {
+            tags.tag_region(&IndexBox::from_lo_size(
+                IntVect::new(x, y), IntVect::new(w, h)));
+        }
+        let boxes = cluster(&tags, ClusterParams { grid_eff, min_width: 1 });
+        // Disjoint.
+        prop_assert!(BoxArray::new(boxes.clone()).is_disjoint());
+        // Exact tag coverage.
+        let covered: usize = boxes.iter().map(|b| tags.count_in(b)).sum();
+        prop_assert_eq!(covered, tags.count());
+        // Efficiency target met (boxes are minimal, so per-box efficiency
+        // can exceed but the aggregate must meet the target too when the
+        // algorithm accepted every box).
+        prop_assert!(efficiency(&tags, &boxes) >= grid_eff.min(1.0) - 1e-12);
+        // Inside domain.
+        for b in &boxes {
+            prop_assert!(domain.contains_box(b));
+        }
+    }
+
+    #[test]
+    fn make_fine_grids_invariants(
+        cx in 8i64..56, cy in 8i64..56, w in 1i64..8, h in 1i64..8,
+    ) {
+        let domain = IndexBox::at_origin(IntVect::splat(64));
+        let mut tags = TagMap::new(domain);
+        tags.tag_region(&IndexBox::from_lo_size(IntVect::new(cx, cy), IntVect::new(w, h)));
+        let params = GridParams {
+            ref_ratio: 2,
+            blocking_factor: 8,
+            max_grid_size: 32,
+            n_error_buf: 1,
+            grid_eff: 0.7,
+        };
+        let ba = make_fine_grids(&tags, domain, &params);
+        let fine_domain = domain.refine(IntVect::splat(2));
+        prop_assert!(ba.is_disjoint());
+        for b in ba.iter() {
+            prop_assert!(fine_domain.contains_box(b));
+            prop_assert!(b.longest_side() <= params.max_grid_size);
+        }
+        // All tagged cells (refined) are covered.
+        for c in domain.cells() {
+            if tags.get(c) {
+                let fine = IndexBox::new(c, c).refine(IntVect::splat(2));
+                for fp in fine.cells() {
+                    prop_assert!(ba.contains_cell(fp));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn morton_keys_unique_and_monotone_on_diagonal(
+        pts in prop::collection::hash_set((0i64..1024, 0i64..1024), 2..64)
+    ) {
+        let pts: Vec<IntVect> = pts.into_iter().map(|(x, y)| IntVect::new(x, y)).collect();
+        let mut keys: Vec<u64> = pts.iter().map(|&p| amr_mesh::morton::morton_key(p)).collect();
+        keys.sort_unstable();
+        let before = keys.len();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), before, "distinct points must give distinct keys");
+    }
+
+    #[test]
+    fn multifab_parallel_copy_conserves_overlap(
+        n in 8i64..32, max_a in 4i64..16, max_b in 4i64..16,
+    ) {
+        let domain = IndexBox::at_origin(IntVect::splat(n));
+        let ba_a = BoxArray::single(domain).max_size(max_a);
+        let ba_b = BoxArray::single(domain).max_size(max_b);
+        let dm_a = DistributionMapping::new(&ba_a, 2, DistributionStrategy::Sfc);
+        let dm_b = DistributionMapping::new(&ba_b, 3, DistributionStrategy::Knapsack);
+        let mut dst = MultiFab::new(ba_a, dm_a, 1, 0);
+        let mut src = MultiFab::new(ba_b, dm_b, 1, 0);
+        src.set_val(0, 1.5);
+        dst.parallel_copy_from(&src);
+        // Same domain, different layout: full copy.
+        prop_assert!((dst.sum(0) - 1.5 * (n * n) as f64).abs() < 1e-9);
+    }
+}

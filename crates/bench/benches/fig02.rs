@@ -1,0 +1,82 @@
+//! Fig. 2: the Castro plotfile analysis-output directory structure.
+//!
+//! Writes one real plotfile dump (3 levels, 4 ranks) into the in-memory
+//! filesystem and prints the resulting tree, which must match the paper's
+//! figure: per-step directory, Header/job_info metadata, per-level
+//! directories with Cell_H and per-task Cell_D files.
+
+use amrproxy::{run_simulation, CastroSedovConfig, Engine};
+use bench::{banner, human_bytes, write_artifact};
+use iosim::{MemFs, Vfs};
+
+fn main() {
+    banner(
+        "fig02",
+        "Fig. 2 of the paper",
+        "Castro plotfile output structure, Sedov 2D cylinder-in-Cartesian case",
+    );
+    let cfg = CastroSedovConfig {
+        engine: Engine::Hydro,
+        n_cell: 64,
+        max_level: 2,
+        max_step: 20,
+        plot_int: 20,
+        nprocs: 4,
+        grid: amr_mesh::GridParams {
+            ref_ratio: 2,
+            blocking_factor: 8,
+            max_grid_size: 32,
+            n_error_buf: 2,
+            grid_eff: 0.7,
+        },
+        ctrl: hydro::TimestepControl {
+            cfl: 0.5,
+            init_shrink: 0.3,
+            change_max: 1.3,
+        },
+        ..Default::default()
+    };
+    let fs = MemFs::new();
+    let result = run_simulation(&cfg, Some(&fs), None);
+
+    let mut listing: Vec<(String, u64)> = fs
+        .list("/")
+        .into_iter()
+        .map(|p| {
+            let size = fs.file_size(&p).unwrap_or(0);
+            (p, size)
+        })
+        .collect();
+    listing.sort();
+
+    // Print as a tree grouped by directory.
+    let mut last_dir = String::new();
+    for (path, size) in &listing {
+        let parts: Vec<&str> = path.trim_start_matches('/').split('/').collect();
+        let dir = parts[..parts.len() - 1].join("/");
+        if dir != last_dir {
+            println!("{dir}/");
+            last_dir = dir;
+        }
+        println!(
+            "    {:<16} {:>12}",
+            parts.last().unwrap(),
+            human_bytes(*size)
+        );
+    }
+
+    // Structural assertions mirroring the figure.
+    let files = fs.list("/");
+    assert!(files.iter().any(|f| f.ends_with("/Header")));
+    assert!(files.iter().any(|f| f.ends_with("/job_info")));
+    assert!(files.iter().any(|f| f.contains("/Level_0/Cell_H")));
+    assert!(files.iter().any(|f| f.contains("/Level_0/Cell_D_00000")));
+    assert!(files.iter().any(|f| f.contains("/Level_1/")));
+    println!(
+        "\nplot dumps: {}   files: {}   total: {}",
+        result.outputs,
+        files.len(),
+        human_bytes(fs.total_bytes())
+    );
+    write_artifact("fig02", &listing);
+}

@@ -1,0 +1,58 @@
+//! Fig. 3: MACSio's N-to-N output pattern with the miftmpl interface,
+//! ordered by task and output step.
+
+use bench::{banner, human_bytes, write_artifact};
+use iosim::{IoTracker, MemFs, Vfs};
+use macsio::{run, FileMode, MacsioConfig};
+
+fn main() {
+    banner(
+        "fig03",
+        "Fig. 3 of the paper",
+        "MACSio N-to-N output pattern (miftmpl interface), by task and step",
+    );
+    let cfg = MacsioConfig {
+        nprocs: 4,
+        num_dumps: 3,
+        part_size: 100_000,
+        parallel_file_mode: FileMode::Mif(4),
+        ..Default::default()
+    };
+    let fs = MemFs::new();
+    let tracker = IoTracker::new();
+    let report = run(&cfg, &fs, &tracker, None).expect("macsio run");
+
+    println!("data");
+    for f in fs.list("/") {
+        if !f.contains("root") {
+            println!(
+                "    {:<32} {:>12}",
+                f.trim_start_matches('/'),
+                human_bytes(fs.file_size(&f).unwrap())
+            );
+        }
+    }
+    println!("metadata");
+    for f in fs.list("/") {
+        if f.contains("root") {
+            println!(
+                "    {:<32} {:>12}",
+                f.trim_start_matches('/'),
+                human_bytes(fs.file_size(&f).unwrap())
+            );
+        }
+    }
+
+    // The naming of the figure: macsio_json_{task:05}_{step:03}.json and
+    // macsio_json_root_{step:03}.json.
+    let files = fs.list("/");
+    assert!(files.contains(&"/macsio_json_00000_000.json".to_string()));
+    assert!(files.contains(&"/macsio_json_00003_002.json".to_string()));
+    assert!(files.contains(&"/macsio_json_root_000.json".to_string()));
+    println!(
+        "\nfiles: {}  total: {}",
+        report.files_written,
+        human_bytes(report.total_bytes)
+    );
+    write_artifact("fig03", &files);
+}

@@ -1,0 +1,76 @@
+//! Fig. 10: baseline case4 per-step output sizes for CFL 0.3/0.6 and
+//! max_level 2/4 against the calibrated MACSio model.
+
+use amrproxy::{case4, compare_with_macsio, run_simulation};
+use bench::{banner, write_artifact};
+
+fn main() {
+    banner(
+        "fig10",
+        "Fig. 10 of the paper",
+        "AMR vs calibrated MACSio per-step sizes across the (CFL, max_level) grid",
+    );
+    let mut artifacts = Vec::new();
+    for &maxl in &[2usize, 4] {
+        for &cfl in &[0.3, 0.6] {
+            let cfg = case4(cfl, maxl, 200);
+            let amr = run_simulation(&cfg, None, None);
+            let cmp = compare_with_macsio(&amr, 2);
+            println!(
+                "\ncfl={cfl} maxl={maxl}: growth={:.6} f={:.2} MAPE={:.2}% final_err={:+.2}%",
+                cmp.calibration.dataset_growth,
+                cmp.calibration.f,
+                cmp.mape_percent,
+                100.0 * cmp.final_error
+            );
+            println!("{:>6} {:>14} {:>14}", "step", "AMR bytes", "MACSio bytes");
+            for (i, (a, m)) in cmp
+                .amr_per_step
+                .iter()
+                .zip(&cmp.macsio_per_step)
+                .enumerate()
+            {
+                if i % 5 == 0 || i + 1 == cmp.amr_per_step.len() {
+                    println!("{i:>6} {a:>14.4e} {m:>14.4e}");
+                }
+            }
+            // The paper's headline: the proxy stays close per step.
+            assert!(
+                cmp.mape_percent < 15.0,
+                "cfl={cfl} maxl={maxl}: MAPE {}",
+                cmp.mape_percent
+            );
+            assert!(
+                cmp.final_error.abs() < 0.10,
+                "cfl={cfl} maxl={maxl}: final error {}",
+                cmp.final_error
+            );
+            artifacts.push((cfl, maxl, cmp));
+        }
+    }
+
+    // Paper guidance: growth increases with CFL and levels.
+    let growth = |cfl: f64, maxl: usize| {
+        artifacts
+            .iter()
+            .find(|(c, m, _)| (*c - cfl).abs() < 1e-9 && *m == maxl)
+            .map(|(_, _, cmp)| cmp.calibration.dataset_growth)
+            .unwrap()
+    };
+    println!("\ncalibrated growth grid:");
+    println!(
+        "  cfl .3: maxl2 {:.5}  maxl4 {:.5}",
+        growth(0.3, 2),
+        growth(0.3, 4)
+    );
+    println!(
+        "  cfl .6: maxl2 {:.5}  maxl4 {:.5}",
+        growth(0.6, 2),
+        growth(0.6, 4)
+    );
+    assert!(
+        growth(0.3, 4) >= growth(0.3, 2),
+        "more levels -> more growth"
+    );
+    write_artifact("fig10", &artifacts);
+}

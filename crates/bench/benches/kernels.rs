@@ -1,0 +1,169 @@
+//! Criterion micro-benchmarks of the performance-critical kernels:
+//! box algebra, clustering, the hydro sweep, plotfile serialization,
+//! MACSio marshalling, and model calibration.
+
+use amr_mesh::prelude::*;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hydro::{annulus_fine_grids, GammaLaw, Primitive, NCOMP, NGROW, UEDEN, URHO};
+use iosim::{IoTracker, MemFs};
+use macsio::{marshal_part, Interface, MacsioConfig, MeshPart};
+use model::{calibrate_growth, predicted_series};
+use plotfile::{write_plotfile, PlotLevel, PlotfileSpec};
+
+fn bench_box_algebra(c: &mut Criterion) {
+    let boxes: Vec<IndexBox> = (0..1000)
+        .map(|i| {
+            let x = (i * 37) % 512;
+            let y = (i * 91) % 512;
+            IndexBox::from_lo_size(IntVect::new(x, y), IntVect::new(48, 32))
+        })
+        .collect();
+    let probe = IndexBox::from_lo_size(IntVect::new(200, 200), IntVect::splat(100));
+    c.bench_function("box_intersections_1000", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for bx in &boxes {
+                if bx.intersection(black_box(&probe)).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    let ba = BoxArray::new(boxes);
+    c.bench_function("boxarray_max_size", |b| {
+        b.iter(|| black_box(&ba).max_size(16).len())
+    });
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let n = 256;
+    let domain = IndexBox::at_origin(IntVect::splat(n));
+    let mut tags = TagMap::new(domain);
+    let cm = n as f64 / 2.0;
+    for p in domain.cells() {
+        let dx = p.x as f64 + 0.5 - cm;
+        let dy = p.y as f64 + 0.5 - cm;
+        let r = (dx * dx + dy * dy).sqrt();
+        if (r - 80.0).abs() < 4.0 {
+            tags.set(p, true);
+        }
+    }
+    c.bench_function("berger_rigoutsos_ring_256", |b| {
+        b.iter(|| cluster(black_box(&tags), ClusterParams::default()).len())
+    });
+    let geom = Geometry::unit_square(IntVect::splat(2048));
+    c.bench_function("annulus_grids_2048", |b| {
+        b.iter(|| {
+            annulus_fine_grids(
+                black_box(&geom),
+                [0.5, 0.5],
+                0.25,
+                0.27,
+                &GridParams::default(),
+            )
+            .len()
+        })
+    });
+}
+
+fn bench_distribution(c: &mut Criterion) {
+    let ba = BoxArray::single(IndexBox::at_origin(IntVect::splat(1024))).max_size(32);
+    c.bench_function("dm_sfc_1024boxes", |b| {
+        b.iter(|| DistributionMapping::new(black_box(&ba), 64, DistributionStrategy::Sfc))
+    });
+    c.bench_function("dm_knapsack_1024boxes", |b| {
+        b.iter(|| DistributionMapping::new(black_box(&ba), 64, DistributionStrategy::Knapsack))
+    });
+}
+
+fn bench_hydro_sweep(c: &mut Criterion) {
+    let eos = GammaLaw::default();
+    let geom = Geometry::unit_square(IntVect::splat(64));
+    let ba = BoxArray::single(geom.domain);
+    let dm = DistributionMapping::new(&ba, 1, DistributionStrategy::Sfc);
+    let mut mf = MultiFab::new(ba, dm, NCOMP, NGROW);
+    let u = Primitive::new(1.0, 0.1, -0.1, 1.0).to_conserved(&eos);
+    mf.set_val(URHO, u.rho);
+    mf.set_val(UEDEN, u.e);
+    mf.set_val(hydro::UMX, u.mx);
+    mf.set_val(hydro::UMY, u.my);
+    let valid = mf.valid_box(0);
+    c.bench_function("muscl_hllc_sweep_64x64", |b| {
+        b.iter(|| {
+            let mut fab = mf.fab(0).clone();
+            hydro::sweep_fab(&mut fab, &valid, 0, black_box(1e-4), &eos);
+            black_box(fab.get(IntVect::new(3, 3), URHO))
+        })
+    });
+}
+
+fn bench_plotfile(c: &mut Criterion) {
+    let geom = Geometry::unit_square(IntVect::splat(64));
+    let ba = BoxArray::single(geom.domain).max_size(32);
+    let dm = DistributionMapping::new(&ba, 4, DistributionStrategy::Sfc);
+    let mut mf = MultiFab::new(ba, dm, 4, 0);
+    mf.set_val(0, 1.0);
+    c.bench_function("plotfile_write_64x64x4", |b| {
+        b.iter(|| {
+            let fs = MemFs::with_retention(0);
+            let tracker = IoTracker::new();
+            let spec = PlotfileSpec {
+                dir: "/plt".into(),
+                output_counter: 1,
+                time: 0.0,
+                var_names: (0..4).map(|i| format!("v{i}")).collect(),
+                ref_ratio: 2,
+                levels: vec![PlotLevel {
+                    geom,
+                    mf: &mf,
+                    level_steps: 0,
+                }],
+                inputs: vec![],
+            };
+            write_plotfile(&fs, &tracker, &spec).unwrap().total_bytes
+        })
+    });
+}
+
+fn bench_macsio_marshal(c: &mut Criterion) {
+    let part = MeshPart::from_nominal_size(0, 8 * 65_536, 1);
+    c.bench_function("macsio_marshal_miftmpl_512KB", |b| {
+        b.iter(|| marshal_part(black_box(&part), 0, Interface::Miftmpl).len())
+    });
+    c.bench_function("macsio_marshal_json_512KB", |b| {
+        b.iter(|| marshal_part(black_box(&part), 0, Interface::Json).len())
+    });
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    let truth = MacsioConfig {
+        nprocs: 32,
+        num_dumps: 40,
+        part_size: 1_550_000,
+        dataset_growth: 1.0131,
+        ..Default::default()
+    };
+    let target: Vec<f64> = predicted_series(&truth).iter().map(|&b| b as f64).collect();
+    let base = MacsioConfig {
+        dataset_growth: 1.0,
+        ..truth.clone()
+    };
+    c.bench_function("calibrate_growth_40steps", |b| {
+        b.iter(|| {
+            calibrate_growth(black_box(&base), &target, 0.995, 1.08, 24).dataset_growth
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_box_algebra,
+    bench_clustering,
+    bench_distribution,
+    bench_hydro_sweep,
+    bench_plotfile,
+    bench_macsio_marshal,
+    bench_calibration,
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Listing 1: the proxy-app model formulation mapping the MACSio
+//! executable to AMReX-Castro inputs.
+
+use bench::{banner, write_artifact};
+use model::{default_growth_guess, part_size, translate, AmrInputs, TranslationModel};
+
+fn main() {
+    banner(
+        "listing1",
+        "Listing 1 + Eq. (3) of the paper",
+        "g(): AMReX-Castro inputs -> MACSio executable arguments",
+    );
+    let inputs = AmrInputs {
+        max_step: 200,
+        n_cell: (512, 512),
+        max_level: 4,
+        plot_int: 1,
+        cfl: 0.4,
+        nprocs: 32,
+    };
+    let model = TranslationModel {
+        f: 23.65, // the paper's worked case4 constant
+        dataset_growth: default_growth_guess(inputs.cfl, inputs.max_level),
+        compute_time: 0.5,
+        meta_size: 1000,
+    };
+    let cfg = translate(&inputs, &model);
+
+    println!("AMR inputs (Table I):");
+    println!("  amr.max_step   = {}", inputs.max_step);
+    println!("  amr.n_cell     = {} {}", inputs.n_cell.0, inputs.n_cell.1);
+    println!("  amr.max_level  = {}", inputs.max_level);
+    println!("  amr.plot_int   = {}", inputs.plot_int);
+    println!("  castro.cfl     = {}", inputs.cfl);
+    println!("  nprocs         = {}", inputs.nprocs);
+    println!("\nTranslated MACSio invocation (Listing 1):");
+    println!("  {}", cfg.command_line());
+
+    // Eq. (3) checks against the paper's worked constant.
+    let ps = part_size(23.65, 512, 512, 32);
+    println!(
+        "\nEq. (3): part_size = f*8*Nx*Ny/nprocs = {ps} (paper: ~1550000 for f=23.65)"
+    );
+    assert!((ps as f64 - 1_550_000.0).abs() / 1_550_000.0 < 0.01);
+    assert_eq!(cfg.num_dumps, 200);
+    assert_eq!(cfg.nprocs, 32);
+    assert!(cfg.dataset_growth >= 1.0 && cfg.dataset_growth <= 1.02);
+    write_artifact("listing1", &(inputs, model, cfg));
+}

@@ -1,0 +1,61 @@
+//! Table III: the 47-run campaign parameter ranges.
+
+use amrproxy::table3_campaign;
+use bench::{banner, write_artifact};
+
+fn main() {
+    banner(
+        "table3",
+        "Table III of the paper",
+        "AMReX Castro input parameter ranges for the 47-run Sedov campaign",
+    );
+    let runs = table3_campaign();
+    assert_eq!(runs.len(), 47, "the paper performed 47 runs");
+
+    let min_max = |vals: Vec<f64>| {
+        (
+            vals.iter().copied().fold(f64::MAX, f64::min),
+            vals.iter().copied().fold(f64::MIN, f64::max),
+        )
+    };
+    let (ncell_lo, ncell_hi) = min_max(runs.iter().map(|r| r.n_cell as f64).collect());
+    let (maxl_lo, maxl_hi) = min_max(runs.iter().map(|r| r.max_level as f64).collect());
+    let (pi_lo, pi_hi) = min_max(runs.iter().map(|r| r.plot_int as f64).collect());
+    let (cfl_lo, cfl_hi) = min_max(runs.iter().map(|r| r.cfl()).collect());
+    let (np_lo, np_hi) = min_max(runs.iter().map(|r| r.nprocs as f64).collect());
+
+    println!("{:<16} Range (this campaign)", "Parameter");
+    println!("{:<16} {} runs", "total", runs.len());
+    println!("{:<16} ({ncell_lo} x {ncell_lo}) - ({ncell_hi} x {ncell_hi})", "amr.n_cell");
+    println!("{:<16} {maxl_lo} - {maxl_hi}", "amr.max_level");
+    println!("{:<16} {pi_lo} - {pi_hi}", "amr.plot_int");
+    println!("{:<16} {cfl_lo} - {cfl_hi}", "castro.cfl");
+    println!("{:<16} {np_lo} - {np_hi}", "nprocs");
+    println!(
+        "\nPaper ranges: n_cell 32^2-131072^2, max_level 2-4, plot_int 1-20, \
+         cfl 0.3-0.6, nprocs 1-1024, nodes 1-512."
+    );
+    println!(
+        "This campaign stops at 8192^2 (oracle engine); the two largest paper\n\
+         meshes are out of scope here, as documented in DESIGN.md."
+    );
+
+    println!("\nAll 47 runs:");
+    println!(
+        "{:<28} {:>7} {:>5} {:>4} {:>5} {:>7} {:>7}",
+        "name", "n_cell", "maxl", "pi", "cfl", "nprocs", "engine"
+    );
+    for r in &runs {
+        println!(
+            "{:<28} {:>7} {:>5} {:>4} {:>5} {:>7} {:>7}",
+            r.name,
+            r.n_cell,
+            r.max_level,
+            r.plot_int,
+            r.cfl(),
+            r.nprocs,
+            if r.engine == amrproxy::Engine::Oracle { "oracle" } else { "hydro" },
+        );
+    }
+    write_artifact("table3", &runs);
+}

@@ -1,0 +1,28 @@
+//! Orchestration of the paper's study: parameterized Castro-Sedov runs,
+//! the Table III campaign, and the AMR-vs-MACSio comparison pipeline.
+//!
+//! ```
+//! use amrproxy::{run_simulation, CastroSedovConfig, Engine};
+//!
+//! let cfg = CastroSedovConfig {
+//!     engine: Engine::Oracle,
+//!     n_cell: 128,
+//!     max_step: 8,
+//!     plot_int: 4,
+//!     ..Default::default()
+//! };
+//! let result = run_simulation(&cfg, None, None);
+//! assert!(result.tracker.total_bytes() > 0);
+//! ```
+
+pub mod campaign;
+pub mod cases;
+pub mod compare;
+pub mod config;
+pub mod run;
+
+pub use campaign::{run_campaign, table3_campaign, RunSummary};
+pub use cases::{big8192, case27, case4, case4_hydro_scaled};
+pub use compare::{compare_with_macsio, Comparison};
+pub use config::{CastroSedovConfig, Engine};
+pub use run::{run_simulation, RunResult};

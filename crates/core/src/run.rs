@@ -1,0 +1,481 @@
+//! Driving one parameterized Castro-Sedov run and collecting its I/O.
+//!
+//! Mirrors the paper's measurement loop: advance the simulation, dump a
+//! plotfile every `plot_int` steps (including the step-0 dump AMReX
+//! writes), record every byte at `(step, level, task)` granularity, and
+//! (optionally) time each dump burst against the storage model.
+
+use crate::config::{CastroSedovConfig, Engine};
+use hydro::{AmrConfig, AmrSim, OracleConfig, OracleSim, StepInfo};
+use iosim::{Burst, BurstTimeline, IoTracker, MemFs, StorageModel, Vfs, WriteRequest};
+use mpi_sim::{collectives::allreduce_max, SimComm};
+use plotfile::{
+    account_plotfile, castro_sedov_plot_vars, write_plotfile, LayoutLevel, PlotLevel,
+    PlotfileLayout, PlotfileSpec,
+};
+use rand::Rng;
+
+/// Everything measured from one run.
+pub struct RunResult {
+    /// The configuration that produced it.
+    pub config: CastroSedovConfig,
+    /// Byte records at `(step, level, task)` granularity. The tracker
+    /// `step` key is the 1-based output counter (Eq. 1), not the
+    /// simulation step number.
+    pub tracker: IoTracker,
+    /// Per-step advance summaries.
+    pub steps: Vec<StepInfo>,
+    /// Number of plot dumps performed.
+    pub outputs: u32,
+    /// Burst timeline (empty without a storage model).
+    pub timeline: BurstTimeline,
+    /// Final simulated wall-clock seconds (compute + I/O).
+    pub wall_time: f64,
+}
+
+impl RunResult {
+    /// Per-output-counter total bytes, as the calibration target.
+    pub fn per_step_bytes(&self) -> Vec<f64> {
+        self.tracker
+            .bytes_per_step()
+            .values()
+            .map(|&b| b as f64)
+            .collect()
+    }
+
+    /// Eq. (1)/(2) cumulative series.
+    pub fn xy_series(&self) -> model::XySeries {
+        model::XySeries::from_tracker(
+            self.config.name.clone(),
+            &self.tracker,
+            self.config.n_cell * self.config.n_cell,
+        )
+    }
+}
+
+/// Runs a configuration to `max_step` (or `stop_time`), writing plotfiles
+/// through `vfs` (an internal throw-away memory FS when `None`) and timing
+/// bursts against `storage` when given.
+pub fn run_simulation(
+    cfg: &CastroSedovConfig,
+    vfs: Option<&dyn Vfs>,
+    storage: Option<&StorageModel>,
+) -> RunResult {
+    let own_fs;
+    let fs: &dyn Vfs = match vfs {
+        Some(v) => v,
+        None => {
+            own_fs = MemFs::with_retention(0);
+            &own_fs
+        }
+    };
+    match cfg.engine {
+        Engine::Hydro => run_hydro(cfg, fs, storage),
+        Engine::Oracle => run_oracle(cfg, storage),
+    }
+}
+
+/// Advances the simulated wall clock through one compute phase: every
+/// rank works through its share of `total_cells` with a small
+/// deterministic per-rank speed jitter, then all ranks hit the barrier
+/// preceding the plot dump (the paper's "bursty" pattern: CPU activity
+/// followed by intense I/O activity). Returns the post-barrier time.
+fn compute_phase(
+    comm: &SimComm,
+    step: u64,
+    t0: f64,
+    total_cells: i64,
+    ns_per_cell: f64,
+) -> f64 {
+    let per_rank_seconds = total_cells as f64 * ns_per_cell / 1e9 / comm.nranks() as f64;
+    let finish_times = comm.run(t0, |ctx| {
+        // Per-rank, per-step speed jitter in [0.97, 1.03]; seeded by
+        // (seed, rank), decorrelated across steps by burning `step` draws.
+        let mut jitter = 1.0;
+        for _ in 0..=(step % 8) {
+            jitter = 0.97 + 0.06 * ctx.rng.gen::<f64>();
+        }
+        ctx.clock.advance(per_rank_seconds * jitter);
+        ctx.clock.now()
+    });
+    allreduce_max(&finish_times)
+}
+
+fn dump_burst(
+    timeline: &mut BurstTimeline,
+    clock: &mut f64,
+    storage: Option<&StorageModel>,
+    output_counter: u32,
+    requests: &mut [WriteRequest],
+    bytes: u64,
+) {
+    if let Some(model) = storage {
+        for r in requests.iter_mut() {
+            r.start = *clock;
+        }
+        let burst = model.simulate_burst(requests);
+        timeline.push(Burst {
+            step: output_counter,
+            t_start: *clock,
+            t_end: burst.t_end,
+            bytes,
+        });
+        *clock = burst.t_end;
+    }
+}
+
+fn run_hydro(cfg: &CastroSedovConfig, fs: &dyn Vfs, storage: Option<&StorageModel>) -> RunResult {
+    let amr_cfg = AmrConfig {
+        n_cell: cfg.n_cell,
+        max_level: cfg.max_level,
+        grid: cfg.grid,
+        regrid_int: cfg.regrid_int,
+        nranks: cfg.nprocs,
+        strategy: cfg.strategy,
+        ctrl: cfg.ctrl,
+        tag: cfg.tag,
+        problem: cfg.problem,
+    };
+    let mut sim = AmrSim::new(amr_cfg);
+    let tracker = IoTracker::new();
+    let comm = SimComm::summit(cfg.nprocs, 0x5ED0);
+    let mut timeline = BurstTimeline::new();
+    let mut clock = 0.0f64;
+    let mut outputs = 0u32;
+    let var_names = castro_sedov_plot_vars();
+    let inputs = cfg.inputs();
+
+    let dump = |sim: &AmrSim,
+                    step: u64,
+                    outputs: &mut u32,
+                    clock: &mut f64,
+                    timeline: &mut BurstTimeline| {
+        *outputs += 1;
+        let stats = if cfg.account_only {
+            let layout = PlotfileLayout {
+                dir: cfg.plot_dir(step),
+                output_counter: *outputs,
+                time: sim.time(),
+                var_names: var_names.clone(),
+                ref_ratio: cfg.grid.ref_ratio,
+                levels: sim
+                    .levels()
+                    .iter()
+                    .map(|l| LayoutLevel {
+                        geom: l.geom,
+                        ba: l.mf.box_array().clone(),
+                        dm: l.mf.distribution_map().clone(),
+                        level_steps: l.steps,
+                    })
+                    .collect(),
+                inputs: inputs.clone(),
+            };
+            account_plotfile(&tracker, &layout)
+        } else {
+            let spec = PlotfileSpec {
+                dir: cfg.plot_dir(step),
+                output_counter: *outputs,
+                time: sim.time(),
+                var_names: var_names.clone(),
+                ref_ratio: cfg.grid.ref_ratio,
+                levels: sim
+                    .levels()
+                    .iter()
+                    .map(|l| PlotLevel {
+                        geom: l.geom,
+                        mf: &l.mf,
+                        level_steps: l.steps,
+                    })
+                    .collect(),
+                inputs: inputs.clone(),
+            };
+            write_plotfile(fs, &tracker, &spec).expect("plotfile write")
+        };
+        let mut requests = stats.requests;
+        dump_burst(timeline, clock, storage, *outputs, &mut requests, stats.total_bytes);
+    };
+
+    // AMReX writes plt00000 before the first step.
+    dump(&sim, 0, &mut outputs, &mut clock, &mut timeline);
+
+    let mut steps = Vec::new();
+    while sim.step_count() < cfg.max_step && sim.time() < cfg.stop_time {
+        let info = sim.step();
+        let cells: i64 = info.cells.iter().sum();
+        clock = compute_phase(&comm, info.step, clock, cells, cfg.compute_ns_per_cell);
+        if info.step.is_multiple_of(cfg.plot_int) {
+            dump(&sim, info.step, &mut outputs, &mut clock, &mut timeline);
+        }
+        if cfg.check_int > 0 && info.step.is_multiple_of(cfg.check_int) {
+            outputs += 1;
+            let spec = plotfile::CheckpointSpec {
+                dir: cfg.check_dir(info.step),
+                output_counter: outputs,
+                time: sim.time(),
+                ncomp: hydro::NCOMP,
+                ref_ratio: cfg.grid.ref_ratio,
+                levels: sim
+                    .levels()
+                    .iter()
+                    .map(|l| plotfile::CheckpointLevel {
+                        geom: l.geom,
+                        ba: l.mf.box_array().clone(),
+                        dm: l.mf.distribution_map().clone(),
+                        level_steps: l.steps,
+                        dt: info.dt,
+                    })
+                    .collect(),
+            };
+            let stats = plotfile::account_checkpoint(&tracker, &spec);
+            let mut requests = stats.requests;
+            dump_burst(&mut timeline, &mut clock, storage, outputs, &mut requests, stats.total_bytes);
+        }
+        steps.push(info);
+    }
+
+    RunResult {
+        config: cfg.clone(),
+        tracker,
+        steps,
+        outputs,
+        timeline,
+        wall_time: clock,
+    }
+}
+
+fn run_oracle(cfg: &CastroSedovConfig, storage: Option<&StorageModel>) -> RunResult {
+    let oracle_cfg = OracleConfig {
+        n_cell: cfg.n_cell,
+        max_level: cfg.max_level,
+        grid: cfg.grid,
+        regrid_int: cfg.regrid_int,
+        nranks: cfg.nprocs,
+        strategy: cfg.strategy,
+        ctrl: cfg.ctrl,
+        problem: cfg.problem,
+        shock_halfwidth_cells: 6.0,
+    };
+    let mut sim = OracleSim::new(oracle_cfg);
+    let tracker = IoTracker::new();
+    let comm = SimComm::summit(cfg.nprocs, 0x5ED0);
+    let mut timeline = BurstTimeline::new();
+    let mut clock = 0.0f64;
+    let mut outputs = 0u32;
+    let var_names = castro_sedov_plot_vars();
+    let inputs = cfg.inputs();
+
+    let dump = |sim: &OracleSim,
+                    step: u64,
+                    outputs: &mut u32,
+                    clock: &mut f64,
+                    timeline: &mut BurstTimeline| {
+        *outputs += 1;
+        let layout = PlotfileLayout {
+            dir: cfg.plot_dir(step),
+            output_counter: *outputs,
+            time: sim.time(),
+            var_names: var_names.clone(),
+            ref_ratio: cfg.grid.ref_ratio,
+            levels: sim
+                .levels()
+                .iter()
+                .map(|l| LayoutLevel {
+                    geom: l.geom,
+                    ba: l.ba.clone(),
+                    dm: l.dm.clone(),
+                    level_steps: l.steps,
+                })
+                .collect(),
+            inputs: inputs.clone(),
+        };
+        let stats = account_plotfile(&tracker, &layout);
+        let mut requests = stats.requests;
+        dump_burst(timeline, clock, storage, *outputs, &mut requests, stats.total_bytes);
+    };
+
+    dump(&sim, 0, &mut outputs, &mut clock, &mut timeline);
+
+    let mut steps = Vec::new();
+    while sim.step_count() < cfg.max_step && sim.time() < cfg.stop_time {
+        let info = sim.step();
+        let cells: i64 = info.cells.iter().sum();
+        clock = compute_phase(&comm, info.step, clock, cells, cfg.compute_ns_per_cell);
+        if info.step.is_multiple_of(cfg.plot_int) {
+            dump(&sim, info.step, &mut outputs, &mut clock, &mut timeline);
+        }
+        if cfg.check_int > 0 && info.step.is_multiple_of(cfg.check_int) {
+            outputs += 1;
+            let spec = plotfile::CheckpointSpec {
+                dir: cfg.check_dir(info.step),
+                output_counter: outputs,
+                time: sim.time(),
+                ncomp: hydro::NCOMP,
+                ref_ratio: cfg.grid.ref_ratio,
+                levels: sim
+                    .levels()
+                    .iter()
+                    .map(|l| plotfile::CheckpointLevel {
+                        geom: l.geom,
+                        ba: l.ba.clone(),
+                        dm: l.dm.clone(),
+                        level_steps: l.steps,
+                        dt: info.dt,
+                    })
+                    .collect(),
+            };
+            let stats = plotfile::account_checkpoint(&tracker, &spec);
+            let mut requests = stats.requests;
+            dump_burst(&mut timeline, &mut clock, storage, outputs, &mut requests, stats.total_bytes);
+        }
+        steps.push(info);
+    }
+
+    RunResult {
+        config: cfg.clone(),
+        tracker,
+        steps,
+        outputs,
+        timeline,
+        wall_time: clock,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iosim::IoKind;
+
+    fn small(engine: Engine) -> CastroSedovConfig {
+        CastroSedovConfig {
+            engine,
+            n_cell: 64,
+            max_level: 2,
+            max_step: 12,
+            plot_int: 4,
+            nprocs: 4,
+            grid: amr_mesh::GridParams {
+                ref_ratio: 2,
+                blocking_factor: 8,
+                max_grid_size: 32,
+                n_error_buf: 2,
+                grid_eff: 0.7,
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn hydro_run_produces_expected_dump_count() {
+        let r = run_simulation(&small(Engine::Hydro), None, None);
+        // Step-0 dump + dumps at steps 4, 8, 12.
+        assert_eq!(r.outputs, 4);
+        assert_eq!(r.tracker.steps(), vec![1, 2, 3, 4]);
+        assert_eq!(r.steps.len(), 12);
+        assert!(r.tracker.total_bytes() > 0);
+    }
+
+    #[test]
+    fn oracle_run_produces_expected_dump_count() {
+        let r = run_simulation(&small(Engine::Oracle), None, None);
+        assert_eq!(r.outputs, 4);
+        assert!(r.tracker.total_bytes() > 0);
+        // Oracle refines (annulus grids exist).
+        assert!(r.tracker.levels().len() >= 2);
+    }
+
+    #[test]
+    fn account_only_matches_real_writes() {
+        let mut cfg = small(Engine::Hydro);
+        let real = run_simulation(&cfg, None, None);
+        cfg.account_only = true;
+        let accounted = run_simulation(&cfg, None, None);
+        assert_eq!(
+            real.tracker.total_bytes_of(IoKind::Data),
+            accounted.tracker.total_bytes_of(IoKind::Data),
+            "sizer and writer must agree on data bytes"
+        );
+    }
+
+    #[test]
+    fn per_level_output_is_recorded() {
+        let r = run_simulation(&small(Engine::Hydro), None, None);
+        let levels = r.tracker.levels();
+        assert!(levels.contains(&0));
+        assert!(levels.len() >= 2, "refined levels must write");
+        // L0 per-step output is ~constant (paper Fig. 7 observation).
+        let series = r.tracker.cumulative_per_level_step();
+        let l0 = &series[&0];
+        let incr: Vec<u64> = l0.windows(2).map(|w| w[1].1 - w[0].1).collect();
+        let min = *incr.iter().min().unwrap() as f64;
+        let max = *incr.iter().max().unwrap() as f64;
+        assert!(max / min < 1.05, "L0 increments vary: {incr:?}");
+    }
+
+    #[test]
+    fn storage_model_yields_burst_timeline() {
+        let mut cfg = small(Engine::Hydro);
+        cfg.compute_ns_per_cell = 10_000.0; // exaggerate compute phases
+        let model = StorageModel::summit_alpine(0.05);
+        let r = run_simulation(&cfg, None, Some(&model));
+        assert_eq!(r.timeline.len(), 4);
+        assert!(r.timeline.duty_cycle() < 0.9);
+        assert!(r.wall_time > 0.0);
+    }
+
+    #[test]
+    fn xy_series_is_monotone() {
+        let r = run_simulation(&small(Engine::Oracle), None, None);
+        let s = r.xy_series();
+        assert_eq!(s.points.len(), 4);
+        assert!(s.points.windows(2).all(|w| w[1].y >= w[0].y));
+        assert!(s.points.windows(2).all(|w| w[1].x > w[0].x));
+    }
+
+    #[test]
+    fn stop_time_halts_early() {
+        let mut cfg = small(Engine::Oracle);
+        cfg.stop_time = 1e-12;
+        let r = run_simulation(&cfg, None, None);
+        assert_eq!(r.steps.len(), 1, "first step overshoots stop_time");
+    }
+
+    #[test]
+    fn check_int_adds_checkpoint_dumps() {
+        let mut cfg = small(Engine::Oracle);
+        let plot_only = run_simulation(&cfg, None, None);
+        cfg.check_int = 4;
+        let with_chk = run_simulation(&cfg, None, None);
+        // Checkpoints at steps 4, 8, 12 add 3 outputs.
+        assert_eq!(with_chk.outputs, plot_only.outputs + 3);
+        assert!(
+            with_chk.tracker.total_bytes() > plot_only.tracker.total_bytes(),
+            "checkpoints add bytes"
+        );
+        // Checkpoint state (4 comps) is much smaller than a plot dump
+        // (22 vars), so total growth stays well below 2x.
+        let ratio =
+            with_chk.tracker.total_bytes() as f64 / plot_only.tracker.total_bytes() as f64;
+        assert!((1.05..1.40).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn compute_phases_are_deterministic_and_jittered() {
+        let mut cfg = small(Engine::Oracle);
+        cfg.compute_ns_per_cell = 10_000.0;
+        let storage = StorageModel::summit_alpine(0.05);
+        let a = run_simulation(&cfg, None, Some(&storage));
+        let b = run_simulation(&cfg, None, Some(&storage));
+        assert_eq!(a.wall_time, b.wall_time, "seeded jitter is reproducible");
+        // Jitter means the wall time differs from the exact noiseless sum.
+        let exact: f64 = a
+            .steps
+            .iter()
+            .map(|s| {
+                s.cells.iter().sum::<i64>() as f64 * cfg.compute_ns_per_cell
+                    / 1e9
+                    / cfg.nprocs as f64
+            })
+            .sum();
+        assert!(a.wall_time > exact, "barrier waits on the slowest rank");
+    }
+}

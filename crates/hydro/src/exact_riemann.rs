@@ -1,0 +1,196 @@
+//! Exact Riemann solver for the 1-D Euler equations (Toro, ch. 4).
+//!
+//! Used as ground truth to verify the HLLC/MUSCL scheme on the Sod shock
+//! tube — the standard Castro verification problem — which in turn
+//! underwrites trusting the solver's Sedov shock positions (and therefore
+//! the oracle's grid geometry).
+
+use crate::eos::GammaLaw;
+use crate::state::Primitive;
+
+/// Exact solution of the Riemann problem `(wl, wr)` sampled at the
+/// similarity coordinate `xi = x / t`.
+///
+/// Returns the primitive state on the ray `x/t = xi` (velocity component
+/// `u` is the normal velocity; `v` is passively advected).
+pub fn sample_exact(wl: &Primitive, wr: &Primitive, eos: &GammaLaw, xi: f64) -> Primitive {
+    let g = eos.gamma;
+    let (p_star, u_star) = star_state(wl, wr, eos);
+
+    if xi <= u_star {
+        // Left of the contact.
+        left_side(wl, p_star, u_star, g, xi)
+    } else {
+        // Right of the contact: mirror the left-side logic.
+        let wr_m = Primitive::new(wr.rho, -wr.u, wr.v, wr.p);
+        let w = left_side(&wr_m, p_star, -u_star, g, -xi);
+        Primitive::new(w.rho, -w.u, wr.v, w.p)
+    }
+}
+
+fn left_side(wl: &Primitive, p_star: f64, u_star: f64, g: f64, xi: f64) -> Primitive {
+    let cl = (g * wl.p / wl.rho).sqrt();
+    if p_star > wl.p {
+        // Left shock.
+        let ratio = p_star / wl.p;
+        let sl = wl.u - cl * ((g + 1.0) / (2.0 * g) * ratio + (g - 1.0) / (2.0 * g)).sqrt();
+        if xi <= sl {
+            *wl
+        } else {
+            let rho = wl.rho * (ratio + (g - 1.0) / (g + 1.0))
+                / ((g - 1.0) / (g + 1.0) * ratio + 1.0);
+            Primitive::new(rho, u_star, wl.v, p_star)
+        }
+    } else {
+        // Left rarefaction.
+        let c_star = cl * (p_star / wl.p).powf((g - 1.0) / (2.0 * g));
+        let head = wl.u - cl;
+        let tail = u_star - c_star;
+        if xi <= head {
+            *wl
+        } else if xi >= tail {
+            let rho = wl.rho * (p_star / wl.p).powf(1.0 / g);
+            Primitive::new(rho, u_star, wl.v, p_star)
+        } else {
+            // Inside the fan.
+            let u = (2.0 / (g + 1.0)) * (cl + (g - 1.0) / 2.0 * wl.u + xi);
+            let c = (2.0 / (g + 1.0)) * (cl + (g - 1.0) / 2.0 * (wl.u - xi));
+            let rho = wl.rho * (c / cl).powf(2.0 / (g - 1.0));
+            let p = wl.p * (c / cl).powf(2.0 * g / (g - 1.0));
+            Primitive::new(rho, u, wl.v, p)
+        }
+    }
+}
+
+/// Star-region pressure and velocity via Newton iteration on the pressure
+/// function (Toro eq. 4.5), with a two-rarefaction initial guess.
+pub fn star_state(wl: &Primitive, wr: &Primitive, eos: &GammaLaw) -> (f64, f64) {
+    let g = eos.gamma;
+    let cl = (g * wl.p / wl.rho).sqrt();
+    let cr = (g * wr.p / wr.rho).sqrt();
+
+    // f_K(p) and its derivative for one side.
+    let side = |p: f64, w: &Primitive, c: f64| -> (f64, f64) {
+        if p > w.p {
+            // Shock branch.
+            let a = 2.0 / ((g + 1.0) * w.rho);
+            let b = (g - 1.0) / (g + 1.0) * w.p;
+            let f = (p - w.p) * (a / (p + b)).sqrt();
+            let df = (a / (p + b)).sqrt() * (1.0 - (p - w.p) / (2.0 * (p + b)));
+            (f, df)
+        } else {
+            // Rarefaction branch.
+            let pr = p / w.p;
+            let f = 2.0 * c / (g - 1.0) * (pr.powf((g - 1.0) / (2.0 * g)) - 1.0);
+            let df = 1.0 / (w.rho * c) * pr.powf(-(g + 1.0) / (2.0 * g));
+            (f, df)
+        }
+    };
+
+    // Two-rarefaction guess (robust for Sod-like data).
+    let z = (g - 1.0) / (2.0 * g);
+    let p0 = ((cl + cr - 0.5 * (g - 1.0) * (wr.u - wl.u))
+        / (cl / wl.p.powf(z) + cr / wr.p.powf(z)))
+    .powf(1.0 / z)
+    .max(1e-12);
+
+    let mut p = p0;
+    for _ in 0..40 {
+        let (fl, dfl) = side(p, wl, cl);
+        let (fr, dfr) = side(p, wr, cr);
+        let f = fl + fr + (wr.u - wl.u);
+        let df = dfl + dfr;
+        let p_new = (p - f / df).max(1e-12);
+        if (p_new - p).abs() / (0.5 * (p_new + p)) < 1e-12 {
+            p = p_new;
+            break;
+        }
+        p = p_new;
+    }
+    let (fl, _) = side(p, wl, cl);
+    let (fr, _) = side(p, wr, cr);
+    let u = 0.5 * (wl.u + wr.u) + 0.5 * (fr - fl);
+    (p, u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eos() -> GammaLaw {
+        GammaLaw::new(1.4)
+    }
+
+    /// Toro's Test 1 (the Sod problem): known star-state values.
+    #[test]
+    fn sod_star_state_matches_toro() {
+        let wl = Primitive::new(1.0, 0.0, 0.0, 1.0);
+        let wr = Primitive::new(0.125, 0.0, 0.0, 0.1);
+        let (p, u) = star_state(&wl, &wr, &eos());
+        assert!((p - 0.30313).abs() < 5e-5, "p* = {p}");
+        assert!((u - 0.92745).abs() < 5e-5, "u* = {u}");
+    }
+
+    /// Toro's Test 2 (123 problem): two strong rarefactions.
+    #[test]
+    fn double_rarefaction_star_state() {
+        let wl = Primitive::new(1.0, -2.0, 0.0, 0.4);
+        let wr = Primitive::new(1.0, 2.0, 0.0, 0.4);
+        let (p, u) = star_state(&wl, &wr, &eos());
+        assert!((p - 0.00189).abs() < 5e-5, "p* = {p}");
+        assert!(u.abs() < 1e-10, "u* = {u} (symmetric)");
+    }
+
+    /// Toro's Test 3: strong left shock-tube (p = 1000).
+    #[test]
+    fn strong_blast_star_state() {
+        let wl = Primitive::new(1.0, 0.0, 0.0, 1000.0);
+        let wr = Primitive::new(1.0, 0.0, 0.0, 0.01);
+        let (p, u) = star_state(&wl, &wr, &eos());
+        assert!((p - 460.894).abs() < 0.1, "p* = {p}");
+        assert!((u - 19.5975).abs() < 0.01, "u* = {u}");
+    }
+
+    #[test]
+    fn uniform_state_is_preserved() {
+        let w = Primitive::new(1.3, 0.4, 0.1, 2.0);
+        let s = sample_exact(&w, &w, &eos(), 0.4);
+        assert!((s.rho - w.rho).abs() < 1e-10);
+        assert!((s.u - w.u).abs() < 1e-10);
+        assert!((s.p - w.p).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sod_sampling_is_consistent() {
+        let wl = Primitive::new(1.0, 0.0, 0.0, 1.0);
+        let wr = Primitive::new(0.125, 0.0, 0.0, 0.1);
+        // Far left / right recover inputs.
+        let l = sample_exact(&wl, &wr, &eos(), -10.0);
+        assert!((l.rho - 1.0).abs() < 1e-12);
+        let r = sample_exact(&wl, &wr, &eos(), 10.0);
+        assert!((r.rho - 0.125).abs() < 1e-12);
+        // Pressure and velocity are continuous across the contact.
+        let (_, u_star) = star_state(&wl, &wr, &eos());
+        let just_left = sample_exact(&wl, &wr, &eos(), u_star - 1e-9);
+        let just_right = sample_exact(&wl, &wr, &eos(), u_star + 1e-9);
+        assert!((just_left.p - just_right.p).abs() < 1e-4);
+        assert!((just_left.u - just_right.u).abs() < 1e-4);
+        // Density jumps across the contact (Sod: ~0.42632 / ~0.26557).
+        assert!((just_left.rho - 0.42632).abs() < 5e-4, "{}", just_left.rho);
+        assert!((just_right.rho - 0.26557).abs() < 5e-4, "{}", just_right.rho);
+    }
+
+    #[test]
+    fn rarefaction_fan_is_smooth() {
+        let wl = Primitive::new(1.0, 0.0, 0.0, 1.0);
+        let wr = Primitive::new(0.125, 0.0, 0.0, 0.1);
+        // Sample through the left fan; density decreases monotonically.
+        let mut prev = f64::MAX;
+        for i in 0..20 {
+            let xi = -1.18 + i as f64 * 0.05; // head ~ -1.183, tail ~ -0.07
+            let s = sample_exact(&wl, &wr, &eos(), xi);
+            assert!(s.rho <= prev + 1e-12);
+            prev = s.rho;
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Castro-like 2-D compressible hydrodynamics with block-structured AMR.
+//!
+//! The paper's workload generator: the Sedov blast-wave problem solved on
+//! an adaptively refined hierarchy, reproducing the grid evolution that
+//! drives AMReX-Castro's plotfile I/O. Two interchangeable drivers:
+//!
+//! * [`AmrSim`] — a real second-order Godunov (MUSCL + HLLC) solve with
+//!   gradient tagging and Berger–Rigoutsos regridding (exact, used up to
+//!   ~512 squared level-0 cells);
+//! * [`OracleSim`] — the Sedov–Taylor similarity solution driving the same
+//!   grid-generation machinery analytically (paper-scale meshes).
+//!
+//! Both produce the same level/grid/ownership structure consumed by the
+//! `plotfile` writer, so byte accounting is identical in kind.
+
+pub mod amr;
+pub mod eos;
+pub mod exact_riemann;
+pub mod oracle;
+pub mod riemann;
+pub mod sedov;
+pub mod solver;
+pub mod state;
+pub mod tagging;
+pub mod timestep;
+
+pub use amr::{average_down, interp_ghosts_from_coarse, prolongate, AmrConfig, AmrSim, Level, StepInfo};
+pub use eos::GammaLaw;
+pub use exact_riemann::{sample_exact, star_state};
+pub use oracle::{annulus_fine_grids, OracleConfig, OracleLevel, OracleSim};
+pub use riemann::hllc_flux;
+pub use sedov::SedovProblem;
+pub use solver::{advance_level, apply_outflow_bc, sweep_fab, NGROW};
+pub use state::{flux, Conserved, Primitive, NCOMP, UEDEN, UMX, UMY, URHO};
+pub use tagging::{tag_gradients, TagCriteria};
+pub use timestep::{cfl_dt, limit_dt, TimestepControl};

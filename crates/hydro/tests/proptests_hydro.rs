@@ -1,0 +1,102 @@
+//! Property-based tests of the flux machinery: consistency, symmetry,
+//! and physical-state preservation over randomized inputs.
+
+use hydro::{flux, hllc_flux, sample_exact, star_state, Conserved, GammaLaw, Primitive};
+use proptest::prelude::*;
+
+fn arb_state() -> impl Strategy<Value = Primitive> {
+    (0.05f64..10.0, -3.0f64..3.0, -3.0f64..3.0, 0.01f64..10.0)
+        .prop_map(|(rho, u, v, p)| Primitive::new(rho, u, v, p))
+}
+
+proptest! {
+    /// HLLC with identical states must return the exact physical flux
+    /// (consistency with the underlying conservation law).
+    #[test]
+    fn hllc_is_consistent(w in arb_state(), dir in 0usize..2) {
+        let eos = GammaLaw::default();
+        let f_hllc = hllc_flux(&w, &w, &eos, dir);
+        let f_exact = flux(&w, &eos, dir);
+        let scale = 1.0 + f_exact.rho.abs() + f_exact.e.abs();
+        prop_assert!((f_hllc.rho - f_exact.rho).abs() / scale < 1e-10);
+        prop_assert!((f_hllc.mx - f_exact.mx).abs() / scale < 1e-10);
+        prop_assert!((f_hllc.my - f_exact.my).abs() / scale < 1e-10);
+        prop_assert!((f_hllc.e - f_exact.e).abs() / scale < 1e-10);
+    }
+
+    /// Mirror symmetry: flipping both states and the axis negates the
+    /// mass flux.
+    #[test]
+    fn hllc_respects_mirror_symmetry(wl in arb_state(), wr in arb_state()) {
+        let eos = GammaLaw::default();
+        let f = hllc_flux(&wl, &wr, &eos, 0);
+        let wl_m = Primitive::new(wr.rho, -wr.u, wr.v, wr.p);
+        let wr_m = Primitive::new(wl.rho, -wl.u, wl.v, wl.p);
+        let f_m = hllc_flux(&wl_m, &wr_m, &eos, 0);
+        let scale = 1.0 + f.rho.abs();
+        prop_assert!((f.rho + f_m.rho).abs() / scale < 1e-9,
+            "mass flux must negate: {} vs {}", f.rho, f_m.rho);
+        prop_assert!((f.e + f_m.e).abs() / (1.0 + f.e.abs()) < 1e-9);
+    }
+
+    /// Primitive <-> conserved conversion round-trips for physical states.
+    #[test]
+    fn state_round_trip(w in arb_state()) {
+        let eos = GammaLaw::default();
+        let u = w.to_conserved(&eos);
+        let w2 = u.to_primitive(&eos);
+        prop_assert!((w.rho - w2.rho).abs() < 1e-10 * w.rho);
+        prop_assert!((w.p - w2.p).abs() < 1e-8 * w.p.max(1.0));
+        prop_assert!((w.u - w2.u).abs() < 1e-10 * (1.0 + w.u.abs()));
+    }
+
+    /// The exact Riemann star state is physical and the sampled solution
+    /// is continuous in pressure/velocity across the contact.
+    #[test]
+    fn star_state_is_physical(wl in arb_state(), wr in arb_state()) {
+        let eos = GammaLaw::default();
+        // Skip vacuum-forming data (the solver's documented domain).
+        let cl = wl.sound_speed(&eos);
+        let cr = wr.sound_speed(&eos);
+        prop_assume!(2.0 * cl / 0.4 + 2.0 * cr / 0.4 > wr.u - wl.u);
+        let (p_star, u_star) = star_state(&wl, &wr, &eos);
+        prop_assert!(p_star > 0.0, "p* = {p_star}");
+        prop_assert!(u_star.is_finite());
+        let eps = 1e-7;
+        let a = sample_exact(&wl, &wr, &eos, u_star - eps);
+        let b = sample_exact(&wl, &wr, &eos, u_star + eps);
+        prop_assert!((a.p - b.p).abs() / p_star < 1e-3,
+            "pressure continuous across contact: {} vs {}", a.p, b.p);
+        prop_assert!((a.u - b.u).abs() < 1e-3 * (1.0 + u_star.abs()));
+        prop_assert!(a.rho > 0.0 && b.rho > 0.0);
+    }
+
+    /// Far-field sampling recovers the unperturbed inputs.
+    #[test]
+    fn far_field_recovers_inputs(wl in arb_state(), wr in arb_state()) {
+        let eos = GammaLaw::default();
+        let cl = wl.sound_speed(&eos);
+        let cr = wr.sound_speed(&eos);
+        prop_assume!(2.0 * cl / 0.4 + 2.0 * cr / 0.4 > wr.u - wl.u);
+        let far = 10.0 * (cl + cr + wl.u.abs() + wr.u.abs());
+        let l = sample_exact(&wl, &wr, &eos, -far);
+        let r = sample_exact(&wl, &wr, &eos, far);
+        prop_assert!((l.rho - wl.rho).abs() < 1e-9);
+        prop_assert!((r.rho - wr.rho).abs() < 1e-9);
+    }
+
+    /// Conserved floors never produce NaN, whatever garbage comes in.
+    #[test]
+    fn floors_are_nan_free(
+        rho in -1.0f64..10.0,
+        mx in -100.0f64..100.0,
+        my in -100.0f64..100.0,
+        e in -10.0f64..100.0,
+    ) {
+        let eos = GammaLaw::default();
+        let w = Conserved::new(rho, mx, my, e).to_primitive(&eos);
+        prop_assert!(w.rho > 0.0 && w.rho.is_finite());
+        prop_assert!(w.p > 0.0 && w.p.is_finite());
+        prop_assert!(w.u.is_finite() && w.v.is_finite());
+    }
+}

@@ -1,0 +1,27 @@
+//! Parallel I/O simulation substrate.
+//!
+//! Stands in for the pieces of the paper's testbed we cannot use: Summit's
+//! GPFS (Alpine) filesystem and the instrumentation that measured output
+//! sizes. Three orthogonal pieces:
+//!
+//! * [`vfs`] — a filesystem abstraction with an exact-size in-memory
+//!   backend ([`MemFs`]) and an OS backend ([`RealFs`]); writers emit real
+//!   bytes either way, so byte accounting is honest.
+//! * [`tracker`] — byte accounting at the paper's `(step, level, task)`
+//!   granularity (Eqs. 1-2).
+//! * [`storage`] + [`timeline`] — a seeded, deterministic timing model of a
+//!   striped parallel filesystem (fair-share servers, metadata latency,
+//!   lognormal variability) for the paper's *dynamic* burstiness
+//!   discussion.
+
+pub mod characterize;
+pub mod storage;
+pub mod timeline;
+pub mod tracker;
+pub mod vfs;
+
+pub use characterize::{characterize, IoCharacterization};
+pub use storage::{BurstResult, StorageModel, WriteRequest};
+pub use timeline::{Burst, BurstTimeline};
+pub use tracker::{IoKey, IoKind, IoTracker};
+pub use vfs::{MemFs, RealFs, Vfs};

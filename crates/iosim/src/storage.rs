@@ -1,0 +1,326 @@
+//! Parallel storage timing model.
+//!
+//! A deterministic, seeded stand-in for Summit's Alpine GPFS filesystem:
+//! files are striped across `nservers` storage servers; each server
+//! processes its active write requests by fair processor sharing at a
+//! fixed bandwidth; each file creation pays a metadata latency; service
+//! demand carries lognormal variability. Only the *dynamic* aspect of the
+//! paper (burst durations, bandwidth) depends on this model — byte counts
+//! never do.
+
+use mpi_sim::rank_seed;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Storage system parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StorageModel {
+    /// Number of storage (NSD) servers.
+    pub nservers: usize,
+    /// Sustained write bandwidth per server, bytes/second.
+    pub server_bandwidth: f64,
+    /// Latency charged per file creation (metadata round trip), seconds.
+    pub metadata_latency: f64,
+    /// Lognormal sigma applied to each request's service demand
+    /// (0 disables variability).
+    pub variability_sigma: f64,
+    /// Seed for the variability noise.
+    pub seed: u64,
+}
+
+impl StorageModel {
+    /// A Summit/Alpine-like configuration scaled by `scale` in (0, 1]:
+    /// Alpine's published peak is ~2.5 TB/s over 77 NSD servers; `scale`
+    /// shrinks server count (at least 1) while keeping per-server
+    /// bandwidth, so partial-machine experiments see proportional peaks.
+    pub fn summit_alpine(scale: f64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0, "summit_alpine: bad scale");
+        let nservers = ((77.0 * scale).round() as usize).max(1);
+        Self {
+            nservers,
+            server_bandwidth: 2.5e12 / 77.0,
+            metadata_latency: 1.0e-3,
+            variability_sigma: 0.15,
+            seed: 0xA1_91_4E,
+        }
+    }
+
+    /// An idealized noiseless model (useful in tests).
+    pub fn ideal(nservers: usize, server_bandwidth: f64) -> Self {
+        Self {
+            nservers,
+            server_bandwidth,
+            metadata_latency: 0.0,
+            variability_sigma: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Stable server assignment for a file path (FNV-1a hash mod servers).
+    pub fn server_of(&self, path: &str) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in path.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        (h % self.nservers as u64) as usize
+    }
+
+    /// Simulates one I/O burst: all `reqs` proceed concurrently, each on
+    /// its file's server, fair-sharing server bandwidth. Returns per-request
+    /// finish times and aggregate statistics.
+    pub fn simulate_burst(&self, reqs: &[WriteRequest]) -> BurstResult {
+        let mut finish = vec![0.0f64; reqs.len()];
+        let mut per_server: Vec<Vec<usize>> = vec![Vec::new(); self.nservers];
+        for (i, r) in reqs.iter().enumerate() {
+            per_server[self.server_of(&r.path)].push(i);
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(rank_seed(self.seed, reqs.len()));
+        for ids in per_server.iter().filter(|v| !v.is_empty()) {
+            self.simulate_server(ids, reqs, &mut finish, &mut rng);
+        }
+        let total_bytes: u64 = reqs.iter().map(|r| r.bytes).sum();
+        let t_start = reqs.iter().map(|r| r.start).fold(f64::INFINITY, f64::min);
+        let t_end = finish.iter().copied().fold(0.0, f64::max);
+        let duration = (t_end - t_start).max(0.0);
+        BurstResult {
+            finish,
+            t_start: if reqs.is_empty() { 0.0 } else { t_start },
+            t_end,
+            total_bytes,
+            aggregate_bandwidth: if duration > 0.0 {
+                total_bytes as f64 / duration
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Event-driven fair processor sharing of one server among `ids`.
+    fn simulate_server(
+        &self,
+        ids: &[usize],
+        reqs: &[WriteRequest],
+        finish: &mut [f64],
+        rng: &mut rand::rngs::StdRng,
+    ) {
+        // Arrival = request start + metadata latency; work = noisy bytes.
+        struct Job {
+            id: usize,
+            arrival: f64,
+            work: f64, // remaining bytes of service demand
+        }
+        let mut jobs: Vec<Job> = ids
+            .iter()
+            .map(|&id| {
+                let noise = if self.variability_sigma > 0.0 {
+                    // Lognormal via Box-Muller on two uniform draws.
+                    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    let u2: f64 = rng.gen_range(0.0..1.0);
+                    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                    (self.variability_sigma * z).exp()
+                } else {
+                    1.0
+                };
+                Job {
+                    id,
+                    arrival: reqs[id].start + self.metadata_latency,
+                    work: reqs[id].bytes as f64 * noise,
+                }
+            })
+            .collect();
+        jobs.sort_by(|a, b| a.arrival.total_cmp(&b.arrival).then(a.id.cmp(&b.id)));
+
+        let bw = self.server_bandwidth;
+        let mut t = jobs.first().map(|j| j.arrival).unwrap_or(0.0);
+        let mut active: Vec<Job> = Vec::new();
+        let mut next = 0usize;
+        loop {
+            // Admit arrivals at or before t.
+            while next < jobs.len() && jobs[next].arrival <= t {
+                active.push(Job {
+                    id: jobs[next].id,
+                    arrival: jobs[next].arrival,
+                    work: jobs[next].work,
+                });
+                next += 1;
+            }
+            if active.is_empty() {
+                if next >= jobs.len() {
+                    break;
+                }
+                t = jobs[next].arrival;
+                continue;
+            }
+            let rate = bw / active.len() as f64;
+            // Next event: earliest completion at shared rate vs next arrival.
+            let min_work = active.iter().map(|j| j.work).fold(f64::INFINITY, f64::min);
+            let t_complete = t + min_work / rate;
+            let t_arrive = jobs.get(next).map(|j| j.arrival).unwrap_or(f64::INFINITY);
+            let t_next = t_complete.min(t_arrive);
+            let elapsed = t_next - t;
+            for j in &mut active {
+                j.work -= rate * elapsed;
+            }
+            t = t_next;
+            // Retire finished jobs (floating-point tolerant).
+            let eps = 1e-6 * bw.max(1.0);
+            active.retain(|j| {
+                if j.work <= eps {
+                    finish[j.id] = t;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+    }
+}
+
+/// One file write submitted to a burst.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WriteRequest {
+    /// Rank issuing the write (for reporting).
+    pub rank: usize,
+    /// Target file path (determines the server).
+    pub path: String,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Simulated time at which the write is issued.
+    pub start: f64,
+}
+
+/// Outcome of a simulated burst.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BurstResult {
+    /// Completion time of each request, in submission order.
+    pub finish: Vec<f64>,
+    /// Earliest request start.
+    pub t_start: f64,
+    /// Latest completion.
+    pub t_end: f64,
+    /// Total payload bytes.
+    pub total_bytes: u64,
+    /// `total_bytes / (t_end - t_start)`.
+    pub aggregate_bandwidth: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(rank: usize, path: &str, bytes: u64, start: f64) -> WriteRequest {
+        WriteRequest {
+            rank,
+            path: path.to_string(),
+            bytes,
+            start,
+        }
+    }
+
+    #[test]
+    fn single_write_ideal_time() {
+        let m = StorageModel::ideal(1, 100.0);
+        let r = m.simulate_burst(&[req(0, "/f", 1000, 0.0)]);
+        assert!((r.finish[0] - 10.0).abs() < 1e-9);
+        assert!((r.aggregate_bandwidth - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_writes_share_one_server() {
+        let m = StorageModel::ideal(1, 100.0);
+        // Force both onto the same (only) server.
+        let r = m.simulate_burst(&[req(0, "/a", 500, 0.0), req(1, "/b", 500, 0.0)]);
+        // Fair sharing: both finish at 10s (1000 bytes total at 100 B/s).
+        assert!((r.finish[0] - 10.0).abs() < 1e-9, "{:?}", r.finish);
+        assert!((r.finish[1] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unequal_shares_complete_in_order() {
+        let m = StorageModel::ideal(1, 100.0);
+        let r = m.simulate_burst(&[req(0, "/a", 200, 0.0), req(1, "/b", 600, 0.0)]);
+        // Shared until small job done at t: 2 jobs at 50 B/s -> small done
+        // at 4s; then big has 400 left at 100 B/s -> 8s total.
+        assert!((r.finish[0] - 4.0).abs() < 1e-9, "{:?}", r.finish);
+        assert!((r.finish[1] - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn staggered_arrivals() {
+        let m = StorageModel::ideal(1, 100.0);
+        let r = m.simulate_burst(&[req(0, "/a", 1000, 0.0), req(1, "/b", 100, 5.0)]);
+        // Job A alone 0-5s (500 done), then shares: B needs 100 at 50 B/s
+        // -> B done at 7s; A has 400 left alone at 100 B/s -> 11s.
+        assert!((r.finish[1] - 7.0).abs() < 1e-9, "{:?}", r.finish);
+        assert!((r.finish[0] - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_servers_scale_bandwidth() {
+        let reqs: Vec<WriteRequest> = (0..64)
+            .map(|i| req(i, &format!("/file{i}"), 1_000_000, 0.0))
+            .collect();
+        let slow = StorageModel::ideal(1, 1e6).simulate_burst(&reqs);
+        let fast = StorageModel::ideal(16, 1e6).simulate_burst(&reqs);
+        assert!(fast.t_end < slow.t_end / 4.0, "{} vs {}", fast.t_end, slow.t_end);
+    }
+
+    #[test]
+    fn metadata_latency_floors_small_writes() {
+        let mut m = StorageModel::ideal(4, 1e9);
+        m.metadata_latency = 0.01;
+        let r = m.simulate_burst(&[req(0, "/tiny", 8, 0.0)]);
+        assert!(r.finish[0] >= 0.01);
+    }
+
+    #[test]
+    fn variability_is_deterministic() {
+        let m = StorageModel {
+            variability_sigma: 0.3,
+            ..StorageModel::ideal(4, 1e6)
+        };
+        let reqs: Vec<WriteRequest> = (0..8)
+            .map(|i| req(i, &format!("/f{i}"), 100_000, 0.0))
+            .collect();
+        let a = m.simulate_burst(&reqs);
+        let b = m.simulate_burst(&reqs);
+        assert_eq!(a.finish, b.finish);
+        // Noise actually perturbs completion times.
+        let ideal = StorageModel::ideal(4, 1e6).simulate_burst(&reqs);
+        assert_ne!(a.finish, ideal.finish);
+    }
+
+    #[test]
+    fn server_assignment_is_stable_and_in_range() {
+        let m = StorageModel::ideal(7, 1.0);
+        let s1 = m.server_of("/plt00000/Level_0/Cell_D_00001");
+        let s2 = m.server_of("/plt00000/Level_0/Cell_D_00001");
+        assert_eq!(s1, s2);
+        assert!(s1 < 7);
+        // Different files spread over servers.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..100 {
+            seen.insert(m.server_of(&format!("/f{i}")));
+        }
+        assert!(seen.len() > 3);
+    }
+
+    #[test]
+    fn summit_preset_sane() {
+        let m = StorageModel::summit_alpine(1.0);
+        assert_eq!(m.nservers, 77);
+        assert!(m.server_bandwidth > 1e10);
+        let m = StorageModel::summit_alpine(1.0 / 9.0); // paper's 512 nodes
+        assert!(m.nservers >= 8);
+    }
+
+    #[test]
+    fn empty_burst() {
+        let m = StorageModel::ideal(2, 1.0);
+        let r = m.simulate_burst(&[]);
+        assert_eq!(r.total_bytes, 0);
+        assert_eq!(r.t_end, 0.0);
+    }
+}

@@ -1,0 +1,295 @@
+//! Byte accounting at the paper's (timestep, level, task) granularity.
+//!
+//! Every write the plotfile and MACSio writers perform is recorded here.
+//! The model crate consumes these records to build the Eq. (1)/(2)
+//! samples: `y = data_output(i)`, `i = (time step, level, task)`.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Identifies one output record in the AMR hierarchy.
+///
+/// MACSio has no level concept; its records use `level = 0`.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct IoKey {
+    /// Simulation output step (the paper's `output counter`).
+    pub step: u32,
+    /// AMR refinement level.
+    pub level: u32,
+    /// MPI task (rank) id.
+    pub task: u32,
+}
+
+/// Kind of bytes written.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum IoKind {
+    /// Field data (Cell_D files, MACSio part payloads).
+    Data,
+    /// Headers and per-level metadata (Header, Cell_H, job_info, MACSio
+    /// root files).
+    Metadata,
+}
+
+/// Aggregated byte counts per `(key, kind)`.
+#[derive(Default, Debug)]
+pub struct IoTracker {
+    records: Mutex<BTreeMap<(IoKey, IoKind), Record>>,
+}
+
+#[derive(Default, Debug, Clone, Copy, Serialize, Deserialize)]
+struct Record {
+    bytes: u64,
+    files: u64,
+}
+
+impl IoTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `bytes` written for `key`, counting one file.
+    pub fn record(&self, key: IoKey, kind: IoKind, bytes: u64) {
+        let mut map = self.records.lock();
+        let r = map.entry((key, kind)).or_default();
+        r.bytes += bytes;
+        r.files += 1;
+    }
+
+    /// Total bytes across everything.
+    pub fn total_bytes(&self) -> u64 {
+        self.records.lock().values().map(|r| r.bytes).sum()
+    }
+
+    /// Total bytes of one kind.
+    pub fn total_bytes_of(&self, kind: IoKind) -> u64 {
+        self.records
+            .lock()
+            .iter()
+            .filter(|((_, k), _)| *k == kind)
+            .map(|(_, r)| r.bytes)
+            .sum()
+    }
+
+    /// Total number of files written.
+    pub fn total_files(&self) -> u64 {
+        self.records.lock().values().map(|r| r.files).sum()
+    }
+
+    /// Bytes per output step (data + metadata), ordered by step.
+    pub fn bytes_per_step(&self) -> BTreeMap<u32, u64> {
+        let mut out = BTreeMap::new();
+        for ((key, _), r) in self.records.lock().iter() {
+            *out.entry(key.step).or_insert(0) += r.bytes;
+        }
+        out
+    }
+
+    /// Cumulative bytes after each output step, ordered by step — the
+    /// paper's Fig. 5 dependent variable.
+    pub fn cumulative_per_step(&self) -> Vec<(u32, u64)> {
+        let mut acc = 0u64;
+        self.bytes_per_step()
+            .into_iter()
+            .map(|(s, b)| {
+                acc += b;
+                (s, acc)
+            })
+            .collect()
+    }
+
+    /// Bytes per AMR level, ordered by level — the Fig. 7 decomposition.
+    pub fn bytes_per_level(&self) -> BTreeMap<u32, u64> {
+        let mut out = BTreeMap::new();
+        for ((key, _), r) in self.records.lock().iter() {
+            *out.entry(key.level).or_insert(0) += r.bytes;
+        }
+        out
+    }
+
+    /// Cumulative bytes per level after each step: `(step, level) -> bytes
+    /// so far` — the Fig. 7 series.
+    pub fn cumulative_per_level_step(&self) -> BTreeMap<u32, Vec<(u32, u64)>> {
+        // level -> Vec<(step, cumulative bytes)>
+        let mut per_level_step: BTreeMap<u32, BTreeMap<u32, u64>> = BTreeMap::new();
+        for ((key, _), r) in self.records.lock().iter() {
+            *per_level_step
+                .entry(key.level)
+                .or_default()
+                .entry(key.step)
+                .or_insert(0) += r.bytes;
+        }
+        per_level_step
+            .into_iter()
+            .map(|(level, steps)| {
+                let mut acc = 0u64;
+                let series = steps
+                    .into_iter()
+                    .map(|(s, b)| {
+                        acc += b;
+                        (s, acc)
+                    })
+                    .collect();
+                (level, series)
+            })
+            .collect()
+    }
+
+    /// Bytes per task for one `(step, level)` — the Fig. 8 view. The result
+    /// is indexed densely from task 0 to the largest task seen; tasks that
+    /// wrote nothing hold 0 (AMReX writes no file for them).
+    pub fn bytes_per_task(&self, step: u32, level: u32) -> Vec<u64> {
+        let map = self.records.lock();
+        let mut max_task = 0u32;
+        let mut any = false;
+        for ((key, _), _) in map.iter() {
+            max_task = max_task.max(key.task);
+            any = true;
+        }
+        if !any {
+            return Vec::new();
+        }
+        let mut out = vec![0u64; max_task as usize + 1];
+        for ((key, _), r) in map.iter() {
+            if key.step == step && key.level == level {
+                out[key.task as usize] += r.bytes;
+            }
+        }
+        out
+    }
+
+    /// Like [`IoTracker::bytes_per_task`] but restricted to one kind —
+    /// e.g. `Data` only, excluding rank 0's metadata attribution.
+    pub fn bytes_per_task_of(&self, step: u32, level: u32, kind: IoKind) -> Vec<u64> {
+        let map = self.records.lock();
+        let mut max_task = 0u32;
+        let mut any = false;
+        for ((key, _), _) in map.iter() {
+            max_task = max_task.max(key.task);
+            any = true;
+        }
+        if !any {
+            return Vec::new();
+        }
+        let mut out = vec![0u64; max_task as usize + 1];
+        for ((key, k), r) in map.iter() {
+            if key.step == step && key.level == level && *k == kind {
+                out[key.task as usize] += r.bytes;
+            }
+        }
+        out
+    }
+
+    /// Sorted list of steps with any output.
+    pub fn steps(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self
+            .records
+            .lock()
+            .keys()
+            .map(|(k, _)| k.step)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Sorted list of levels with any output.
+    pub fn levels(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self
+            .records
+            .lock()
+            .keys()
+            .map(|(k, _)| k.level)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Flat export of all records as `(key, kind, bytes, files)` for
+    /// serialization.
+    pub fn export(&self) -> Vec<(IoKey, IoKind, u64, u64)> {
+        self.records
+            .lock()
+            .iter()
+            .map(|((k, kind), r)| (*k, *kind, r.bytes, r.files))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(step: u32, level: u32, task: u32) -> IoKey {
+        IoKey { step, level, task }
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let t = IoTracker::new();
+        t.record(key(0, 0, 0), IoKind::Data, 100);
+        t.record(key(0, 0, 0), IoKind::Data, 50);
+        t.record(key(0, 0, 0), IoKind::Metadata, 10);
+        assert_eq!(t.total_bytes(), 160);
+        assert_eq!(t.total_bytes_of(IoKind::Data), 150);
+        assert_eq!(t.total_bytes_of(IoKind::Metadata), 10);
+        assert_eq!(t.total_files(), 3);
+    }
+
+    #[test]
+    fn per_step_and_cumulative() {
+        let t = IoTracker::new();
+        t.record(key(0, 0, 0), IoKind::Data, 10);
+        t.record(key(2, 0, 0), IoKind::Data, 20);
+        t.record(key(2, 1, 0), IoKind::Data, 5);
+        let per = t.bytes_per_step();
+        assert_eq!(per[&0], 10);
+        assert_eq!(per[&2], 25);
+        assert_eq!(t.cumulative_per_step(), vec![(0, 10), (2, 35)]);
+    }
+
+    #[test]
+    fn per_level_decomposition() {
+        let t = IoTracker::new();
+        t.record(key(0, 0, 0), IoKind::Data, 10);
+        t.record(key(0, 1, 0), IoKind::Data, 20);
+        t.record(key(1, 1, 1), IoKind::Data, 30);
+        let per = t.bytes_per_level();
+        assert_eq!(per[&0], 10);
+        assert_eq!(per[&1], 50);
+        let series = t.cumulative_per_level_step();
+        assert_eq!(series[&1], vec![(0, 20), (1, 50)]);
+    }
+
+    #[test]
+    fn per_task_dense_with_gaps() {
+        let t = IoTracker::new();
+        t.record(key(3, 2, 0), IoKind::Data, 7);
+        t.record(key(3, 2, 4), IoKind::Data, 9);
+        t.record(key(3, 1, 2), IoKind::Data, 100); // other level
+        let v = t.bytes_per_task(3, 2);
+        assert_eq!(v, vec![7, 0, 0, 0, 9]);
+        assert_eq!(t.bytes_per_task(9, 9), vec![0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn steps_levels_sorted_unique() {
+        let t = IoTracker::new();
+        t.record(key(5, 1, 0), IoKind::Data, 1);
+        t.record(key(1, 0, 0), IoKind::Data, 1);
+        t.record(key(5, 0, 0), IoKind::Data, 1);
+        assert_eq!(t.steps(), vec![1, 5]);
+        assert_eq!(t.levels(), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_tracker_queries() {
+        let t = IoTracker::new();
+        assert_eq!(t.total_bytes(), 0);
+        assert!(t.bytes_per_step().is_empty());
+        assert!(t.cumulative_per_step().is_empty());
+        assert!(t.bytes_per_task(0, 0).is_empty());
+    }
+}

@@ -1,0 +1,303 @@
+//! Virtual filesystem abstraction.
+//!
+//! Plotfile and MACSio writers emit real bytes through a [`Vfs`] so the
+//! same code path can target the OS filesystem (small runs, examples) or a
+//! deterministic in-memory filesystem (campaigns at scale, where the paper
+//! wrote terabytes to GPFS that we must account for without storing).
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Minimal filesystem surface needed by the N-to-N writers.
+pub trait Vfs: Send + Sync {
+    /// Creates a directory and all parents (idempotent).
+    fn create_dir_all(&self, path: &str) -> io::Result<()>;
+
+    /// Creates/overwrites a file with `data`; returns the byte count.
+    fn write_file(&self, path: &str, data: &[u8]) -> io::Result<u64>;
+
+    /// Size of a file, or `None` when absent.
+    fn file_size(&self, path: &str) -> Option<u64>;
+
+    /// Full content of a file when available. In-memory backends may
+    /// truncate retained content (see [`MemFs::with_retention`]); the
+    /// returned bytes are the retained prefix.
+    fn read_file(&self, path: &str) -> Option<Vec<u8>>;
+
+    /// Paths of all files under `prefix`, sorted.
+    fn list(&self, prefix: &str) -> Vec<String>;
+
+    /// Total bytes written across all files.
+    fn total_bytes(&self) -> u64;
+
+    /// Number of files.
+    fn nfiles(&self) -> usize;
+}
+
+#[derive(Clone, Debug)]
+struct MemFile {
+    size: u64,
+    /// Retained prefix of the content (full content when small enough).
+    head: Vec<u8>,
+}
+
+/// Deterministic in-memory filesystem.
+///
+/// Stores file sizes exactly; content is retained up to a configurable
+/// per-file limit so multi-gigabyte simulated campaigns do not exhaust
+/// memory while small-file metadata (plotfile headers) remains inspectable.
+pub struct MemFs {
+    files: RwLock<BTreeMap<String, MemFile>>,
+    dirs: RwLock<std::collections::BTreeSet<String>>,
+    retention: usize,
+}
+
+impl MemFs {
+    /// A filesystem retaining full file content (use for tests).
+    pub fn new() -> Self {
+        Self::with_retention(usize::MAX)
+    }
+
+    /// A filesystem retaining at most `limit` bytes of content per file
+    /// (sizes are always exact).
+    pub fn with_retention(limit: usize) -> Self {
+        Self {
+            files: RwLock::new(BTreeMap::new()),
+            dirs: RwLock::new(std::collections::BTreeSet::new()),
+            retention: limit,
+        }
+    }
+
+    /// True when `path` was created as a directory.
+    pub fn dir_exists(&self, path: &str) -> bool {
+        self.dirs.read().contains(&normalize(path))
+    }
+}
+
+impl Default for MemFs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn normalize(path: &str) -> String {
+    let mut out = String::with_capacity(path.len());
+    for part in path.split('/').filter(|p| !p.is_empty() && *p != ".") {
+        out.push('/');
+        out.push_str(part);
+    }
+    if out.is_empty() {
+        out.push('/');
+    }
+    out
+}
+
+impl Vfs for MemFs {
+    fn create_dir_all(&self, path: &str) -> io::Result<()> {
+        let norm = normalize(path);
+        let mut dirs = self.dirs.write();
+        let mut acc = String::new();
+        for part in norm.split('/').filter(|p| !p.is_empty()) {
+            acc.push('/');
+            acc.push_str(part);
+            dirs.insert(acc.clone());
+        }
+        Ok(())
+    }
+
+    fn write_file(&self, path: &str, data: &[u8]) -> io::Result<u64> {
+        let norm = normalize(path);
+        let head_len = data.len().min(self.retention);
+        self.files.write().insert(
+            norm,
+            MemFile {
+                size: data.len() as u64,
+                head: data[..head_len].to_vec(),
+            },
+        );
+        Ok(data.len() as u64)
+    }
+
+    fn file_size(&self, path: &str) -> Option<u64> {
+        self.files.read().get(&normalize(path)).map(|f| f.size)
+    }
+
+    fn read_file(&self, path: &str) -> Option<Vec<u8>> {
+        self.files
+            .read()
+            .get(&normalize(path))
+            .map(|f| f.head.clone())
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        let norm = normalize(prefix);
+        self.files
+            .read()
+            .keys()
+            .filter(|k| k.starts_with(&norm))
+            .cloned()
+            .collect()
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.files.read().values().map(|f| f.size).sum()
+    }
+
+    fn nfiles(&self) -> usize {
+        self.files.read().len()
+    }
+}
+
+/// OS-filesystem backend rooted at a directory.
+pub struct RealFs {
+    root: PathBuf,
+}
+
+impl RealFs {
+    /// A backend writing under `root` (created if missing).
+    pub fn new(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(Self { root })
+    }
+
+    fn resolve(&self, path: &str) -> PathBuf {
+        let rel: PathBuf = Path::new(&normalize(path))
+            .components()
+            .filter(|c| matches!(c, std::path::Component::Normal(_)))
+            .collect();
+        self.root.join(rel)
+    }
+}
+
+impl Vfs for RealFs {
+    fn create_dir_all(&self, path: &str) -> io::Result<()> {
+        std::fs::create_dir_all(self.resolve(path))
+    }
+
+    fn write_file(&self, path: &str, data: &[u8]) -> io::Result<u64> {
+        let p = self.resolve(path);
+        if let Some(parent) = p.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(&p, data)?;
+        Ok(data.len() as u64)
+    }
+
+    fn file_size(&self, path: &str) -> Option<u64> {
+        std::fs::metadata(self.resolve(path)).ok().map(|m| m.len())
+    }
+
+    fn read_file(&self, path: &str) -> Option<Vec<u8>> {
+        std::fs::read(self.resolve(path)).ok()
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        // Walk the root and filter; adequate for example-sized trees.
+        let mut out = Vec::new();
+        let mut stack = vec![self.root.clone()];
+        while let Some(dir) = stack.pop() {
+            let Ok(entries) = std::fs::read_dir(&dir) else {
+                continue;
+            };
+            for e in entries.flatten() {
+                let p = e.path();
+                if p.is_dir() {
+                    stack.push(p);
+                } else if let Ok(rel) = p.strip_prefix(&self.root) {
+                    let rel = format!("/{}", rel.display());
+                    if rel.starts_with(&normalize(prefix)) {
+                        out.push(rel);
+                    }
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.list("/")
+            .iter()
+            .filter_map(|p| self.file_size(p))
+            .sum()
+    }
+
+    fn nfiles(&self) -> usize {
+        self.list("/").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memfs_write_read_round_trip() {
+        let fs = MemFs::new();
+        fs.write_file("/a/b.txt", b"hello").unwrap();
+        assert_eq!(fs.file_size("/a/b.txt"), Some(5));
+        assert_eq!(fs.read_file("/a/b.txt"), Some(b"hello".to_vec()));
+        assert_eq!(fs.total_bytes(), 5);
+        assert_eq!(fs.nfiles(), 1);
+    }
+
+    #[test]
+    fn memfs_overwrite_replaces() {
+        let fs = MemFs::new();
+        fs.write_file("/f", b"xxxx").unwrap();
+        fs.write_file("/f", b"yy").unwrap();
+        assert_eq!(fs.file_size("/f"), Some(2));
+        assert_eq!(fs.total_bytes(), 2);
+    }
+
+    #[test]
+    fn memfs_retention_truncates_content_not_size() {
+        let fs = MemFs::with_retention(4);
+        fs.write_file("/big", &[7u8; 100]).unwrap();
+        assert_eq!(fs.file_size("/big"), Some(100));
+        assert_eq!(fs.read_file("/big").unwrap().len(), 4);
+        assert_eq!(fs.total_bytes(), 100);
+    }
+
+    #[test]
+    fn memfs_list_by_prefix_sorted() {
+        let fs = MemFs::new();
+        fs.write_file("/plt0/L0/a", b"1").unwrap();
+        fs.write_file("/plt0/L1/b", b"2").unwrap();
+        fs.write_file("/plt1/L0/c", b"3").unwrap();
+        let l = fs.list("/plt0");
+        assert_eq!(l, vec!["/plt0/L0/a".to_string(), "/plt0/L1/b".to_string()]);
+        assert_eq!(fs.list("/").len(), 3);
+    }
+
+    #[test]
+    fn memfs_path_normalization() {
+        let fs = MemFs::new();
+        fs.write_file("a//b/./c", b"x").unwrap();
+        assert_eq!(fs.file_size("/a/b/c"), Some(1));
+    }
+
+    #[test]
+    fn memfs_dirs_tracked() {
+        let fs = MemFs::new();
+        fs.create_dir_all("/x/y/z").unwrap();
+        assert!(fs.dir_exists("/x"));
+        assert!(fs.dir_exists("/x/y"));
+        assert!(fs.dir_exists("/x/y/z"));
+        assert!(!fs.dir_exists("/q"));
+    }
+
+    #[test]
+    fn realfs_round_trip() {
+        let dir = std::env::temp_dir().join(format!("iosim-test-{}", std::process::id()));
+        let fs = RealFs::new(&dir).unwrap();
+        fs.write_file("/sub/file.bin", b"abc").unwrap();
+        assert_eq!(fs.file_size("/sub/file.bin"), Some(3));
+        assert_eq!(fs.read_file("/sub/file.bin"), Some(b"abc".to_vec()));
+        assert_eq!(fs.list("/sub"), vec!["/sub/file.bin".to_string()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,76 @@
+//! The `macsio` proxy I/O executable.
+//!
+//! Accepts the Table II flags plus:
+//! * `--output_dir DIR` — write real files under DIR (default: in-memory)
+//! * `--summit_scale X` — attach the Summit-like storage timing model
+//!
+//! Prints a per-dump table and a JSON report to stdout.
+
+use iosim::{IoTracker, MemFs, RealFs, StorageModel, Vfs};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut output_dir: Option<String> = None;
+    let mut summit_scale: Option<f64> = None;
+
+    // Strip binary-local flags before handing the rest to the MACSio parser.
+    let mut rest = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--output_dir" => {
+                i += 1;
+                output_dir = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("missing value for --output_dir");
+                    std::process::exit(2);
+                }));
+            }
+            "--summit_scale" => {
+                i += 1;
+                summit_scale = args.get(i).and_then(|v| v.parse().ok());
+            }
+            _ => rest.push(std::mem::take(&mut args[i])),
+        }
+        i += 1;
+    }
+
+    let cfg = match macsio::parse_args(rest.iter().map(String::as_str)) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("macsio: {e}");
+            eprintln!("see Table II of the paper for supported flags");
+            std::process::exit(2);
+        }
+    };
+
+    let fs: Box<dyn Vfs> = match &output_dir {
+        Some(dir) => Box::new(RealFs::new(dir).unwrap_or_else(|e| {
+            eprintln!("macsio: cannot open output dir: {e}");
+            std::process::exit(1);
+        })),
+        None => Box::new(MemFs::with_retention(4096)),
+    };
+    let storage = summit_scale.map(StorageModel::summit_alpine);
+    let tracker = IoTracker::new();
+
+    let report = macsio::run(&cfg, fs.as_ref(), &tracker, storage.as_ref())
+        .unwrap_or_else(|e| {
+            eprintln!("macsio: run failed: {e}");
+            std::process::exit(1);
+        });
+
+    println!("# {}", cfg.command_line());
+    println!("# dump  bytes  cumulative");
+    let mut cum = 0u64;
+    for (k, b) in report.bytes_per_dump.iter().enumerate() {
+        cum += b;
+        println!("{k:>6}  {b:>12}  {cum:>12}");
+    }
+    println!(
+        "# total_bytes={} files={} wall_time={:.3}s duty_cycle={:.3}",
+        report.total_bytes,
+        report.files_written,
+        report.wall_time,
+        report.timeline.duty_cycle()
+    );
+}

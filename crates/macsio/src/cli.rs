@@ -1,0 +1,168 @@
+//! MACSio-compatible command-line parsing.
+//!
+//! Accepts the flag spellings of Table II (`--interface`,
+//! `--parallel_file_mode MIF n | SIF`, `--num_dumps`, `--part_size`,
+//! `--avg_num_parts`, `--vars_per_part`, `--compute_time`, `--meta_size`,
+//! `--dataset_growth`) plus `--nprocs` standing in for `jsrun -n`.
+
+use crate::config::{FileMode, Interface, MacsioConfig};
+
+/// Parses a MACSio command line into a configuration.
+///
+/// Sizes accept `K`/`M`/`G` suffixes (powers of 1000, as MACSio does).
+pub fn parse_args<I, S>(args: I) -> Result<MacsioConfig, String>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let args: Vec<String> = args.into_iter().map(|s| s.as_ref().to_string()).collect();
+    let mut cfg = MacsioConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let next = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match flag {
+            "--interface" => cfg.interface = Interface::parse(&next(&mut i)?)?,
+            "--parallel_file_mode" => {
+                let mode = next(&mut i)?;
+                cfg.parallel_file_mode = match mode.as_str() {
+                    "SIF" | "sif" => FileMode::Sif,
+                    "MIF" | "mif" => {
+                        let n = next(&mut i)?;
+                        FileMode::Mif(
+                            n.parse()
+                                .map_err(|_| format!("bad MIF file count '{n}'"))?,
+                        )
+                    }
+                    other => return Err(format!("unknown file mode '{other}'")),
+                };
+            }
+            "--num_dumps" => {
+                cfg.num_dumps = parse_num(&next(&mut i)?)? as u32;
+            }
+            "--part_size" => {
+                cfg.part_size = parse_size(&next(&mut i)?)?;
+            }
+            "--avg_num_parts" => {
+                let v = next(&mut i)?;
+                cfg.avg_num_parts = v
+                    .parse()
+                    .map_err(|_| format!("bad avg_num_parts '{v}'"))?;
+            }
+            "--vars_per_part" => {
+                cfg.vars_per_part = parse_num(&next(&mut i)?)? as usize;
+            }
+            "--compute_time" => {
+                let v = next(&mut i)?;
+                cfg.compute_time =
+                    v.parse().map_err(|_| format!("bad compute_time '{v}'"))?;
+            }
+            "--meta_size" => {
+                cfg.meta_size = parse_size(&next(&mut i)?)?;
+            }
+            "--dataset_growth" => {
+                let v = next(&mut i)?;
+                cfg.dataset_growth = v
+                    .parse()
+                    .map_err(|_| format!("bad dataset_growth '{v}'"))?;
+            }
+            "--nprocs" | "-n" => {
+                cfg.nprocs = parse_num(&next(&mut i)?)? as usize;
+            }
+            "--seed" => {
+                cfg.seed = parse_num(&next(&mut i)?)?;
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+    cfg.validate();
+    Ok(cfg)
+}
+
+fn parse_num(s: &str) -> Result<u64, String> {
+    s.parse().map_err(|_| format!("bad number '{s}'"))
+}
+
+fn parse_size(s: &str) -> Result<u64, String> {
+    let (digits, mult) = match s.chars().last() {
+        Some('K' | 'k') => (&s[..s.len() - 1], 1_000u64),
+        Some('M' | 'm') => (&s[..s.len() - 1], 1_000_000),
+        Some('G' | 'g') => (&s[..s.len() - 1], 1_000_000_000),
+        _ => (s, 1),
+    };
+    let base: f64 = digits
+        .parse()
+        .map_err(|_| format!("bad size '{s}'"))?;
+    Ok((base * mult as f64).round() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_listing_shape() {
+        let cfg = parse_args([
+            "--nprocs",
+            "32",
+            "--interface",
+            "miftmpl",
+            "--parallel_file_mode",
+            "MIF",
+            "32",
+            "--num_dumps",
+            "10",
+            "--part_size",
+            "1550000",
+            "--avg_num_parts",
+            "1",
+            "--vars_per_part",
+            "1",
+            "--compute_time",
+            "0.5",
+            "--meta_size",
+            "1K",
+            "--dataset_growth",
+            "1.013075",
+        ])
+        .unwrap();
+        assert_eq!(cfg.nprocs, 32);
+        assert_eq!(cfg.interface, Interface::Miftmpl);
+        assert_eq!(cfg.parallel_file_mode, FileMode::Mif(32));
+        assert_eq!(cfg.num_dumps, 10);
+        assert_eq!(cfg.part_size, 1_550_000);
+        assert_eq!(cfg.meta_size, 1000);
+        assert!((cfg.dataset_growth - 1.013075).abs() < 1e-12);
+    }
+
+    #[test]
+    fn size_suffixes() {
+        assert_eq!(parse_size("10K").unwrap(), 10_000);
+        assert_eq!(parse_size("2.5M").unwrap(), 2_500_000);
+        assert_eq!(parse_size("1G").unwrap(), 1_000_000_000);
+        assert_eq!(parse_size("123").unwrap(), 123);
+        assert!(parse_size("abc").is_err());
+    }
+
+    #[test]
+    fn sif_mode() {
+        let cfg = parse_args(["--parallel_file_mode", "SIF"]).unwrap();
+        assert_eq!(cfg.parallel_file_mode, FileMode::Sif);
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected() {
+        assert!(parse_args(["--bogus", "1"]).is_err());
+    }
+
+    #[test]
+    fn missing_value_is_rejected() {
+        assert!(parse_args(["--num_dumps"]).is_err());
+    }
+}

@@ -1,0 +1,255 @@
+//! MACSio run configuration: the command-line surface of Table II.
+
+use serde::{Deserialize, Serialize};
+
+/// Output interface (MACSio `--interface`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Interface {
+    /// The `miftmpl` template interface: JSON object header with the bulk
+    /// variable data appended as raw little-endian doubles (size-faithful
+    /// to the nominal request size; see DESIGN.md on the substitution for
+    /// json-cwx).
+    Miftmpl,
+    /// Pure-text JSON: every value formatted as text. Inflates bytes per
+    /// value; used by the format-expansion ablation.
+    Json,
+}
+
+impl Interface {
+    /// Parses the CLI spelling.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "miftmpl" | "json_binary" => Ok(Self::Miftmpl),
+            "json" | "json_text" => Ok(Self::Json),
+            other => Err(format!(
+                "unknown interface '{other}' (expected miftmpl or json)"
+            )),
+        }
+    }
+
+    /// CLI spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Miftmpl => "miftmpl",
+            Self::Json => "json",
+        }
+    }
+}
+
+/// Parallel file mode (MACSio `--parallel_file_mode`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FileMode {
+    /// Multiple Independent Files over `n` file groups; ranks in a group
+    /// take turns (baton passing) appending to the group's file. With
+    /// `n == nprocs` this is the paper's N-to-N pattern.
+    Mif(usize),
+    /// Single shared file per dump.
+    Sif,
+}
+
+impl FileMode {
+    /// Number of files per dump for a world of `nprocs` ranks.
+    pub fn files_per_dump(&self, nprocs: usize) -> usize {
+        match self {
+            FileMode::Mif(n) => (*n).min(nprocs).max(1),
+            FileMode::Sif => 1,
+        }
+    }
+}
+
+/// Full MACSio configuration (Table II plus the execution context).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MacsioConfig {
+    /// Output interface (`--interface`).
+    pub interface: Interface,
+    /// File mode (`--parallel_file_mode MIF n | SIF`).
+    pub parallel_file_mode: FileMode,
+    /// Number of dumps to marshal (`--num_dumps`).
+    pub num_dumps: u32,
+    /// Nominal bytes of one variable on one mesh part (`--part_size`).
+    pub part_size: u64,
+    /// Average mesh parts per task (`--avg_num_parts`); fractional values
+    /// give some ranks one extra part.
+    pub avg_num_parts: f64,
+    /// Variables per part (`--vars_per_part`).
+    pub vars_per_part: usize,
+    /// Simulated compute seconds between dumps (`--compute_time`).
+    pub compute_time: f64,
+    /// Additional metadata bytes per task per dump (`--meta_size`).
+    pub meta_size: u64,
+    /// Per-dump growth multiplier on the part size (`--dataset_growth`).
+    pub dataset_growth: f64,
+    /// MPI world size (`jsrun -n nprocs`).
+    pub nprocs: usize,
+    /// RNG seed for synthetic field data.
+    pub seed: u64,
+}
+
+impl Default for MacsioConfig {
+    fn default() -> Self {
+        Self {
+            interface: Interface::Miftmpl,
+            parallel_file_mode: FileMode::Mif(usize::MAX), // clamped to nprocs
+            num_dumps: 10,
+            part_size: 80_000,
+            avg_num_parts: 1.0,
+            vars_per_part: 1,
+            compute_time: 0.0,
+            meta_size: 0,
+            dataset_growth: 1.0,
+            nprocs: 1,
+            seed: 0x4D_41_43, // "MAC"
+        }
+    }
+}
+
+impl MacsioConfig {
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    /// Panics on non-positive sizes, growth, or process count.
+    pub fn validate(&self) {
+        assert!(self.nprocs > 0, "MacsioConfig: nprocs must be positive");
+        assert!(self.part_size > 0, "MacsioConfig: part_size must be positive");
+        assert!(
+            self.avg_num_parts > 0.0,
+            "MacsioConfig: avg_num_parts must be positive"
+        );
+        assert!(
+            self.vars_per_part > 0,
+            "MacsioConfig: vars_per_part must be positive"
+        );
+        assert!(
+            self.dataset_growth > 0.0,
+            "MacsioConfig: dataset_growth must be positive"
+        );
+        assert!(
+            self.compute_time >= 0.0,
+            "MacsioConfig: compute_time must be non-negative"
+        );
+    }
+
+    /// Parts assigned to `rank`: `floor(avg)` everywhere plus one extra on
+    /// the first `round((avg - floor(avg)) * nprocs)` ranks.
+    pub fn parts_of_rank(&self, rank: usize) -> usize {
+        let base = self.avg_num_parts.floor() as usize;
+        let extra_ranks =
+            ((self.avg_num_parts - base as f64) * self.nprocs as f64).round() as usize;
+        base + usize::from(rank < extra_ranks)
+    }
+
+    /// Total parts across the world.
+    pub fn total_parts(&self) -> usize {
+        (0..self.nprocs).map(|r| self.parts_of_rank(r)).sum()
+    }
+
+    /// Nominal bytes of one variable at dump `k` (0-based) after growth.
+    pub fn grown_part_size(&self, dump: u32) -> u64 {
+        (self.part_size as f64 * self.dataset_growth.powi(dump as i32)).round() as u64
+    }
+
+    /// The equivalent `macsio` command line (for reports and job scripts).
+    pub fn command_line(&self) -> String {
+        let mode = match self.parallel_file_mode {
+            FileMode::Mif(n) => format!("MIF {}", n.min(self.nprocs)),
+            FileMode::Sif => "SIF".to_string(),
+        };
+        format!(
+            "jsrun -n {} macsio --interface {} --parallel_file_mode {} --num_dumps {} \
+             --part_size {} --avg_num_parts {} --vars_per_part {} --compute_time {} \
+             --meta_size {} --dataset_growth {}",
+            self.nprocs,
+            self.interface.name(),
+            mode,
+            self.num_dumps,
+            self.part_size,
+            self.avg_num_parts,
+            self.vars_per_part,
+            self.compute_time,
+            self.meta_size,
+            self.dataset_growth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interface_parsing() {
+        assert_eq!(Interface::parse("miftmpl").unwrap(), Interface::Miftmpl);
+        assert_eq!(Interface::parse("json").unwrap(), Interface::Json);
+        assert!(Interface::parse("silo").is_err());
+    }
+
+    #[test]
+    fn file_mode_counts() {
+        assert_eq!(FileMode::Mif(4).files_per_dump(16), 4);
+        assert_eq!(FileMode::Mif(100).files_per_dump(16), 16);
+        assert_eq!(FileMode::Sif.files_per_dump(16), 1);
+    }
+
+    #[test]
+    fn fractional_parts_distribution() {
+        let cfg = MacsioConfig {
+            avg_num_parts: 2.5,
+            nprocs: 4,
+            ..Default::default()
+        };
+        // 2.5 * 4 = 10 parts: ranks 0,1 get 3; ranks 2,3 get 2.
+        assert_eq!(cfg.parts_of_rank(0), 3);
+        assert_eq!(cfg.parts_of_rank(1), 3);
+        assert_eq!(cfg.parts_of_rank(2), 2);
+        assert_eq!(cfg.parts_of_rank(3), 2);
+        assert_eq!(cfg.total_parts(), 10);
+    }
+
+    #[test]
+    fn whole_parts_distribution() {
+        let cfg = MacsioConfig {
+            avg_num_parts: 1.0,
+            nprocs: 8,
+            ..Default::default()
+        };
+        assert!((0..8).all(|r| cfg.parts_of_rank(r) == 1));
+    }
+
+    #[test]
+    fn growth_compounds() {
+        let cfg = MacsioConfig {
+            part_size: 1000,
+            dataset_growth: 1.1,
+            ..Default::default()
+        };
+        assert_eq!(cfg.grown_part_size(0), 1000);
+        assert_eq!(cfg.grown_part_size(1), 1100);
+        assert_eq!(cfg.grown_part_size(2), 1210);
+    }
+
+    #[test]
+    fn command_line_round_trips_the_paper_listing() {
+        let cfg = MacsioConfig {
+            nprocs: 32,
+            part_size: 1_550_000,
+            num_dumps: 10,
+            dataset_growth: 1.013075,
+            ..Default::default()
+        };
+        let cl = cfg.command_line();
+        assert!(cl.contains("jsrun -n 32"));
+        assert!(cl.contains("--parallel_file_mode MIF 32"));
+        assert!(cl.contains("--part_size 1550000"));
+        assert!(cl.contains("--dataset_growth 1.013075"));
+    }
+
+    #[test]
+    #[should_panic(expected = "part_size")]
+    fn zero_part_size_rejected() {
+        MacsioConfig {
+            part_size: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+}

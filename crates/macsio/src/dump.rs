@@ -1,0 +1,396 @@
+//! The MACSio main loop: marshal parts, dump, repeat.
+//!
+//! Reproduces the proxy behaviour the paper uses: `num_dumps` dumps, each
+//! preceded by a `compute_time` phase, each writing the N-to-N (or MIF
+//! group / SIF) file pattern of Fig. 3, with per-dump part sizes scaled by
+//! `dataset_growth^k`. Bytes are written through a [`Vfs`], recorded in an
+//! [`IoTracker`], and optionally timed against a [`StorageModel`] to
+//! produce the burst timeline.
+
+use crate::config::{FileMode, MacsioConfig};
+use crate::marshal::{marshal_part, marshal_root};
+use crate::mesh::MeshPart;
+use iosim::{Burst, BurstTimeline, IoKey, IoKind, IoTracker, StorageModel, Vfs, WriteRequest};
+use std::io;
+
+/// Predicted on-disk bytes of one rank's data file at dump `k`, without
+/// marshalling: exact for the `miftmpl` interface (JSON header measured,
+/// binary payload arithmetic). Used by the model crate's calibration loop,
+/// which would otherwise re-marshal gigabytes per candidate evaluation.
+pub fn predicted_rank_bytes(cfg: &MacsioConfig, rank: usize, dump: u32) -> u64 {
+    let nominal = cfg.grown_part_size(dump);
+    let parts_per_rank: Vec<usize> = (0..cfg.nprocs).map(|r| cfg.parts_of_rank(r)).collect();
+    let first_id: usize = parts_per_rank[..rank].iter().sum();
+    let mut bytes = 0u64;
+    for p in 0..parts_per_rank[rank] {
+        let part = MeshPart::from_nominal_size(first_id + p, nominal, cfg.vars_per_part);
+        bytes += crate::marshal::marshal_header_len(&part, dump, cfg.interface) as u64;
+        bytes += match cfg.interface {
+            crate::config::Interface::Miftmpl => part.payload_bytes(),
+            // Text JSON width varies per value; approximate with the
+            // measured mean width of the fixed {:.8e} format.
+            crate::config::Interface::Json => {
+                (part.payload_bytes() as f64 / 8.0 * crate::marshal::JSON_BYTES_PER_VALUE)
+                    .round() as u64
+            }
+        };
+    }
+    bytes
+}
+
+/// Predicted total bytes of one dump (all ranks' data + the root file).
+pub fn predicted_dump_bytes(cfg: &MacsioConfig, dump: u32) -> u64 {
+    let parts_per_rank: Vec<usize> = (0..cfg.nprocs).map(|r| cfg.parts_of_rank(r)).collect();
+    let data: u64 = (0..cfg.nprocs)
+        .map(|r| predicted_rank_bytes(cfg, r, dump))
+        .sum();
+    data + marshal_root(dump, cfg.nprocs, &parts_per_rank, cfg.meta_size).len() as u64
+}
+
+/// Outcome of a MACSio run.
+#[derive(Clone, Debug, Default)]
+pub struct MacsioReport {
+    /// Total bytes written (data + root metadata).
+    pub total_bytes: u64,
+    /// Bytes per dump (data + root), indexed by dump.
+    pub bytes_per_dump: Vec<u64>,
+    /// Files written across the run.
+    pub files_written: u64,
+    /// Burst timeline (empty when no storage model was supplied).
+    pub timeline: BurstTimeline,
+    /// Final simulated wall time in seconds.
+    pub wall_time: f64,
+}
+
+/// Runs MACSio.
+///
+/// Tracker keys use `step = dump + 1` (matching the AMR side's 1-based
+/// output counter), `level = 0` (MACSio has no level concept — the paper's
+/// central granularity limitation), and `task = rank`.
+pub fn run(
+    cfg: &MacsioConfig,
+    vfs: &dyn Vfs,
+    tracker: &IoTracker,
+    storage: Option<&StorageModel>,
+) -> io::Result<MacsioReport> {
+    cfg.validate();
+    let mut report = MacsioReport::default();
+    let mut clock = 0.0f64;
+
+    // Global part ids: prefix sums of per-rank part counts.
+    let parts_per_rank: Vec<usize> = (0..cfg.nprocs).map(|r| cfg.parts_of_rank(r)).collect();
+    let mut first_part_id = vec![0usize; cfg.nprocs];
+    for r in 1..cfg.nprocs {
+        first_part_id[r] = first_part_id[r - 1] + parts_per_rank[r - 1];
+    }
+
+    for dump in 0..cfg.num_dumps {
+        clock += cfg.compute_time;
+        let nominal = cfg.grown_part_size(dump);
+        let step_key = dump + 1;
+
+        // Marshal per-rank payloads.
+        let mut rank_blobs: Vec<Vec<u8>> = Vec::with_capacity(cfg.nprocs);
+        for rank in 0..cfg.nprocs {
+            let mut blob = Vec::new();
+            for p in 0..parts_per_rank[rank] {
+                let part = MeshPart::from_nominal_size(
+                    first_part_id[rank] + p,
+                    nominal,
+                    cfg.vars_per_part,
+                );
+                blob.extend_from_slice(&marshal_part(&part, dump, cfg.interface));
+            }
+            rank_blobs.push(blob);
+        }
+
+        // Group ranks into files.
+        let nfiles = cfg.parallel_file_mode.files_per_dump(cfg.nprocs);
+        let group_size = cfg.nprocs.div_ceil(nfiles);
+        let mut dump_bytes = 0u64;
+        let mut requests: Vec<WriteRequest> = Vec::new();
+        for group in 0..nfiles {
+            let ranks = (group * group_size)..((group + 1) * group_size).min(cfg.nprocs);
+            if ranks.is_empty() {
+                continue;
+            }
+            let path = match cfg.parallel_file_mode {
+                FileMode::Sif => format!("/macsio_json_{dump:03}.json"),
+                FileMode::Mif(_) => format!("/macsio_json_{group:05}_{dump:03}.json"),
+            };
+            let mut content = Vec::new();
+            for rank in ranks.clone() {
+                tracker.record(
+                    IoKey {
+                        step: step_key,
+                        level: 0,
+                        task: rank as u32,
+                    },
+                    IoKind::Data,
+                    rank_blobs[rank].len() as u64,
+                );
+                content.extend_from_slice(&rank_blobs[rank]);
+            }
+            let bytes = vfs.write_file(&path, &content)? as u64;
+            dump_bytes += bytes;
+            report.files_written += 1;
+            // Baton passing serializes a group; model the group file as a
+            // single request issued by its first rank.
+            requests.push(WriteRequest {
+                rank: ranks.start,
+                path,
+                bytes,
+                start: clock,
+            });
+        }
+
+        // Root metadata file (rank 0).
+        let root = marshal_root(dump, cfg.nprocs, &parts_per_rank, cfg.meta_size);
+        let root_path = format!("/macsio_json_root_{dump:03}.json");
+        let root_bytes = vfs.write_file(&root_path, &root)? as u64;
+        tracker.record(
+            IoKey {
+                step: step_key,
+                level: 0,
+                task: 0,
+            },
+            IoKind::Metadata,
+            root_bytes,
+        );
+        dump_bytes += root_bytes;
+        report.files_written += 1;
+        requests.push(WriteRequest {
+            rank: 0,
+            path: root_path,
+            bytes: root_bytes,
+            start: clock,
+        });
+
+        // Timing.
+        if let Some(model) = storage {
+            let burst = model.simulate_burst(&requests);
+            report.timeline.push(Burst {
+                step: step_key,
+                t_start: clock,
+                t_end: burst.t_end,
+                bytes: dump_bytes,
+            });
+            clock = burst.t_end; // barrier at dump end
+        }
+        report.bytes_per_dump.push(dump_bytes);
+        report.total_bytes += dump_bytes;
+    }
+    report.wall_time = clock;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Interface;
+    use iosim::MemFs;
+
+    fn base_cfg() -> MacsioConfig {
+        MacsioConfig {
+            nprocs: 4,
+            num_dumps: 3,
+            part_size: 8 * 1024,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn n_to_n_file_pattern_matches_fig3() {
+        let cfg = base_cfg();
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let report = run(&cfg, &fs, &tracker, None).unwrap();
+        // 4 data files + 1 root per dump, 3 dumps.
+        assert_eq!(report.files_written, 15);
+        let files = fs.list("/");
+        assert!(files.contains(&"/macsio_json_00000_000.json".to_string()));
+        assert!(files.contains(&"/macsio_json_00003_002.json".to_string()));
+        assert!(files.contains(&"/macsio_json_root_000.json".to_string()));
+        assert!(files.contains(&"/macsio_json_root_002.json".to_string()));
+        assert_eq!(files.len(), 15);
+    }
+
+    #[test]
+    fn growth_inflates_dumps() {
+        let mut cfg = base_cfg();
+        cfg.dataset_growth = 1.05;
+        cfg.num_dumps = 5;
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let report = run(&cfg, &fs, &tracker, None).unwrap();
+        for w in report.bytes_per_dump.windows(2) {
+            assert!(w[1] >= w[0], "dump sizes must be non-decreasing: {w:?}");
+        }
+        let first = report.bytes_per_dump[0] as f64;
+        let last = *report.bytes_per_dump.last().unwrap() as f64;
+        assert!(last / first > 1.15, "5 dumps at 5% growth compound");
+    }
+
+    #[test]
+    fn tracker_records_per_rank_bytes() {
+        let cfg = base_cfg();
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        run(&cfg, &fs, &tracker, None).unwrap();
+        assert_eq!(tracker.steps(), vec![1, 2, 3]);
+        let per_task = tracker.bytes_per_task_of(1, 0, IoKind::Data);
+        assert_eq!(per_task.len(), 4);
+        // Homogeneous per-rank loads (the paper's observation about
+        // MACSio's granularity).
+        assert!(per_task.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn sif_writes_one_data_file_per_dump() {
+        let mut cfg = base_cfg();
+        cfg.parallel_file_mode = FileMode::Sif;
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let report = run(&cfg, &fs, &tracker, None).unwrap();
+        assert_eq!(report.files_written, 6); // 1 data + 1 root, 3 dumps
+        assert!(fs
+            .list("/")
+            .contains(&"/macsio_json_000.json".to_string()));
+    }
+
+    #[test]
+    fn mif_grouping_reduces_file_count() {
+        let mut cfg = base_cfg();
+        cfg.nprocs = 8;
+        cfg.parallel_file_mode = FileMode::Mif(2);
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let report = run(&cfg, &fs, &tracker, None).unwrap();
+        assert_eq!(report.files_written, 9); // 2 data + 1 root per dump
+        // All 8 ranks still accounted in the tracker.
+        assert_eq!(tracker.bytes_per_task(1, 0).len(), 8);
+    }
+
+    #[test]
+    fn total_bytes_match_vfs() {
+        let cfg = base_cfg();
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let report = run(&cfg, &fs, &tracker, None).unwrap();
+        assert_eq!(report.total_bytes, fs.total_bytes());
+        assert_eq!(
+            report.total_bytes,
+            report.bytes_per_dump.iter().sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn storage_model_produces_bursty_timeline() {
+        let mut cfg = base_cfg();
+        cfg.compute_time = 10.0;
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let model = StorageModel::ideal(4, 1e6);
+        let report = run(&cfg, &fs, &tracker, Some(&model)).unwrap();
+        assert_eq!(report.timeline.len(), 3);
+        assert!(report.timeline.duty_cycle() < 0.5, "compute dominates");
+        assert!(report.wall_time > 30.0);
+        // Bursts are ordered in time.
+        let bursts = report.timeline.bursts();
+        assert!(bursts.windows(2).all(|w| w[1].t_start >= w[0].t_end));
+    }
+
+    #[test]
+    fn meta_size_grows_root_files() {
+        let fs_a = MemFs::new();
+        let fs_b = MemFs::new();
+        let ta = IoTracker::new();
+        let tb = IoTracker::new();
+        let mut cfg = base_cfg();
+        run(&cfg, &fs_a, &ta, None).unwrap();
+        cfg.meta_size = 1000;
+        run(&cfg, &fs_b, &tb, None).unwrap();
+        assert_eq!(
+            tb.total_bytes_of(IoKind::Metadata),
+            ta.total_bytes_of(IoKind::Metadata) + 3 * 4 * 1000
+        );
+        // Data unaffected.
+        assert_eq!(
+            ta.total_bytes_of(IoKind::Data),
+            tb.total_bytes_of(IoKind::Data)
+        );
+    }
+
+    #[test]
+    fn json_interface_writes_more_bytes_than_miftmpl() {
+        let fs_a = MemFs::new();
+        let fs_b = MemFs::new();
+        let t = IoTracker::new();
+        let mut cfg = base_cfg();
+        run(&cfg, &fs_a, &t, None).unwrap();
+        cfg.interface = Interface::Json;
+        run(&cfg, &fs_b, &t, None).unwrap();
+        assert!(fs_b.total_bytes() > fs_a.total_bytes());
+    }
+
+    #[test]
+    fn predictor_matches_actual_run_exactly_for_miftmpl() {
+        let mut cfg = base_cfg();
+        cfg.nprocs = 3;
+        cfg.avg_num_parts = 1.5;
+        cfg.vars_per_part = 2;
+        cfg.dataset_growth = 1.07;
+        cfg.num_dumps = 4;
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let report = run(&cfg, &fs, &tracker, None).unwrap();
+        for dump in 0..cfg.num_dumps {
+            assert_eq!(
+                predicted_dump_bytes(&cfg, dump),
+                report.bytes_per_dump[dump as usize],
+                "dump {dump}"
+            );
+            let per_task = tracker.bytes_per_task_of(dump + 1, 0, IoKind::Data);
+            #[allow(clippy::needless_range_loop)] // rank indexes tracker + predictor
+            for rank in 0..cfg.nprocs {
+                assert_eq!(
+                    predicted_rank_bytes(&cfg, rank, dump),
+                    per_task[rank],
+                    "rank {rank} dump {dump}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn predictor_is_close_for_text_json() {
+        let mut cfg = base_cfg();
+        cfg.interface = Interface::Json;
+        cfg.num_dumps = 1;
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let report = run(&cfg, &fs, &tracker, None).unwrap();
+        let predicted = predicted_dump_bytes(&cfg, 0) as f64;
+        let actual = report.bytes_per_dump[0] as f64;
+        assert!(
+            (predicted - actual).abs() / actual < 0.05,
+            "predicted {predicted} vs actual {actual}"
+        );
+    }
+
+    #[test]
+    fn on_disk_bytes_track_nominal_request() {
+        // The Eq. (3) premise: per-rank on-disk bytes ~ part_size.
+        let mut cfg = base_cfg();
+        cfg.part_size = 1_000_000;
+        cfg.num_dumps = 1;
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        run(&cfg, &fs, &tracker, None).unwrap();
+        let per_task = tracker.bytes_per_task(1, 0);
+        for &b in &per_task {
+            let ratio = b as f64 / cfg.part_size as f64;
+            assert!((1.0..1.05).contains(&ratio), "ratio {ratio}");
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Part marshalling: turning mesh parts into file bytes.
+//!
+//! Two interfaces (see [`crate::config::Interface`]):
+//!
+//! * `miftmpl` — a JSON header describing the part followed by the bulk
+//!   variable data as raw little-endian doubles. On-disk bytes track the
+//!   nominal part size (8 bytes per value plus a small header), which is
+//!   the size behaviour the paper's Eq. (3) calibration relies on.
+//! * `json` — everything as JSON text, inflating every value to its
+//!   decimal representation. Exists to quantify how output-format
+//!   expansion shifts the Eq. (3) correction factor (`ablations` bench).
+
+use crate::config::Interface;
+use crate::mesh::MeshPart;
+use serde_json::json;
+
+/// Mean on-disk bytes per value of the text `json` interface's `{:.8e}`
+/// formatting, including the separating comma (e.g. `2.98765432e0,`).
+/// Measured by `json_bytes_per_value_constant_is_accurate`.
+pub const JSON_BYTES_PER_VALUE: f64 = 13.0;
+
+/// Byte length of the part header alone (everything before the bulk data)
+/// for the given interface — used by the size predictor.
+pub fn marshal_header_len(part: &MeshPart, dump: u32, interface: Interface) -> usize {
+    let encoding = match interface {
+        Interface::Miftmpl => "miftmpl",
+        Interface::Json => "json",
+    };
+    let header = header_json(part, dump, encoding);
+    let text = serde_json::to_string(&header).expect("header serializes");
+    match interface {
+        Interface::Miftmpl => text.len() + 1, // newline before payload
+        Interface::Json => text.len() + ",\"data\":[]}".len() - 1,
+    }
+}
+
+/// Serialized form of one part.
+pub fn marshal_part(part: &MeshPart, dump: u32, interface: Interface) -> Vec<u8> {
+    match interface {
+        Interface::Miftmpl => marshal_miftmpl(part, dump),
+        Interface::Json => marshal_json(part, dump),
+    }
+}
+
+fn header_json(part: &MeshPart, dump: u32, encoding: &str) -> serde_json::Value {
+    json!({
+        "macsio": {
+            "interface": encoding,
+            "dump": dump,
+            "part": {
+                "id": part.id,
+                "topology": "rectilinear2d",
+                "dims": [part.nx, part.ny],
+                "vars": part.vars,
+            },
+        }
+    })
+}
+
+fn marshal_miftmpl(part: &MeshPart, dump: u32) -> Vec<u8> {
+    let header = header_json(part, dump, "miftmpl");
+    let header_text = serde_json::to_string(&header).expect("header serializes");
+    let mut out = Vec::with_capacity(header_text.len() + 1 + part.payload_bytes() as usize);
+    out.extend_from_slice(header_text.as_bytes());
+    out.push(b'\n');
+    for var in 0..part.vars {
+        for v in part.var_data(var, dump) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+fn marshal_json(part: &MeshPart, dump: u32) -> Vec<u8> {
+    use std::fmt::Write as _;
+    let header = header_json(part, dump, "json");
+    let mut text = serde_json::to_string(&header).expect("header serializes");
+    text.pop(); // strip the closing '}' to splice in the data field
+    text.push_str(",\"data\":[");
+    for var in 0..part.vars {
+        if var > 0 {
+            text.push(',');
+        }
+        text.push('[');
+        for (i, v) in part.var_data(var, dump).into_iter().enumerate() {
+            if i > 0 {
+                text.push(',');
+            }
+            let _ = write!(text, "{v:.8e}");
+        }
+        text.push(']');
+    }
+    text.push_str("]}");
+    text.into_bytes()
+}
+
+/// Root (per-dump) metadata file content: run description, part table,
+/// and `meta_size` bytes of filler per task.
+pub fn marshal_root(
+    dump: u32,
+    nprocs: usize,
+    parts_per_rank: &[usize],
+    meta_size: u64,
+) -> Vec<u8> {
+    let root = json!({
+        "macsio_root": {
+            "dump": dump,
+            "nprocs": nprocs,
+            "parts_per_rank": parts_per_rank,
+        }
+    });
+    let mut out = serde_json::to_vec(&root).expect("root serializes");
+    // meta_size models application metadata the paper's Table II exposes;
+    // filler keeps it honest in the byte accounting.
+    out.extend(std::iter::repeat_n(b' ', (meta_size as usize) * nprocs));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn part() -> MeshPart {
+        MeshPart::from_nominal_size(3, 8 * 1000, 2)
+    }
+
+    #[test]
+    fn miftmpl_size_tracks_nominal_payload() {
+        let p = part();
+        let bytes = marshal_part(&p, 0, Interface::Miftmpl);
+        let payload = p.payload_bytes() as usize;
+        assert!(bytes.len() > payload);
+        // Header overhead is small and bounded.
+        assert!(bytes.len() < payload + 512, "len {}", bytes.len());
+    }
+
+    #[test]
+    fn miftmpl_header_is_json_line() {
+        let p = part();
+        let bytes = marshal_part(&p, 7, Interface::Miftmpl);
+        let nl = bytes.iter().position(|&b| b == b'\n').unwrap();
+        let header: serde_json::Value = serde_json::from_slice(&bytes[..nl]).unwrap();
+        assert_eq!(header["macsio"]["dump"], 7);
+        assert_eq!(header["macsio"]["part"]["id"], 3);
+        assert_eq!(
+            bytes.len() - nl - 1,
+            p.payload_bytes() as usize,
+            "binary payload exactly 8 bytes/value"
+        );
+    }
+
+    #[test]
+    fn miftmpl_payload_round_trips() {
+        let p = MeshPart::from_nominal_size(0, 8 * 16, 1);
+        let bytes = marshal_part(&p, 2, Interface::Miftmpl);
+        let nl = bytes.iter().position(|&b| b == b'\n').unwrap();
+        let payload = &bytes[nl + 1..];
+        let first = f64::from_le_bytes(payload[0..8].try_into().unwrap());
+        assert_eq!(first, p.var_data(0, 2)[0]);
+    }
+
+    #[test]
+    fn json_is_valid_and_inflated() {
+        let p = part();
+        let j = marshal_part(&p, 0, Interface::Json);
+        let parsed: serde_json::Value = serde_json::from_slice(&j).unwrap();
+        assert_eq!(parsed["macsio"]["part"]["vars"], 2);
+        assert_eq!(parsed["data"][0].as_array().unwrap().len(), p.cells());
+        // Text encoding costs more than 8 bytes/value.
+        let bin = marshal_part(&p, 0, Interface::Miftmpl);
+        assert!(j.len() > bin.len());
+    }
+
+    #[test]
+    fn marshalling_is_deterministic() {
+        let p = part();
+        assert_eq!(
+            marshal_part(&p, 1, Interface::Miftmpl),
+            marshal_part(&p, 1, Interface::Miftmpl)
+        );
+    }
+
+    #[test]
+    fn json_bytes_per_value_constant_is_accurate() {
+        // The predictor's mean-width constant must track the real
+        // formatting cost of the synthetic field's value range.
+        let p = MeshPart::from_nominal_size(0, 8 * 4096, 1);
+        let total = marshal_json(&p, 0).len();
+        let header = marshal_header_len(&p, 0, Interface::Json);
+        let per_value = (total - header) as f64 / p.cells() as f64;
+        assert!(
+            (per_value - JSON_BYTES_PER_VALUE).abs() < 0.75,
+            "measured {per_value} vs constant {JSON_BYTES_PER_VALUE}"
+        );
+    }
+
+    #[test]
+    fn root_file_carries_meta_size() {
+        let a = marshal_root(0, 4, &[1, 1, 1, 1], 0);
+        let b = marshal_root(0, 4, &[1, 1, 1, 1], 100);
+        assert_eq!(b.len(), a.len() + 400);
+        let parsed: serde_json::Value =
+            serde_json::from_slice(&a).unwrap();
+        assert_eq!(parsed["macsio_root"]["nprocs"], 4);
+    }
+}

@@ -1,0 +1,234 @@
+//! Calibration of the MACSio kernel against measured AMR output.
+//!
+//! Reproduces the paper's Fig. 9 procedure: fix the initial data size
+//! from Eq. (3), then minimize the per-step output-size error over the
+//! single `dataset_growth` parameter. A golden-section search plays the
+//! role of the paper's manual convergence runs; every evaluation is
+//! recorded so the convergence curves can be plotted. A two-parameter
+//! variant alternates the `f` fit and the growth search (the "variational
+//! problem with two parameters" of Section IV.B).
+
+use crate::metrics::rmse;
+use macsio::{dump::predicted_dump_bytes, MacsioConfig};
+use serde::{Deserialize, Serialize};
+
+/// One evaluation of the calibration objective.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Candidate growth factor.
+    pub dataset_growth: f64,
+    /// RMSE of per-step bytes against the target.
+    pub rmse: f64,
+    /// The predicted per-step byte series for this candidate (one Fig. 9
+    /// curve).
+    pub predicted: Vec<u64>,
+}
+
+/// Result of a calibration run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Calibration {
+    /// Best growth factor found.
+    pub dataset_growth: f64,
+    /// Final Eq. (3) correction factor.
+    pub f: f64,
+    /// RMSE at the optimum.
+    pub rmse: f64,
+    /// All evaluations, in order (the convergence trace).
+    pub trace: Vec<Evaluation>,
+}
+
+/// Predicted per-step byte series of a MACSio configuration.
+pub fn predicted_series(cfg: &MacsioConfig) -> Vec<u64> {
+    (0..cfg.num_dumps)
+        .map(|k| predicted_dump_bytes(cfg, k))
+        .collect()
+}
+
+fn objective(cfg: &MacsioConfig, growth: f64, target: &[f64]) -> (f64, Vec<u64>) {
+    let mut cand = cfg.clone();
+    cand.dataset_growth = growth;
+    cand.num_dumps = target.len() as u32;
+    let series = predicted_series(&cand);
+    let pred: Vec<f64> = series.iter().map(|&b| b as f64).collect();
+    (rmse(target, &pred), series)
+}
+
+/// Golden-section search for the growth factor minimizing per-step RMSE
+/// against `target_per_step` (bytes per dump of the AMR run), within
+/// `[lo, hi]`, evaluating at most `max_evals` candidates.
+pub fn calibrate_growth(
+    base: &MacsioConfig,
+    target_per_step: &[f64],
+    lo: f64,
+    hi: f64,
+    max_evals: usize,
+) -> Calibration {
+    assert!(lo > 0.0 && hi > lo, "calibrate_growth: bad bracket");
+    assert!(
+        target_per_step.len() >= 2,
+        "calibrate_growth: need at least 2 steps"
+    );
+    let phi = (5.0f64.sqrt() - 1.0) / 2.0;
+    let mut trace = Vec::new();
+    let eval = |g: f64, trace: &mut Vec<Evaluation>| -> f64 {
+        let (e, series) = objective(base, g, target_per_step);
+        trace.push(Evaluation {
+            dataset_growth: g,
+            rmse: e,
+            predicted: series,
+        });
+        e
+    };
+    let (mut a, mut b) = (lo, hi);
+    let mut c = b - phi * (b - a);
+    let mut d = a + phi * (b - a);
+    let mut fc = eval(c, &mut trace);
+    let mut fd = eval(d, &mut trace);
+    while trace.len() < max_evals && (b - a) > 1e-7 {
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - phi * (b - a);
+            fc = eval(c, &mut trace);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + phi * (b - a);
+            fd = eval(d, &mut trace);
+        }
+    }
+    let best = trace
+        .iter()
+        .min_by(|x, y| x.rmse.total_cmp(&y.rmse))
+        .expect("at least two evaluations")
+        .clone();
+    Calibration {
+        dataset_growth: best.dataset_growth,
+        f: f64::NAN, // single-parameter search leaves f untouched
+        rmse: best.rmse,
+        trace,
+    }
+}
+
+/// Two-parameter calibration: alternate (1) scaling `part_size` so the
+/// first predicted dump matches the first measured dump (the Eq. (3) `f`
+/// fit), and (2) the golden-section growth search. Converges in a couple
+/// of rounds because the parameters are nearly separable (f sets the
+/// level, growth sets the shape).
+pub fn calibrate_two_parameter(
+    base: &MacsioConfig,
+    target_per_step: &[f64],
+    n_cell: (i64, i64),
+    rounds: usize,
+) -> Calibration {
+    assert!(rounds >= 1, "calibrate_two_parameter: zero rounds");
+    let mut cfg = base.clone();
+    let mut trace = Vec::new();
+    let mut best_growth = cfg.dataset_growth;
+    let mut best_rmse = f64::INFINITY;
+    for _ in 0..rounds {
+        // (1) Fit part_size so dump 0 matches the target's first step.
+        let mut probe = cfg.clone();
+        probe.dataset_growth = best_growth;
+        probe.num_dumps = 1;
+        let predicted0 = predicted_dump_bytes(&probe, 0) as f64;
+        let scale = target_per_step[0] / predicted0;
+        cfg.part_size = ((cfg.part_size as f64) * scale).round().max(8.0) as u64;
+        // (2) Growth search around the current optimum.
+        let cal = calibrate_growth(&cfg, target_per_step, 0.995, 1.08, 24);
+        best_growth = cal.dataset_growth;
+        best_rmse = cal.rmse;
+        trace.extend(cal.trace);
+    }
+    let f = crate::partsize::fit_f(cfg.part_size as f64, n_cell.0, n_cell.1, cfg.nprocs);
+    Calibration {
+        dataset_growth: best_growth,
+        f,
+        rmse: best_rmse,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macsio::{FileMode, Interface};
+
+    fn base(nprocs: usize, part_size: u64) -> MacsioConfig {
+        MacsioConfig {
+            interface: Interface::Miftmpl,
+            parallel_file_mode: FileMode::Mif(nprocs),
+            num_dumps: 12,
+            part_size,
+            avg_num_parts: 1.0,
+            vars_per_part: 1,
+            compute_time: 0.0,
+            meta_size: 0,
+            dataset_growth: 1.0,
+            nprocs,
+            seed: 1,
+        }
+    }
+
+    /// A synthetic target produced by MACSio itself must be recovered.
+    #[test]
+    fn recovers_known_growth() {
+        let truth = {
+            let mut cfg = base(8, 100_000);
+            cfg.dataset_growth = 1.0131;
+            cfg
+        };
+        let target: Vec<f64> = predicted_series(&truth).iter().map(|&b| b as f64).collect();
+        let cal = calibrate_growth(&base(8, 100_000), &target, 0.995, 1.08, 40);
+        assert!(
+            (cal.dataset_growth - 1.0131).abs() < 5e-4,
+            "found {}",
+            cal.dataset_growth
+        );
+        // The optimum fits the series almost exactly.
+        assert!(cal.rmse < 0.01 * target[0]);
+    }
+
+    #[test]
+    fn trace_converges_toward_target() {
+        let truth = {
+            let mut cfg = base(4, 50_000);
+            cfg.dataset_growth = 1.02;
+            cfg
+        };
+        let target: Vec<f64> = predicted_series(&truth).iter().map(|&b| b as f64).collect();
+        let cal = calibrate_growth(&base(4, 50_000), &target, 0.995, 1.08, 30);
+        // Last evaluations beat the first ones (Fig. 9 behaviour).
+        let first = cal.trace.first().unwrap().rmse;
+        assert!(cal.rmse <= first);
+        assert!(cal.trace.len() >= 4);
+    }
+
+    #[test]
+    fn two_parameter_fits_level_and_shape() {
+        let truth = {
+            let mut cfg = base(8, 123_456);
+            cfg.dataset_growth = 1.015;
+            cfg
+        };
+        let target: Vec<f64> = predicted_series(&truth).iter().map(|&b| b as f64).collect();
+        // Start far away in part_size.
+        let start = base(8, 400_000);
+        let cal = calibrate_two_parameter(&start, &target, (512, 512), 3);
+        assert!(
+            (cal.dataset_growth - 1.015).abs() < 2e-3,
+            "growth {}",
+            cal.dataset_growth
+        );
+        assert!(cal.rmse < 0.05 * target[0], "rmse {}", cal.rmse);
+        assert!(cal.f.is_finite() && cal.f > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad bracket")]
+    fn inverted_bracket_panics() {
+        calibrate_growth(&base(1, 1000), &[1.0, 2.0], 1.1, 1.0, 10);
+    }
+}

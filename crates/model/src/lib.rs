@@ -1,0 +1,30 @@
+//! The paper's analytical model: from AMReX-Castro inputs to a calibrated
+//! MACSio proxy invocation.
+//!
+//! * [`samples`] — Eqs. (1)/(2): cumulative `(x, y)` extraction from
+//!   tracked I/O records.
+//! * [`regression`] — the linear (and power-law) fits separating the
+//!   L0-dominated linear family from refinement-driven non-linearity.
+//! * [`partsize`] — Eq. (3): `part_size = f * 8 * Nx * Ny / nprocs`.
+//! * [`mod@translate`] — Listing 1: the functional mapping `g` producing a
+//!   MACSio command line from Table I inputs.
+//! * [`calibrate`] — the Fig. 9 procedure: golden-section search over
+//!   `dataset_growth` (and alternation with the `f` fit) minimizing
+//!   per-step output-size RMSE.
+//! * [`metrics`] — RMSE / MAPE / final-step error used throughout.
+
+pub mod calibrate;
+pub mod metrics;
+pub mod partsize;
+pub mod predict;
+pub mod regression;
+pub mod samples;
+pub mod translate;
+
+pub use calibrate::{calibrate_growth, calibrate_two_parameter, predicted_series, Calibration, Evaluation};
+pub use metrics::{final_rel_err, mape, rmse};
+pub use predict::{GrowthPredictor, Observation};
+pub use partsize::{fit_f, part_size, Case4Constant, PAPER_F_RANGE};
+pub use regression::{linear_fit, powerlaw_fit, LinearFit};
+pub use samples::{Sample, XySeries};
+pub use translate::{default_growth_guess, translate, AmrInputs, TranslationModel};

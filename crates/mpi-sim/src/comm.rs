@@ -1,0 +1,187 @@
+//! Simulated communicator: the world of ranks and their node topology.
+//!
+//! `SimComm` plays the role of `MPI_COMM_WORLD` plus the `jsrun` resource
+//! layout on Summit: `nranks` MPI tasks packed `ranks_per_node` to a node.
+//! Rank loops execute through rayon, but each rank's closure receives an
+//! independent [`RankCtx`], so results are deterministic and identical to
+//! a sequential execution.
+
+use crate::clock::SimClock;
+use crate::rng::rank_rng;
+use rand::rngs::StdRng;
+use rayon::prelude::*;
+
+/// The simulated world: rank count and node topology.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimComm {
+    nranks: usize,
+    ranks_per_node: usize,
+    seed: u64,
+}
+
+/// Per-rank execution context handed to rank loops.
+pub struct RankCtx {
+    /// This rank's id in `[0, nranks)`.
+    pub rank: usize,
+    /// World size.
+    pub nranks: usize,
+    /// Node hosting this rank.
+    pub node: usize,
+    /// This rank's simulated wall clock.
+    pub clock: SimClock,
+    /// This rank's deterministic RNG stream.
+    pub rng: StdRng,
+}
+
+impl SimComm {
+    /// Creates a world of `nranks` ranks, `ranks_per_node` per node,
+    /// with RNG streams derived from `seed`.
+    ///
+    /// # Panics
+    /// Panics if `nranks == 0` or `ranks_per_node == 0`.
+    pub fn new(nranks: usize, ranks_per_node: usize, seed: u64) -> Self {
+        assert!(nranks > 0, "SimComm: zero ranks");
+        assert!(ranks_per_node > 0, "SimComm: zero ranks per node");
+        Self {
+            nranks,
+            ranks_per_node,
+            seed,
+        }
+    }
+
+    /// The paper's typical Summit layout: 2 ranks per node (e.g. 1,024
+    /// ranks on 512 nodes).
+    pub fn summit(nranks: usize, seed: u64) -> Self {
+        Self::new(nranks, 2, seed)
+    }
+
+    /// World size.
+    #[inline]
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Ranks packed per node.
+    #[inline]
+    pub fn ranks_per_node(&self) -> usize {
+        self.ranks_per_node
+    }
+
+    /// Number of nodes in use.
+    #[inline]
+    pub fn nnodes(&self) -> usize {
+        self.nranks.div_ceil(self.ranks_per_node)
+    }
+
+    /// Node hosting `rank`.
+    #[inline]
+    pub fn node_of(&self, rank: usize) -> usize {
+        rank / self.ranks_per_node
+    }
+
+    /// Global RNG seed.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Builds the context for one rank, with its clock at `t0`.
+    pub fn rank_ctx(&self, rank: usize, t0: f64) -> RankCtx {
+        RankCtx {
+            rank,
+            nranks: self.nranks,
+            node: self.node_of(rank),
+            clock: SimClock::at(t0),
+            rng: rank_rng(self.seed, rank),
+        }
+    }
+
+    /// Runs `f` once per rank in parallel, returning results ordered by
+    /// rank. Each rank gets a fresh context with its clock at `t0`.
+    pub fn run<T, F>(&self, t0: f64, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut RankCtx) -> T + Sync,
+    {
+        (0..self.nranks)
+            .into_par_iter()
+            .map(|rank| {
+                let mut ctx = self.rank_ctx(rank, t0);
+                f(&mut ctx)
+            })
+            .collect()
+    }
+
+    /// Sequential variant of [`SimComm::run`] (useful for debugging and for
+    /// asserting determinism in tests).
+    pub fn run_seq<T, F>(&self, t0: f64, mut f: F) -> Vec<T>
+    where
+        F: FnMut(&mut RankCtx) -> T,
+    {
+        (0..self.nranks)
+            .map(|rank| {
+                let mut ctx = self.rank_ctx(rank, t0);
+                f(&mut ctx)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn topology_packing() {
+        let c = SimComm::new(7, 3, 0);
+        assert_eq!(c.nnodes(), 3);
+        assert_eq!(c.node_of(0), 0);
+        assert_eq!(c.node_of(2), 0);
+        assert_eq!(c.node_of(3), 1);
+        assert_eq!(c.node_of(6), 2);
+    }
+
+    #[test]
+    fn summit_layout() {
+        let c = SimComm::summit(1024, 0);
+        assert_eq!(c.nnodes(), 512);
+        assert_eq!(c.ranks_per_node(), 2);
+    }
+
+    #[test]
+    fn run_returns_rank_ordered_results() {
+        let c = SimComm::new(16, 4, 0);
+        let out = c.run(0.0, |ctx| ctx.rank * 10);
+        assert_eq!(out, (0..16).map(|r| r * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let c = SimComm::new(32, 2, 99);
+        let par = c.run(1.0, |ctx| {
+            let x: f64 = ctx.rng.gen();
+            ctx.clock.advance(x);
+            (ctx.rank, ctx.node, ctx.clock.now())
+        });
+        let seq = c.run_seq(1.0, |ctx| {
+            let x: f64 = ctx.rng.gen();
+            ctx.clock.advance(x);
+            (ctx.rank, ctx.node, ctx.clock.now())
+        });
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn contexts_start_at_t0() {
+        let c = SimComm::new(4, 2, 0);
+        let times = c.run(3.5, |ctx| ctx.clock.now());
+        assert!(times.iter().all(|&t| t == 3.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero ranks")]
+    fn zero_ranks_panics() {
+        SimComm::new(0, 1, 0);
+    }
+}

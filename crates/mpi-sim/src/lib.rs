@@ -1,0 +1,24 @@
+//! Deterministic simulated MPI runtime.
+//!
+//! The paper's experiments ran 1-1,024 MPI ranks on Summit. For workload
+//! *modeling* purposes, what matters is not message passing but (a) which
+//! rank owns which data, (b) when ranks synchronize, and (c) how long each
+//! rank's compute and I/O phases take. This crate provides exactly that:
+//!
+//! * [`SimComm`] — the world of ranks with a Summit-like node topology;
+//! * [`RankCtx`] — per-rank clock and deterministic RNG stream;
+//! * [`clock::barrier`] — synchronization that produces the "burst" I/O
+//!   timing pattern the paper describes;
+//! * [`collectives`] — the reductions/gathers the I/O path needs.
+//!
+//! Rank loops execute through rayon but are bit-reproducible: each rank's
+//! context is derived only from `(seed, rank)`.
+
+pub mod clock;
+pub mod collectives;
+pub mod comm;
+pub mod rng;
+
+pub use clock::{barrier, SimClock};
+pub use comm::{RankCtx, SimComm};
+pub use rng::{rank_rng, rank_seed};

@@ -1,0 +1,29 @@
+//! AMReX-native plotfile writer over virtual filesystems.
+//!
+//! Reproduces the analysis-output file structure of the paper's Fig. 2:
+//!
+//! ```text
+//! sedov_2d_cyl_in_cart_plt00020/
+//!   Header                   <- plotfile_header()
+//!   job_info                 <- job_info()
+//!   Level_0/
+//!     Cell_H                 <- cell_h()
+//!     Cell_D_00000           <- one per task that owns data (N-to-N)
+//!     ...
+//!   Level_1/ ...
+//! ```
+//!
+//! Every byte is written through an [`iosim::Vfs`] and recorded in an
+//! [`iosim::IoTracker`] at `(step, level, task)` granularity, which is the
+//! raw material of the paper's Eqs. (1)-(2).
+
+pub mod checkpoint;
+pub mod format;
+pub mod sizer;
+pub mod writer;
+
+pub use checkpoint::{account_checkpoint, checkpoint_header, CheckpointLevel, CheckpointSpec, CheckpointStats};
+pub use format::{castro_sedov_plot_vars, cell_h, fab_header, format_box, job_info,
+                 plotfile_header, FabOnDisk, HeaderLevel};
+pub use sizer::{account_plotfile, LayoutLevel, PlotfileLayout};
+pub use writer::{expected_payload_bytes, write_plotfile, PlotLevel, PlotfileSpec, PlotfileStats};

@@ -1,0 +1,307 @@
+//! Size-exact plotfile accounting without materializing field data.
+//!
+//! The paper's largest runs produce tens of gigabytes per dump; the oracle
+//! path must account for those bytes without allocating or serializing the
+//! payload. The `Cell_D` byte count is deterministic — FAB headers are
+//! pure functions of the box and component count, payloads are
+//! `cells * vars * 8` — and the metadata files are cheap to synthesize
+//! exactly. Equivalence with [`crate::writer::write_plotfile`] is enforced
+//! by tests.
+
+use crate::format::{cell_h, fab_header, job_info, plotfile_header, FabOnDisk, HeaderLevel};
+use crate::writer::PlotfileStats;
+use amr_mesh::{BoxArray, DistributionMapping, Geometry};
+use iosim::{IoKey, IoKind, IoTracker, WriteRequest};
+
+/// One level described by layout only (no data).
+pub struct LayoutLevel {
+    /// Level geometry.
+    pub geom: Geometry,
+    /// Grids.
+    pub ba: BoxArray,
+    /// Rank ownership.
+    pub dm: DistributionMapping,
+    /// Steps taken at this level.
+    pub level_steps: u64,
+}
+
+/// Everything needed to account one plotfile dump.
+pub struct PlotfileLayout {
+    /// Directory name (recorded in requests, nothing is written).
+    pub dir: String,
+    /// Output counter used as the tracker `step` key.
+    pub output_counter: u32,
+    /// Simulation time.
+    pub time: f64,
+    /// Plot variable names.
+    pub var_names: Vec<String>,
+    /// Refinement ratio.
+    pub ref_ratio: i64,
+    /// Levels, coarsest first.
+    pub levels: Vec<LayoutLevel>,
+    /// Input parameters echoed into job_info.
+    pub inputs: Vec<(String, String)>,
+}
+
+/// Accounts the exact bytes [`crate::writer::write_plotfile`] would write
+/// for `layout`, recording into `tracker` and returning the same stats —
+/// without allocating any payload.
+pub fn account_plotfile(tracker: &IoTracker, layout: &PlotfileLayout) -> PlotfileStats {
+    assert!(!layout.levels.is_empty(), "account_plotfile: no levels");
+    let mut stats = PlotfileStats::default();
+    let nranks = layout.levels[0].dm.nranks();
+    let ncomp = layout.var_names.len();
+
+    for (lev, level) in layout.levels.iter().enumerate() {
+        let lev_dir = format!("{}/Level_{}", layout.dir, lev);
+        // Per-rank Cell_D sizes.
+        let mut fabs_on_disk: Vec<Option<FabOnDisk>> =
+            (0..level.ba.len()).map(|_| None).collect();
+        for rank in 0..nranks {
+            let my_boxes = level.dm.boxes_of(rank);
+            if my_boxes.is_empty() {
+                continue;
+            }
+            let file_name = format!("Cell_D_{rank:05}");
+            let path = format!("{lev_dir}/{file_name}");
+            let mut bytes = 0u64;
+            for &bi in &my_boxes {
+                let valid = level.ba.get(bi);
+                fabs_on_disk[bi] = Some(FabOnDisk {
+                    file: file_name.clone(),
+                    offset: bytes,
+                });
+                bytes += fab_header(&valid, ncomp).len() as u64;
+                bytes += valid.num_pts() as u64 * ncomp as u64 * 8;
+            }
+            tracker.record(
+                IoKey {
+                    step: layout.output_counter,
+                    level: lev as u32,
+                    task: rank as u32,
+                },
+                IoKind::Data,
+                bytes,
+            );
+            stats.total_bytes += bytes;
+            stats.nfiles += 1;
+            stats.requests.push(WriteRequest {
+                rank,
+                path,
+                bytes,
+                start: 0.0,
+            });
+        }
+
+        // Cell_H with zero min/max placeholders (size-representative).
+        let boxes: Vec<_> = level.ba.iter().copied().collect();
+        let fods: Vec<FabOnDisk> = fabs_on_disk
+            .into_iter()
+            .map(|f| f.expect("every box has an owner"))
+            .collect();
+        let zeros = vec![vec![0.0; ncomp]; boxes.len()];
+        let content = cell_h(ncomp, &boxes, &fods, &zeros, &zeros);
+        let bytes = content.len() as u64;
+        tracker.record(
+            IoKey {
+                step: layout.output_counter,
+                level: lev as u32,
+                task: 0,
+            },
+            IoKind::Metadata,
+            bytes,
+        );
+        stats.total_bytes += bytes;
+        stats.nfiles += 1;
+        stats.requests.push(WriteRequest {
+            rank: 0,
+            path: format!("{lev_dir}/Cell_H"),
+            bytes,
+            start: 0.0,
+        });
+    }
+
+    // Header + job_info.
+    let header_levels: Vec<HeaderLevel> = layout
+        .levels
+        .iter()
+        .map(|l| HeaderLevel {
+            geom: l.geom,
+            boxes: l.ba.iter().copied().collect(),
+            level_steps: l.level_steps,
+        })
+        .collect();
+    let header = plotfile_header(&layout.var_names, layout.time, &header_levels, layout.ref_ratio);
+    let ji = job_info(
+        nranks,
+        layout.levels[0].level_steps,
+        layout.time,
+        &layout.inputs,
+    );
+    for (name, content) in [("Header", header), ("job_info", ji)] {
+        let bytes = content.len() as u64;
+        tracker.record(
+            IoKey {
+                step: layout.output_counter,
+                level: 0,
+                task: 0,
+            },
+            IoKind::Metadata,
+            bytes,
+        );
+        stats.total_bytes += bytes;
+        stats.nfiles += 1;
+        stats.requests.push(WriteRequest {
+            rank: 0,
+            path: format!("{}/{}", layout.dir, name),
+            bytes,
+            start: 0.0,
+        });
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::{write_plotfile, PlotLevel, PlotfileSpec};
+    use amr_mesh::prelude::*;
+    use iosim::MemFs;
+
+    fn ba_dm(n: i64, max: i64, nranks: usize) -> (BoxArray, DistributionMapping) {
+        let ba = BoxArray::single(IndexBox::at_origin(IntVect::splat(n))).max_size(max);
+        let dm = DistributionMapping::new(&ba, nranks, DistributionStrategy::Sfc);
+        (ba, dm)
+    }
+
+    /// The sizer must agree with the real writer byte-for-byte on the data
+    /// files and to formatting-width tolerance on metadata.
+    #[test]
+    fn matches_real_writer() {
+        let (ba, dm) = ba_dm(64, 16, 4);
+        let geom = Geometry::unit_square(IntVect::splat(64));
+        let mut mf = MultiFab::new(ba.clone(), dm.clone(), 2, 0);
+        // Positive O(1) values keep min/max formatting width identical to
+        // the sizer's zero placeholders.
+        mf.set_val(0, 1.5);
+        mf.set_val(1, 2.5);
+
+        let fs = MemFs::new();
+        let t_writer = IoTracker::new();
+        let spec = PlotfileSpec {
+            dir: "/plt0".into(),
+            output_counter: 1,
+            time: 0.5,
+            var_names: vec!["a".into(), "b".into()],
+            ref_ratio: 2,
+            levels: vec![PlotLevel {
+                geom,
+                mf: &mf,
+                level_steps: 3,
+            }],
+            inputs: vec![("k".into(), "v".into())],
+        };
+        let ws = write_plotfile(&fs, &t_writer, &spec).unwrap();
+
+        let t_sizer = IoTracker::new();
+        let layout = PlotfileLayout {
+            dir: "/plt0".into(),
+            output_counter: 1,
+            time: 0.5,
+            var_names: vec!["a".into(), "b".into()],
+            ref_ratio: 2,
+            levels: vec![LayoutLevel {
+                geom,
+                ba,
+                dm,
+                level_steps: 3,
+            }],
+            inputs: vec![("k".into(), "v".into())],
+        };
+        let ss = account_plotfile(&t_sizer, &layout);
+
+        assert_eq!(
+            t_writer.total_bytes_of(IoKind::Data),
+            t_sizer.total_bytes_of(IoKind::Data),
+            "data bytes must match exactly"
+        );
+        assert_eq!(ws.nfiles, ss.nfiles);
+        let meta_w = t_writer.total_bytes_of(IoKind::Metadata) as f64;
+        let meta_s = t_sizer.total_bytes_of(IoKind::Metadata) as f64;
+        assert!(
+            (meta_w - meta_s).abs() / meta_w < 0.02,
+            "metadata sizes {meta_w} vs {meta_s}"
+        );
+        // Request lists align file-by-file for data files.
+        for (rw, rs) in ws.requests.iter().zip(ss.requests.iter()) {
+            assert_eq!(rw.path, rs.path);
+            if rw.path.contains("Cell_D") {
+                assert_eq!(rw.bytes, rs.bytes, "bytes differ for {}", rw.path);
+            }
+        }
+    }
+
+    #[test]
+    fn per_task_accounting_matches_ownership() {
+        let (ba, dm) = ba_dm(64, 16, 3);
+        let geom = Geometry::unit_square(IntVect::splat(64));
+        let tracker = IoTracker::new();
+        let layout = PlotfileLayout {
+            dir: "/p".into(),
+            output_counter: 2,
+            time: 0.0,
+            var_names: vec!["v".into()],
+            ref_ratio: 2,
+            levels: vec![LayoutLevel {
+                geom,
+                ba: ba.clone(),
+                dm: dm.clone(),
+                level_steps: 0,
+            }],
+            inputs: vec![],
+        };
+        account_plotfile(&tracker, &layout);
+        let per_task = tracker.bytes_per_task(2, 0);
+        #[allow(clippy::needless_range_loop)] // rank indexes two parallel views
+        for rank in 0..3 {
+            let cells: i64 = dm
+                .boxes_of(rank)
+                .iter()
+                .map(|&i| ba.get(i).num_pts())
+                .sum();
+            if cells == 0 {
+                assert_eq!(per_task[rank], 0);
+            } else {
+                assert!(per_task[rank] as i64 >= cells * 8, "rank {rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn scales_linearly_with_vars_and_cells() {
+        let geom = Geometry::unit_square(IntVect::splat(32));
+        let run = |n: i64, vars: usize| {
+            let (ba, dm) = ba_dm(n, 16, 2);
+            let tracker = IoTracker::new();
+            let layout = PlotfileLayout {
+                dir: "/p".into(),
+                output_counter: 1,
+                time: 0.0,
+                var_names: (0..vars).map(|i| format!("v{i}")).collect(),
+                ref_ratio: 2,
+                levels: vec![LayoutLevel {
+                    geom,
+                    ba,
+                    dm,
+                    level_steps: 0,
+                }],
+                inputs: vec![],
+            };
+            account_plotfile(&tracker, &layout);
+            tracker.total_bytes_of(IoKind::Data)
+        };
+        let base = run(32, 1);
+        assert!(run(32, 2) > base * 3 / 2);
+        assert!(run(64, 1) > base * 3); // 4x the cells
+    }
+}

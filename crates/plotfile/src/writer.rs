@@ -1,0 +1,377 @@
+//! N-to-N plotfile writing.
+//!
+//! Reproduces the output path of `amrex::WriteMultiLevelPlotfile` with the
+//! paper's N-to-N pattern: at every plot step, each MPI task writes one
+//! `Cell_D_<task>` file per level *where it owns data* (Fig. 2), rank 0
+//! writes the `Header`, `job_info`, and per-level `Cell_H` metadata.
+//! Every byte goes through a [`Vfs`] and is recorded in an [`IoTracker`]
+//! under the `(step, level, task)` key the model consumes.
+
+use crate::format::{
+    cell_h, fab_header, job_info, plotfile_header, FabOnDisk, HeaderLevel,
+};
+use amr_mesh::{Geometry, MultiFab};
+use bytes::{BufMut, BytesMut};
+use iosim::{IoKey, IoKind, IoTracker, Vfs, WriteRequest};
+use std::io;
+
+/// One AMR level to be written.
+pub struct PlotLevel<'a> {
+    /// Level geometry.
+    pub geom: Geometry,
+    /// Level data; valid regions are serialized.
+    pub mf: &'a MultiFab,
+    /// Steps taken at this level (Header bookkeeping).
+    pub level_steps: u64,
+}
+
+/// Everything needed for one plotfile dump.
+pub struct PlotfileSpec<'a> {
+    /// Directory name, e.g. `sedov_2d_cyl_in_cart_plt00020`.
+    pub dir: String,
+    /// Output counter (1-based position of this dump in the run) used as
+    /// the tracker's `step` key.
+    pub output_counter: u32,
+    /// Simulation time of the dump.
+    pub time: f64,
+    /// Plot variable names; the byte volume scales with this count.
+    pub var_names: Vec<String>,
+    /// Refinement ratio between levels.
+    pub ref_ratio: i64,
+    /// Levels, coarsest first.
+    pub levels: Vec<PlotLevel<'a>>,
+    /// Input-file parameters echoed into `job_info`.
+    pub inputs: Vec<(String, String)>,
+}
+
+/// Per-dump outcome: sizes and the write requests for timing simulation.
+#[derive(Clone, Debug, Default)]
+pub struct PlotfileStats {
+    /// Total bytes written (data + metadata).
+    pub total_bytes: u64,
+    /// Number of files created.
+    pub nfiles: u64,
+    /// The write requests issued, suitable for
+    /// [`iosim::StorageModel::simulate_burst`].
+    pub requests: Vec<WriteRequest>,
+}
+
+/// Writes one plotfile dump through `vfs`, recording into `tracker`.
+///
+/// The tracker `task` for data files is the owning rank; metadata is
+/// attributed to rank 0, which is the AMReX I/O processor.
+pub fn write_plotfile(
+    vfs: &dyn Vfs,
+    tracker: &IoTracker,
+    spec: &PlotfileSpec<'_>,
+) -> io::Result<PlotfileStats> {
+    assert!(!spec.levels.is_empty(), "write_plotfile: no levels");
+    let mut stats = PlotfileStats::default();
+    vfs.create_dir_all(&spec.dir)?;
+
+    let nranks = spec.levels[0].mf.distribution_map().nranks();
+
+    // --- Per-level data and Cell_H metadata -----------------------------
+    for (lev, level) in spec.levels.iter().enumerate() {
+        let lev_dir = format!("{}/Level_{}", spec.dir, lev);
+        vfs.create_dir_all(&lev_dir)?;
+        let mf = level.mf;
+        let ncomp = spec.var_names.len();
+
+        // Group boxes by owning rank; a rank with no boxes at this level
+        // writes no file (the paper calls this out explicitly).
+        let mut fabs_on_disk: Vec<Option<FabOnDisk>> = (0..mf.nfabs()).map(|_| None).collect();
+        for rank in 0..nranks {
+            let my_boxes = mf.distribution_map().boxes_of(rank);
+            if my_boxes.is_empty() {
+                continue;
+            }
+            let file_name = format!("Cell_D_{rank:05}");
+            let path = format!("{lev_dir}/{file_name}");
+            let mut buf = BytesMut::new();
+            for &bi in &my_boxes {
+                let valid = mf.valid_box(bi);
+                let offset = buf.len() as u64;
+                buf.put_slice(fab_header(&valid, ncomp).as_bytes());
+                // Serialize the valid region, component-major, x fastest,
+                // replicating the source fab's layout over its valid box.
+                let fab = mf.fab(bi);
+                for comp in 0..ncomp {
+                    // Plot variables beyond the state's components repeat
+                    // the last state component (derived fields carry the
+                    // same byte cost regardless of their values).
+                    let sc = comp.min(fab.ncomp() - 1);
+                    for p in valid.cells() {
+                        buf.put_f64_le(fab.get(p, sc));
+                    }
+                }
+                fabs_on_disk[bi] = Some(FabOnDisk {
+                    file: file_name.clone(),
+                    offset,
+                });
+            }
+            let bytes = vfs.write_file(&path, &buf)? as u64;
+            tracker.record(
+                IoKey {
+                    step: spec.output_counter,
+                    level: lev as u32,
+                    task: rank as u32,
+                },
+                IoKind::Data,
+                bytes,
+            );
+            stats.total_bytes += bytes;
+            stats.nfiles += 1;
+            stats.requests.push(WriteRequest {
+                rank,
+                path,
+                bytes,
+                start: 0.0,
+            });
+        }
+
+        // Cell_H: box list, fab table, per-grid min/max of each variable.
+        let boxes: Vec<_> = mf.box_array().iter().copied().collect();
+        let fods: Vec<FabOnDisk> = fabs_on_disk
+            .into_iter()
+            .map(|f| f.expect("every box has an owner"))
+            .collect();
+        let mut mins = Vec::with_capacity(boxes.len());
+        let mut maxs = Vec::with_capacity(boxes.len());
+        for (bi, b) in boxes.iter().enumerate() {
+            let fab = mf.fab(bi);
+            let mut mn = Vec::with_capacity(ncomp);
+            let mut mx = Vec::with_capacity(ncomp);
+            for comp in 0..ncomp {
+                let sc = comp.min(fab.ncomp() - 1);
+                mn.push(fab.min_in(b, sc));
+                mx.push(fab.max_in(b, sc));
+            }
+            mins.push(mn);
+            maxs.push(mx);
+        }
+        let cell_h_content = cell_h(ncomp, &boxes, &fods, &mins, &maxs);
+        let path = format!("{lev_dir}/Cell_H");
+        let bytes = vfs.write_file(&path, cell_h_content.as_bytes())? as u64;
+        tracker.record(
+            IoKey {
+                step: spec.output_counter,
+                level: lev as u32,
+                task: 0,
+            },
+            IoKind::Metadata,
+            bytes,
+        );
+        stats.total_bytes += bytes;
+        stats.nfiles += 1;
+        stats.requests.push(WriteRequest {
+            rank: 0,
+            path,
+            bytes,
+            start: 0.0,
+        });
+    }
+
+    // --- Top-level Header and job_info ----------------------------------
+    let header_levels: Vec<HeaderLevel> = spec
+        .levels
+        .iter()
+        .map(|l| HeaderLevel {
+            geom: l.geom,
+            boxes: l.mf.box_array().iter().copied().collect(),
+            level_steps: l.level_steps,
+        })
+        .collect();
+    let header = plotfile_header(&spec.var_names, spec.time, &header_levels, spec.ref_ratio);
+    for (name, content) in [
+        ("Header", header),
+        (
+            "job_info",
+            job_info(
+                nranks,
+                spec.levels[0].level_steps,
+                spec.time,
+                &spec.inputs,
+            ),
+        ),
+    ] {
+        let path = format!("{}/{}", spec.dir, name);
+        let bytes = vfs.write_file(&path, content.as_bytes())? as u64;
+        tracker.record(
+            IoKey {
+                step: spec.output_counter,
+                level: 0,
+                task: 0,
+            },
+            IoKind::Metadata,
+            bytes,
+        );
+        stats.total_bytes += bytes;
+        stats.nfiles += 1;
+        stats.requests.push(WriteRequest {
+            rank: 0,
+            path,
+            bytes,
+            start: 0.0,
+        });
+    }
+    Ok(stats)
+}
+
+/// Expected payload bytes for a level: `cells * vars * 8` — the headerless
+/// size used to sanity-check writer output in tests and benches.
+pub fn expected_payload_bytes(mf: &MultiFab, nvars: usize) -> u64 {
+    mf.box_array().num_pts() as u64 * nvars as u64 * 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amr_mesh::prelude::*;
+    use iosim::MemFs;
+
+    fn level_mf(n: i64, max: i64, nranks: usize, ncomp: usize) -> MultiFab {
+        let ba = BoxArray::single(IndexBox::at_origin(IntVect::splat(n))).max_size(max);
+        let dm = DistributionMapping::new(&ba, nranks, DistributionStrategy::Sfc);
+        let mut mf = MultiFab::new(ba, dm, ncomp, 0);
+        for c in 0..ncomp {
+            mf.set_val(c, c as f64 + 0.5);
+        }
+        mf
+    }
+
+    fn spec<'a>(mf: &'a MultiFab, vars: usize) -> PlotfileSpec<'a> {
+        PlotfileSpec {
+            dir: "/plt00000".to_string(),
+            output_counter: 1,
+            time: 0.0,
+            var_names: (0..vars).map(|i| format!("var{i}")).collect(),
+            ref_ratio: 2,
+            levels: vec![PlotLevel {
+                geom: Geometry::unit_square(IntVect::splat(32)),
+                mf,
+                level_steps: 0,
+            }],
+            inputs: vec![],
+        }
+    }
+
+    #[test]
+    fn writes_expected_structure() {
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let mf = level_mf(32, 16, 2, 2);
+        let stats = write_plotfile(&fs, &tracker, &spec(&mf, 2)).unwrap();
+        let files = fs.list("/plt00000");
+        // 2 ranks * 1 level data files + Cell_H + Header + job_info.
+        assert!(files.contains(&"/plt00000/Header".to_string()));
+        assert!(files.contains(&"/plt00000/job_info".to_string()));
+        assert!(files.contains(&"/plt00000/Level_0/Cell_H".to_string()));
+        assert!(files.contains(&"/plt00000/Level_0/Cell_D_00000".to_string()));
+        assert!(files.contains(&"/plt00000/Level_0/Cell_D_00001".to_string()));
+        assert_eq!(stats.nfiles, 5);
+        assert_eq!(stats.total_bytes, fs.total_bytes());
+    }
+
+    #[test]
+    fn data_bytes_match_payload_plus_headers() {
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let mf = level_mf(32, 16, 1, 2);
+        write_plotfile(&fs, &tracker, &spec(&mf, 2)).unwrap();
+        let data = tracker.total_bytes_of(IoKind::Data);
+        let payload = expected_payload_bytes(&mf, 2);
+        assert!(data > payload, "FAB headers must add bytes");
+        // Header overhead is small relative to payload.
+        assert!(data < payload + 4 * 256);
+    }
+
+    #[test]
+    fn rank_without_boxes_writes_no_file() {
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        // One box, four ranks: three ranks own nothing.
+        let mf = level_mf(16, 16, 4, 1);
+        write_plotfile(&fs, &tracker, &spec(&mf, 1)).unwrap();
+        let data_files: Vec<String> = fs
+            .list("/plt00000/Level_0")
+            .into_iter()
+            .filter(|f| f.contains("Cell_D"))
+            .collect();
+        assert_eq!(data_files.len(), 1);
+    }
+
+    #[test]
+    fn tracker_keys_carry_step_level_task() {
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let mf = level_mf(32, 16, 2, 1);
+        let mut s = spec(&mf, 1);
+        s.output_counter = 7;
+        write_plotfile(&fs, &tracker, &s).unwrap();
+        assert_eq!(tracker.steps(), vec![7]);
+        let per_task = tracker.bytes_per_task(7, 0);
+        assert_eq!(per_task.len(), 2);
+        assert!(per_task.iter().all(|&b| b > 0));
+    }
+
+    #[test]
+    fn fab_payload_is_little_endian_doubles() {
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let mf = level_mf(4, 4, 1, 1);
+        write_plotfile(&fs, &tracker, &spec(&mf, 1)).unwrap();
+        let content = fs.read_file("/plt00000/Level_0/Cell_D_00000").unwrap();
+        // Header line ends at the first newline; payload follows.
+        let nl = content.iter().position(|&b| b == b'\n').unwrap();
+        let payload = &content[nl + 1..];
+        assert_eq!(payload.len(), 16 * 8);
+        let first = f64::from_le_bytes(payload[0..8].try_into().unwrap());
+        assert_eq!(first, 0.5);
+    }
+
+    #[test]
+    fn header_mentions_every_level() {
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let mf0 = level_mf(16, 16, 1, 1);
+        let mf1 = level_mf(32, 16, 1, 1);
+        let spec = PlotfileSpec {
+            dir: "/plt00010".into(),
+            output_counter: 1,
+            time: 0.25,
+            var_names: vec!["density".into()],
+            ref_ratio: 2,
+            levels: vec![
+                PlotLevel {
+                    geom: Geometry::unit_square(IntVect::splat(16)),
+                    mf: &mf0,
+                    level_steps: 10,
+                },
+                PlotLevel {
+                    geom: Geometry::unit_square(IntVect::splat(16)).refine(IntVect::splat(2)),
+                    mf: &mf1,
+                    level_steps: 10,
+                },
+            ],
+            inputs: vec![],
+        };
+        write_plotfile(&fs, &tracker, &spec).unwrap();
+        let header = String::from_utf8(fs.read_file("/plt00010/Header").unwrap()).unwrap();
+        assert!(header.contains("Level_0/Cell"));
+        assert!(header.contains("Level_1/Cell"));
+        // Metadata recorded separately from data.
+        assert!(tracker.total_bytes_of(IoKind::Metadata) > 0);
+    }
+
+    #[test]
+    fn requests_cover_all_files() {
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let mf = level_mf(32, 8, 4, 1);
+        let stats = write_plotfile(&fs, &tracker, &spec(&mf, 1)).unwrap();
+        assert_eq!(stats.requests.len() as u64, stats.nfiles);
+        let req_bytes: u64 = stats.requests.iter().map(|r| r.bytes).sum();
+        assert_eq!(req_bytes, stats.total_bytes);
+    }
+}

@@ -1,0 +1,96 @@
+//! Autotuning workflow — the paper's stated end-goal: use calibrated
+//! proxy models to predict I/O parameters for configurations that were
+//! never run, then characterize the workload a tuned proxy produces.
+//!
+//! 1. Calibrate MACSio against a small grid of AMR runs (cfl × max_level).
+//! 2. Fit the linear growth/f predictor on those calibrations (the
+//!    "machine-learning approaches" follow-up of the paper's conclusion).
+//! 3. Predict the proxy parameters for an unseen configuration and check
+//!    them against a real calibration of that configuration.
+//! 4. Print the Darshan-style characterization of the tuned proxy run.
+//!
+//! ```text
+//! cargo run --release --example autotune_proxy
+//! ```
+
+use amr_proxy_io::amrproxy::{case4, compare_with_macsio, run_simulation};
+use amr_proxy_io::iosim::{characterize, IoTracker, MemFs};
+use amr_proxy_io::macsio;
+use amr_proxy_io::model::{translate, GrowthPredictor, Observation, TranslationModel};
+
+fn calibrate(cfl: f64, maxl: usize) -> Observation {
+    let mut cfg = case4(cfl, maxl, 30);
+    cfg.n_cell = 256; // keep the training grid quick
+    let amr = run_simulation(&cfg, None, None);
+    let cmp = compare_with_macsio(&amr, 2);
+    Observation {
+        cfl,
+        max_level: maxl,
+        n_cell: cfg.n_cell,
+        dataset_growth: cmp.calibration.dataset_growth,
+        f: cmp.calibration.f,
+    }
+}
+
+fn main() {
+    // 1. Training grid.
+    println!("calibrating the training grid (cfl x max_level) ...");
+    let mut observations = Vec::new();
+    for &cfl in &[0.3, 0.5, 0.6] {
+        for &maxl in &[2usize, 3] {
+            let obs = calibrate(cfl, maxl);
+            println!(
+                "  cfl={cfl} maxl={maxl}: growth={:.5} f={:.2}",
+                obs.dataset_growth, obs.f
+            );
+            observations.push(obs);
+        }
+    }
+
+    // 2. Fit.
+    let predictor = GrowthPredictor::fit(&observations);
+    println!(
+        "\nfitted growth coefficients (1, cfl, maxl, log2 n): {:?}",
+        predictor.growth_coefs
+    );
+
+    // 3. Predict an unseen configuration and validate.
+    let (cfl, maxl) = (0.4, 2usize);
+    let predicted_growth = predictor.predict_growth(cfl, maxl, 256);
+    let predicted_f = predictor.predict_f(cfl, maxl, 256);
+    let actual = calibrate(cfl, maxl);
+    println!(
+        "\nunseen config cfl={cfl} maxl={maxl}:\n  predicted growth={predicted_growth:.5} f={predicted_f:.2}\n  actual    growth={:.5} f={:.2}",
+        actual.dataset_growth, actual.f
+    );
+    println!(
+        "  growth error = {:.5}",
+        (predicted_growth - actual.dataset_growth).abs()
+    );
+
+    // 4. Run the predicted proxy and characterize its workload.
+    let inputs = amr_proxy_io::model::AmrInputs {
+        max_step: 30,
+        n_cell: (256, 256),
+        max_level: maxl,
+        plot_int: 1,
+        cfl,
+        nprocs: 32,
+    };
+    let cfg = translate(
+        &inputs,
+        &TranslationModel {
+            f: predicted_f,
+            dataset_growth: predicted_growth,
+            compute_time: 1.0,
+            meta_size: 256,
+        },
+    );
+    let fs = MemFs::with_retention(0);
+    let tracker = IoTracker::new();
+    let storage = amr_proxy_io::iosim::StorageModel::summit_alpine(0.1);
+    let report = macsio::run(&cfg, &fs, &tracker, Some(&storage)).expect("proxy run");
+    println!("\ntuned proxy invocation:\n  {}", cfg.command_line());
+    println!("\nDarshan-style characterization of the tuned proxy:");
+    print!("{}", characterize(&tracker, Some(&report.timeline)).render());
+}

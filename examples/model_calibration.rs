@@ -1,0 +1,57 @@
+//! The paper's calibration workflow (Fig. 9) as a library user would run
+//! it: measure an AMR run, pick the Eq. (3)/Appendix A starting point,
+//! and let the golden-section search fit `dataset_growth`.
+//!
+//! ```text
+//! cargo run --release --example model_calibration
+//! ```
+
+use amr_proxy_io::amrproxy::{case4, run_simulation};
+use amr_proxy_io::model::{
+    calibrate_two_parameter, default_growth_guess, translate, TranslationModel,
+};
+
+fn main() {
+    // The paper's pivot: case4 at cfl = 0.4 with 4 AMR levels.
+    let cfg = case4(0.4, 4, 80);
+    println!("running {} ...", cfg.name);
+    let amr = run_simulation(&cfg, None, None);
+    let target = amr.per_step_bytes();
+    println!(
+        "measured {} output steps, first {:.4e} B, last {:.4e} B",
+        target.len(),
+        target.first().unwrap(),
+        target.last().unwrap()
+    );
+
+    // Starting point from the paper's guidance.
+    let inputs = amr.config.amr_inputs();
+    let guess = TranslationModel {
+        f: 24.0,
+        dataset_growth: default_growth_guess(inputs.cfl, inputs.max_level),
+        compute_time: 0.0,
+        meta_size: 0,
+    };
+    let mut base = translate(&inputs, &guess);
+    base.num_dumps = target.len() as u32;
+    println!(
+        "\ninitial guess: f = {}, dataset_growth = {:.4}",
+        guess.f, guess.dataset_growth
+    );
+
+    let cal = calibrate_two_parameter(&base, &target, inputs.n_cell, 2);
+    println!("\ncalibration trace ({} evaluations):", cal.trace.len());
+    for (i, e) in cal.trace.iter().enumerate().step_by(4) {
+        println!(
+            "  eval {i:>3}: growth = {:.6}  rmse = {:.4e}",
+            e.dataset_growth, e.rmse
+        );
+    }
+    println!(
+        "\nconverged: dataset_growth = {:.6}, f = {:.2}, rmse = {:.4e}",
+        cal.dataset_growth, cal.f, cal.rmse
+    );
+    println!(
+        "paper reference: dataset_growth = 1.013075, f in [23, 25] for its Summit pivot"
+    );
+}

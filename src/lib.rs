@@ -1,0 +1,13 @@
+//! Umbrella crate: re-exports every crate of the `amr-proxy-io` workspace.
+//!
+//! Downstream users can depend on this single crate; the workspace examples
+//! and integration tests are hosted here.
+
+pub use amr_mesh;
+pub use amrproxy;
+pub use hydro;
+pub use iosim;
+pub use macsio;
+pub use model;
+pub use mpi_sim;
+pub use plotfile;

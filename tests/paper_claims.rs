@@ -1,0 +1,129 @@
+//! Test-suite-level guards for the paper's core claims, at scales small
+//! enough for `cargo test`. The full-scale versions live in the figure
+//! benches; these keep the claims from regressing between bench runs.
+
+use amr_proxy_io::amrproxy::{case4, compare_with_macsio, run_simulation};
+use amr_proxy_io::iosim::IoKind;
+use amr_proxy_io::model::{linear_fit, Case4Constant, PAPER_F_RANGE};
+
+/// Scaled-down case4 used throughout (256^2 oracle, quick).
+fn pivot(cfl: f64, maxl: usize, outputs: u64) -> amr_proxy_io::amrproxy::CastroSedovConfig {
+    let mut cfg = case4(cfl, maxl, outputs);
+    cfg.n_cell = 256;
+    cfg
+}
+
+#[test]
+fn claim_fig5_linear_and_nonlinear_families_exist() {
+    // A max_level=0 run is exactly linear in the cumulative variable; a
+    // deep run deviates.
+    let mut flat = pivot(0.5, 0, 24);
+    flat.max_level = 0;
+    let shallow = run_simulation(&flat, None, None);
+    let s = shallow.xy_series();
+    let fit = linear_fit(&s.xs(), &s.ys());
+    assert!(fit.r2 > 0.999999, "unrefined run must be linear, R2={}", fit.r2);
+
+    let deep = run_simulation(&pivot(0.6, 3, 60), None, None);
+    let d = deep.xy_series();
+    let fit_deep = linear_fit(&d.xs(), &d.ys());
+    assert!(
+        fit_deep.r2 < fit.r2,
+        "refined run must deviate from linearity"
+    );
+}
+
+#[test]
+fn claim_fig6_levels_dominate_cfl() {
+    let total = |cfl: f64, maxl: usize| {
+        run_simulation(&pivot(cfl, maxl, 40), None, None)
+            .tracker
+            .total_bytes() as f64
+    };
+    let level_effect = total(0.4, 4) / total(0.4, 1);
+    let cfl_effect = total(0.6, 2) / total(0.3, 2);
+    assert!(level_effect > 1.02, "levels add bytes: {level_effect}");
+    assert!(cfl_effect >= 1.0, "cfl adds bytes: {cfl_effect}");
+    assert!(
+        level_effect > cfl_effect,
+        "levels ({level_effect}) must dominate cfl ({cfl_effect})"
+    );
+}
+
+#[test]
+fn claim_fig7_l0_constant_refined_growing() {
+    let r = run_simulation(&pivot(0.5, 2, 40), None, None);
+    let per_level = r.tracker.cumulative_per_level_step();
+    let l0 = &per_level[&0];
+    let incr: Vec<u64> = l0.windows(2).map(|w| w[1].1 - w[0].1).collect();
+    let (mn, mx) = (
+        *incr.iter().min().unwrap() as f64,
+        *incr.iter().max().unwrap() as f64,
+    );
+    assert!(mx / mn < 1.02, "L0 per-step output must be near-constant");
+    let l1 = &per_level[&1];
+    assert!(
+        l1.last().unwrap().1 - l1[l1.len() / 2].1 > l1[l1.len() / 2].1 - l1[0].1,
+        "refined output accelerates as the annulus grows"
+    );
+}
+
+#[test]
+fn claim_fig8_refined_levels_are_task_imbalanced() {
+    let r = run_simulation(&pivot(0.5, 2, 30), None, None);
+    let steps = r.tracker.steps();
+    let last = *steps.last().unwrap();
+    let l0 = r.tracker.bytes_per_task_of(last, 0, IoKind::Data);
+    let l1 = r.tracker.bytes_per_task_of(last, 1, IoKind::Data);
+    let imb = |v: &[u64]| {
+        let writers: Vec<u64> = v.iter().copied().filter(|&b| b > 0).collect();
+        let mean = writers.iter().sum::<u64>() as f64 / writers.len() as f64;
+        *v.iter().max().unwrap() as f64 / mean
+    };
+    assert!(imb(&l0) < 1.5, "L0 is balanced: {}", imb(&l0));
+    assert!(imb(&l1) > imb(&l0), "refined level is more imbalanced");
+}
+
+#[test]
+fn claim_eq3_f_lands_near_paper_band() {
+    let amr = run_simulation(&pivot(0.4, 2, 30), None, None);
+    let cmp = compare_with_macsio(&amr, 2);
+    // The paper reports 23-25 on Summit; we assert the same order with
+    // headroom for the different variable bookkeeping at small scales.
+    assert!(
+        cmp.calibration.f > PAPER_F_RANGE.0 - 5.0 && cmp.calibration.f < PAPER_F_RANGE.1 + 5.0,
+        "f = {}",
+        cmp.calibration.f
+    );
+    // And the paper's own worked constant is internally consistent.
+    let implied = Case4Constant::implied_f();
+    assert!((PAPER_F_RANGE.0..=PAPER_F_RANGE.1).contains(&implied));
+}
+
+#[test]
+fn claim_fig10_growth_monotone_in_cfl() {
+    let growth = |cfl: f64| {
+        let amr = run_simulation(&pivot(cfl, 2, 40), None, None);
+        compare_with_macsio(&amr, 2).calibration.dataset_growth
+    };
+    let g3 = growth(0.3);
+    let g6 = growth(0.6);
+    assert!(
+        g6 > g3,
+        "higher CFL must calibrate to higher growth: {g3} vs {g6}"
+    );
+    for g in [g3, g6] {
+        assert!((0.995..1.08).contains(&g), "growth {g} out of band");
+    }
+}
+
+#[test]
+fn claim_macsio_has_no_level_granularity() {
+    // The structural limitation the paper identifies: MACSio records live
+    // at level 0 only.
+    let amr = run_simulation(&pivot(0.5, 2, 20), None, None);
+    assert!(amr.tracker.levels().len() >= 2);
+    let cmp = compare_with_macsio(&amr, 1);
+    // The proxy still matches per-step totals despite the missing levels.
+    assert!(cmp.mape_percent < 20.0, "MAPE {}", cmp.mape_percent);
+}

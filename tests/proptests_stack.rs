@@ -1,0 +1,186 @@
+//! Property-based tests across the I/O stack: sizer/writer equivalence,
+//! MACSio size semantics, storage-model conservation, and calibration
+//! recovery under randomized configurations.
+
+use amr_proxy_io::amr_mesh::prelude::*;
+use amr_proxy_io::iosim::{IoKind, IoTracker, MemFs, StorageModel, Vfs, WriteRequest};
+use amr_proxy_io::macsio::{self, dump::predicted_dump_bytes, FileMode, Interface, MacsioConfig};
+use amr_proxy_io::model::{calibrate_growth, predicted_series};
+use amr_proxy_io::plotfile::{
+    account_plotfile, write_plotfile, LayoutLevel, PlotLevel, PlotfileLayout, PlotfileSpec,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The size accountant must agree with the real writer on data bytes
+    /// for arbitrary (small) grid layouts and rank counts.
+    #[test]
+    fn sizer_matches_writer_data_bytes(
+        n in 8i64..64,
+        max in 4i64..32,
+        nranks in 1usize..6,
+        nvars in 1usize..5,
+    ) {
+        let geom = Geometry::unit_square(IntVect::splat(n));
+        let ba = BoxArray::single(geom.domain).max_size(max);
+        let dm = DistributionMapping::new(&ba, nranks, DistributionStrategy::Sfc);
+        let mut mf = MultiFab::new(ba.clone(), dm.clone(), nvars, 0);
+        for c in 0..nvars {
+            mf.set_val(c, 1.0 + c as f64);
+        }
+        let var_names: Vec<String> = (0..nvars).map(|i| format!("v{i}")).collect();
+
+        let fs = MemFs::with_retention(0);
+        let tw = IoTracker::new();
+        write_plotfile(&fs, &tw, &PlotfileSpec {
+            dir: "/p".into(),
+            output_counter: 1,
+            time: 0.25,
+            var_names: var_names.clone(),
+            ref_ratio: 2,
+            levels: vec![PlotLevel { geom, mf: &mf, level_steps: 1 }],
+            inputs: vec![],
+        }).unwrap();
+
+        let ts = IoTracker::new();
+        account_plotfile(&ts, &PlotfileLayout {
+            dir: "/p".into(),
+            output_counter: 1,
+            time: 0.25,
+            var_names,
+            ref_ratio: 2,
+            levels: vec![LayoutLevel { geom, ba, dm, level_steps: 1 }],
+            inputs: vec![],
+        });
+        prop_assert_eq!(
+            tw.total_bytes_of(IoKind::Data),
+            ts.total_bytes_of(IoKind::Data)
+        );
+    }
+
+    /// MACSio's on-disk bytes per rank stay within the topology-rounding
+    /// slack of the nominal request, for any growth/vars/parts setting.
+    #[test]
+    fn macsio_bytes_track_nominal(
+        part_size in 1_000u64..500_000,
+        vars in 1usize..4,
+        nprocs in 1usize..6,
+        growth in 0.99f64..1.05,
+        dumps in 1u32..6,
+    ) {
+        let cfg = MacsioConfig {
+            nprocs,
+            num_dumps: dumps,
+            part_size,
+            vars_per_part: vars,
+            dataset_growth: growth,
+            parallel_file_mode: FileMode::Mif(nprocs),
+            ..Default::default()
+        };
+        let fs = MemFs::with_retention(0);
+        let tracker = IoTracker::new();
+        let report = macsio::run(&cfg, &fs, &tracker, None).unwrap();
+        prop_assert_eq!(report.total_bytes, fs.total_bytes());
+        for dump in 0..dumps {
+            let nominal = cfg.grown_part_size(dump) * vars as u64;
+            let per_task = tracker.bytes_per_task_of(dump + 1, 0, IoKind::Data);
+            for &b in per_task.iter().take(nprocs) {
+                let ratio = b as f64 / nominal as f64;
+                prop_assert!(
+                    (1.0..1.7).contains(&ratio),
+                    "dump {dump}: {b} vs nominal {nominal} (ratio {ratio})"
+                );
+            }
+        }
+    }
+
+    /// The pure size predictor equals the real run for miftmpl, always.
+    #[test]
+    fn macsio_predictor_is_exact(
+        part_size in 500u64..100_000,
+        vars in 1usize..4,
+        nprocs in 1usize..5,
+        avg_parts in 1.0f64..2.5,
+        growth in 0.995f64..1.03,
+    ) {
+        let cfg = MacsioConfig {
+            nprocs,
+            num_dumps: 3,
+            part_size,
+            vars_per_part: vars,
+            avg_num_parts: avg_parts,
+            dataset_growth: growth,
+            interface: Interface::Miftmpl,
+            ..Default::default()
+        };
+        let fs = MemFs::with_retention(0);
+        let tracker = IoTracker::new();
+        let report = macsio::run(&cfg, &fs, &tracker, None).unwrap();
+        for dump in 0..3 {
+            prop_assert_eq!(
+                predicted_dump_bytes(&cfg, dump),
+                report.bytes_per_dump[dump as usize]
+            );
+        }
+    }
+
+    /// Storage simulation conserves work: every request finishes, at or
+    /// after the time implied by the aggregate server bandwidth.
+    #[test]
+    fn storage_burst_conservation(
+        nreqs in 1usize..40,
+        nservers in 1usize..8,
+        bytes in 1_000u64..1_000_000,
+    ) {
+        let model = StorageModel::ideal(nservers, 1e6);
+        let reqs: Vec<WriteRequest> = (0..nreqs)
+            .map(|i| WriteRequest {
+                rank: i,
+                path: format!("/f{i}"),
+                bytes,
+                start: 0.0,
+            })
+            .collect();
+        let result = model.simulate_burst(&reqs);
+        prop_assert_eq!(result.finish.len(), nreqs);
+        let total = (nreqs as u64 * bytes) as f64;
+        // Lower bound: the whole system at full tilt.
+        let t_min = total / (1e6 * nservers as f64);
+        // Upper bound: everything serialized on one server.
+        let t_max = total / 1e6 + 1e-9;
+        prop_assert!(result.t_end >= t_min * 0.999, "{} < {}", result.t_end, t_min);
+        prop_assert!(result.t_end <= t_max * 1.001, "{} > {}", result.t_end, t_max);
+        for &f in &result.finish {
+            prop_assert!(f > 0.0 && f <= result.t_end + 1e-12);
+        }
+    }
+
+    /// Golden-section calibration recovers a known growth factor from a
+    /// synthetic target, for random base configurations.
+    #[test]
+    fn calibration_recovers_growth(
+        nprocs in 1usize..8,
+        part_size in 10_000u64..300_000,
+        truth_growth in 1.0f64..1.05,
+        dumps in 6u32..20,
+    ) {
+        let truth = MacsioConfig {
+            nprocs,
+            num_dumps: dumps,
+            part_size,
+            dataset_growth: truth_growth,
+            ..Default::default()
+        };
+        let target: Vec<f64> = predicted_series(&truth).iter().map(|&b| b as f64).collect();
+        let base = MacsioConfig { dataset_growth: 1.0, ..truth.clone() };
+        let cal = calibrate_growth(&base, &target, 0.99, 1.08, 40);
+        prop_assert!(
+            (cal.dataset_growth - truth_growth).abs() < 2e-3,
+            "found {} expected {}",
+            cal.dataset_growth,
+            truth_growth
+        );
+    }
+}
