@@ -124,6 +124,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-positive physical extent")]
     fn degenerate_extent_panics() {
-        Geometry::new(IndexBox::at_origin(IntVect::splat(4)), [0.0, 0.0], [0.0, 1.0]);
+        Geometry::new(
+            IndexBox::at_origin(IntVect::splat(4)),
+            [0.0, 0.0],
+            [0.0, 1.0],
+        );
     }
 }

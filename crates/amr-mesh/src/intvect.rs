@@ -15,7 +15,9 @@ pub type Coord = i64;
 pub const SPACEDIM: usize = 2;
 
 /// A point in 2-D cell index space.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Copy, Clone, PartialEq, Eq, Hash, Debug, Default, PartialOrd, Ord, Serialize, Deserialize,
+)]
 pub struct IntVect {
     /// Index along the x (first) direction.
     pub x: Coord,

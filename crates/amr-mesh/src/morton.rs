@@ -54,10 +54,7 @@ pub fn morton_cmp(a: IntVect, b: IntVect, origin: IntVect) -> std::cmp::Ordering
 
 /// Center cell of a box (rounded toward the low corner).
 pub fn box_center(b: &crate::index_box::IndexBox) -> IntVect {
-    IntVect::new(
-        avg_floor(b.lo().x, b.hi().x),
-        avg_floor(b.lo().y, b.hi().y),
-    )
+    IntVect::new(avg_floor(b.lo().x, b.hi().x), avg_floor(b.lo().y, b.hi().y))
 }
 
 fn avg_floor(a: Coord, b: Coord) -> Coord {

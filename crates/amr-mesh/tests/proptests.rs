@@ -4,9 +4,8 @@ use amr_mesh::prelude::*;
 use proptest::prelude::*;
 
 fn arb_box() -> impl Strategy<Value = IndexBox> {
-    (-64i64..64, -64i64..64, 1i64..48, 1i64..48).prop_map(|(x, y, w, h)| {
-        IndexBox::from_lo_size(IntVect::new(x, y), IntVect::new(w, h))
-    })
+    (-64i64..64, -64i64..64, 1i64..48, 1i64..48)
+        .prop_map(|(x, y, w, h)| IndexBox::from_lo_size(IntVect::new(x, y), IntVect::new(w, h)))
 }
 
 fn arb_ratio() -> impl Strategy<Value = IntVect> {

@@ -52,7 +52,10 @@ fn grid_eff_ablation() -> serde_json::Value {
     println!("\n## 2. Clustering grid_eff vs grids and covered cells");
     let geom = Geometry::unit_square(IntVect::splat(512));
     let mut rows = Vec::new();
-    println!("{:>9} {:>8} {:>12} {:>10}", "grid_eff", "grids", "cells", "waste");
+    println!(
+        "{:>9} {:>8} {:>12} {:>10}",
+        "grid_eff", "grids", "cells", "waste"
+    );
     for grid_eff in [0.5, 0.6, 0.7, 0.8, 0.9] {
         let params = GridParams {
             ref_ratio: 2,
@@ -62,9 +65,8 @@ fn grid_eff_ablation() -> serde_json::Value {
             grid_eff,
         };
         let ba = annulus_fine_grids(&geom, [0.5, 0.5], 0.25, 0.28, &params);
-        let ring_cells = std::f64::consts::PI
-            * (0.28f64.powi(2) - 0.25f64.powi(2))
-            * (1024.0f64).powi(2);
+        let ring_cells =
+            std::f64::consts::PI * (0.28f64.powi(2) - 0.25f64.powi(2)) * (1024.0f64).powi(2);
         let waste = ba.num_pts() as f64 / ring_cells;
         println!(
             "{grid_eff:>9.1} {:>8} {:>12} {waste:>10.2}",
@@ -102,14 +104,20 @@ fn mif_group_ablation() -> serde_json::Value {
     // Fewer files serialize ranks within a group: N-to-N must be fastest.
     let t_1 = rows[0]["burst_s"].as_f64().unwrap();
     let t_n = rows.last().unwrap()["burst_s"].as_f64().unwrap();
-    assert!(t_n < t_1, "N-to-N ({t_n}) must beat single-group MIF ({t_1})");
+    assert!(
+        t_n < t_1,
+        "N-to-N ({t_n}) must beat single-group MIF ({t_1})"
+    );
     json!(rows)
 }
 
 fn storage_ablation() -> serde_json::Value {
     println!("\n## 4. Storage server count vs burst duration");
     let mut rows = Vec::new();
-    println!("{:>9} {:>12} {:>16}", "servers", "burst (s)", "agg BW (GB/s)");
+    println!(
+        "{:>9} {:>12} {:>16}",
+        "servers", "burst (s)", "agg BW (GB/s)"
+    );
     for servers in [1usize, 4, 16, 77] {
         let storage = StorageModel {
             variability_sigma: 0.0,

@@ -31,7 +31,11 @@ fn main() {
         let xs: Vec<f64> = s.series.iter().map(|p| p.0).collect();
         let ys: Vec<f64> = s.series.iter().map(|p| p.1).collect();
         let fit = linear_fit(&xs, &ys);
-        let tag = if fit.r2 > 0.999 { "linear" } else { "non-linear" };
+        let tag = if fit.r2 > 0.999 {
+            "linear"
+        } else {
+            "non-linear"
+        };
         if fit.r2 > 0.999 {
             linear_count += 1;
         } else {
@@ -81,7 +85,10 @@ fn main() {
     print!("{}", ascii_loglog(&plotted, 72, 24));
 
     // Print two representative series in full.
-    if let Some(s) = summaries.iter().find(|s| s.max_level == 2 && s.n_cell == 256) {
+    if let Some(s) = summaries
+        .iter()
+        .find(|s| s.max_level == 2 && s.n_cell == 256)
+    {
         print_series(&format!("{} (near-linear)", s.name), &s.series);
     }
     if let Some(s) = summaries.iter().find(|s| s.max_level == 4) {

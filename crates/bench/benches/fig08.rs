@@ -18,11 +18,12 @@ fn main() {
     let levels = r.tracker.levels();
     println!(
         "output steps: {:?}  levels: {:?}  tasks: {}",
-        steps,
-        levels,
-        cfg.nprocs
+        steps, levels, cfg.nprocs
     );
-    assert!(levels.len() >= 4, "case27 has 4 mesh levels, got {levels:?}");
+    assert!(
+        levels.len() >= 4,
+        "case27 has 4 mesh levels, got {levels:?}"
+    );
 
     let mut artifacts = Vec::new();
     let mut imbalance_by_level: Vec<(u32, f64)> = Vec::new();

@@ -150,9 +150,7 @@ fn bench_calibration(c: &mut Criterion) {
         ..truth.clone()
     };
     c.bench_function("calibrate_growth_40steps", |b| {
-        b.iter(|| {
-            calibrate_growth(black_box(&base), &target, 0.995, 1.08, 24).dataset_growth
-        })
+        b.iter(|| calibrate_growth(black_box(&base), &target, 0.995, 1.08, 24).dataset_growth)
     });
 }
 

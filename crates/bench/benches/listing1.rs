@@ -38,9 +38,7 @@ fn main() {
 
     // Eq. (3) checks against the paper's worked constant.
     let ps = part_size(23.65, 512, 512, 32);
-    println!(
-        "\nEq. (3): part_size = f*8*Nx*Ny/nprocs = {ps} (paper: ~1550000 for f=23.65)"
-    );
+    println!("\nEq. (3): part_size = f*8*Nx*Ny/nprocs = {ps} (paper: ~1550000 for f=23.65)");
     assert!((ps as f64 - 1_550_000.0).abs() / 1_550_000.0 < 0.01);
     assert_eq!(cfg.num_dumps, 200);
     assert_eq!(cfg.nprocs, 32);

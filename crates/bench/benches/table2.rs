@@ -13,7 +13,10 @@ fn main() {
     );
     let rows = [
         ("interface", "output type: miftmpl (json+binary) or json"),
-        ("parallel_file_mode", "File Mode: MIF n (independent) or SIF (single)"),
+        (
+            "parallel_file_mode",
+            "File Mode: MIF n (independent) or SIF (single)",
+        ),
         ("num_dumps", "number of dumps to marshal (buffer)"),
         ("part_size", "per-task mesh part size"),
         ("avg_num_parts", "average number of mesh parts per task"),
@@ -29,16 +32,27 @@ fn main() {
 
     // Every argument parses through the reimplemented CLI.
     let cfg = parse_args([
-        "--nprocs", "32",
-        "--interface", "miftmpl",
-        "--parallel_file_mode", "MIF", "32",
-        "--num_dumps", "20",
-        "--part_size", "1550000",
-        "--avg_num_parts", "1",
-        "--vars_per_part", "1",
-        "--compute_time", "0.25",
-        "--meta_size", "1K",
-        "--dataset_growth", "1.013075",
+        "--nprocs",
+        "32",
+        "--interface",
+        "miftmpl",
+        "--parallel_file_mode",
+        "MIF",
+        "32",
+        "--num_dumps",
+        "20",
+        "--part_size",
+        "1550000",
+        "--avg_num_parts",
+        "1",
+        "--vars_per_part",
+        "1",
+        "--compute_time",
+        "0.25",
+        "--meta_size",
+        "1K",
+        "--dataset_growth",
+        "1.013075",
     ])
     .expect("Table II flags parse");
     assert_eq!(cfg.interface, Interface::Miftmpl);

@@ -26,7 +26,10 @@ fn main() {
 
     println!("{:<16} Range (this campaign)", "Parameter");
     println!("{:<16} {} runs", "total", runs.len());
-    println!("{:<16} ({ncell_lo} x {ncell_lo}) - ({ncell_hi} x {ncell_hi})", "amr.n_cell");
+    println!(
+        "{:<16} ({ncell_lo} x {ncell_lo}) - ({ncell_hi} x {ncell_hi})",
+        "amr.n_cell"
+    );
     println!("{:<16} {maxl_lo} - {maxl_hi}", "amr.max_level");
     println!("{:<16} {pi_lo} - {pi_hi}", "amr.plot_int");
     println!("{:<16} {cfl_lo} - {cfl_hi}", "castro.cfl");
@@ -54,7 +57,11 @@ fn main() {
             r.plot_int,
             r.cfl(),
             r.nprocs,
-            if r.engine == amrproxy::Engine::Oracle { "oracle" } else { "hydro" },
+            if r.engine == amrproxy::Engine::Oracle {
+                "oracle"
+            } else {
+                "hydro"
+            },
         );
     }
     write_artifact("table3", &runs);

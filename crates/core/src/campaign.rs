@@ -9,6 +9,7 @@ use crate::config::{CastroSedovConfig, Engine};
 use crate::run::{run_simulation, RunResult};
 use amr_mesh::GridParams;
 use hydro::TimestepControl;
+use io_engine::BackendSpec;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -29,12 +30,19 @@ pub struct RunSummary {
     pub nprocs: usize,
     /// Engine used.
     pub oracle: bool,
+    /// I/O backend the run wrote through (`fpp`, `agg:<r>`, `deferred:<w>`).
+    pub backend: String,
     /// Eq. (1)/(2) cumulative series.
     pub series: Vec<(f64, f64)>,
     /// Total bytes.
     pub total_bytes: u64,
-    /// Total files.
+    /// Logical output records in the tracker (backend-invariant).
     pub total_files: u64,
+    /// Physical files the backend created (what aggregation reduces).
+    pub physical_files: u64,
+    /// Simulated wall-clock seconds (compute + I/O; 0 without a storage
+    /// model).
+    pub wall_time: f64,
 }
 
 impl RunSummary {
@@ -48,9 +56,12 @@ impl RunSummary {
             cfl: r.config.cfl(),
             nprocs: r.config.nprocs,
             oracle: r.config.engine == Engine::Oracle,
+            backend: r.config.backend.name(),
             series: xy.points.iter().map(|p| (p.x, p.y)).collect(),
             total_bytes: xy.final_bytes() as u64,
             total_files: r.tracker.total_files(),
+            physical_files: r.files_written,
+            wall_time: r.wall_time,
         }
     }
 }
@@ -151,12 +162,46 @@ pub fn table3_campaign() -> Vec<CastroSedovConfig> {
     runs
 }
 
+/// Expands a set of configurations across a backend axis: every `(run,
+/// backend)` pair becomes one scenario, with the backend name suffixed to
+/// the run label. This is the scenario-matrix product the backend sweeps
+/// (example `backend_sweep`, bench `backend_compare`) build on.
+pub fn backend_sweep(
+    configs: &[CastroSedovConfig],
+    backends: &[BackendSpec],
+) -> Vec<CastroSedovConfig> {
+    let mut out = Vec::with_capacity(configs.len() * backends.len());
+    for cfg in configs {
+        for &backend in backends {
+            out.push(CastroSedovConfig {
+                name: format!("{}_{}", cfg.name, backend.name().replace(':', "")),
+                backend,
+                ..cfg.clone()
+            });
+        }
+    }
+    out
+}
+
 /// Runs a set of configurations in parallel, returning summaries in the
 /// input order.
 pub fn run_campaign(configs: &[CastroSedovConfig]) -> Vec<RunSummary> {
     configs
         .par_iter()
         .map(|cfg| RunSummary::from_result(&run_simulation(cfg, None, None)))
+        .collect()
+}
+
+/// Like [`run_campaign`] but timing every run against `storage`, so
+/// summaries carry comparable wall-clock times (the backend axis's
+/// dependent variable).
+pub fn run_campaign_timed(
+    configs: &[CastroSedovConfig],
+    storage: &iosim::StorageModel,
+) -> Vec<RunSummary> {
+    configs
+        .par_iter()
+        .map(|cfg| RunSummary::from_result(&run_simulation(cfg, None, Some(storage))))
         .collect()
 }
 
@@ -196,6 +241,68 @@ mod tests {
         names.sort();
         names.dedup();
         assert_eq!(names.len(), runs.len());
+    }
+
+    #[test]
+    fn backend_sweep_is_a_scenario_matrix() {
+        let base = vec![
+            CastroSedovConfig {
+                name: "a".into(),
+                ..Default::default()
+            },
+            CastroSedovConfig {
+                name: "b".into(),
+                ..Default::default()
+            },
+        ];
+        let backends = [
+            BackendSpec::FilePerProcess,
+            BackendSpec::Aggregated(4),
+            BackendSpec::Deferred(1),
+        ];
+        let matrix = backend_sweep(&base, &backends);
+        assert_eq!(matrix.len(), 6);
+        let mut names: Vec<String> = matrix.iter().map(|c| c.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 6, "scenario names stay unique");
+        assert!(matrix
+            .iter()
+            .any(|c| c.backend == BackendSpec::Aggregated(4)));
+        assert!(matrix.iter().any(|c| c.name == "a_agg4"));
+    }
+
+    #[test]
+    fn backend_axis_preserves_byte_totals_and_orders_wall_clock() {
+        let base = CastroSedovConfig {
+            name: "axis".into(),
+            engine: Engine::Oracle,
+            n_cell: 64,
+            max_step: 8,
+            plot_int: 2,
+            nprocs: 4,
+            account_only: true,
+            compute_ns_per_cell: 40_000.0,
+            ..Default::default()
+        };
+        let matrix = backend_sweep(
+            &[base],
+            &[
+                BackendSpec::FilePerProcess,
+                BackendSpec::Aggregated(4),
+                BackendSpec::Deferred(1),
+            ],
+        );
+        let storage = iosim::StorageModel::ideal(2, 5e7);
+        let summaries = run_campaign_timed(&matrix, &storage);
+        // The workload's byte accounting is backend-invariant.
+        assert_eq!(summaries[0].total_bytes, summaries[1].total_bytes);
+        assert_eq!(summaries[0].total_bytes, summaries[2].total_bytes);
+        // Deferred overlaps drains with compute: strictly less wall-clock
+        // than the synchronous N-to-N run of the same byte volume.
+        let fpp = summaries[0].wall_time;
+        let deferred = summaries[2].wall_time;
+        assert!(deferred < fpp, "deferred {deferred} must beat fpp {fpp}");
     }
 
     #[test]

@@ -158,7 +158,7 @@ mod tests {
     }
 
     #[test]
-    fn cfl_and_levels_inflate_output(){
+    fn cfl_and_levels_inflate_output() {
         // The Fig. 6 claim: more levels and higher CFL produce more bytes
         // over the same number of outputs.
         let lo = run_simulation(&case4(0.3, 2, 30), None, None);

@@ -76,8 +76,7 @@ pub fn compare_with_macsio(amr: &RunResult, calibration_rounds: usize) -> Compar
     let macsio_per_step: Vec<f64> = if expected <= REAL_RUN_BUDGET_BYTES {
         let fs = MemFs::with_retention(0);
         let tracker = IoTracker::new();
-        let report =
-            macsio::run(&final_cfg, &fs, &tracker, None).expect("macsio run on memory fs");
+        let report = macsio::run(&final_cfg, &fs, &tracker, None).expect("macsio run on memory fs");
         report.bytes_per_dump.iter().map(|&b| b as f64).collect()
     } else {
         model::predicted_series(&final_cfg)
@@ -89,10 +88,7 @@ pub fn compare_with_macsio(amr: &RunResult, calibration_rounds: usize) -> Compar
     Comparison {
         name: amr.config.name.clone(),
         mape_percent: mape(&target, &macsio_per_step),
-        final_error: final_rel_err(
-            &cumulative(&target),
-            &cumulative(&macsio_per_step),
-        ),
+        final_error: final_rel_err(&cumulative(&target), &cumulative(&macsio_per_step)),
         amr_per_step: target,
         macsio_per_step,
         calibration,

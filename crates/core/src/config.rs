@@ -2,6 +2,7 @@
 
 use amr_mesh::{DistributionStrategy, GridParams};
 use hydro::{SedovProblem, TagCriteria, TimestepControl};
+use io_engine::BackendSpec;
 use serde::{Deserialize, Serialize};
 
 /// Which engine generates the grid hierarchy.
@@ -58,6 +59,9 @@ pub struct CastroSedovConfig {
     /// When true, account plotfile bytes exactly without materializing
     /// payloads (always true for the oracle engine).
     pub account_only: bool,
+    /// I/O backend the plot dumps write through (the campaign's backend
+    /// axis): N-to-N, BP-style aggregation, or deferred staging.
+    pub backend: BackendSpec,
 }
 
 impl Default for CastroSedovConfig {
@@ -89,6 +93,7 @@ impl Default for CastroSedovConfig {
             plot_file: "sedov_2d_cyl_in_cart_plt".to_string(),
             compute_ns_per_cell: 100.0,
             account_only: false,
+            backend: BackendSpec::default(),
         }
     }
 }

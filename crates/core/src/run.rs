@@ -7,10 +7,11 @@
 
 use crate::config::{CastroSedovConfig, Engine};
 use hydro::{AmrConfig, AmrSim, OracleConfig, OracleSim, StepInfo};
-use iosim::{Burst, BurstTimeline, IoTracker, MemFs, StorageModel, Vfs, WriteRequest};
+use io_engine::IoBackend;
+use iosim::{BurstScheduler, BurstTimeline, IoTracker, MemFs, StorageModel, Vfs};
 use mpi_sim::{collectives::allreduce_max, SimComm};
 use plotfile::{
-    account_plotfile, castro_sedov_plot_vars, write_plotfile, LayoutLevel, PlotLevel,
+    account_plotfile_with, castro_sedov_plot_vars, write_plotfile_with, LayoutLevel, PlotLevel,
     PlotfileLayout, PlotfileSpec,
 };
 use rand::Rng;
@@ -27,6 +28,9 @@ pub struct RunResult {
     pub steps: Vec<StepInfo>,
     /// Number of plot dumps performed.
     pub outputs: u32,
+    /// Physical files the I/O backend created (differs from the
+    /// tracker's logical record count under aggregation).
+    pub files_written: u64,
     /// Burst timeline (empty without a storage model).
     pub timeline: BurstTimeline,
     /// Final simulated wall-clock seconds (compute + I/O).
@@ -71,7 +75,7 @@ pub fn run_simulation(
     };
     match cfg.engine {
         Engine::Hydro => run_hydro(cfg, fs, storage),
-        Engine::Oracle => run_oracle(cfg, storage),
+        Engine::Oracle => run_oracle(cfg, fs, storage),
     }
 }
 
@@ -80,13 +84,7 @@ pub fn run_simulation(
 /// deterministic per-rank speed jitter, then all ranks hit the barrier
 /// preceding the plot dump (the paper's "bursty" pattern: CPU activity
 /// followed by intense I/O activity). Returns the post-barrier time.
-fn compute_phase(
-    comm: &SimComm,
-    step: u64,
-    t0: f64,
-    total_cells: i64,
-    ns_per_cell: f64,
-) -> f64 {
+fn compute_phase(comm: &SimComm, step: u64, t0: f64, total_cells: i64, ns_per_cell: f64) -> f64 {
     let per_rank_seconds = total_cells as f64 * ns_per_cell / 1e9 / comm.nranks() as f64;
     let finish_times = comm.run(t0, |ctx| {
         // Per-rank, per-step speed jitter in [0.97, 1.03]; seeded by
@@ -104,23 +102,15 @@ fn compute_phase(
 fn dump_burst(
     timeline: &mut BurstTimeline,
     clock: &mut f64,
-    storage: Option<&StorageModel>,
+    scheduler: &mut Option<BurstScheduler<'_>>,
     output_counter: u32,
-    requests: &mut [WriteRequest],
+    requests: &mut [iosim::WriteRequest],
     bytes: u64,
 ) {
-    if let Some(model) = storage {
-        for r in requests.iter_mut() {
-            r.start = *clock;
-        }
-        let burst = model.simulate_burst(requests);
-        timeline.push(Burst {
-            step: output_counter,
-            t_start: *clock,
-            t_end: burst.t_end,
-            bytes,
-        });
-        *clock = burst.t_end;
+    if let Some(sched) = scheduler.as_mut() {
+        let (burst, next_clock) = sched.submit(output_counter, *clock, requests, bytes);
+        timeline.push(burst);
+        *clock = next_clock;
     }
 }
 
@@ -139,6 +129,8 @@ fn run_hydro(cfg: &CastroSedovConfig, fs: &dyn Vfs, storage: Option<&StorageMode
     let mut sim = AmrSim::new(amr_cfg);
     let tracker = IoTracker::new();
     let comm = SimComm::summit(cfg.nprocs, 0x5ED0);
+    let mut backend = cfg.backend.build(fs, &tracker);
+    let mut scheduler = storage.map(|m| BurstScheduler::new(m, backend.overlapped()));
     let mut timeline = BurstTimeline::new();
     let mut clock = 0.0f64;
     let mut outputs = 0u32;
@@ -146,10 +138,12 @@ fn run_hydro(cfg: &CastroSedovConfig, fs: &dyn Vfs, storage: Option<&StorageMode
     let inputs = cfg.inputs();
 
     let dump = |sim: &AmrSim,
-                    step: u64,
-                    outputs: &mut u32,
-                    clock: &mut f64,
-                    timeline: &mut BurstTimeline| {
+                step: u64,
+                outputs: &mut u32,
+                clock: &mut f64,
+                timeline: &mut BurstTimeline,
+                backend: &mut dyn IoBackend,
+                scheduler: &mut Option<BurstScheduler<'_>>| {
         *outputs += 1;
         let stats = if cfg.account_only {
             let layout = PlotfileLayout {
@@ -170,7 +164,7 @@ fn run_hydro(cfg: &CastroSedovConfig, fs: &dyn Vfs, storage: Option<&StorageMode
                     .collect(),
                 inputs: inputs.clone(),
             };
-            account_plotfile(&tracker, &layout)
+            account_plotfile_with(backend, &layout)
         } else {
             let spec = PlotfileSpec {
                 dir: cfg.plot_dir(step),
@@ -189,22 +183,50 @@ fn run_hydro(cfg: &CastroSedovConfig, fs: &dyn Vfs, storage: Option<&StorageMode
                     .collect(),
                 inputs: inputs.clone(),
             };
-            write_plotfile(fs, &tracker, &spec).expect("plotfile write")
+            write_plotfile_with(backend, &spec).expect("plotfile write")
         };
         let mut requests = stats.requests;
-        dump_burst(timeline, clock, storage, *outputs, &mut requests, stats.total_bytes);
+        dump_burst(
+            timeline,
+            clock,
+            scheduler,
+            *outputs,
+            &mut requests,
+            stats.total_bytes,
+        );
     };
 
     // AMReX writes plt00000 before the first step.
-    dump(&sim, 0, &mut outputs, &mut clock, &mut timeline);
+    dump(
+        &sim,
+        0,
+        &mut outputs,
+        &mut clock,
+        &mut timeline,
+        backend.as_mut(),
+        &mut scheduler,
+    );
 
+    // Checkpoints keep the plain N-to-N accounting path (they are restart
+    // state, not analysis output, and stay outside the backend's layout);
+    // their files still count toward the run's physical file total and
+    // their bursts share the run's drain policy.
+    let mut checkpoint_files = 0u64;
     let mut steps = Vec::new();
     while sim.step_count() < cfg.max_step && sim.time() < cfg.stop_time {
         let info = sim.step();
         let cells: i64 = info.cells.iter().sum();
         clock = compute_phase(&comm, info.step, clock, cells, cfg.compute_ns_per_cell);
         if info.step.is_multiple_of(cfg.plot_int) {
-            dump(&sim, info.step, &mut outputs, &mut clock, &mut timeline);
+            dump(
+                &sim,
+                info.step,
+                &mut outputs,
+                &mut clock,
+                &mut timeline,
+                backend.as_mut(),
+                &mut scheduler,
+            );
         }
         if cfg.check_int > 0 && info.step.is_multiple_of(cfg.check_int) {
             outputs += 1;
@@ -227,23 +249,38 @@ fn run_hydro(cfg: &CastroSedovConfig, fs: &dyn Vfs, storage: Option<&StorageMode
                     .collect(),
             };
             let stats = plotfile::account_checkpoint(&tracker, &spec);
+            checkpoint_files += stats.nfiles;
             let mut requests = stats.requests;
-            dump_burst(&mut timeline, &mut clock, storage, outputs, &mut requests, stats.total_bytes);
+            dump_burst(
+                &mut timeline,
+                &mut clock,
+                &mut scheduler,
+                outputs,
+                &mut requests,
+                stats.total_bytes,
+            );
         }
         steps.push(info);
     }
 
+    let engine_report = backend.close().expect("backend close");
+    drop(backend);
+    let wall_time = match &scheduler {
+        Some(sched) => sched.finish(clock),
+        None => clock,
+    };
     RunResult {
         config: cfg.clone(),
         tracker,
         steps,
         outputs,
+        files_written: engine_report.files + checkpoint_files,
         timeline,
-        wall_time: clock,
+        wall_time,
     }
 }
 
-fn run_oracle(cfg: &CastroSedovConfig, storage: Option<&StorageModel>) -> RunResult {
+fn run_oracle(cfg: &CastroSedovConfig, fs: &dyn Vfs, storage: Option<&StorageModel>) -> RunResult {
     let oracle_cfg = OracleConfig {
         n_cell: cfg.n_cell,
         max_level: cfg.max_level,
@@ -258,6 +295,8 @@ fn run_oracle(cfg: &CastroSedovConfig, storage: Option<&StorageModel>) -> RunRes
     let mut sim = OracleSim::new(oracle_cfg);
     let tracker = IoTracker::new();
     let comm = SimComm::summit(cfg.nprocs, 0x5ED0);
+    let mut backend = cfg.backend.build(fs, &tracker);
+    let mut scheduler = storage.map(|m| BurstScheduler::new(m, backend.overlapped()));
     let mut timeline = BurstTimeline::new();
     let mut clock = 0.0f64;
     let mut outputs = 0u32;
@@ -265,10 +304,12 @@ fn run_oracle(cfg: &CastroSedovConfig, storage: Option<&StorageModel>) -> RunRes
     let inputs = cfg.inputs();
 
     let dump = |sim: &OracleSim,
-                    step: u64,
-                    outputs: &mut u32,
-                    clock: &mut f64,
-                    timeline: &mut BurstTimeline| {
+                step: u64,
+                outputs: &mut u32,
+                clock: &mut f64,
+                timeline: &mut BurstTimeline,
+                backend: &mut dyn IoBackend,
+                scheduler: &mut Option<BurstScheduler<'_>>| {
         *outputs += 1;
         let layout = PlotfileLayout {
             dir: cfg.plot_dir(step),
@@ -288,20 +329,48 @@ fn run_oracle(cfg: &CastroSedovConfig, storage: Option<&StorageModel>) -> RunRes
                 .collect(),
             inputs: inputs.clone(),
         };
-        let stats = account_plotfile(&tracker, &layout);
+        let stats = account_plotfile_with(backend, &layout);
         let mut requests = stats.requests;
-        dump_burst(timeline, clock, storage, *outputs, &mut requests, stats.total_bytes);
+        dump_burst(
+            timeline,
+            clock,
+            scheduler,
+            *outputs,
+            &mut requests,
+            stats.total_bytes,
+        );
     };
 
-    dump(&sim, 0, &mut outputs, &mut clock, &mut timeline);
+    dump(
+        &sim,
+        0,
+        &mut outputs,
+        &mut clock,
+        &mut timeline,
+        backend.as_mut(),
+        &mut scheduler,
+    );
 
+    // Checkpoints keep the plain N-to-N accounting path (they are restart
+    // state, not analysis output, and stay outside the backend's layout);
+    // their files still count toward the run's physical file total and
+    // their bursts share the run's drain policy.
+    let mut checkpoint_files = 0u64;
     let mut steps = Vec::new();
     while sim.step_count() < cfg.max_step && sim.time() < cfg.stop_time {
         let info = sim.step();
         let cells: i64 = info.cells.iter().sum();
         clock = compute_phase(&comm, info.step, clock, cells, cfg.compute_ns_per_cell);
         if info.step.is_multiple_of(cfg.plot_int) {
-            dump(&sim, info.step, &mut outputs, &mut clock, &mut timeline);
+            dump(
+                &sim,
+                info.step,
+                &mut outputs,
+                &mut clock,
+                &mut timeline,
+                backend.as_mut(),
+                &mut scheduler,
+            );
         }
         if cfg.check_int > 0 && info.step.is_multiple_of(cfg.check_int) {
             outputs += 1;
@@ -324,19 +393,34 @@ fn run_oracle(cfg: &CastroSedovConfig, storage: Option<&StorageModel>) -> RunRes
                     .collect(),
             };
             let stats = plotfile::account_checkpoint(&tracker, &spec);
+            checkpoint_files += stats.nfiles;
             let mut requests = stats.requests;
-            dump_burst(&mut timeline, &mut clock, storage, outputs, &mut requests, stats.total_bytes);
+            dump_burst(
+                &mut timeline,
+                &mut clock,
+                &mut scheduler,
+                outputs,
+                &mut requests,
+                stats.total_bytes,
+            );
         }
         steps.push(info);
     }
 
+    let engine_report = backend.close().expect("backend close");
+    drop(backend);
+    let wall_time = match &scheduler {
+        Some(sched) => sched.finish(clock),
+        None => clock,
+    };
     RunResult {
         config: cfg.clone(),
         tracker,
         steps,
         outputs,
+        files_written: engine_report.files + checkpoint_files,
         timeline,
-        wall_time: clock,
+        wall_time,
     }
 }
 
@@ -453,8 +537,7 @@ mod tests {
         );
         // Checkpoint state (4 comps) is much smaller than a plot dump
         // (22 vars), so total growth stays well below 2x.
-        let ratio =
-            with_chk.tracker.total_bytes() as f64 / plot_only.tracker.total_bytes() as f64;
+        let ratio = with_chk.tracker.total_bytes() as f64 / plot_only.tracker.total_bytes() as f64;
         assert!((1.05..1.40).contains(&ratio), "ratio {ratio}");
     }
 

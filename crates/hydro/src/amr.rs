@@ -224,7 +224,8 @@ impl AmrSim {
     /// 200-output windows traverse a meaningful fraction of the domain.
     /// Regrids first when the coarse step count calls for it.
     pub fn step(&mut self) -> StepInfo {
-        if self.step > 0 && self.cfg.regrid_int > 0 && self.step.is_multiple_of(self.cfg.regrid_int) {
+        if self.step > 0 && self.cfg.regrid_int > 0 && self.step.is_multiple_of(self.cfg.regrid_int)
+        {
             self.regrid();
         }
         // Coarse dt: the minimum over levels of each level's stable dt
@@ -247,7 +248,11 @@ impl AmrSim {
             time: self.time,
             dt: dt0,
             finest_level: self.finest_level(),
-            cells: self.levels.iter().map(|l| l.mf.box_array().num_pts()).collect(),
+            cells: self
+                .levels
+                .iter()
+                .map(|l| l.mf.box_array().num_pts())
+                .collect(),
             grids: self.levels.iter().map(|l| l.mf.box_array().len()).collect(),
         }
     }
@@ -307,7 +312,11 @@ impl AmrSim {
         let mut tags: Vec<TagMap> = Vec::with_capacity(top + 1);
         for lev in 0..=top {
             self.fill_ghosts(lev);
-            tags.push(tag_gradients(&self.levels[lev].mf, &self.eos, &self.cfg.tag));
+            tags.push(tag_gradients(
+                &self.levels[lev].mf,
+                &self.eos,
+                &self.cfg.tag,
+            ));
         }
         // Nesting: a level must refine wherever its child will refine.
         for lev in (0..top).rev() {
@@ -366,9 +375,11 @@ impl AmrSim {
             if lev + 1 < self.levels.len() {
                 mf.parallel_copy_from(&self.levels[lev + 1].mf);
             }
-            let steps = self.levels.get(lev + 1).map(|l| l.steps).unwrap_or(
-                new_levels[lev].steps,
-            );
+            let steps = self
+                .levels
+                .get(lev + 1)
+                .map(|l| l.steps)
+                .unwrap_or(new_levels[lev].steps);
             new_levels.push(Level {
                 geom: fine_geom,
                 mf,
@@ -567,11 +578,17 @@ mod tests {
             change_max: 1.3,
         };
         let mut sim = AmrSim::new(cfg);
-        let cells_t0: i64 = sim.levels()[1..].iter().map(|l| l.mf.box_array().num_pts()).sum();
+        let cells_t0: i64 = sim.levels()[1..]
+            .iter()
+            .map(|l| l.mf.box_array().num_pts())
+            .sum();
         for _ in 0..40 {
             sim.step();
         }
-        let cells_t1: i64 = sim.levels()[1..].iter().map(|l| l.mf.box_array().num_pts()).sum();
+        let cells_t1: i64 = sim.levels()[1..]
+            .iter()
+            .map(|l| l.mf.box_array().num_pts())
+            .sum();
         assert!(
             cells_t1 > cells_t0,
             "refined cells must grow as the shock expands: {cells_t0} -> {cells_t1}"
@@ -643,7 +660,10 @@ mod tests {
         let dmc = DistributionMapping::new(&bac, 1, DistributionStrategy::Sfc);
         let mut coarse = MultiFab::new(bac, dmc, 1, 0);
         coarse.fab_mut(0).set(IntVect::new(1, 1), 0, 7.0);
-        let baf = BoxArray::single(IndexBox::from_lo_size(IntVect::new(2, 2), IntVect::splat(2)));
+        let baf = BoxArray::single(IndexBox::from_lo_size(
+            IntVect::new(2, 2),
+            IntVect::splat(2),
+        ));
         let dmf = DistributionMapping::new(&baf, 1, DistributionStrategy::Sfc);
         let mut fine = MultiFab::new(baf, dmf, 1, 0);
         prolongate(&mut fine, &coarse, 2);

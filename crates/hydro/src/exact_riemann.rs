@@ -37,8 +37,8 @@ fn left_side(wl: &Primitive, p_star: f64, u_star: f64, g: f64, xi: f64) -> Primi
         if xi <= sl {
             *wl
         } else {
-            let rho = wl.rho * (ratio + (g - 1.0) / (g + 1.0))
-                / ((g - 1.0) / (g + 1.0) * ratio + 1.0);
+            let rho =
+                wl.rho * (ratio + (g - 1.0) / (g + 1.0)) / ((g - 1.0) / (g + 1.0) * ratio + 1.0);
             Primitive::new(rho, u_star, wl.v, p_star)
         }
     } else {
@@ -177,7 +177,11 @@ mod tests {
         assert!((just_left.u - just_right.u).abs() < 1e-4);
         // Density jumps across the contact (Sod: ~0.42632 / ~0.26557).
         assert!((just_left.rho - 0.42632).abs() < 5e-4, "{}", just_left.rho);
-        assert!((just_right.rho - 0.26557).abs() < 5e-4, "{}", just_right.rho);
+        assert!(
+            (just_right.rho - 0.26557).abs() < 5e-4,
+            "{}",
+            just_right.rho
+        );
     }
 
     #[test]

@@ -24,7 +24,9 @@ pub mod state;
 pub mod tagging;
 pub mod timestep;
 
-pub use amr::{average_down, interp_ghosts_from_coarse, prolongate, AmrConfig, AmrSim, Level, StepInfo};
+pub use amr::{
+    average_down, interp_ghosts_from_coarse, prolongate, AmrConfig, AmrSim, Level, StepInfo,
+};
 pub use eos::GammaLaw;
 pub use exact_riemann::{sample_exact, star_state};
 pub use oracle::{annulus_fine_grids, OracleConfig, OracleLevel, OracleSim};

@@ -163,7 +163,8 @@ impl OracleSim {
     /// coarse steps), periodic regridding, identical step accounting to
     /// the real solver.
     pub fn step(&mut self) -> StepInfo {
-        if self.step > 0 && self.cfg.regrid_int > 0 && self.step.is_multiple_of(self.cfg.regrid_int) {
+        if self.step > 0 && self.cfg.regrid_int > 0 && self.step.is_multiple_of(self.cfg.regrid_int)
+        {
             self.rebuild_fine_levels();
         }
         let dx0 = self.levels[0].geom.dx()[0];
@@ -224,11 +225,8 @@ impl OracleSim {
                 ba
             } else {
                 let ratio = IntVect::splat(self.cfg.grid.ref_ratio);
-                let parent_fine: Vec<IndexBox> = new_levels[lev]
-                    .ba
-                    .iter()
-                    .map(|b| b.refine(ratio))
-                    .collect();
+                let parent_fine: Vec<IndexBox> =
+                    new_levels[lev].ba.iter().map(|b| b.refine(ratio)).collect();
                 let mut clipped = Vec::new();
                 for b in ba.iter() {
                     for pb in &parent_fine {
@@ -417,7 +415,10 @@ mod tests {
         let ring_area = std::f64::consts::PI * (0.30f64.powi(2) - 0.25f64.powi(2));
         let ring_cells = ring_area * 256.0 * 256.0;
         // Coverage within a factor accounting for granularity padding.
-        assert!(covered >= ring_cells, "covered {covered} < ring {ring_cells}");
+        assert!(
+            covered >= ring_cells,
+            "covered {covered} < ring {ring_cells}"
+        );
         assert!(covered < 4.0 * ring_cells, "covered {covered} too loose");
     }
 

@@ -50,8 +50,7 @@ pub fn hllc_flux(wl: &Primitive, wr: &Primitive, eos: &GammaLaw, dir: usize) -> 
         rho: factor,
         mx: factor * if dir == 0 { s_star } else { w.u },
         my: factor * if dir == 1 { s_star } else { w.v },
-        e: factor
-            * (cons.e / w.rho + (s_star - u_n) * (s_star + w.p / (w.rho * (s - u_n)))),
+        e: factor * (cons.e / w.rho + (s_star - u_n) * (s_star + w.p / (w.rho * (s - u_n)))),
     };
     if dir == 0 {
         u_star.mx = factor * s_star;

@@ -66,8 +66,8 @@ impl SedovProblem {
         let dx = geom.dx();
         let r_dep = self.deposit_radius(dx[0].max(dx[1]));
         let e_blast = self.exp_energy / (std::f64::consts::PI * r_dep * r_dep);
-        let ambient = Primitive::new(self.dens_ambient, 0.0, 0.0, self.p_ambient)
-            .to_conserved(&eos);
+        let ambient =
+            Primitive::new(self.dens_ambient, 0.0, 0.0, self.p_ambient).to_conserved(&eos);
         let e_ambient = ambient.e;
         let nfabs = mf.nfabs();
         for i in 0..nfabs {
@@ -75,16 +75,12 @@ impl SedovProblem {
             let dom = fab.domain();
             for p in dom.cells() {
                 let c = geom.cell_center(p);
-                let r = ((c[0] - self.center[0]).powi(2) + (c[1] - self.center[1]).powi(2))
-                    .sqrt();
+                let r = ((c[0] - self.center[0]).powi(2) + (c[1] - self.center[1]).powi(2)).sqrt();
                 fab.set(p, URHO, self.dens_ambient);
                 fab.set(p, UMX, 0.0);
                 fab.set(p, UMY, 0.0);
                 let e = if r <= r_dep {
-                    self.dens_ambient
-                        * eos.internal_energy(self.dens_ambient, 1.0)
-                        * 0.0
-                        + e_blast
+                    self.dens_ambient * eos.internal_energy(self.dens_ambient, 1.0) * 0.0 + e_blast
                 } else {
                     e_ambient
                 };

@@ -64,7 +64,13 @@ fn half(w: &Primitive, d: &Primitive, sign: f64) -> Primitive {
 /// updated. The Hancock half-time predictor evolves both reconstructed
 /// face states of each cell by `dt/2` before the Riemann solve — without
 /// it the scheme develops post-shock oscillations at high resolution.
-pub fn sweep_fab(fab: &mut FArrayBox, valid: &IndexBox, dir: usize, dt_over_dx: f64, eos: &GammaLaw) {
+pub fn sweep_fab(
+    fab: &mut FArrayBox,
+    valid: &IndexBox,
+    dir: usize,
+    dt_over_dx: f64,
+    eos: &GammaLaw,
+) {
     let unit = if dir == 0 {
         IntVect::new(1, 0)
     } else {
@@ -133,8 +139,13 @@ pub fn sweep_fab(fab: &mut FArrayBox, valid: &IndexBox, dir: usize, dt_over_dx: 
 ///
 /// `fill_ghosts` must refill ghost cells (same-level exchange, coarse-fine
 /// interpolation, physical boundaries); it is invoked before each sweep.
-pub fn advance_level<F>(mf: &mut MultiFab, geom: &Geometry, dt: f64, eos: &GammaLaw, mut fill_ghosts: F)
-where
+pub fn advance_level<F>(
+    mf: &mut MultiFab,
+    geom: &Geometry,
+    dt: f64,
+    eos: &GammaLaw,
+    mut fill_ghosts: F,
+) where
     F: FnMut(&mut MultiFab),
 {
     assert_eq!(mf.ncomp(), NCOMP, "advance_level: wrong component count");
@@ -191,10 +202,7 @@ pub fn apply_outflow_bc(mf: &mut MultiFab, domain: &IndexBox) {
             }
             for p in g.cells() {
                 if !domain.contains(p) {
-                    let clamped = IntVect::new(
-                        p.x.clamp(dlo.x, dhi.x),
-                        p.y.clamp(dlo.y, dhi.y),
-                    );
+                    let clamped = IntVect::new(p.x.clamp(dlo.x, dhi.x), p.y.clamp(dlo.y, dhi.y));
                     // Only copy when the clamped source is in this fab
                     // (true for fabs abutting the boundary).
                     if g.contains(clamped) {

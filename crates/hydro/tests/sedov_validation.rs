@@ -4,8 +4,7 @@
 
 use amr_mesh::prelude::*;
 use hydro::{
-    AmrConfig, AmrSim, Conserved, SedovProblem, TagCriteria, TimestepControl, UEDEN, UMX, UMY,
-    URHO,
+    AmrConfig, AmrSim, Conserved, SedovProblem, TagCriteria, TimestepControl, UEDEN, UMX, UMY, URHO,
 };
 
 fn sim(n_cell: i64, max_level: usize) -> AmrSim {
@@ -99,7 +98,10 @@ fn shock_radius_tracks_similarity_solution() {
             break;
         }
     }
-    assert!(samples.len() >= 3, "need self-similar samples, got {samples:?}");
+    assert!(
+        samples.len() >= 3,
+        "need self-similar samples, got {samples:?}"
+    );
     // r ~ xi (E t^2 / rho)^(1/4): check the measured exponent by log-log
     // regression and the prefactor against the oracle's assumption.
     let prob = SedovProblem::default();
@@ -142,11 +144,7 @@ fn momentum_stays_centered() {
     let scale: f64 = l0
         .mf
         .iter()
-        .map(|(b, f)| {
-            b.cells()
-                .map(|p| f.get(p, UMX).abs())
-                .sum::<f64>()
-        })
+        .map(|(b, f)| b.cells().map(|p| f.get(p, UMX).abs()).sum::<f64>())
         .sum::<f64>()
         .max(1e-300);
     assert!(mx.abs() / scale < 1e-8, "net x momentum {mx}");
@@ -163,11 +161,15 @@ fn post_shock_density_approaches_strong_shock_limit() {
         }
     }
     let peak = s.levels()[0].mf.max(URHO);
-    let limit = SedovProblem::default().post_shock_density(); // 6 for gamma=1.4
-    // Numerical diffusion smears the peak; it must sit well above the
-    // ambient density and below the analytic limit.
+    // post_shock_density() is 6 for gamma = 1.4. Numerical diffusion smears
+    // the peak; it must sit well above the ambient density and below the
+    // analytic limit.
+    let limit = SedovProblem::default().post_shock_density();
     assert!(peak > 2.0, "peak density {peak} too low");
-    assert!(peak < limit * 1.05, "peak density {peak} above RH limit {limit}");
+    assert!(
+        peak < limit * 1.05,
+        "peak density {peak} above RH limit {limit}"
+    );
     // And the state is physical everywhere.
     for l in s.levels() {
         for (b, f) in l.mf.iter() {

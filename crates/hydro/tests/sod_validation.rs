@@ -15,7 +15,11 @@ fn run_sod(dir: usize, n: i64) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
     let geom = Geometry::new(
         IndexBox::at_origin(IntVect::new(nx, ny)),
         [0.0, 0.0],
-        if dir == 0 { [1.0, 8.0 / n as f64] } else { [8.0 / n as f64, 1.0] },
+        if dir == 0 {
+            [1.0, 8.0 / n as f64]
+        } else {
+            [8.0 / n as f64, 1.0]
+        },
     );
     let ba = BoxArray::single(geom.domain).max_size(n / 2);
     let dm = DistributionMapping::new(&ba, 1, DistributionStrategy::Sfc);

@@ -1,0 +1,367 @@
+//! Two-level aggregation backend, modelled on ADIOS2's BP format.
+//!
+//! Data puts from N producer tasks funnel into `A = ceil(N / ratio)`
+//! aggregator subfiles per step (aggregator of task `t` is `t / ratio`),
+//! with chunks coalesced in arrival order — the "data layout
+//! reorganization" of Wan et al. Metadata puts and the chunk index land
+//! in one per-step index file, so a step with data on `A` aggregators
+//! creates exactly `A + 1` physical files:
+//!
+//! ```text
+//! <container>/bp00001/data.0       aggregator subfile (coalesced chunks)
+//! <container>/bp00001/data.1
+//! <container>/bp00001/md.idx       chunk table + embedded metadata puts
+//! ```
+//!
+//! The index file holds a plain-text chunk table (one line per chunk:
+//! logical path, key, subfile, offset, length) followed by the raw bytes
+//! of every metadata put. Table bytes are counted as backend *overhead*;
+//! payload bytes keep their producer attribution in the tracker, so byte
+//! accounting at `(step, level, task)` granularity is identical to the
+//! other backends.
+
+use crate::backend::{EngineReport, IoBackend, Payload, Put, StepStats, TrackerHandle, VfsHandle};
+use iosim::{IoKind, WriteRequest};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+
+/// One coalesced chunk inside an aggregator subfile.
+struct Chunk {
+    path: String,
+    step: u32,
+    level: u32,
+    task: u32,
+    offset: u64,
+    len: u64,
+}
+
+/// One aggregator subfile being assembled.
+#[derive(Default)]
+struct AggBuild {
+    content: Vec<u8>,
+    bytes: u64,
+    account_only: bool,
+    chunks: Vec<Chunk>,
+}
+
+struct AggStep {
+    step: u32,
+    dir: String,
+    aggs: BTreeMap<usize, AggBuild>,
+    meta: Vec<u8>,
+    meta_bytes: u64,
+    meta_account_only: bool,
+}
+
+/// The aggregating backend (see module docs).
+pub struct Aggregated<'a> {
+    vfs: VfsHandle<'a>,
+    tracker: TrackerHandle<'a>,
+    /// Producer tasks per aggregator (>= 1).
+    ratio: usize,
+    cur: Option<AggStep>,
+    report: EngineReport,
+}
+
+impl<'a> Aggregated<'a> {
+    /// A backend aggregating `ratio` producer tasks per subfile.
+    pub fn new(
+        vfs: impl Into<VfsHandle<'a>>,
+        tracker: impl Into<TrackerHandle<'a>>,
+        ratio: usize,
+    ) -> Self {
+        Self {
+            vfs: vfs.into(),
+            tracker: tracker.into(),
+            ratio: ratio.max(1),
+            cur: None,
+            report: EngineReport::default(),
+        }
+    }
+
+    /// The configured aggregation ratio.
+    pub fn ratio(&self) -> usize {
+        self.ratio
+    }
+
+    fn step_dir(container: &str, step: u32) -> String {
+        let base = container.trim_end_matches('/');
+        format!("{base}/bp{step:05}")
+    }
+}
+
+impl IoBackend for Aggregated<'_> {
+    fn name(&self) -> String {
+        format!("agg:{}", self.ratio)
+    }
+
+    fn begin_step(&mut self, step: u32, container: &str) {
+        assert!(self.cur.is_none(), "begin_step: step already open");
+        self.cur = Some(AggStep {
+            step,
+            dir: Self::step_dir(container, step),
+            aggs: BTreeMap::new(),
+            meta: Vec::new(),
+            meta_bytes: 0,
+            meta_account_only: false,
+        });
+    }
+
+    fn create_dir_all(&mut self, path: &str) -> io::Result<()> {
+        self.vfs.create_dir_all(path)
+    }
+
+    fn put(&mut self, put: Put) -> io::Result<()> {
+        let cur = self.cur.as_mut().expect("put: no open step");
+        let len = put.payload.len();
+        self.tracker.record(put.key, put.kind, len);
+        match put.kind {
+            IoKind::Data => {
+                let agg = put.key.task as usize / self.ratio;
+                let build = cur.aggs.entry(agg).or_default();
+                build.chunks.push(Chunk {
+                    path: put.path,
+                    step: put.key.step,
+                    level: put.key.level,
+                    task: put.key.task,
+                    offset: build.bytes,
+                    len,
+                });
+                build.bytes += len;
+                match put.payload {
+                    Payload::Bytes(b) => build.content.extend_from_slice(&b),
+                    Payload::Size(_) => build.account_only = true,
+                }
+            }
+            IoKind::Metadata => {
+                cur.meta_bytes += len;
+                match put.payload {
+                    Payload::Bytes(b) => cur.meta.extend_from_slice(&b),
+                    Payload::Size(_) => cur.meta_account_only = true,
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn end_step(&mut self) -> io::Result<StepStats> {
+        let cur = self.cur.take().expect("end_step: no open step");
+        let mut stats = StepStats {
+            step: cur.step,
+            ..StepStats::default()
+        };
+
+        // Chunk table for the index file, built in subfile order.
+        let mut table = String::new();
+        let _ = writeln!(table, "# io-engine BP-style index, step {}", cur.step);
+
+        for (agg, build) in &cur.aggs {
+            let path = format!("{}/data.{agg}", cur.dir);
+            for c in &build.chunks {
+                let _ = writeln!(
+                    table,
+                    "{path} {offset} {len} {step} {level} {task} {logical}",
+                    offset = c.offset,
+                    len = c.len,
+                    step = c.step,
+                    level = c.level,
+                    task = c.task,
+                    logical = c.path,
+                );
+            }
+            // Account-only is decided per subfile (a size-only chunk makes
+            // that subfile's coalesced content incomplete), mirroring the
+            // per-file handling of the file-per-process backend.
+            if !build.account_only {
+                let written = self.vfs.write_file(&path, &build.content)?;
+                debug_assert_eq!(written, build.bytes);
+            }
+            stats.files += 1;
+            stats.bytes += build.bytes;
+            stats.requests.push(WriteRequest {
+                // Attributed to the aggregator's lowest producer task.
+                rank: agg * self.ratio,
+                path,
+                bytes: build.bytes,
+                start: 0.0,
+            });
+        }
+
+        // Index file: chunk table + embedded metadata payloads.
+        let index_path = format!("{}/md.idx", cur.dir);
+        let index_bytes = table.len() as u64 + cur.meta_bytes;
+        // The index is physically written only when the step materialized
+        // content: metadata payloads must all be real bytes, and a step
+        // whose every put was size-only stays write-free end to end.
+        let wrote_any_data = cur.aggs.values().any(|a| !a.account_only);
+        if !cur.meta_account_only && (wrote_any_data || cur.meta_bytes > 0) {
+            let mut index = table.clone().into_bytes();
+            index.extend_from_slice(&cur.meta);
+            let written = self.vfs.write_file(&index_path, &index)?;
+            debug_assert_eq!(written, index_bytes);
+        }
+        stats.files += 1;
+        stats.bytes += index_bytes;
+        stats.overhead_bytes += table.len() as u64;
+        stats.requests.push(WriteRequest {
+            rank: 0,
+            path: index_path,
+            bytes: index_bytes,
+            start: 0.0,
+        });
+
+        self.report.steps += 1;
+        self.report.files += stats.files;
+        self.report.bytes += stats.bytes;
+        self.report.overhead_bytes += stats.overhead_bytes;
+        Ok(stats)
+    }
+
+    fn close(&mut self) -> io::Result<EngineReport> {
+        assert!(self.cur.is_none(), "close: step still open");
+        Ok(self.report.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iosim::{IoKey, IoKind, IoTracker, MemFs, Vfs};
+
+    fn put(task: u32, kind: IoKind, path: &str, data: &[u8]) -> Put {
+        Put {
+            key: IoKey {
+                step: 1,
+                level: 0,
+                task,
+            },
+            kind,
+            path: path.to_string(),
+            payload: Payload::Bytes(data.to_vec()),
+        }
+    }
+
+    #[test]
+    fn files_equal_aggregators_plus_one() {
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let mut b = Aggregated::new(&fs as &dyn Vfs, &tracker, 4);
+        b.begin_step(1, "/");
+        for task in 0..16u32 {
+            b.put(put(task, IoKind::Data, &format!("/f{task}"), b"datadata"))
+                .unwrap();
+        }
+        b.put(put(0, IoKind::Metadata, "/root", b"meta")).unwrap();
+        let stats = b.end_step().unwrap();
+        // 16 tasks / ratio 4 = 4 aggregators, + 1 index.
+        assert_eq!(stats.files, 4 + 1);
+        assert_eq!(fs.nfiles(), 5);
+        assert!(fs.file_size("/bp00001/data.0").is_some());
+        assert!(fs.file_size("/bp00001/data.3").is_some());
+        assert!(fs.file_size("/bp00001/md.idx").is_some());
+    }
+
+    #[test]
+    fn chunks_coalesce_in_arrival_order() {
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let mut b = Aggregated::new(&fs as &dyn Vfs, &tracker, 2);
+        b.begin_step(1, "/plt");
+        b.put(put(0, IoKind::Data, "/plt/L0/a", b"AA")).unwrap();
+        b.put(put(1, IoKind::Data, "/plt/L0/b", b"BB")).unwrap();
+        b.put(put(0, IoKind::Data, "/plt/L1/a", b"CC")).unwrap();
+        let stats = b.end_step().unwrap();
+        assert_eq!(stats.files, 2); // one aggregator + index
+        assert_eq!(
+            fs.read_file("/plt/bp00001/data.0"),
+            Some(b"AABBCC".to_vec())
+        );
+        // The index names every logical path with its offset.
+        let idx = String::from_utf8(fs.read_file("/plt/bp00001/md.idx").unwrap()).unwrap();
+        assert!(idx.contains("/plt/L0/a"));
+        assert!(idx.contains("/plt/L1/a"));
+        assert!(idx.contains(" 2 2 "), "offset 2, len 2: {idx}");
+    }
+
+    #[test]
+    fn tracker_attribution_is_backend_invariant() {
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let mut b = Aggregated::new(&fs as &dyn Vfs, &tracker, 8);
+        b.begin_step(1, "/");
+        b.put(put(3, IoKind::Data, "/f3", b"12345")).unwrap();
+        b.put(put(0, IoKind::Metadata, "/h", b"67")).unwrap();
+        b.end_step().unwrap();
+        assert_eq!(tracker.total_bytes_of(IoKind::Data), 5);
+        assert_eq!(tracker.total_bytes_of(IoKind::Metadata), 2);
+        assert_eq!(tracker.bytes_per_task(1, 0), vec![2, 0, 0, 5]);
+    }
+
+    #[test]
+    fn overhead_is_separated_from_payload() {
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let mut b = Aggregated::new(&fs as &dyn Vfs, &tracker, 1);
+        b.begin_step(2, "/");
+        b.put(put(0, IoKind::Data, "/f", b"xyz")).unwrap();
+        let stats = b.end_step().unwrap();
+        assert!(stats.overhead_bytes > 0);
+        assert_eq!(stats.bytes, 3 + stats.overhead_bytes);
+        assert_eq!(tracker.total_bytes(), 3, "tracker sees payload only");
+    }
+
+    #[test]
+    fn mixed_payloads_write_materialized_subfiles() {
+        // One aggregator gets real bytes, another only a size: the real
+        // subfile and the index must still land on the filesystem.
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let mut b = Aggregated::new(&fs as &dyn Vfs, &tracker, 1);
+        b.begin_step(1, "/");
+        b.put(put(0, IoKind::Data, "/real", b"bytes")).unwrap();
+        b.put(Put {
+            key: IoKey {
+                step: 1,
+                level: 0,
+                task: 1,
+            },
+            kind: IoKind::Data,
+            path: "/sized".into(),
+            payload: Payload::Size(999),
+        })
+        .unwrap();
+        b.put(put(0, IoKind::Metadata, "/h", b"meta")).unwrap();
+        let stats = b.end_step().unwrap();
+        assert_eq!(stats.files, 3); // 2 aggregators + index
+        assert_eq!(fs.read_file("/bp00001/data.0"), Some(b"bytes".to_vec()));
+        assert!(fs.file_size("/bp00001/data.1").is_none(), "size-only");
+        assert!(fs.file_size("/bp00001/md.idx").is_some());
+    }
+
+    #[test]
+    fn account_only_step_writes_nothing() {
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let mut b = Aggregated::new(&fs as &dyn Vfs, &tracker, 2);
+        b.begin_step(1, "/");
+        for task in 0..4u32 {
+            b.put(Put {
+                key: IoKey {
+                    step: 1,
+                    level: 0,
+                    task,
+                },
+                kind: IoKind::Data,
+                path: format!("/f{task}"),
+                payload: Payload::Size(1000),
+            })
+            .unwrap();
+        }
+        let stats = b.end_step().unwrap();
+        assert_eq!(fs.nfiles(), 0);
+        assert_eq!(stats.files, 3); // 2 aggregators + index
+        assert_eq!(stats.requests.len(), 3);
+        assert_eq!(tracker.total_bytes(), 4000);
+    }
+}

@@ -1,0 +1,193 @@
+//! The backend trait and the types flowing through it.
+
+use iosim::{IoKey, IoKind, IoTracker, Vfs, WriteRequest};
+use std::io;
+use std::sync::Arc;
+
+/// Payload of one [`Put`]: real bytes, or a size for account-only runs
+/// (the oracle engine sizes terabyte-scale dumps without materializing
+/// them; backends then skip physical writes but keep layout, file-count,
+/// and request accounting identical).
+#[derive(Clone, Debug)]
+pub enum Payload {
+    /// Materialized content to write.
+    Bytes(Vec<u8>),
+    /// Exact byte count of content that is not materialized.
+    Size(u64),
+}
+
+impl Payload {
+    /// Payload length in bytes.
+    pub fn len(&self) -> u64 {
+        match self {
+            Payload::Bytes(b) => b.len() as u64,
+            Payload::Size(n) => *n,
+        }
+    }
+
+    /// True when the payload is zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One logical write submitted to a backend.
+#[derive(Clone, Debug)]
+pub struct Put {
+    /// Tracker key: `(output step, AMR level, task)`.
+    pub key: IoKey,
+    /// Data or metadata classification.
+    pub kind: IoKind,
+    /// Logical file path the producer would write N-to-N.
+    pub path: String,
+    /// The bytes (or their size).
+    pub payload: Payload,
+}
+
+/// Per-step outcome returned by [`IoBackend::end_step`].
+#[derive(Clone, Debug, Default)]
+pub struct StepStats {
+    /// The step these stats describe.
+    pub step: u32,
+    /// Physical files created this step.
+    pub files: u64,
+    /// Bytes written this step (payloads + backend overhead).
+    pub bytes: u64,
+    /// Backend bookkeeping bytes (aggregation index tables); not part of
+    /// the workload's tracker accounting.
+    pub overhead_bytes: u64,
+    /// Write requests for burst-timing simulation, in write order.
+    pub requests: Vec<WriteRequest>,
+}
+
+/// Whole-run totals returned by [`IoBackend::close`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EngineReport {
+    /// Steps completed.
+    pub steps: u32,
+    /// Physical files created.
+    pub files: u64,
+    /// Bytes written (payloads + overhead).
+    pub bytes: u64,
+    /// Backend bookkeeping bytes.
+    pub overhead_bytes: u64,
+}
+
+/// A filesystem handle a backend can hold either borrowed (synchronous
+/// backends) or shared (backends that flush from worker threads).
+#[derive(Clone)]
+pub enum VfsHandle<'a> {
+    /// Borrowed from the caller; writes happen on the calling thread.
+    Borrowed(&'a dyn Vfs),
+    /// Shared ownership; writes may happen on drain threads.
+    Shared(Arc<dyn Vfs>),
+}
+
+impl VfsHandle<'_> {
+    /// Creates a directory and all parents.
+    pub fn create_dir_all(&self, path: &str) -> io::Result<()> {
+        match self {
+            VfsHandle::Borrowed(v) => v.create_dir_all(path),
+            VfsHandle::Shared(v) => v.create_dir_all(path),
+        }
+    }
+
+    /// Creates/overwrites a file, returning the byte count.
+    pub fn write_file(&self, path: &str, data: &[u8]) -> io::Result<u64> {
+        match self {
+            VfsHandle::Borrowed(v) => v.write_file(path, data),
+            VfsHandle::Shared(v) => v.write_file(path, data),
+        }
+    }
+
+    /// The shared handle, when this is one.
+    pub fn shared(&self) -> Option<Arc<dyn Vfs>> {
+        match self {
+            VfsHandle::Borrowed(_) => None,
+            VfsHandle::Shared(v) => Some(Arc::clone(v)),
+        }
+    }
+}
+
+impl<'a> From<&'a dyn Vfs> for VfsHandle<'a> {
+    fn from(v: &'a dyn Vfs) -> Self {
+        VfsHandle::Borrowed(v)
+    }
+}
+
+impl<'a> From<Arc<dyn Vfs>> for VfsHandle<'a> {
+    fn from(v: Arc<dyn Vfs>) -> Self {
+        VfsHandle::Shared(v)
+    }
+}
+
+/// A tracker handle, borrowed or shared (mirrors [`VfsHandle`]).
+#[derive(Clone)]
+pub enum TrackerHandle<'a> {
+    /// Borrowed from the caller.
+    Borrowed(&'a IoTracker),
+    /// Shared ownership.
+    Shared(Arc<IoTracker>),
+}
+
+impl TrackerHandle<'_> {
+    /// Records bytes for a key.
+    pub fn record(&self, key: IoKey, kind: IoKind, bytes: u64) {
+        match self {
+            TrackerHandle::Borrowed(t) => t.record(key, kind, bytes),
+            TrackerHandle::Shared(t) => t.record(key, kind, bytes),
+        }
+    }
+}
+
+impl<'a> From<&'a IoTracker> for TrackerHandle<'a> {
+    fn from(t: &'a IoTracker) -> Self {
+        TrackerHandle::Borrowed(t)
+    }
+}
+
+impl<'a> From<Arc<IoTracker>> for TrackerHandle<'a> {
+    fn from(t: Arc<IoTracker>) -> Self {
+        TrackerHandle::Shared(t)
+    }
+}
+
+/// A pluggable write path: producers open a step, submit [`Put`]s, and
+/// close the step; the backend decides the physical file layout, performs
+/// (or stages) the writes, and reports the requests to time.
+///
+/// Contract shared by all implementations:
+///
+/// * every put is recorded in the tracker with its own key/kind/length,
+///   so `(step, level, task)` byte totals are backend-invariant;
+/// * `end_step` returns one [`WriteRequest`] per physical file created
+///   for the step, in write order;
+/// * `close` flushes anything still staged and returns run totals.
+pub trait IoBackend: Send {
+    /// Short human-readable backend name (e.g. `"fpp"`, `"agg:4"`).
+    fn name(&self) -> String;
+
+    /// True when the backend drains asynchronously, overlapping the next
+    /// compute phase (consumed by `iosim`'s burst scheduler).
+    fn overlapped(&self) -> bool {
+        false
+    }
+
+    /// Opens a step. `container` is the logical directory of the dump
+    /// (e.g. the plotfile directory, or `"/"` for MACSio's flat layout);
+    /// aggregating backends place their subfiles under it.
+    fn begin_step(&mut self, step: u32, container: &str);
+
+    /// Creates a directory through the backend's filesystem.
+    fn create_dir_all(&mut self, path: &str) -> io::Result<()>;
+
+    /// Submits one logical write to the open step.
+    fn put(&mut self, put: Put) -> io::Result<()>;
+
+    /// Closes the step: materializes (or stages) the physical files and
+    /// returns what was written.
+    fn end_step(&mut self) -> io::Result<StepStats>;
+
+    /// Flushes staged work and returns run totals.
+    fn close(&mut self) -> io::Result<EngineReport>;
+}

@@ -1,0 +1,242 @@
+//! File-per-process backend: the workspace's original N-to-N write path,
+//! refactored behind [`IoBackend`].
+//!
+//! Every distinct put path in a step becomes one physical file whose
+//! content is the concatenation of its puts in submission order. That
+//! single rule reproduces both prior behaviours: AMReX plotfile writers
+//! choose one path per `(rank, level)` (true N-to-N), and MACSio's MIF
+//! mode points the ranks of a file group at one shared group path
+//! (baton-passing appends).
+
+use crate::backend::{EngineReport, IoBackend, Payload, Put, StepStats, TrackerHandle, VfsHandle};
+use iosim::WriteRequest;
+use std::collections::HashMap;
+use std::io;
+
+/// One physical file being assembled for the open step.
+#[derive(Debug, Default)]
+pub(crate) struct FileBuild {
+    /// Rank attributed to the write request (first producer).
+    pub rank: usize,
+    /// Concatenated materialized content (empty in account-only mode).
+    pub content: Vec<u8>,
+    /// Total payload bytes (tracks `content.len()` unless account-only).
+    pub bytes: u64,
+    /// True when any payload arrived as a bare size.
+    pub account_only: bool,
+}
+
+/// Coalesces puts by path, preserving first-put order.
+#[derive(Debug, Default)]
+pub(crate) struct StepBuild {
+    pub step: u32,
+    order: Vec<String>,
+    files: HashMap<String, FileBuild>,
+}
+
+impl StepBuild {
+    pub fn new(step: u32) -> Self {
+        Self {
+            step,
+            order: Vec::new(),
+            files: HashMap::new(),
+        }
+    }
+
+    /// Appends a put to its file, creating the file on first use.
+    pub fn push(&mut self, put: Put) {
+        let build = match self.files.get_mut(&put.path) {
+            Some(b) => b,
+            None => {
+                self.order.push(put.path.clone());
+                self.files.entry(put.path.clone()).or_insert(FileBuild {
+                    rank: put.key.task as usize,
+                    ..FileBuild::default()
+                })
+            }
+        };
+        build.bytes += put.payload.len();
+        match put.payload {
+            Payload::Bytes(b) => build.content.extend_from_slice(&b),
+            Payload::Size(_) => build.account_only = true,
+        }
+    }
+
+    /// Finished files in first-put order.
+    pub fn into_files(mut self) -> Vec<(String, FileBuild)> {
+        self.order
+            .drain(..)
+            .map(|path| {
+                let build = self.files.remove(&path).expect("ordered path exists");
+                (path, build)
+            })
+            .collect()
+    }
+}
+
+/// The N-to-N backend (see module docs).
+pub struct FilePerProcess<'a> {
+    vfs: VfsHandle<'a>,
+    tracker: TrackerHandle<'a>,
+    cur: Option<StepBuild>,
+    report: EngineReport,
+}
+
+impl<'a> FilePerProcess<'a> {
+    /// A backend writing through `vfs` and recording into `tracker`.
+    pub fn new(vfs: impl Into<VfsHandle<'a>>, tracker: impl Into<TrackerHandle<'a>>) -> Self {
+        Self {
+            vfs: vfs.into(),
+            tracker: tracker.into(),
+            cur: None,
+            report: EngineReport::default(),
+        }
+    }
+}
+
+impl IoBackend for FilePerProcess<'_> {
+    fn name(&self) -> String {
+        "fpp".to_string()
+    }
+
+    fn begin_step(&mut self, step: u32, _container: &str) {
+        assert!(self.cur.is_none(), "begin_step: step already open");
+        self.cur = Some(StepBuild::new(step));
+    }
+
+    fn create_dir_all(&mut self, path: &str) -> io::Result<()> {
+        self.vfs.create_dir_all(path)
+    }
+
+    fn put(&mut self, put: Put) -> io::Result<()> {
+        let cur = self.cur.as_mut().expect("put: no open step");
+        self.tracker.record(put.key, put.kind, put.payload.len());
+        cur.push(put);
+        Ok(())
+    }
+
+    fn end_step(&mut self) -> io::Result<StepStats> {
+        let cur = self.cur.take().expect("end_step: no open step");
+        let mut stats = StepStats {
+            step: cur.step,
+            ..StepStats::default()
+        };
+        for (path, build) in cur.into_files() {
+            if !build.account_only {
+                let written = self.vfs.write_file(&path, &build.content)?;
+                debug_assert_eq!(written, build.bytes);
+            }
+            stats.files += 1;
+            stats.bytes += build.bytes;
+            stats.requests.push(WriteRequest {
+                rank: build.rank,
+                path,
+                bytes: build.bytes,
+                start: 0.0,
+            });
+        }
+        self.report.steps += 1;
+        self.report.files += stats.files;
+        self.report.bytes += stats.bytes;
+        Ok(stats)
+    }
+
+    fn close(&mut self) -> io::Result<EngineReport> {
+        assert!(self.cur.is_none(), "close: step still open");
+        Ok(self.report.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iosim::{IoKey, IoKind, IoTracker, MemFs, Vfs};
+
+    fn put(step: u32, task: u32, path: &str, data: &[u8]) -> Put {
+        Put {
+            key: IoKey {
+                step,
+                level: 0,
+                task,
+            },
+            kind: IoKind::Data,
+            path: path.to_string(),
+            payload: Payload::Bytes(data.to_vec()),
+        }
+    }
+
+    #[test]
+    fn one_file_per_distinct_path() {
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let mut b = FilePerProcess::new(&fs as &dyn Vfs, &tracker);
+        b.begin_step(1, "/");
+        b.put(put(1, 0, "/f0", b"aa")).unwrap();
+        b.put(put(1, 1, "/f1", b"bbb")).unwrap();
+        let stats = b.end_step().unwrap();
+        assert_eq!(stats.files, 2);
+        assert_eq!(stats.bytes, 5);
+        assert_eq!(fs.nfiles(), 2);
+        assert_eq!(fs.read_file("/f1"), Some(b"bbb".to_vec()));
+        assert_eq!(stats.requests[0].rank, 0);
+        assert_eq!(stats.requests[1].rank, 1);
+    }
+
+    #[test]
+    fn shared_path_coalesces_like_mif_baton_passing() {
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let mut b = FilePerProcess::new(&fs as &dyn Vfs, &tracker);
+        b.begin_step(1, "/");
+        b.put(put(1, 0, "/group0", b"r0")).unwrap();
+        b.put(put(1, 1, "/group0", b"r1")).unwrap();
+        let stats = b.end_step().unwrap();
+        assert_eq!(stats.files, 1);
+        assert_eq!(fs.read_file("/group0"), Some(b"r0r1".to_vec()));
+        // Request attributed to the first rank in the group.
+        assert_eq!(stats.requests[0].rank, 0);
+        // Tracker still records per-rank bytes.
+        assert_eq!(tracker.bytes_per_task(1, 0), vec![2, 2]);
+    }
+
+    #[test]
+    fn account_only_skips_physical_writes() {
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let mut b = FilePerProcess::new(&fs as &dyn Vfs, &tracker);
+        b.begin_step(3, "/");
+        b.put(Put {
+            key: IoKey {
+                step: 3,
+                level: 1,
+                task: 2,
+            },
+            kind: IoKind::Data,
+            path: "/big".into(),
+            payload: Payload::Size(1 << 30),
+        })
+        .unwrap();
+        let stats = b.end_step().unwrap();
+        assert_eq!(fs.nfiles(), 0, "no physical write");
+        assert_eq!(stats.bytes, 1 << 30);
+        assert_eq!(stats.requests[0].bytes, 1 << 30);
+        assert_eq!(tracker.total_bytes(), 1 << 30);
+    }
+
+    #[test]
+    fn close_reports_run_totals() {
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let mut b = FilePerProcess::new(&fs as &dyn Vfs, &tracker);
+        for step in 1..=3 {
+            b.begin_step(step, "/");
+            b.put(put(step, 0, &format!("/s{step}"), b"xy")).unwrap();
+            b.end_step().unwrap();
+        }
+        let report = b.close().unwrap();
+        assert_eq!(report.steps, 3);
+        assert_eq!(report.files, 3);
+        assert_eq!(report.bytes, 6);
+        assert_eq!(report.overhead_bytes, 0);
+    }
+}

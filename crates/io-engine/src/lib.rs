@@ -1,0 +1,37 @@
+//! Pluggable I/O backend engine.
+//!
+//! The paper's measurements hinge on *which* parallel I/O backend a
+//! workload drives — MACSio's MIF/SIF file modes versus AMReX plotfiles —
+//! and related work (ADIOS2's two-level aggregation, AMRIC's deferred
+//! staging) shows backend choice is the biggest lever on burst time.
+//! This crate abstracts the write path behind an [`IoBackend`] trait so
+//! every workload in the workspace becomes a backend-sweep scenario:
+//!
+//! * [`FilePerProcess`] — the classic N-to-N pattern: each logical file
+//!   path becomes one physical file (MACSio MIF groups and AMReX
+//!   `Cell_D` files fall out of the paths the writers choose).
+//! * [`Aggregated`] — ADIOS2-BP-style two-level aggregation: data puts
+//!   from N producers funnel into `ceil(N / ratio)` aggregator subfiles
+//!   per step plus one index/metadata file, with chunk coalescing.
+//! * [`Deferred`] — a burst-buffer model: puts stage in memory,
+//!   double-buffered; a drain pool flushes the previous step's staging
+//!   while the application computes, so compute and flush overlap.
+//!
+//! Byte accounting is backend-invariant: every [`Put`] is recorded in the
+//! caller's `IoTracker` at the paper's `(step, level, task)` granularity
+//! before any physical layout decision, so the Eq. (1)/(2) samples are
+//! identical across backends (enforced by property tests). Only the
+//! physical file set, the [`iosim::WriteRequest`]s, and therefore the
+//! simulated burst timing differ.
+
+pub mod aggregated;
+pub mod backend;
+pub mod deferred;
+pub mod fpp;
+pub mod spec;
+
+pub use aggregated::Aggregated;
+pub use backend::{EngineReport, IoBackend, Payload, Put, StepStats, TrackerHandle, VfsHandle};
+pub use deferred::Deferred;
+pub use fpp::FilePerProcess;
+pub use spec::BackendSpec;

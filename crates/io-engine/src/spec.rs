@@ -1,0 +1,154 @@
+//! Backend selection: a small, serializable spec that CLIs and campaign
+//! configs carry, turned into a live backend at run time.
+
+use crate::backend::{IoBackend, TrackerHandle, VfsHandle};
+use crate::{Aggregated, Deferred, FilePerProcess};
+use serde::{Deserialize, Serialize};
+
+/// Which I/O backend a run writes through.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackendSpec {
+    /// N-to-N: one physical file per logical path.
+    #[default]
+    FilePerProcess,
+    /// BP-style two-level aggregation with the given ratio (producer
+    /// tasks per aggregator subfile).
+    Aggregated(usize),
+    /// Burst-buffer staging with the given drain-pool worker count.
+    Deferred(usize),
+}
+
+impl BackendSpec {
+    /// Parses a CLI spelling:
+    /// `fpp` | `agg:<ratio>` | `aggregated:<ratio>` | `deferred[:<workers>]`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (head, arg) = match s.split_once(':') {
+            Some((h, a)) => (h, Some(a)),
+            None => (s, None),
+        };
+        match head {
+            "fpp" | "file_per_process" | "n-to-n" => match arg {
+                None => Ok(BackendSpec::FilePerProcess),
+                Some(a) => Err(format!("backend 'fpp' takes no argument, got '{a}'")),
+            },
+            "agg" | "aggregated" => {
+                let ratio = match arg {
+                    None => 4,
+                    Some(a) => a
+                        .parse::<usize>()
+                        .map_err(|_| format!("bad aggregation ratio '{a}'"))?,
+                };
+                if ratio == 0 {
+                    return Err("aggregation ratio must be positive".to_string());
+                }
+                Ok(BackendSpec::Aggregated(ratio))
+            }
+            "deferred" | "bb" | "burst_buffer" => {
+                let workers = match arg {
+                    None => 1,
+                    Some(a) => a
+                        .parse::<usize>()
+                        .map_err(|_| format!("bad worker count '{a}'"))?,
+                };
+                if workers == 0 {
+                    return Err("deferred worker count must be positive".to_string());
+                }
+                Ok(BackendSpec::Deferred(workers))
+            }
+            other => Err(format!(
+                "unknown io backend '{other}' (expected fpp, agg:<ratio>, or deferred[:<workers>])"
+            )),
+        }
+    }
+
+    /// The canonical CLI spelling.
+    pub fn name(&self) -> String {
+        match self {
+            BackendSpec::FilePerProcess => "fpp".to_string(),
+            BackendSpec::Aggregated(r) => format!("agg:{r}"),
+            BackendSpec::Deferred(w) => format!("deferred:{w}"),
+        }
+    }
+
+    /// True when this backend overlaps drains with compute.
+    pub fn overlapped(&self) -> bool {
+        matches!(self, BackendSpec::Deferred(_))
+    }
+
+    /// Builds the live backend over borrowed (or shared, via the handle
+    /// enums) filesystem and tracker handles.
+    pub fn build<'a>(
+        &self,
+        vfs: impl Into<VfsHandle<'a>>,
+        tracker: impl Into<TrackerHandle<'a>>,
+    ) -> Box<dyn IoBackend + 'a> {
+        match *self {
+            BackendSpec::FilePerProcess => Box::new(FilePerProcess::new(vfs, tracker)),
+            BackendSpec::Aggregated(ratio) => Box::new(Aggregated::new(vfs, tracker, ratio)),
+            BackendSpec::Deferred(workers) => Box::new(Deferred::new(vfs, tracker, workers)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_spellings() {
+        assert_eq!(
+            BackendSpec::parse("fpp").unwrap(),
+            BackendSpec::FilePerProcess
+        );
+        assert_eq!(
+            BackendSpec::parse("agg:16").unwrap(),
+            BackendSpec::Aggregated(16)
+        );
+        assert_eq!(
+            BackendSpec::parse("agg").unwrap(),
+            BackendSpec::Aggregated(4)
+        );
+        assert_eq!(
+            BackendSpec::parse("deferred").unwrap(),
+            BackendSpec::Deferred(1)
+        );
+        assert_eq!(
+            BackendSpec::parse("deferred:3").unwrap(),
+            BackendSpec::Deferred(3)
+        );
+        assert!(BackendSpec::parse("agg:0").is_err());
+        assert!(BackendSpec::parse("silo").is_err());
+        assert!(BackendSpec::parse("fpp:2").is_err());
+    }
+
+    #[test]
+    fn name_round_trips() {
+        for spec in [
+            BackendSpec::FilePerProcess,
+            BackendSpec::Aggregated(7),
+            BackendSpec::Deferred(2),
+        ] {
+            assert_eq!(BackendSpec::parse(&spec.name()).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn only_deferred_overlaps() {
+        assert!(!BackendSpec::FilePerProcess.overlapped());
+        assert!(!BackendSpec::Aggregated(4).overlapped());
+        assert!(BackendSpec::Deferred(1).overlapped());
+    }
+
+    #[test]
+    fn serde_round_trip_is_portable() {
+        use serde::{Deserialize as _, Serialize as _};
+        for spec in [
+            BackendSpec::FilePerProcess,
+            BackendSpec::Aggregated(16),
+            BackendSpec::Deferred(2),
+        ] {
+            let v = spec.to_value();
+            assert_eq!(BackendSpec::from_value(&v).unwrap(), spec);
+        }
+    }
+}

@@ -81,7 +81,11 @@ pub fn characterize(tracker: &IoTracker, timeline: Option<&BurstTimeline>) -> Io
         write_size_percentiles: [pct(0.10), pct(0.50), pct(0.90), pct(0.99)],
         step_bytes_min_mean_max: (
             if steps > 0 { s_min } else { 0 },
-            if steps > 0 { s_sum as f64 / steps as f64 } else { 0.0 },
+            if steps > 0 {
+                s_sum as f64 / steps as f64
+            } else {
+                0.0
+            },
             s_max,
         ),
         duty_cycle: timeline.map(BurstTimeline::duty_cycle).unwrap_or(0.0),

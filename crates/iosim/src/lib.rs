@@ -15,12 +15,14 @@
 //!   discussion.
 
 pub mod characterize;
+pub mod schedule;
 pub mod storage;
 pub mod timeline;
 pub mod tracker;
 pub mod vfs;
 
 pub use characterize::{characterize, IoCharacterization};
+pub use schedule::BurstScheduler;
 pub use storage::{BurstResult, StorageModel, WriteRequest};
 pub use timeline::{Burst, BurstTimeline};
 pub use tracker::{IoKey, IoKind, IoTracker};

@@ -3,10 +3,12 @@
 //! A deterministic, seeded stand-in for Summit's Alpine GPFS filesystem:
 //! files are striped across `nservers` storage servers; each server
 //! processes its active write requests by fair processor sharing at a
-//! fixed bandwidth; each file creation pays a metadata latency; service
-//! demand carries lognormal variability. Only the *dynamic* aspect of the
-//! paper (burst durations, bandwidth) depends on this model — byte counts
-//! never do.
+//! fixed bandwidth; each file creation charges a metadata latency *as
+//! serialized server work*, so a burst of many small files is slower than
+//! the same bytes in few aggregated files — the effect the io-engine's
+//! BP-style aggregation exists to exploit; service demand carries
+//! lognormal variability. Only the *dynamic* aspect of the paper (burst
+//! durations, bandwidth) depends on this model — byte counts never do.
 
 use mpi_sim::rank_seed;
 use rand::Rng;
@@ -20,7 +22,9 @@ pub struct StorageModel {
     pub nservers: usize,
     /// Sustained write bandwidth per server, bytes/second.
     pub server_bandwidth: f64,
-    /// Latency charged per file creation (metadata round trip), seconds.
+    /// Server time charged per file creation (metadata round trip),
+    /// seconds; serializes with the server's other work, so it prices
+    /// file *count*, not just bytes.
     pub metadata_latency: f64,
     /// Lognormal sigma applied to each request's service demand
     /// (0 disables variability).
@@ -105,7 +109,9 @@ impl StorageModel {
         finish: &mut [f64],
         rng: &mut rand::rngs::StdRng,
     ) {
-        // Arrival = request start + metadata latency; work = noisy bytes.
+        // Arrival = request start; work = noisy bytes plus the byte
+        // equivalent of the per-file metadata charge (serialized on the
+        // server, which is what makes file count a first-order cost).
         struct Job {
             id: usize,
             arrival: f64,
@@ -125,8 +131,9 @@ impl StorageModel {
                 };
                 Job {
                     id,
-                    arrival: reqs[id].start + self.metadata_latency,
-                    work: reqs[id].bytes as f64 * noise,
+                    arrival: reqs[id].start,
+                    work: reqs[id].bytes as f64 * noise
+                        + self.metadata_latency * self.server_bandwidth,
                 }
             })
             .collect();
@@ -264,7 +271,12 @@ mod tests {
             .collect();
         let slow = StorageModel::ideal(1, 1e6).simulate_burst(&reqs);
         let fast = StorageModel::ideal(16, 1e6).simulate_burst(&reqs);
-        assert!(fast.t_end < slow.t_end / 4.0, "{} vs {}", fast.t_end, slow.t_end);
+        assert!(
+            fast.t_end < slow.t_end / 4.0,
+            "{} vs {}",
+            fast.t_end,
+            slow.t_end
+        );
     }
 
     #[test]

@@ -183,12 +183,7 @@ impl IoTracker {
 
     /// Sorted list of steps with any output.
     pub fn steps(&self) -> Vec<u32> {
-        let mut v: Vec<u32> = self
-            .records
-            .lock()
-            .keys()
-            .map(|(k, _)| k.step)
-            .collect();
+        let mut v: Vec<u32> = self.records.lock().keys().map(|(k, _)| k.step).collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -196,12 +191,7 @@ impl IoTracker {
 
     /// Sorted list of levels with any output.
     pub fn levels(&self) -> Vec<u32> {
-        let mut v: Vec<u32> = self
-            .records
-            .lock()
-            .keys()
-            .map(|(k, _)| k.level)
-            .collect();
+        let mut v: Vec<u32> = self.records.lock().keys().map(|(k, _)| k.level).collect();
         v.sort_unstable();
         v.dedup();
         v

@@ -38,7 +38,7 @@ fn main() {
         Ok(cfg) => cfg,
         Err(e) => {
             eprintln!("macsio: {e}");
-            eprintln!("see Table II of the paper for supported flags");
+            eprintln!("{}", macsio::cli::usage());
             std::process::exit(2);
         }
     };
@@ -53,11 +53,10 @@ fn main() {
     let storage = summit_scale.map(StorageModel::summit_alpine);
     let tracker = IoTracker::new();
 
-    let report = macsio::run(&cfg, fs.as_ref(), &tracker, storage.as_ref())
-        .unwrap_or_else(|e| {
-            eprintln!("macsio: run failed: {e}");
-            std::process::exit(1);
-        });
+    let report = macsio::run(&cfg, fs.as_ref(), &tracker, storage.as_ref()).unwrap_or_else(|e| {
+        eprintln!("macsio: run failed: {e}");
+        std::process::exit(1);
+    });
 
     println!("# {}", cfg.command_line());
     println!("# dump  bytes  cumulative");

@@ -6,6 +6,32 @@
 //! `--dataset_growth`) plus `--nprocs` standing in for `jsrun -n`.
 
 use crate::config::{FileMode, Interface, MacsioConfig};
+use io_engine::BackendSpec;
+
+/// One-screen flag reference (printed by the `macsio` binary on bad
+/// usage). Table II flags plus the workspace extensions.
+pub fn usage() -> &'static str {
+    "usage: macsio [flags]\n\
+     \n\
+     Table II flags:\n\
+       --interface miftmpl|json        output interface\n\
+       --parallel_file_mode MIF n|SIF  file grouping (MIF 0 is clamped to 1)\n\
+       --num_dumps N                   dumps to marshal\n\
+       --part_size BYTES[K|M|G]        nominal bytes per part variable\n\
+       --avg_num_parts X               mesh parts per task (fractional ok)\n\
+       --vars_per_part N               variables per part\n\
+       --compute_time SECONDS          simulated compute between dumps\n\
+       --meta_size BYTES[K|M|G]        extra metadata per task per dump\n\
+       --dataset_growth X              per-dump part-size multiplier\n\
+     \n\
+     workspace extensions:\n\
+       --nprocs N | -n N               simulated MPI world size\n\
+       --seed N                        synthetic-field RNG seed\n\
+       --io_backend SPEC               write path: fpp (N-to-N, default),\n\
+                                       agg:<ratio> (BP-style two-level\n\
+                                       aggregation), deferred[:<workers>]\n\
+                                       (burst-buffer staging, async drain)\n"
+}
 
 /// Parses a MACSio command line into a configuration.
 ///
@@ -34,10 +60,7 @@ where
                     "SIF" | "sif" => FileMode::Sif,
                     "MIF" | "mif" => {
                         let n = next(&mut i)?;
-                        FileMode::Mif(
-                            n.parse()
-                                .map_err(|_| format!("bad MIF file count '{n}'"))?,
-                        )
+                        FileMode::mif(n.parse().map_err(|_| format!("bad MIF file count '{n}'"))?)
                     }
                     other => return Err(format!("unknown file mode '{other}'")),
                 };
@@ -50,26 +73,24 @@ where
             }
             "--avg_num_parts" => {
                 let v = next(&mut i)?;
-                cfg.avg_num_parts = v
-                    .parse()
-                    .map_err(|_| format!("bad avg_num_parts '{v}'"))?;
+                cfg.avg_num_parts = v.parse().map_err(|_| format!("bad avg_num_parts '{v}'"))?;
             }
             "--vars_per_part" => {
                 cfg.vars_per_part = parse_num(&next(&mut i)?)? as usize;
             }
             "--compute_time" => {
                 let v = next(&mut i)?;
-                cfg.compute_time =
-                    v.parse().map_err(|_| format!("bad compute_time '{v}'"))?;
+                cfg.compute_time = v.parse().map_err(|_| format!("bad compute_time '{v}'"))?;
             }
             "--meta_size" => {
                 cfg.meta_size = parse_size(&next(&mut i)?)?;
             }
             "--dataset_growth" => {
                 let v = next(&mut i)?;
-                cfg.dataset_growth = v
-                    .parse()
-                    .map_err(|_| format!("bad dataset_growth '{v}'"))?;
+                cfg.dataset_growth = v.parse().map_err(|_| format!("bad dataset_growth '{v}'"))?;
+            }
+            "--io_backend" => {
+                cfg.io_backend = BackendSpec::parse(&next(&mut i)?)?;
             }
             "--nprocs" | "-n" => {
                 cfg.nprocs = parse_num(&next(&mut i)?)? as usize;
@@ -96,9 +117,7 @@ fn parse_size(s: &str) -> Result<u64, String> {
         Some('G' | 'g') => (&s[..s.len() - 1], 1_000_000_000),
         _ => (s, 1),
     };
-    let base: f64 = digits
-        .parse()
-        .map_err(|_| format!("bad size '{s}'"))?;
+    let base: f64 = digits.parse().map_err(|_| format!("bad size '{s}'"))?;
     Ok((base * mult as f64).round() as u64)
 }
 
@@ -154,6 +173,28 @@ mod tests {
     fn sif_mode() {
         let cfg = parse_args(["--parallel_file_mode", "SIF"]).unwrap();
         assert_eq!(cfg.parallel_file_mode, FileMode::Sif);
+    }
+
+    #[test]
+    fn mif_zero_normalizes_at_parse_time() {
+        let cfg = parse_args(["--parallel_file_mode", "MIF", "0"]).unwrap();
+        assert_eq!(cfg.parallel_file_mode, FileMode::Mif(1));
+    }
+
+    #[test]
+    fn io_backend_flag_parses() {
+        let cfg = parse_args(["--io_backend", "agg:16"]).unwrap();
+        assert_eq!(cfg.io_backend, BackendSpec::Aggregated(16));
+        let cfg = parse_args(["--io_backend", "deferred"]).unwrap();
+        assert_eq!(cfg.io_backend, BackendSpec::Deferred(1));
+        assert!(parse_args(["--io_backend", "hdf5"]).is_err());
+    }
+
+    #[test]
+    fn usage_names_the_backend_selector() {
+        assert!(usage().contains("--io_backend"));
+        assert!(usage().contains("agg:<ratio>"));
+        assert!(usage().contains("deferred"));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! MACSio run configuration: the command-line surface of Table II.
 
+use io_engine::BackendSpec;
 use serde::{Deserialize, Serialize};
 
 /// Output interface (MACSio `--interface`).
@@ -37,7 +38,7 @@ impl Interface {
 }
 
 /// Parallel file mode (MACSio `--parallel_file_mode`).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum FileMode {
     /// Multiple Independent Files over `n` file groups; ranks in a group
     /// take turns (baton passing) appending to the group's file. With
@@ -48,12 +49,56 @@ pub enum FileMode {
 }
 
 impl FileMode {
+    /// The "one file group per rank" MIF mode (the paper's N-to-N
+    /// pattern): the group count clamps to `nprocs` at run time.
+    pub fn n_to_n() -> Self {
+        FileMode::Mif(usize::MAX)
+    }
+
+    /// A MIF mode with a *normalized* group count: zero (a count MACSio
+    /// itself rejects) becomes one group rather than a runtime surprise.
+    pub fn mif(n: usize) -> Self {
+        FileMode::Mif(n.max(1))
+    }
+
     /// Number of files per dump for a world of `nprocs` ranks.
     pub fn files_per_dump(&self, nprocs: usize) -> usize {
         match self {
             FileMode::Mif(n) => (*n).min(nprocs).max(1),
             FileMode::Sif => 1,
         }
+    }
+}
+
+// Hand-written serde: the default mode is `Mif(usize::MAX)` ("as many
+// groups as ranks"), and serializing the raw sentinel would bake a
+// platform-dependent integer into configs. The sentinel round-trips as
+// the symbolic string `"MifAll"` instead.
+impl Serialize for FileMode {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            FileMode::Sif => serde::Value::String("Sif".to_string()),
+            FileMode::Mif(n) if *n == usize::MAX => serde::Value::String("MifAll".to_string()),
+            FileMode::Mif(n) => {
+                serde::Value::Object(vec![("Mif".to_string(), serde::Serialize::to_value(n))])
+            }
+        }
+    }
+}
+
+impl Deserialize for FileMode {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        if let Some(s) = v.as_str() {
+            return match s {
+                "Sif" => Ok(FileMode::Sif),
+                "MifAll" => Ok(FileMode::n_to_n()),
+                other => Err(serde::Error::custom(format!("unknown file mode '{other}'"))),
+            };
+        }
+        if let Some(n) = v.get("Mif").and_then(serde::Value::as_u64) {
+            return Ok(FileMode::mif(n as usize));
+        }
+        Err(serde::Error::custom("expected FileMode"))
     }
 }
 
@@ -83,13 +128,15 @@ pub struct MacsioConfig {
     pub nprocs: usize,
     /// RNG seed for synthetic field data.
     pub seed: u64,
+    /// I/O backend the dumps write through (`--io_backend`).
+    pub io_backend: BackendSpec,
 }
 
 impl Default for MacsioConfig {
     fn default() -> Self {
         Self {
             interface: Interface::Miftmpl,
-            parallel_file_mode: FileMode::Mif(usize::MAX), // clamped to nprocs
+            parallel_file_mode: FileMode::n_to_n(),
             num_dumps: 10,
             part_size: 80_000,
             avg_num_parts: 1.0,
@@ -99,6 +146,7 @@ impl Default for MacsioConfig {
             dataset_growth: 1.0,
             nprocs: 1,
             seed: 0x4D_41_43, // "MAC"
+            io_backend: BackendSpec::default(),
         }
     }
 }
@@ -110,7 +158,10 @@ impl MacsioConfig {
     /// Panics on non-positive sizes, growth, or process count.
     pub fn validate(&self) {
         assert!(self.nprocs > 0, "MacsioConfig: nprocs must be positive");
-        assert!(self.part_size > 0, "MacsioConfig: part_size must be positive");
+        assert!(
+            self.part_size > 0,
+            "MacsioConfig: part_size must be positive"
+        );
         assert!(
             self.avg_num_parts > 0.0,
             "MacsioConfig: avg_num_parts must be positive"
@@ -149,12 +200,14 @@ impl MacsioConfig {
     }
 
     /// The equivalent `macsio` command line (for reports and job scripts).
+    /// The backend selector is appended only when it differs from the
+    /// default N-to-N path, keeping the paper's Listing 1 shape intact.
     pub fn command_line(&self) -> String {
         let mode = match self.parallel_file_mode {
             FileMode::Mif(n) => format!("MIF {}", n.min(self.nprocs)),
             FileMode::Sif => "SIF".to_string(),
         };
-        format!(
+        let mut line = format!(
             "jsrun -n {} macsio --interface {} --parallel_file_mode {} --num_dumps {} \
              --part_size {} --avg_num_parts {} --vars_per_part {} --compute_time {} \
              --meta_size {} --dataset_growth {}",
@@ -168,7 +221,11 @@ impl MacsioConfig {
             self.compute_time,
             self.meta_size,
             self.dataset_growth
-        )
+        );
+        if self.io_backend != BackendSpec::default() {
+            line.push_str(&format!(" --io_backend {}", self.io_backend.name()));
+        }
+        line
     }
 }
 
@@ -241,6 +298,49 @@ mod tests {
         assert!(cl.contains("--parallel_file_mode MIF 32"));
         assert!(cl.contains("--part_size 1550000"));
         assert!(cl.contains("--dataset_growth 1.013075"));
+    }
+
+    #[test]
+    fn file_mode_serde_round_trip_is_portable() {
+        use serde::{Deserialize as _, Serialize as _};
+        // The default N-to-N sentinel must not serialize a raw usize::MAX.
+        let default_mode = MacsioConfig::default().parallel_file_mode;
+        let v = default_mode.to_value();
+        assert_eq!(v.as_str(), Some("MifAll"), "symbolic, platform-portable");
+        assert_eq!(FileMode::from_value(&v).unwrap(), default_mode);
+        // Finite group counts and SIF round-trip exactly.
+        for mode in [FileMode::Mif(7), FileMode::Sif] {
+            assert_eq!(FileMode::from_value(&mode.to_value()).unwrap(), mode);
+        }
+    }
+
+    #[test]
+    fn default_config_serde_round_trip() {
+        use serde::{Deserialize as _, Serialize as _};
+        let cfg = MacsioConfig::default();
+        let back = MacsioConfig::from_value(&cfg.to_value()).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn mif_zero_normalizes_to_one() {
+        assert_eq!(FileMode::mif(0), FileMode::Mif(1));
+        assert_eq!(FileMode::mif(5), FileMode::Mif(5));
+        // Deserializing a zero count also normalizes.
+        use serde::Deserialize as _;
+        let v = serde::Value::Object(vec![(
+            "Mif".to_string(),
+            serde::Value::Number(serde::Number::PosInt(0)),
+        )]);
+        assert_eq!(FileMode::from_value(&v).unwrap(), FileMode::Mif(1));
+    }
+
+    #[test]
+    fn command_line_names_non_default_backend() {
+        let mut cfg = MacsioConfig::default();
+        assert!(!cfg.command_line().contains("--io_backend"));
+        cfg.io_backend = BackendSpec::Aggregated(8);
+        assert!(cfg.command_line().contains("--io_backend agg:8"));
     }
 
     #[test]

@@ -10,7 +10,8 @@
 use crate::config::{FileMode, MacsioConfig};
 use crate::marshal::{marshal_part, marshal_root};
 use crate::mesh::MeshPart;
-use iosim::{Burst, BurstTimeline, IoKey, IoKind, IoTracker, StorageModel, Vfs, WriteRequest};
+use io_engine::{IoBackend, Payload, Put};
+use iosim::{BurstScheduler, BurstTimeline, IoKey, IoKind, IoTracker, StorageModel, Vfs};
 use std::io;
 
 /// Predicted on-disk bytes of one rank's data file at dump `k`, without
@@ -29,10 +30,9 @@ pub fn predicted_rank_bytes(cfg: &MacsioConfig, rank: usize, dump: u32) -> u64 {
             crate::config::Interface::Miftmpl => part.payload_bytes(),
             // Text JSON width varies per value; approximate with the
             // measured mean width of the fixed {:.8e} format.
-            crate::config::Interface::Json => {
-                (part.payload_bytes() as f64 / 8.0 * crate::marshal::JSON_BYTES_PER_VALUE)
-                    .round() as u64
-            }
+            crate::config::Interface::Json => (part.payload_bytes() as f64 / 8.0
+                * crate::marshal::JSON_BYTES_PER_VALUE)
+                .round() as u64,
         };
     }
     bytes
@@ -62,7 +62,7 @@ pub struct MacsioReport {
     pub wall_time: f64,
 }
 
-/// Runs MACSio.
+/// Runs MACSio through the backend named in `cfg.io_backend`.
 ///
 /// Tracker keys use `step = dump + 1` (matching the AMR side's 1-based
 /// output counter), `level = 0` (MACSio has no level concept — the paper's
@@ -73,9 +73,26 @@ pub fn run(
     tracker: &IoTracker,
     storage: Option<&StorageModel>,
 ) -> io::Result<MacsioReport> {
+    let mut backend = cfg.io_backend.build(vfs, tracker);
+    run_with_backend(cfg, backend.as_mut(), storage)
+}
+
+/// Runs MACSio through an explicit [`IoBackend`].
+///
+/// The MIF/SIF grouping of Fig. 3 shapes the *logical* file paths (which
+/// ranks share a group file); the backend then decides the physical
+/// layout — pass-through (file-per-process), BP-style aggregation, or
+/// deferred burst-buffer staging — and the storage clock advances under
+/// the matching [`BurstScheduler`] policy.
+pub fn run_with_backend(
+    cfg: &MacsioConfig,
+    backend: &mut dyn IoBackend,
+    storage: Option<&StorageModel>,
+) -> io::Result<MacsioReport> {
     cfg.validate();
     let mut report = MacsioReport::default();
     let mut clock = 0.0f64;
+    let mut scheduler = storage.map(|m| BurstScheduler::new(m, backend.overlapped()));
 
     // Global part ids: prefix sums of per-rank part counts.
     let parts_per_rank: Vec<usize> = (0..cfg.nprocs).map(|r| cfg.parts_of_rank(r)).collect();
@@ -88,6 +105,7 @@ pub fn run(
         clock += cfg.compute_time;
         let nominal = cfg.grown_part_size(dump);
         let step_key = dump + 1;
+        backend.begin_step(step_key, "/");
 
         // Marshal per-rank payloads.
         let mut rank_blobs: Vec<Vec<u8>> = Vec::with_capacity(cfg.nprocs);
@@ -104,11 +122,10 @@ pub fn run(
             rank_blobs.push(blob);
         }
 
-        // Group ranks into files.
+        // Group ranks into logical files; ranks in a group submit in baton
+        // order, so the backend coalesces their chunks contiguously.
         let nfiles = cfg.parallel_file_mode.files_per_dump(cfg.nprocs);
         let group_size = cfg.nprocs.div_ceil(nfiles);
-        let mut dump_bytes = 0u64;
-        let mut requests: Vec<WriteRequest> = Vec::new();
         for group in 0..nfiles {
             let ranks = (group * group_size)..((group + 1) * group_size).min(cfg.nprocs);
             if ranks.is_empty() {
@@ -118,69 +135,51 @@ pub fn run(
                 FileMode::Sif => format!("/macsio_json_{dump:03}.json"),
                 FileMode::Mif(_) => format!("/macsio_json_{group:05}_{dump:03}.json"),
             };
-            let mut content = Vec::new();
-            for rank in ranks.clone() {
-                tracker.record(
-                    IoKey {
+            for rank in ranks {
+                backend.put(Put {
+                    key: IoKey {
                         step: step_key,
                         level: 0,
                         task: rank as u32,
                     },
-                    IoKind::Data,
-                    rank_blobs[rank].len() as u64,
-                );
-                content.extend_from_slice(&rank_blobs[rank]);
+                    kind: IoKind::Data,
+                    path: path.clone(),
+                    payload: Payload::Bytes(std::mem::take(&mut rank_blobs[rank])),
+                })?;
             }
-            let bytes = vfs.write_file(&path, &content)? as u64;
-            dump_bytes += bytes;
-            report.files_written += 1;
-            // Baton passing serializes a group; model the group file as a
-            // single request issued by its first rank.
-            requests.push(WriteRequest {
-                rank: ranks.start,
-                path,
-                bytes,
-                start: clock,
-            });
         }
 
         // Root metadata file (rank 0).
         let root = marshal_root(dump, cfg.nprocs, &parts_per_rank, cfg.meta_size);
-        let root_path = format!("/macsio_json_root_{dump:03}.json");
-        let root_bytes = vfs.write_file(&root_path, &root)? as u64;
-        tracker.record(
-            IoKey {
+        backend.put(Put {
+            key: IoKey {
                 step: step_key,
                 level: 0,
                 task: 0,
             },
-            IoKind::Metadata,
-            root_bytes,
-        );
-        dump_bytes += root_bytes;
-        report.files_written += 1;
-        requests.push(WriteRequest {
-            rank: 0,
-            path: root_path,
-            bytes: root_bytes,
-            start: clock,
-        });
+            kind: IoKind::Metadata,
+            path: format!("/macsio_json_root_{dump:03}.json"),
+            payload: Payload::Bytes(root),
+        })?;
+
+        let mut stats = backend.end_step()?;
+        report.files_written += stats.files;
 
         // Timing.
-        if let Some(model) = storage {
-            let burst = model.simulate_burst(&requests);
-            report.timeline.push(Burst {
-                step: step_key,
-                t_start: clock,
-                t_end: burst.t_end,
-                bytes: dump_bytes,
-            });
-            clock = burst.t_end; // barrier at dump end
+        if let Some(sched) = scheduler.as_mut() {
+            let (burst, next_clock) =
+                sched.submit(step_key, clock, &mut stats.requests, stats.bytes);
+            report.timeline.push(burst);
+            clock = next_clock;
         }
-        report.bytes_per_dump.push(dump_bytes);
-        report.total_bytes += dump_bytes;
+        report.bytes_per_dump.push(stats.bytes);
+        report.total_bytes += stats.bytes;
     }
-    report.wall_time = clock;
+    backend.close()?;
+    report.wall_time = match &scheduler {
+        Some(sched) => sched.finish(clock),
+        None => clock,
+    };
     Ok(report)
 }
 
@@ -253,9 +252,7 @@ mod tests {
         let tracker = IoTracker::new();
         let report = run(&cfg, &fs, &tracker, None).unwrap();
         assert_eq!(report.files_written, 6); // 1 data + 1 root, 3 dumps
-        assert!(fs
-            .list("/")
-            .contains(&"/macsio_json_000.json".to_string()));
+        assert!(fs.list("/").contains(&"/macsio_json_000.json".to_string()));
     }
 
     #[test]
@@ -267,7 +264,7 @@ mod tests {
         let tracker = IoTracker::new();
         let report = run(&cfg, &fs, &tracker, None).unwrap();
         assert_eq!(report.files_written, 9); // 2 data + 1 root per dump
-        // All 8 ranks still accounted in the tracker.
+                                             // All 8 ranks still accounted in the tracker.
         assert_eq!(tracker.bytes_per_task(1, 0).len(), 8);
     }
 

@@ -30,8 +30,8 @@ pub mod dump;
 pub mod marshal;
 pub mod mesh;
 
-pub use cli::parse_args;
+pub use cli::{parse_args, usage};
 pub use config::{FileMode, Interface, MacsioConfig};
-pub use dump::{run, MacsioReport};
+pub use dump::{run, run_with_backend, MacsioReport};
 pub use marshal::{marshal_part, marshal_root};
 pub use mesh::MeshPart;

@@ -96,12 +96,7 @@ fn marshal_json(part: &MeshPart, dump: u32) -> Vec<u8> {
 
 /// Root (per-dump) metadata file content: run description, part table,
 /// and `meta_size` bytes of filler per task.
-pub fn marshal_root(
-    dump: u32,
-    nprocs: usize,
-    parts_per_rank: &[usize],
-    meta_size: u64,
-) -> Vec<u8> {
+pub fn marshal_root(dump: u32, nprocs: usize, parts_per_rank: &[usize], meta_size: u64) -> Vec<u8> {
     let root = json!({
         "macsio_root": {
             "dump": dump,
@@ -199,8 +194,7 @@ mod tests {
         let a = marshal_root(0, 4, &[1, 1, 1, 1], 0);
         let b = marshal_root(0, 4, &[1, 1, 1, 1], 100);
         assert_eq!(b.len(), a.len() + 400);
-        let parsed: serde_json::Value =
-            serde_json::from_slice(&a).unwrap();
+        let parsed: serde_json::Value = serde_json::from_slice(&a).unwrap();
         assert_eq!(parsed["macsio_root"]["nprocs"], 4);
     }
 }

@@ -1,0 +1,196 @@
+//! Backend-equivalence properties: the three I/O backends must agree on
+//! the workload's byte accounting at the paper's `(step, level, task)`
+//! granularity, while the aggregated backend strictly reduces the file
+//! count and the deferred backend strictly reduces timed wall-clock.
+
+use io_engine::BackendSpec;
+use iosim::{IoTracker, MemFs, StorageModel, Vfs};
+use macsio::{FileMode, MacsioConfig};
+use proptest::prelude::*;
+
+fn run_with(cfg: &MacsioConfig, backend: BackendSpec) -> (MemFs, IoTracker, macsio::MacsioReport) {
+    let cfg = MacsioConfig {
+        io_backend: backend,
+        ..cfg.clone()
+    };
+    let fs = MemFs::new();
+    let tracker = IoTracker::new();
+    let report = macsio::run(&cfg, &fs, &tracker, None).expect("macsio run");
+    (fs, tracker, report)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The tracker's export — every `(step, level, task, kind)` record —
+    /// is byte-identical across the three backends for the same workload.
+    #[test]
+    fn tracker_totals_are_backend_invariant(
+        nprocs in 1usize..10,
+        dumps in 1u32..5,
+        part_size in 1_000u64..60_000,
+        vars in 1usize..3,
+        ratio in 1usize..6,
+        workers in 1usize..3,
+    ) {
+        let cfg = MacsioConfig {
+            nprocs,
+            num_dumps: dumps,
+            part_size,
+            vars_per_part: vars,
+            parallel_file_mode: FileMode::Mif(nprocs),
+            ..Default::default()
+        };
+        let (_, t_fpp, _) = run_with(&cfg, BackendSpec::FilePerProcess);
+        let (_, t_agg, _) = run_with(&cfg, BackendSpec::Aggregated(ratio));
+        let (_, t_def, _) = run_with(&cfg, BackendSpec::Deferred(workers));
+
+        let fpp = t_fpp.export();
+        prop_assert!(!fpp.is_empty());
+        prop_assert_eq!(&fpp, &t_agg.export(),
+            "aggregated tracker must match file-per-process");
+        prop_assert_eq!(&fpp, &t_def.export(),
+            "deferred tracker must match file-per-process");
+    }
+
+    /// Physical bytes on the filesystem: deferred equals file-per-process
+    /// exactly (same layout, different timing); aggregated adds only its
+    /// index-table overhead on top of the same payload bytes.
+    #[test]
+    fn physical_bytes_differ_only_by_declared_overhead(
+        nprocs in 1usize..8,
+        dumps in 1u32..4,
+        part_size in 1_000u64..40_000,
+        ratio in 1usize..5,
+    ) {
+        let cfg = MacsioConfig {
+            nprocs,
+            num_dumps: dumps,
+            part_size,
+            parallel_file_mode: FileMode::Mif(nprocs),
+            ..Default::default()
+        };
+        let (fs_fpp, _, r_fpp) = run_with(&cfg, BackendSpec::FilePerProcess);
+        let (fs_def, _, r_def) = run_with(&cfg, BackendSpec::Deferred(1));
+        let (fs_agg, t_agg, r_agg) = run_with(&cfg, BackendSpec::Aggregated(ratio));
+
+        prop_assert_eq!(fs_fpp.total_bytes(), fs_def.total_bytes());
+        prop_assert_eq!(r_fpp.total_bytes, r_def.total_bytes);
+        // Aggregated payload = tracker bytes; physical = payload + index.
+        let payload = t_agg.total_bytes();
+        prop_assert_eq!(payload, fs_fpp.total_bytes());
+        prop_assert!(fs_agg.total_bytes() >= payload);
+        prop_assert_eq!(r_agg.total_bytes, fs_agg.total_bytes());
+    }
+
+    /// Aggregation strictly reduces the file count whenever the ratio
+    /// exceeds one (and never increases it otherwise).
+    #[test]
+    fn aggregation_reduces_file_count(
+        nprocs in 2usize..12,
+        ratio in 2usize..6,
+        dumps in 1u32..4,
+    ) {
+        let cfg = MacsioConfig {
+            nprocs,
+            num_dumps: dumps,
+            part_size: 4_000,
+            parallel_file_mode: FileMode::Mif(nprocs),
+            ..Default::default()
+        };
+        let (_, _, r_fpp) = run_with(&cfg, BackendSpec::FilePerProcess);
+        let (_, _, r_agg) = run_with(&cfg, BackendSpec::Aggregated(ratio));
+        // fpp: nprocs data files + 1 root per dump.
+        prop_assert_eq!(r_fpp.files_written, (nprocs as u64 + 1) * dumps as u64);
+        // agg: ceil(nprocs/ratio) aggregators + 1 index per dump.
+        let aggs = nprocs.div_ceil(ratio) as u64;
+        prop_assert_eq!(r_agg.files_written, (aggs + 1) * dumps as u64);
+        prop_assert!(r_agg.files_written < r_fpp.files_written);
+    }
+}
+
+/// Unit check of the acceptance criterion: one step of an aggregated run
+/// creates exactly `aggregators + 1` files.
+#[test]
+fn files_equal_aggregators_plus_one_per_step() {
+    let cfg = MacsioConfig {
+        nprocs: 16,
+        num_dumps: 1,
+        part_size: 2_000,
+        parallel_file_mode: FileMode::Mif(16),
+        io_backend: BackendSpec::Aggregated(4),
+        ..Default::default()
+    };
+    let fs = MemFs::new();
+    let tracker = IoTracker::new();
+    let report = macsio::run(&cfg, &fs, &tracker, None).unwrap();
+    assert_eq!(report.files_written, 4 + 1, "4 aggregators + 1 index");
+    assert_eq!(fs.nfiles(), 5);
+    let files = fs.list("/");
+    assert!(files.iter().any(|f| f.ends_with("md.idx")), "{files:?}");
+}
+
+/// The deferred backend's overlapped drains finish the same byte volume
+/// in less simulated wall-clock than the synchronous N-to-N path.
+#[test]
+fn deferred_overlap_beats_fpp_wall_clock() {
+    let cfg = MacsioConfig {
+        nprocs: 8,
+        num_dumps: 6,
+        part_size: 500_000,
+        compute_time: 2.0,
+        parallel_file_mode: FileMode::Mif(8),
+        ..Default::default()
+    };
+    let storage = StorageModel::ideal(2, 1e6);
+    let run = |backend| {
+        let cfg = MacsioConfig {
+            io_backend: backend,
+            ..cfg.clone()
+        };
+        let fs = MemFs::with_retention(0);
+        let tracker = IoTracker::new();
+        let report = macsio::run(&cfg, &fs, &tracker, Some(&storage)).unwrap();
+        (report.wall_time, tracker.total_bytes())
+    };
+    let (fpp_wall, fpp_bytes) = run(BackendSpec::FilePerProcess);
+    let (def_wall, def_bytes) = run(BackendSpec::Deferred(1));
+    assert_eq!(fpp_bytes, def_bytes, "same byte volume");
+    assert!(
+        def_wall < fpp_wall,
+        "deferred {def_wall:.2}s must beat fpp {fpp_wall:.2}s"
+    );
+    // With compute phases longer than drains, nearly all I/O hides behind
+    // compute: deferred wall approaches pure compute + one trailing drain.
+    let compute_total = 6.0 * 2.0;
+    assert!(def_wall < fpp_wall - 0.5 && def_wall >= compute_total);
+}
+
+/// Aggregation pays fewer metadata round trips: with per-file creation
+/// latency dominating small writes, the aggregated burst is faster.
+#[test]
+fn aggregation_speeds_up_metadata_bound_bursts() {
+    let cfg = MacsioConfig {
+        nprocs: 64,
+        num_dumps: 2,
+        part_size: 1_000,
+        parallel_file_mode: FileMode::Mif(64),
+        ..Default::default()
+    };
+    let mut storage = StorageModel::ideal(4, 1e9);
+    storage.metadata_latency = 0.05;
+    let run = |backend| {
+        let cfg = MacsioConfig {
+            io_backend: backend,
+            ..cfg.clone()
+        };
+        let fs = MemFs::with_retention(0);
+        let tracker = IoTracker::new();
+        macsio::run(&cfg, &fs, &tracker, Some(&storage))
+            .unwrap()
+            .wall_time
+    };
+    let fpp = run(BackendSpec::FilePerProcess);
+    let agg = run(BackendSpec::Aggregated(16));
+    assert!(agg < fpp, "agg {agg:.3}s must beat fpp {fpp:.3}s");
+}

@@ -7,14 +7,14 @@ use proptest::prelude::*;
 fn arb_config() -> impl Strategy<Value = MacsioConfig> {
     (
         prop_oneof![Just(Interface::Miftmpl), Just(Interface::Json)],
-        1usize..64,                // nprocs
+        1usize..64, // nprocs
         prop_oneof![(1usize..64).prop_map(FileMode::Mif), Just(FileMode::Sif)],
-        1u32..50,                  // num_dumps
-        1u64..10_000_000,          // part_size
-        1u32..4,                   // avg parts (whole, to survive text round trip)
-        1usize..5,                 // vars
-        0u64..10_000,              // meta
-        0.99f64..1.05,             // growth (printed in full precision)
+        1u32..50,         // num_dumps
+        1u64..10_000_000, // part_size
+        1u32..4,          // avg parts (whole, to survive text round trip)
+        1usize..5,        // vars
+        0u64..10_000,     // meta
+        0.99f64..1.05,    // growth (printed in full precision)
     )
         .prop_map(
             |(interface, nprocs, mode, dumps, part, avg, vars, meta, growth)| MacsioConfig {
@@ -29,6 +29,7 @@ fn arb_config() -> impl Strategy<Value = MacsioConfig> {
                 dataset_growth: growth,
                 nprocs,
                 seed: MacsioConfig::default().seed,
+                io_backend: MacsioConfig::default().io_backend,
             },
         )
 }

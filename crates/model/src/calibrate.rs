@@ -169,6 +169,7 @@ mod tests {
             dataset_growth: 1.0,
             nprocs,
             seed: 1,
+            io_backend: Default::default(),
         }
     }
 

@@ -21,10 +21,12 @@ pub mod regression;
 pub mod samples;
 pub mod translate;
 
-pub use calibrate::{calibrate_growth, calibrate_two_parameter, predicted_series, Calibration, Evaluation};
+pub use calibrate::{
+    calibrate_growth, calibrate_two_parameter, predicted_series, Calibration, Evaluation,
+};
 pub use metrics::{final_rel_err, mape, rmse};
-pub use predict::{GrowthPredictor, Observation};
 pub use partsize::{fit_f, part_size, Case4Constant, PAPER_F_RANGE};
+pub use predict::{GrowthPredictor, Observation};
 pub use regression::{linear_fit, powerlaw_fit, LinearFit};
 pub use samples::{Sample, XySeries};
 pub use translate::{default_growth_guess, translate, AmrInputs, TranslationModel};

@@ -113,11 +113,7 @@ impl GrowthPredictor {
     /// paper's plausible band `[0.99, 1.10]`).
     pub fn predict_growth(&self, cfl: f64, max_level: usize, n_cell: i64) -> f64 {
         let x = features(cfl, max_level, n_cell);
-        let raw: f64 = x
-            .iter()
-            .zip(&self.growth_coefs)
-            .map(|(a, b)| a * b)
-            .sum();
+        let raw: f64 = x.iter().zip(&self.growth_coefs).map(|(a, b)| a * b).sum();
         raw.clamp(0.99, 1.10)
     }
 
@@ -135,9 +131,7 @@ impl GrowthPredictor {
         }
         observations
             .iter()
-            .map(|o| {
-                (self.predict_growth(o.cfl, o.max_level, o.n_cell) - o.dataset_growth).abs()
-            })
+            .map(|o| (self.predict_growth(o.cfl, o.max_level, o.n_cell) - o.dataset_growth).abs())
             .sum::<f64>()
             / observations.len() as f64
     }

@@ -73,6 +73,7 @@ pub fn translate(inputs: &AmrInputs, model: &TranslationModel) -> MacsioConfig {
         dataset_growth: model.dataset_growth,
         nprocs: inputs.nprocs,
         seed: 0x4D_41_43,
+        io_backend: Default::default(),
     }
 }
 

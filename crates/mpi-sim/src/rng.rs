@@ -10,8 +10,7 @@ use rand::SeedableRng;
 /// Mixes a global seed with a rank id into an independent 64-bit seed
 /// (SplitMix64 finalizer, which decorrelates consecutive ranks).
 pub fn rank_seed(global_seed: u64, rank: usize) -> u64 {
-    let mut z = global_seed
-        .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(rank as u64 + 1));
+    let mut z = global_seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(rank as u64 + 1));
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)

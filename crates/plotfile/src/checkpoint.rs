@@ -98,8 +98,7 @@ pub fn account_checkpoint(tracker: &IoTracker, spec: &CheckpointSpec) -> Checkpo
 
     for (lev, level) in spec.levels.iter().enumerate() {
         let lev_dir = format!("{}/Level_{}", spec.dir, lev);
-        let mut fabs_on_disk: Vec<Option<FabOnDisk>> =
-            (0..level.ba.len()).map(|_| None).collect();
+        let mut fabs_on_disk: Vec<Option<FabOnDisk>> = (0..level.ba.len()).map(|_| None).collect();
         for rank in 0..nranks {
             let my_boxes = level.dm.boxes_of(rank);
             if my_boxes.is_empty() {

@@ -174,21 +174,15 @@ pub fn cell_h(
 /// in size and structure.
 pub fn job_info(nprocs: usize, step: u64, time: f64, inputs: &[(String, String)]) -> String {
     let mut s = String::with_capacity(1024);
-    s.push_str(
-        "==============================================================================\n",
-    );
+    s.push_str("==============================================================================\n");
     s.push_str(" Castro Job Information (amr-proxy-io reproduction)\n");
-    s.push_str(
-        "==============================================================================\n",
-    );
+    s.push_str("==============================================================================\n");
     let _ = writeln!(s, "number of MPI processes: {nprocs}");
     let _ = writeln!(s, "output step: {step}");
     let _ = writeln!(s, "simulation time: {time:.12e}");
     s.push('\n');
     s.push_str(" Inputs File Parameters\n");
-    s.push_str(
-        "==============================================================================\n",
-    );
+    s.push_str("==============================================================================\n");
     for (k, v) in inputs {
         let _ = writeln!(s, "{k} = {v}");
     }

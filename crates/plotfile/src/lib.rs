@@ -22,8 +22,15 @@ pub mod format;
 pub mod sizer;
 pub mod writer;
 
-pub use checkpoint::{account_checkpoint, checkpoint_header, CheckpointLevel, CheckpointSpec, CheckpointStats};
-pub use format::{castro_sedov_plot_vars, cell_h, fab_header, format_box, job_info,
-                 plotfile_header, FabOnDisk, HeaderLevel};
-pub use sizer::{account_plotfile, LayoutLevel, PlotfileLayout};
-pub use writer::{expected_payload_bytes, write_plotfile, PlotLevel, PlotfileSpec, PlotfileStats};
+pub use checkpoint::{
+    account_checkpoint, checkpoint_header, CheckpointLevel, CheckpointSpec, CheckpointStats,
+};
+pub use format::{
+    castro_sedov_plot_vars, cell_h, fab_header, format_box, job_info, plotfile_header, FabOnDisk,
+    HeaderLevel,
+};
+pub use sizer::{account_plotfile, account_plotfile_with, LayoutLevel, PlotfileLayout};
+pub use writer::{
+    expected_payload_bytes, write_plotfile, write_plotfile_with, PlotLevel, PlotfileSpec,
+    PlotfileStats,
+};

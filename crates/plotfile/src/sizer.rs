@@ -11,7 +11,8 @@
 use crate::format::{cell_h, fab_header, job_info, plotfile_header, FabOnDisk, HeaderLevel};
 use crate::writer::PlotfileStats;
 use amr_mesh::{BoxArray, DistributionMapping, Geometry};
-use iosim::{IoKey, IoKind, IoTracker, WriteRequest};
+use io_engine::{FilePerProcess, IoBackend, Payload, Put};
+use iosim::{IoKey, IoKind, IoTracker, MemFs, Vfs};
 
 /// One level described by layout only (no data).
 pub struct LayoutLevel {
@@ -47,16 +48,42 @@ pub struct PlotfileLayout {
 /// for `layout`, recording into `tracker` and returning the same stats —
 /// without allocating any payload.
 pub fn account_plotfile(tracker: &IoTracker, layout: &PlotfileLayout) -> PlotfileStats {
+    let fs = MemFs::with_retention(0);
+    let mut backend = FilePerProcess::new(&fs as &dyn Vfs, tracker);
+    account_plotfile_with(&mut backend, layout)
+}
+
+/// Accounts one plotfile dump through an [`IoBackend`] using size-only
+/// payloads: the backend keeps its physical layout, file-count, and
+/// request accounting (aggregation, deferred staging) but performs no
+/// writes, so oracle-scale dumps cost no memory.
+pub fn account_plotfile_with(
+    backend: &mut dyn IoBackend,
+    layout: &PlotfileLayout,
+) -> PlotfileStats {
     assert!(!layout.levels.is_empty(), "account_plotfile: no levels");
-    let mut stats = PlotfileStats::default();
+    backend.begin_step(layout.output_counter, &layout.dir);
     let nranks = layout.levels[0].dm.nranks();
     let ncomp = layout.var_names.len();
+    let put = |backend: &mut dyn IoBackend, level: u32, task: u32, kind, path: String, bytes| {
+        backend
+            .put(Put {
+                key: IoKey {
+                    step: layout.output_counter,
+                    level,
+                    task,
+                },
+                kind,
+                path,
+                payload: Payload::Size(bytes),
+            })
+            .expect("size-only puts cannot fail");
+    };
 
     for (lev, level) in layout.levels.iter().enumerate() {
         let lev_dir = format!("{}/Level_{}", layout.dir, lev);
         // Per-rank Cell_D sizes.
-        let mut fabs_on_disk: Vec<Option<FabOnDisk>> =
-            (0..level.ba.len()).map(|_| None).collect();
+        let mut fabs_on_disk: Vec<Option<FabOnDisk>> = (0..level.ba.len()).map(|_| None).collect();
         for rank in 0..nranks {
             let my_boxes = level.dm.boxes_of(rank);
             if my_boxes.is_empty() {
@@ -74,23 +101,7 @@ pub fn account_plotfile(tracker: &IoTracker, layout: &PlotfileLayout) -> Plotfil
                 bytes += fab_header(&valid, ncomp).len() as u64;
                 bytes += valid.num_pts() as u64 * ncomp as u64 * 8;
             }
-            tracker.record(
-                IoKey {
-                    step: layout.output_counter,
-                    level: lev as u32,
-                    task: rank as u32,
-                },
-                IoKind::Data,
-                bytes,
-            );
-            stats.total_bytes += bytes;
-            stats.nfiles += 1;
-            stats.requests.push(WriteRequest {
-                rank,
-                path,
-                bytes,
-                start: 0.0,
-            });
+            put(backend, lev as u32, rank as u32, IoKind::Data, path, bytes);
         }
 
         // Cell_H with zero min/max placeholders (size-representative).
@@ -101,24 +112,14 @@ pub fn account_plotfile(tracker: &IoTracker, layout: &PlotfileLayout) -> Plotfil
             .collect();
         let zeros = vec![vec![0.0; ncomp]; boxes.len()];
         let content = cell_h(ncomp, &boxes, &fods, &zeros, &zeros);
-        let bytes = content.len() as u64;
-        tracker.record(
-            IoKey {
-                step: layout.output_counter,
-                level: lev as u32,
-                task: 0,
-            },
+        put(
+            backend,
+            lev as u32,
+            0,
             IoKind::Metadata,
-            bytes,
+            format!("{lev_dir}/Cell_H"),
+            content.len() as u64,
         );
-        stats.total_bytes += bytes;
-        stats.nfiles += 1;
-        stats.requests.push(WriteRequest {
-            rank: 0,
-            path: format!("{lev_dir}/Cell_H"),
-            bytes,
-            start: 0.0,
-        });
     }
 
     // Header + job_info.
@@ -131,7 +132,12 @@ pub fn account_plotfile(tracker: &IoTracker, layout: &PlotfileLayout) -> Plotfil
             level_steps: l.level_steps,
         })
         .collect();
-    let header = plotfile_header(&layout.var_names, layout.time, &header_levels, layout.ref_ratio);
+    let header = plotfile_header(
+        &layout.var_names,
+        layout.time,
+        &header_levels,
+        layout.ref_ratio,
+    );
     let ji = job_info(
         nranks,
         layout.levels[0].level_steps,
@@ -139,26 +145,21 @@ pub fn account_plotfile(tracker: &IoTracker, layout: &PlotfileLayout) -> Plotfil
         &layout.inputs,
     );
     for (name, content) in [("Header", header), ("job_info", ji)] {
-        let bytes = content.len() as u64;
-        tracker.record(
-            IoKey {
-                step: layout.output_counter,
-                level: 0,
-                task: 0,
-            },
+        put(
+            backend,
+            0,
+            0,
             IoKind::Metadata,
-            bytes,
+            format!("{}/{}", layout.dir, name),
+            content.len() as u64,
         );
-        stats.total_bytes += bytes;
-        stats.nfiles += 1;
-        stats.requests.push(WriteRequest {
-            rank: 0,
-            path: format!("{}/{}", layout.dir, name),
-            bytes,
-            start: 0.0,
-        });
     }
-    stats
+    let step = backend.end_step().expect("size-only steps cannot fail");
+    PlotfileStats {
+        total_bytes: step.bytes,
+        nfiles: step.files,
+        requests: step.requests,
+    }
 }
 
 #[cfg(test)]
@@ -264,11 +265,7 @@ mod tests {
         let per_task = tracker.bytes_per_task(2, 0);
         #[allow(clippy::needless_range_loop)] // rank indexes two parallel views
         for rank in 0..3 {
-            let cells: i64 = dm
-                .boxes_of(rank)
-                .iter()
-                .map(|&i| ba.get(i).num_pts())
-                .sum();
+            let cells: i64 = dm.boxes_of(rank).iter().map(|&i| ba.get(i).num_pts()).sum();
             if cells == 0 {
                 assert_eq!(per_task[rank], 0);
             } else {

@@ -7,11 +7,10 @@
 //! Every byte goes through a [`Vfs`] and is recorded in an [`IoTracker`]
 //! under the `(step, level, task)` key the model consumes.
 
-use crate::format::{
-    cell_h, fab_header, job_info, plotfile_header, FabOnDisk, HeaderLevel,
-};
+use crate::format::{cell_h, fab_header, job_info, plotfile_header, FabOnDisk, HeaderLevel};
 use amr_mesh::{Geometry, MultiFab};
 use bytes::{BufMut, BytesMut};
+use io_engine::{FilePerProcess, IoBackend, Payload, Put};
 use iosim::{IoKey, IoKind, IoTracker, Vfs, WriteRequest};
 use std::io;
 
@@ -58,23 +57,38 @@ pub struct PlotfileStats {
 
 /// Writes one plotfile dump through `vfs`, recording into `tracker`.
 ///
-/// The tracker `task` for data files is the owning rank; metadata is
-/// attributed to rank 0, which is the AMReX I/O processor.
+/// Convenience wrapper over [`write_plotfile_with`] using the
+/// [`FilePerProcess`] backend — byte-identical to the workspace's
+/// original N-to-N writer.
 pub fn write_plotfile(
     vfs: &dyn Vfs,
     tracker: &IoTracker,
     spec: &PlotfileSpec<'_>,
 ) -> io::Result<PlotfileStats> {
+    let mut backend = FilePerProcess::new(vfs, tracker);
+    write_plotfile_with(&mut backend, spec)
+}
+
+/// Writes one plotfile dump through an [`IoBackend`].
+///
+/// The tracker `task` for data files is the owning rank; metadata is
+/// attributed to rank 0, which is the AMReX I/O processor. The backend
+/// decides the physical layout (N-to-N, aggregated subfiles, deferred
+/// staging); the returned stats reflect the physical files it created.
+pub fn write_plotfile_with(
+    backend: &mut dyn IoBackend,
+    spec: &PlotfileSpec<'_>,
+) -> io::Result<PlotfileStats> {
     assert!(!spec.levels.is_empty(), "write_plotfile: no levels");
-    let mut stats = PlotfileStats::default();
-    vfs.create_dir_all(&spec.dir)?;
+    backend.begin_step(spec.output_counter, &spec.dir);
+    backend.create_dir_all(&spec.dir)?;
 
     let nranks = spec.levels[0].mf.distribution_map().nranks();
 
     // --- Per-level data and Cell_H metadata -----------------------------
     for (lev, level) in spec.levels.iter().enumerate() {
         let lev_dir = format!("{}/Level_{}", spec.dir, lev);
-        vfs.create_dir_all(&lev_dir)?;
+        backend.create_dir_all(&lev_dir)?;
         let mf = level.mf;
         let ncomp = spec.var_names.len();
 
@@ -110,24 +124,16 @@ pub fn write_plotfile(
                     offset,
                 });
             }
-            let bytes = vfs.write_file(&path, &buf)? as u64;
-            tracker.record(
-                IoKey {
+            backend.put(Put {
+                key: IoKey {
                     step: spec.output_counter,
                     level: lev as u32,
                     task: rank as u32,
                 },
-                IoKind::Data,
-                bytes,
-            );
-            stats.total_bytes += bytes;
-            stats.nfiles += 1;
-            stats.requests.push(WriteRequest {
-                rank,
+                kind: IoKind::Data,
                 path,
-                bytes,
-                start: 0.0,
-            });
+                payload: Payload::Bytes(buf.into_vec()),
+            })?;
         }
 
         // Cell_H: box list, fab table, per-grid min/max of each variable.
@@ -151,25 +157,16 @@ pub fn write_plotfile(
             maxs.push(mx);
         }
         let cell_h_content = cell_h(ncomp, &boxes, &fods, &mins, &maxs);
-        let path = format!("{lev_dir}/Cell_H");
-        let bytes = vfs.write_file(&path, cell_h_content.as_bytes())? as u64;
-        tracker.record(
-            IoKey {
+        backend.put(Put {
+            key: IoKey {
                 step: spec.output_counter,
                 level: lev as u32,
                 task: 0,
             },
-            IoKind::Metadata,
-            bytes,
-        );
-        stats.total_bytes += bytes;
-        stats.nfiles += 1;
-        stats.requests.push(WriteRequest {
-            rank: 0,
-            path,
-            bytes,
-            start: 0.0,
-        });
+            kind: IoKind::Metadata,
+            path: format!("{lev_dir}/Cell_H"),
+            payload: Payload::Bytes(cell_h_content.into_bytes()),
+        })?;
     }
 
     // --- Top-level Header and job_info ----------------------------------
@@ -187,35 +184,27 @@ pub fn write_plotfile(
         ("Header", header),
         (
             "job_info",
-            job_info(
-                nranks,
-                spec.levels[0].level_steps,
-                spec.time,
-                &spec.inputs,
-            ),
+            job_info(nranks, spec.levels[0].level_steps, spec.time, &spec.inputs),
         ),
     ] {
-        let path = format!("{}/{}", spec.dir, name);
-        let bytes = vfs.write_file(&path, content.as_bytes())? as u64;
-        tracker.record(
-            IoKey {
+        backend.put(Put {
+            key: IoKey {
                 step: spec.output_counter,
                 level: 0,
                 task: 0,
             },
-            IoKind::Metadata,
-            bytes,
-        );
-        stats.total_bytes += bytes;
-        stats.nfiles += 1;
-        stats.requests.push(WriteRequest {
-            rank: 0,
-            path,
-            bytes,
-            start: 0.0,
-        });
+            kind: IoKind::Metadata,
+            path: format!("{}/{}", spec.dir, name),
+            payload: Payload::Bytes(content.into_bytes()),
+        })?;
     }
-    Ok(stats)
+
+    let step = backend.end_step()?;
+    Ok(PlotfileStats {
+        total_bytes: step.bytes,
+        nfiles: step.files,
+        requests: step.requests,
+    })
 }
 
 /// Expected payload bytes for a level: `cells * vars * 8` — the headerless

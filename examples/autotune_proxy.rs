@@ -92,5 +92,8 @@ fn main() {
     let report = macsio::run(&cfg, &fs, &tracker, Some(&storage)).expect("proxy run");
     println!("\ntuned proxy invocation:\n  {}", cfg.command_line());
     println!("\nDarshan-style characterization of the tuned proxy:");
-    print!("{}", characterize(&tracker, Some(&report.timeline)).render());
+    print!(
+        "{}",
+        characterize(&tracker, Some(&report.timeline)).render()
+    );
 }

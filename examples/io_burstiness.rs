@@ -27,8 +27,11 @@ fn main() {
         "{:>14} {:>10} {:>12} {:>14} {:>12}",
         "storage", "bursts", "duty cycle", "peak BW (GB/s)", "burstiness"
     );
-    for (label, scale) in [("summit 1/77", 1.0 / 77.0), ("summit 1/9", 1.0 / 9.0), ("summit full", 1.0)]
-    {
+    for (label, scale) in [
+        ("summit 1/77", 1.0 / 77.0),
+        ("summit 1/9", 1.0 / 9.0),
+        ("summit full", 1.0),
+    ] {
         let storage = StorageModel::summit_alpine(scale);
         let r = run_simulation(&cfg, None, Some(&storage));
         println!(

@@ -23,6 +23,7 @@ fn main() {
         dataset_growth: 1.013075, // the paper's calibrated pivot value
         nprocs: 8,
         seed: 42,
+        io_backend: Default::default(),
     };
     println!("# {}", cfg.command_line());
 
@@ -31,7 +32,11 @@ fn main() {
     let storage = StorageModel::summit_alpine(0.1);
     let report = run(&cfg, &fs, &tracker, Some(&storage)).expect("macsio run");
 
-    println!("\nwrote {} files under {}", report.files_written, out_dir.display());
+    println!(
+        "\nwrote {} files under {}",
+        report.files_written,
+        out_dir.display()
+    );
     for f in fs.list("/").iter().take(6) {
         println!("  {f}  ({} bytes)", fs.file_size(f).unwrap());
     }

@@ -51,7 +51,5 @@ fn main() {
         "\nconverged: dataset_growth = {:.6}, f = {:.2}, rmse = {:.4e}",
         cal.dataset_growth, cal.f, cal.rmse
     );
-    println!(
-        "paper reference: dataset_growth = 1.013075, f in [23, 25] for its Summit pivot"
-    );
+    println!("paper reference: dataset_growth = 1.013075, f in [23, 25] for its Summit pivot");
 }

@@ -34,8 +34,13 @@ fn main() {
         ..Default::default()
     };
 
-    println!("running {}: {}^2 cells, {} levels, {} ranks ...",
-        cfg.name, cfg.n_cell, cfg.max_level + 1, cfg.nprocs);
+    println!(
+        "running {}: {}^2 cells, {} levels, {} ranks ...",
+        cfg.name,
+        cfg.n_cell,
+        cfg.max_level + 1,
+        cfg.nprocs
+    );
     let result = run_simulation(&cfg, None, None);
 
     println!("\nplot dumps: {}", result.outputs);
@@ -43,7 +48,10 @@ fn main() {
     println!("total files: {}", result.tracker.total_files());
 
     println!("\ncumulative output per plot step (Eq. 1/2 of the paper):");
-    println!("{:>6} {:>16} {:>16}", "dump", "x (cum. cells)", "y (cum. bytes)");
+    println!(
+        "{:>6} {:>16} {:>16}",
+        "dump", "x (cum. cells)", "y (cum. bytes)"
+    );
     for p in result.xy_series().points.iter() {
         println!("{:>6} {:>16.4e} {:>16.4e}", "", p.x, p.y);
     }

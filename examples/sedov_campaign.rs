@@ -15,7 +15,10 @@ fn main() {
         .into_iter()
         .filter(|c| c.n_cell <= 512)
         .collect();
-    println!("running {} of the 47 Table III configurations ...", configs.len());
+    println!(
+        "running {} of the 47 Table III configurations ...",
+        configs.len()
+    );
     let summaries = run_campaign(&configs);
 
     println!(

@@ -6,6 +6,7 @@
 pub use amr_mesh;
 pub use amrproxy;
 pub use hydro;
+pub use io_engine;
 pub use iosim;
 pub use macsio;
 pub use model;

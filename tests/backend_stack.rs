@@ -1,0 +1,107 @@
+//! Cross-crate backend tests at the plotfile layer: the same AMR dump
+//! emitted through each io-engine backend keeps its byte accounting and
+//! reshapes only the physical file set.
+
+use amr_proxy_io::amr_mesh::prelude::*;
+use amr_proxy_io::amrproxy::{run_simulation, CastroSedovConfig, Engine};
+use amr_proxy_io::io_engine::BackendSpec;
+use amr_proxy_io::iosim::{IoTracker, MemFs, Vfs};
+use amr_proxy_io::plotfile::{write_plotfile_with, PlotLevel, PlotfileSpec};
+
+fn level_mf(n: i64, max: i64, nranks: usize) -> MultiFab {
+    let ba = BoxArray::single(IndexBox::at_origin(IntVect::splat(n))).max_size(max);
+    let dm = DistributionMapping::new(&ba, nranks, DistributionStrategy::Sfc);
+    let mut mf = MultiFab::new(ba, dm, 2, 0);
+    mf.set_val(0, 1.25);
+    mf.set_val(1, 2.5);
+    mf
+}
+
+fn dump_through(backend: BackendSpec, mf: &MultiFab) -> (MemFs, IoTracker, u64, u64) {
+    let fs = MemFs::new();
+    let tracker = IoTracker::new();
+    let spec = PlotfileSpec {
+        dir: "/plt00000".to_string(),
+        output_counter: 1,
+        time: 0.5,
+        var_names: vec!["density".into(), "pressure".into()],
+        ref_ratio: 2,
+        levels: vec![PlotLevel {
+            geom: Geometry::unit_square(IntVect::splat(64)),
+            mf,
+            level_steps: 4,
+        }],
+        inputs: vec![("amr.n_cell".into(), "64 64".into())],
+    };
+    let mut live = backend.build(&fs as &dyn Vfs, &tracker);
+    let stats = write_plotfile_with(live.as_mut(), &spec).unwrap();
+    live.close().unwrap();
+    drop(live);
+    (fs, tracker, stats.nfiles, stats.total_bytes)
+}
+
+#[test]
+fn plotfile_tracker_is_backend_invariant() {
+    let mf = level_mf(64, 16, 4);
+    let (_, t_fpp, files_fpp, _) = dump_through(BackendSpec::FilePerProcess, &mf);
+    let (_, t_agg, files_agg, _) = dump_through(BackendSpec::Aggregated(2), &mf);
+    let (_, t_def, files_def, _) = dump_through(BackendSpec::Deferred(1), &mf);
+    assert_eq!(t_fpp.export(), t_agg.export());
+    assert_eq!(t_fpp.export(), t_def.export());
+    // fpp: 4 Cell_D + Cell_H + Header + job_info = 7 files.
+    assert_eq!(files_fpp, 7);
+    assert_eq!(files_def, files_fpp, "deferred keeps the N-to-N layout");
+    // agg: ceil(4/2) subfiles + 1 index = 3 files.
+    assert_eq!(files_agg, 3);
+}
+
+#[test]
+fn aggregated_plotfile_embeds_all_payload_bytes() {
+    let mf = level_mf(32, 16, 4);
+    let (fs_fpp, tracker, _, _) = dump_through(BackendSpec::FilePerProcess, &mf);
+    let (fs_agg, _, _, bytes_agg) = dump_through(BackendSpec::Aggregated(4), &mf);
+    // Payload (tracker) bytes are conserved; the index table is the only
+    // addition.
+    assert_eq!(tracker.total_bytes(), fs_fpp.total_bytes());
+    assert!(fs_agg.total_bytes() >= tracker.total_bytes());
+    assert_eq!(bytes_agg, fs_agg.total_bytes());
+    // The index names the logical Cell_D paths for readers.
+    let idx = fs_agg
+        .read_file("/plt00000/bp00001/md.idx")
+        .expect("index exists");
+    let head = String::from_utf8_lossy(&idx);
+    assert!(head.contains("Cell_D_00000"), "{head}");
+}
+
+#[test]
+fn full_run_backend_sweep_preserves_series() {
+    let base = CastroSedovConfig {
+        name: "stack".into(),
+        engine: Engine::Oracle,
+        n_cell: 64,
+        max_level: 2,
+        max_step: 8,
+        plot_int: 2,
+        nprocs: 4,
+        account_only: true,
+        ..Default::default()
+    };
+    let series: Vec<Vec<(f64, f64)>> = [
+        BackendSpec::FilePerProcess,
+        BackendSpec::Aggregated(2),
+        BackendSpec::Deferred(1),
+    ]
+    .into_iter()
+    .map(|backend| {
+        let cfg = CastroSedovConfig {
+            backend,
+            ..base.clone()
+        };
+        let r = run_simulation(&cfg, None, None);
+        let xy = r.xy_series();
+        xy.points.iter().map(|p| (p.x, p.y)).collect()
+    })
+    .collect();
+    assert_eq!(series[0], series[1], "Eq. (1)/(2) series backend-invariant");
+    assert_eq!(series[0], series[2]);
+}

@@ -22,7 +22,11 @@ fn claim_fig5_linear_and_nonlinear_families_exist() {
     let shallow = run_simulation(&flat, None, None);
     let s = shallow.xy_series();
     let fit = linear_fit(&s.xs(), &s.ys());
-    assert!(fit.r2 > 0.999999, "unrefined run must be linear, R2={}", fit.r2);
+    assert!(
+        fit.r2 > 0.999999,
+        "unrefined run must be linear, R2={}",
+        fit.r2
+    );
 
     let deep = run_simulation(&pivot(0.6, 3, 60), None, None);
     let d = deep.xy_series();

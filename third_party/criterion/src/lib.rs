@@ -1,0 +1,99 @@
+//! Offline stand-in for `criterion`: runs each registered benchmark for a
+//! short, fixed budget and prints a mean-time line. No statistics, no
+//! reports — just enough to keep `cargo bench` and the bench targets
+//! compiling and producing comparable numbers offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark timing driver handed to the closure registered with
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed wall-clock budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let budget = Duration::from_millis(200);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < budget {
+            black_box(routine());
+            iters += 1;
+        }
+        self.iters_done = iters.max(1);
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Benchmark registry and runner.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its mean iteration time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let mean_ns = if b.iters_done > 0 {
+            b.elapsed.as_nanos() as f64 / b.iters_done as f64
+        } else {
+            0.0
+        };
+        println!(
+            "bench: {id:<40} {:>12.1} ns/iter ({} iters)",
+            mean_ns, b.iters_done
+        );
+        self
+    }
+}
+
+/// Groups benchmark functions under one runner entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        assert!(ran);
+    }
+}

@@ -1,0 +1,354 @@
+//! Offline stand-in for `rayon`: data-parallel iterators over materialized
+//! work lists, executed on scoped `std::thread`s.
+//!
+//! The subset implemented is what this workspace uses — `par_iter`,
+//! `par_iter_mut`, `into_par_iter` on ranges, `map`, `zip`, `for_each`,
+//! `collect` — with the same `Send`/`Sync` bounds as real rayon, so code
+//! written against rayon compiles unchanged. Sources are materialized
+//! sequentially (cheap: references or indices); the user closure runs in
+//! parallel across a chunked thread fan-out, preserving input order in
+//! the output.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads the stand-in fans out to.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item in parallel, preserving order.
+fn par_apply<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n).max(1);
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = n.div_ceil(threads);
+    let mut items = items;
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    while !items.is_empty() {
+        let tail = items.split_off(items.len().saturating_sub(chunk_len));
+        chunks.push(tail);
+    }
+    chunks.reverse(); // split_off takes suffixes; restore order
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(h.join().expect("rayon stand-in worker panicked"));
+        }
+        out
+    })
+}
+
+pub mod iter {
+    use super::par_apply;
+
+    /// A parallel iterator: a materialized work list plus deferred,
+    /// parallel-applied transformations.
+    pub trait ParallelIterator: Sized {
+        /// Item type produced by the iterator.
+        type Item: Send;
+
+        /// Materializes all items, running deferred maps in parallel.
+        fn into_vec(self) -> Vec<Self::Item>;
+
+        /// Transforms every item with `f` (applied in parallel at the
+        /// consuming call).
+        fn map<R, F>(self, f: F) -> Map<Self, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync + Send,
+        {
+            Map { base: self, f }
+        }
+
+        /// Pairs items positionally with another parallel iterator.
+        fn zip<B>(self, other: B) -> Zip<Self, B>
+        where
+            B: ParallelIterator,
+        {
+            Zip { a: self, b: other }
+        }
+
+        /// Runs `f` on every item in parallel.
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Sync + Send,
+        {
+            drop(self.map(f).into_vec());
+        }
+
+        /// Collects the items into `C`, preserving input order.
+        fn collect<C>(self) -> C
+        where
+            C: FromParallelIterator<Self::Item>,
+        {
+            C::from_par_vec(self.into_vec())
+        }
+
+        /// Sums the items.
+        fn sum<S>(self) -> S
+        where
+            S: std::iter::Sum<Self::Item>,
+        {
+            self.into_vec().into_iter().sum()
+        }
+    }
+
+    /// Collection types constructible from an ordered parallel result.
+    pub trait FromParallelIterator<T> {
+        /// Builds the collection from the ordered items.
+        fn from_par_vec(items: Vec<T>) -> Self;
+    }
+
+    impl<T> FromParallelIterator<T> for Vec<T> {
+        fn from_par_vec(items: Vec<T>) -> Self {
+            items
+        }
+    }
+
+    /// A materialized source of items.
+    pub struct IntoParIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParallelIterator for IntoParIter<T> {
+        type Item = T;
+
+        fn into_vec(self) -> Vec<T> {
+            self.items
+        }
+    }
+
+    /// Deferred map stage.
+    pub struct Map<P, F> {
+        base: P,
+        f: F,
+    }
+
+    impl<P, R, F> ParallelIterator for Map<P, F>
+    where
+        P: ParallelIterator,
+        R: Send,
+        F: Fn(P::Item) -> R + Sync + Send,
+    {
+        type Item = R;
+
+        fn into_vec(self) -> Vec<R> {
+            par_apply(self.base.into_vec(), self.f)
+        }
+    }
+
+    /// Positional pairing of two parallel iterators.
+    pub struct Zip<A, B> {
+        a: A,
+        b: B,
+    }
+
+    impl<A, B> ParallelIterator for Zip<A, B>
+    where
+        A: ParallelIterator,
+        B: ParallelIterator,
+    {
+        type Item = (A::Item, B::Item);
+
+        fn into_vec(self) -> Vec<Self::Item> {
+            self.a
+                .into_vec()
+                .into_iter()
+                .zip(self.b.into_vec())
+                .collect()
+        }
+    }
+
+    /// Types convertible into a parallel iterator by value.
+    pub trait IntoParallelIterator {
+        /// The resulting iterator.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Item type.
+        type Item: Send;
+
+        /// Converts into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Iter = IntoParIter<T>;
+        type Item = T;
+
+        fn into_par_iter(self) -> IntoParIter<T> {
+            IntoParIter { items: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelIterator for &'a [T] {
+        type Iter = IntoParIter<&'a T>;
+        type Item = &'a T;
+
+        fn into_par_iter(self) -> IntoParIter<&'a T> {
+            IntoParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelIterator for &'a Vec<T> {
+        type Iter = IntoParIter<&'a T>;
+        type Item = &'a T;
+
+        fn into_par_iter(self) -> IntoParIter<&'a T> {
+            IntoParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    macro_rules! range_into_par {
+        ($($t:ty),*) => {$(
+            impl IntoParallelIterator for std::ops::Range<$t> {
+                type Iter = IntoParIter<$t>;
+                type Item = $t;
+
+                fn into_par_iter(self) -> IntoParIter<$t> {
+                    IntoParIter { items: self.collect() }
+                }
+            }
+        )*};
+    }
+
+    range_into_par!(usize, u32, u64, i32, i64);
+
+    /// `par_iter()` method syntax on borrowed collections.
+    pub trait IntoParallelRefIterator<'d> {
+        /// The resulting iterator.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Item type (a shared reference).
+        type Item: Send + 'd;
+
+        /// Borrowing parallel iterator.
+        fn par_iter(&'d self) -> Self::Iter;
+    }
+
+    impl<'d, T: Sync + 'd> IntoParallelRefIterator<'d> for [T] {
+        type Iter = IntoParIter<&'d T>;
+        type Item = &'d T;
+
+        fn par_iter(&'d self) -> IntoParIter<&'d T> {
+            IntoParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    impl<'d, T: Sync + 'd> IntoParallelRefIterator<'d> for Vec<T> {
+        type Iter = IntoParIter<&'d T>;
+        type Item = &'d T;
+
+        fn par_iter(&'d self) -> IntoParIter<&'d T> {
+            IntoParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    /// `par_iter_mut()` method syntax on borrowed collections.
+    pub trait IntoParallelRefMutIterator<'d> {
+        /// The resulting iterator.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Item type (an exclusive reference).
+        type Item: Send + 'd;
+
+        /// Mutably borrowing parallel iterator.
+        fn par_iter_mut(&'d mut self) -> Self::Iter;
+    }
+
+    impl<'d, T: Send + 'd> IntoParallelRefMutIterator<'d> for [T] {
+        type Iter = IntoParIter<&'d mut T>;
+        type Item = &'d mut T;
+
+        fn par_iter_mut(&'d mut self) -> IntoParIter<&'d mut T> {
+            IntoParIter {
+                items: self.iter_mut().collect(),
+            }
+        }
+    }
+
+    impl<'d, T: Send + 'd> IntoParallelRefMutIterator<'d> for Vec<T> {
+        type Iter = IntoParIter<&'d mut T>;
+        type Item = &'d mut T;
+
+        fn par_iter_mut(&'d mut self) -> IntoParIter<&'d mut T> {
+            IntoParIter {
+                items: self.iter_mut().collect(),
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000usize).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_on_slice() {
+        let data = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn zip_mut_for_each() {
+        let mut a = vec![0i64; 64];
+        let b: Vec<i64> = (0..64).collect();
+        a.par_iter_mut()
+            .zip(b.par_iter())
+            .for_each(|(x, &y)| *x = y * y);
+        assert_eq!(a[7], 49);
+        assert_eq!(a[63], 63 * 63);
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let s: i64 = (0i64..100).into_par_iter().map(|x| x).sum();
+        assert_eq!(s, 4950);
+    }
+
+    #[test]
+    #[should_panic] // payload is "boom" inline (1 cpu) or the join message (n cpu)
+    fn worker_panics_propagate() {
+        (0..8usize)
+            .into_par_iter()
+            .map(|i| {
+                if i == 5 {
+                    panic!("boom");
+                }
+                i
+            })
+            .for_each(|_| {});
+    }
+}
