@@ -23,6 +23,7 @@ fn main() {
         dataset_growth: default_growth_guess(inputs.cfl, inputs.max_level),
         compute_time: 0.5,
         meta_size: 1000,
+        compression_ratio: 1.0,
     };
     let cfg = translate(&inputs, &model);
 

@@ -9,7 +9,7 @@ use crate::config::{CastroSedovConfig, Engine};
 use crate::run::{run_simulation, RunResult};
 use amr_mesh::GridParams;
 use hydro::TimestepControl;
-use io_engine::BackendSpec;
+use io_engine::{BackendSpec, CodecSpec};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -32,10 +32,23 @@ pub struct RunSummary {
     pub oracle: bool,
     /// I/O backend the run wrote through (`fpp`, `agg:<r>`, `deferred:<w>`).
     pub backend: String,
+    /// Compression codec applied to plot data (`identity`, `rle:<r>`,
+    /// `quant:<b>`).
+    pub codec: String,
     /// Eq. (1)/(2) cumulative series.
     pub series: Vec<(f64, f64)>,
-    /// Total bytes.
+    /// Total logical bytes the workload produced (backend- and
+    /// codec-invariant; the tracker's view).
     pub total_bytes: u64,
+    /// Logical payload bytes through the backend plus checkpoint state
+    /// (equals `physical_bytes - overhead_bytes` under the identity
+    /// codec).
+    pub logical_bytes: u64,
+    /// Physical bytes shipped to storage (what compression reduces).
+    pub physical_bytes: u64,
+    /// Declared bookkeeping bytes inside `physical_bytes` (aggregation
+    /// index tables, compression sidecars).
+    pub overhead_bytes: u64,
     /// Logical output records in the tracker (backend-invariant).
     pub total_files: u64,
     /// Physical files the backend created (what aggregation reduces).
@@ -43,6 +56,8 @@ pub struct RunSummary {
     /// Simulated wall-clock seconds (compute + I/O; 0 without a storage
     /// model).
     pub wall_time: f64,
+    /// Modeled codec CPU seconds inside `wall_time`.
+    pub codec_seconds: f64,
 }
 
 impl RunSummary {
@@ -57,11 +72,34 @@ impl RunSummary {
             nprocs: r.config.nprocs,
             oracle: r.config.engine == Engine::Oracle,
             backend: r.config.backend.name(),
+            codec: r.config.codec.name(),
             series: xy.points.iter().map(|p| (p.x, p.y)).collect(),
             total_bytes: xy.final_bytes() as u64,
+            logical_bytes: r.logical_bytes,
+            physical_bytes: r.physical_bytes,
+            overhead_bytes: r.overhead_bytes,
             total_files: r.tracker.total_files(),
             physical_files: r.files_written,
             wall_time: r.wall_time,
+            codec_seconds: r.codec_seconds,
+        }
+    }
+
+    /// Wall-clock seconds per level-0 cell — the per-cell cost metric the
+    /// backend × codec sweeps report.
+    pub fn wall_per_cell(&self) -> f64 {
+        self.wall_time / (self.n_cell as f64 * self.n_cell as f64)
+    }
+
+    /// Achieved compression ratio on payload bytes (logical / physical
+    /// net of declared bookkeeping; exactly 1.0 for identity, whatever
+    /// the backend's index overhead).
+    pub fn compression_ratio(&self) -> f64 {
+        let payload = self.physical_bytes - self.overhead_bytes;
+        if payload == 0 {
+            1.0
+        } else {
+            self.logical_bytes as f64 / payload as f64
         }
     }
 }
@@ -178,6 +216,39 @@ pub fn backend_sweep(
                 backend,
                 ..cfg.clone()
             });
+        }
+    }
+    out
+}
+
+/// Expands a set of configurations across the backend × codec plane:
+/// every `(run, backend, codec)` triple becomes one scenario. This is the
+/// compression-axis generalization of [`backend_sweep`] — the identity
+/// codec column reproduces `backend_sweep` exactly, non-identity columns
+/// add the data-reduction lever (AMRIC-style) on top of each layout.
+pub fn backend_codec_sweep(
+    configs: &[CastroSedovConfig],
+    backends: &[BackendSpec],
+    codecs: &[CodecSpec],
+) -> Vec<CastroSedovConfig> {
+    let mut out = Vec::with_capacity(configs.len() * backends.len() * codecs.len());
+    for cfg in configs {
+        for &backend in backends {
+            for &codec in codecs {
+                // Codec spellings keep '.' distinct ('p', as in "2p5") so
+                // fractional Rle ratios cannot collide (2.1 vs 21).
+                out.push(CastroSedovConfig {
+                    name: format!(
+                        "{}_{}_{}",
+                        cfg.name,
+                        backend.name().replace(':', ""),
+                        codec.name().replace(':', "").replace('.', "p")
+                    ),
+                    backend,
+                    codec,
+                    ..cfg.clone()
+                });
+            }
         }
     }
     out
@@ -303,6 +374,118 @@ mod tests {
         let fpp = summaries[0].wall_time;
         let deferred = summaries[2].wall_time;
         assert!(deferred < fpp, "deferred {deferred} must beat fpp {fpp}");
+    }
+
+    #[test]
+    fn backend_codec_sweep_is_the_full_matrix() {
+        let base = vec![CastroSedovConfig {
+            name: "m".into(),
+            ..Default::default()
+        }];
+        let backends = [
+            BackendSpec::FilePerProcess,
+            BackendSpec::Aggregated(4),
+            BackendSpec::Deferred(1),
+        ];
+        let codecs = [
+            CodecSpec::Identity,
+            CodecSpec::Rle(2.0),
+            CodecSpec::LossyQuant(8),
+        ];
+        let matrix = backend_codec_sweep(&base, &backends, &codecs);
+        assert_eq!(matrix.len(), 9);
+        let mut names: Vec<String> = matrix.iter().map(|c| c.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 9, "scenario names stay unique");
+        // Fractional codec parameters stay distinguishable in names.
+        let tricky = backend_codec_sweep(
+            &base,
+            &[BackendSpec::FilePerProcess],
+            &[CodecSpec::Rle(2.1), CodecSpec::Rle(21.0)],
+        );
+        assert_ne!(tricky[0].name, tricky[1].name, "{:?}", tricky[0].name);
+        assert!(matrix.iter().any(
+            |c| c.backend == BackendSpec::Aggregated(4) && c.codec == CodecSpec::LossyQuant(8)
+        ));
+        // The identity column matches backend_sweep's spelling convention.
+        assert!(matrix.iter().any(|c| c.name == "m_fpp_identity"));
+    }
+
+    #[test]
+    fn codec_axis_reduces_physical_bytes_and_wall_clock() {
+        // The acceptance slice: 3 backends x 3 codecs on the Sedov case,
+        // reporting physical bytes, logical bytes, and wall-clock.
+        let base = CastroSedovConfig {
+            name: "sedov".into(),
+            engine: Engine::Oracle,
+            n_cell: 64,
+            max_step: 8,
+            plot_int: 2,
+            nprocs: 4,
+            account_only: true,
+            compute_ns_per_cell: 40_000.0,
+            ..Default::default()
+        };
+        let matrix = backend_codec_sweep(
+            &[base],
+            &[
+                BackendSpec::FilePerProcess,
+                BackendSpec::Aggregated(4),
+                BackendSpec::Deferred(1),
+            ],
+            &[
+                CodecSpec::Identity,
+                CodecSpec::Rle(2.0),
+                CodecSpec::LossyQuant(8),
+            ],
+        );
+        let storage = iosim::StorageModel::ideal(2, 5e7);
+        let summaries = run_campaign_timed(&matrix, &storage);
+        assert_eq!(summaries.len(), 9);
+        // Logical accounting is invariant across the whole matrix, and
+        // physical payload bytes (net of declared bookkeeping) never
+        // exceed logical bytes.
+        for s in &summaries {
+            assert_eq!(s.total_bytes, summaries[0].total_bytes, "{}", s.name);
+            assert!(
+                s.physical_bytes - s.overhead_bytes <= s.logical_bytes,
+                "{}",
+                s.name
+            );
+            assert!(s.wall_per_cell() > 0.0);
+        }
+        // LossyQuant strictly reduces physical bytes and wall-clock vs
+        // identity on every backend.
+        for backend in ["fpp", "agg:4", "deferred:1"] {
+            let of = |codec: &str| {
+                summaries
+                    .iter()
+                    .find(|s| s.backend == backend && s.codec == codec)
+                    .unwrap_or_else(|| panic!("{backend}/{codec} present"))
+            };
+            let id = of("identity");
+            let quant = of("quant:8");
+            assert_eq!(
+                id.physical_bytes - id.overhead_bytes,
+                id.logical_bytes,
+                "identity is 1:1 on payload bytes"
+            );
+            assert!(
+                quant.physical_bytes < id.physical_bytes,
+                "{backend}: quant {} must beat identity {}",
+                quant.physical_bytes,
+                id.physical_bytes
+            );
+            assert!(
+                quant.wall_time < id.wall_time,
+                "{backend}: quant {} s must beat identity {} s",
+                quant.wall_time,
+                id.wall_time
+            );
+            assert!(quant.codec_seconds > 0.0);
+            assert!(quant.compression_ratio() > 3.0, "{backend}");
+        }
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub fn compare_with_macsio(amr: &RunResult, calibration_rounds: usize) -> Compar
         dataset_growth: model::default_growth_guess(inputs.cfl, inputs.max_level),
         compute_time: 0.0,
         meta_size: 0,
+        compression_ratio: 1.0,
     };
     let mut base = translate(&inputs, &model0);
     base.num_dumps = target.len() as u32;

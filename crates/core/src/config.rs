@@ -2,7 +2,7 @@
 
 use amr_mesh::{DistributionStrategy, GridParams};
 use hydro::{SedovProblem, TagCriteria, TimestepControl};
-use io_engine::BackendSpec;
+use io_engine::{BackendSpec, CodecSpec};
 use serde::{Deserialize, Serialize};
 
 /// Which engine generates the grid hierarchy.
@@ -62,6 +62,9 @@ pub struct CastroSedovConfig {
     /// I/O backend the plot dumps write through (the campaign's backend
     /// axis): N-to-N, BP-style aggregation, or deferred staging.
     pub backend: BackendSpec,
+    /// In-situ compression codec applied to plot data (the campaign's
+    /// compression axis, crossed with the backend axis).
+    pub codec: CodecSpec,
 }
 
 impl Default for CastroSedovConfig {
@@ -94,6 +97,7 @@ impl Default for CastroSedovConfig {
             compute_ns_per_cell: 100.0,
             account_only: false,
             backend: BackendSpec::default(),
+            codec: CodecSpec::default(),
         }
     }
 }

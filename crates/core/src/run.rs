@@ -31,6 +31,17 @@ pub struct RunResult {
     /// Physical files the I/O backend created (differs from the
     /// tracker's logical record count under aggregation).
     pub files_written: u64,
+    /// Physical bytes the backend shipped to storage (payloads after any
+    /// compression, plus backend overhead and checkpoint state).
+    pub physical_bytes: u64,
+    /// Logical (pre-compression) payload bytes through the backend plus
+    /// checkpoint state — the tracker's view.
+    pub logical_bytes: u64,
+    /// Declared backend bookkeeping bytes inside `physical_bytes`
+    /// (aggregation index tables, compression sidecars).
+    pub overhead_bytes: u64,
+    /// Modeled codec CPU seconds across the run (0 without compression).
+    pub codec_seconds: f64,
     /// Burst timeline (empty without a storage model).
     pub timeline: BurstTimeline,
     /// Final simulated wall-clock seconds (compute + I/O).
@@ -104,13 +115,19 @@ fn dump_burst(
     clock: &mut f64,
     scheduler: &mut Option<BurstScheduler<'_>>,
     output_counter: u32,
+    codec_seconds: f64,
     requests: &mut [iosim::WriteRequest],
     bytes: u64,
 ) {
     if let Some(sched) = scheduler.as_mut() {
-        let (burst, next_clock) = sched.submit(output_counter, *clock, requests, bytes);
+        let (burst, next_clock) =
+            sched.submit_with_compute(output_counter, *clock, codec_seconds, requests, bytes);
         timeline.push(burst);
         *clock = next_clock;
+    } else {
+        // No storage model: the codec's CPU cost still lands on the
+        // application clock (it is compute, not I/O).
+        *clock += codec_seconds;
     }
 }
 
@@ -129,11 +146,12 @@ fn run_hydro(cfg: &CastroSedovConfig, fs: &dyn Vfs, storage: Option<&StorageMode
     let mut sim = AmrSim::new(amr_cfg);
     let tracker = IoTracker::new();
     let comm = SimComm::summit(cfg.nprocs, 0x5ED0);
-    let mut backend = cfg.backend.build(fs, &tracker);
+    let mut backend = cfg.backend.build_with_codec(cfg.codec, fs, &tracker);
     let mut scheduler = storage.map(|m| BurstScheduler::new(m, backend.overlapped()));
     let mut timeline = BurstTimeline::new();
     let mut clock = 0.0f64;
     let mut outputs = 0u32;
+    let mut codec_seconds = 0.0f64;
     let var_names = castro_sedov_plot_vars();
     let inputs = cfg.inputs();
 
@@ -141,6 +159,7 @@ fn run_hydro(cfg: &CastroSedovConfig, fs: &dyn Vfs, storage: Option<&StorageMode
                 step: u64,
                 outputs: &mut u32,
                 clock: &mut f64,
+                codec_seconds: &mut f64,
                 timeline: &mut BurstTimeline,
                 backend: &mut dyn IoBackend,
                 scheduler: &mut Option<BurstScheduler<'_>>| {
@@ -185,12 +204,14 @@ fn run_hydro(cfg: &CastroSedovConfig, fs: &dyn Vfs, storage: Option<&StorageMode
             };
             write_plotfile_with(backend, &spec).expect("plotfile write")
         };
+        *codec_seconds += stats.codec_seconds;
         let mut requests = stats.requests;
         dump_burst(
             timeline,
             clock,
             scheduler,
             *outputs,
+            stats.codec_seconds,
             &mut requests,
             stats.total_bytes,
         );
@@ -202,6 +223,7 @@ fn run_hydro(cfg: &CastroSedovConfig, fs: &dyn Vfs, storage: Option<&StorageMode
         0,
         &mut outputs,
         &mut clock,
+        &mut codec_seconds,
         &mut timeline,
         backend.as_mut(),
         &mut scheduler,
@@ -212,6 +234,7 @@ fn run_hydro(cfg: &CastroSedovConfig, fs: &dyn Vfs, storage: Option<&StorageMode
     // their files still count toward the run's physical file total and
     // their bursts share the run's drain policy.
     let mut checkpoint_files = 0u64;
+    let mut checkpoint_bytes = 0u64;
     let mut steps = Vec::new();
     while sim.step_count() < cfg.max_step && sim.time() < cfg.stop_time {
         let info = sim.step();
@@ -223,6 +246,7 @@ fn run_hydro(cfg: &CastroSedovConfig, fs: &dyn Vfs, storage: Option<&StorageMode
                 info.step,
                 &mut outputs,
                 &mut clock,
+                &mut codec_seconds,
                 &mut timeline,
                 backend.as_mut(),
                 &mut scheduler,
@@ -250,12 +274,14 @@ fn run_hydro(cfg: &CastroSedovConfig, fs: &dyn Vfs, storage: Option<&StorageMode
             };
             let stats = plotfile::account_checkpoint(&tracker, &spec);
             checkpoint_files += stats.nfiles;
+            checkpoint_bytes += stats.total_bytes;
             let mut requests = stats.requests;
             dump_burst(
                 &mut timeline,
                 &mut clock,
                 &mut scheduler,
                 outputs,
+                0.0,
                 &mut requests,
                 stats.total_bytes,
             );
@@ -275,6 +301,10 @@ fn run_hydro(cfg: &CastroSedovConfig, fs: &dyn Vfs, storage: Option<&StorageMode
         steps,
         outputs,
         files_written: engine_report.files + checkpoint_files,
+        physical_bytes: engine_report.bytes + checkpoint_bytes,
+        logical_bytes: engine_report.logical_bytes + checkpoint_bytes,
+        overhead_bytes: engine_report.overhead_bytes,
+        codec_seconds,
         timeline,
         wall_time,
     }
@@ -295,11 +325,12 @@ fn run_oracle(cfg: &CastroSedovConfig, fs: &dyn Vfs, storage: Option<&StorageMod
     let mut sim = OracleSim::new(oracle_cfg);
     let tracker = IoTracker::new();
     let comm = SimComm::summit(cfg.nprocs, 0x5ED0);
-    let mut backend = cfg.backend.build(fs, &tracker);
+    let mut backend = cfg.backend.build_with_codec(cfg.codec, fs, &tracker);
     let mut scheduler = storage.map(|m| BurstScheduler::new(m, backend.overlapped()));
     let mut timeline = BurstTimeline::new();
     let mut clock = 0.0f64;
     let mut outputs = 0u32;
+    let mut codec_seconds = 0.0f64;
     let var_names = castro_sedov_plot_vars();
     let inputs = cfg.inputs();
 
@@ -307,6 +338,7 @@ fn run_oracle(cfg: &CastroSedovConfig, fs: &dyn Vfs, storage: Option<&StorageMod
                 step: u64,
                 outputs: &mut u32,
                 clock: &mut f64,
+                codec_seconds: &mut f64,
                 timeline: &mut BurstTimeline,
                 backend: &mut dyn IoBackend,
                 scheduler: &mut Option<BurstScheduler<'_>>| {
@@ -330,12 +362,14 @@ fn run_oracle(cfg: &CastroSedovConfig, fs: &dyn Vfs, storage: Option<&StorageMod
             inputs: inputs.clone(),
         };
         let stats = account_plotfile_with(backend, &layout);
+        *codec_seconds += stats.codec_seconds;
         let mut requests = stats.requests;
         dump_burst(
             timeline,
             clock,
             scheduler,
             *outputs,
+            stats.codec_seconds,
             &mut requests,
             stats.total_bytes,
         );
@@ -346,6 +380,7 @@ fn run_oracle(cfg: &CastroSedovConfig, fs: &dyn Vfs, storage: Option<&StorageMod
         0,
         &mut outputs,
         &mut clock,
+        &mut codec_seconds,
         &mut timeline,
         backend.as_mut(),
         &mut scheduler,
@@ -356,6 +391,7 @@ fn run_oracle(cfg: &CastroSedovConfig, fs: &dyn Vfs, storage: Option<&StorageMod
     // their files still count toward the run's physical file total and
     // their bursts share the run's drain policy.
     let mut checkpoint_files = 0u64;
+    let mut checkpoint_bytes = 0u64;
     let mut steps = Vec::new();
     while sim.step_count() < cfg.max_step && sim.time() < cfg.stop_time {
         let info = sim.step();
@@ -367,6 +403,7 @@ fn run_oracle(cfg: &CastroSedovConfig, fs: &dyn Vfs, storage: Option<&StorageMod
                 info.step,
                 &mut outputs,
                 &mut clock,
+                &mut codec_seconds,
                 &mut timeline,
                 backend.as_mut(),
                 &mut scheduler,
@@ -394,12 +431,14 @@ fn run_oracle(cfg: &CastroSedovConfig, fs: &dyn Vfs, storage: Option<&StorageMod
             };
             let stats = plotfile::account_checkpoint(&tracker, &spec);
             checkpoint_files += stats.nfiles;
+            checkpoint_bytes += stats.total_bytes;
             let mut requests = stats.requests;
             dump_burst(
                 &mut timeline,
                 &mut clock,
                 &mut scheduler,
                 outputs,
+                0.0,
                 &mut requests,
                 stats.total_bytes,
             );
@@ -419,6 +458,10 @@ fn run_oracle(cfg: &CastroSedovConfig, fs: &dyn Vfs, storage: Option<&StorageMod
         steps,
         outputs,
         files_written: engine_report.files + checkpoint_files,
+        physical_bytes: engine_report.bytes + checkpoint_bytes,
+        logical_bytes: engine_report.logical_bytes + checkpoint_bytes,
+        overhead_bytes: engine_report.overhead_bytes,
+        codec_seconds,
         timeline,
         wall_time,
     }

@@ -14,11 +14,14 @@
 //! ```
 //!
 //! The index file holds a plain-text chunk table (one line per chunk:
-//! logical path, key, subfile, offset, length) followed by the raw bytes
-//! of every metadata put. Table bytes are counted as backend *overhead*;
-//! payload bytes keep their producer attribution in the tracker, so byte
-//! accounting at `(step, level, task)` granularity is identical to the
-//! other backends.
+//! subfile, offset, physical length, logical length, key, logical path)
+//! followed by the raw bytes of every metadata put. Table bytes are
+//! counted as backend *overhead*; payload bytes keep their producer
+//! attribution in the tracker — at *logical* (pre-compression) size — so
+//! byte accounting at `(step, level, task)` granularity is identical to
+//! the other backends and invariant under the compression stage. The
+//! per-chunk logical column lets readers recover pre-compression sizes
+//! (the format a golden-file test pins byte-exactly).
 
 use crate::backend::{EngineReport, IoBackend, Payload, Put, StepStats, TrackerHandle, VfsHandle};
 use iosim::{IoKind, WriteRequest};
@@ -34,6 +37,7 @@ struct Chunk {
     task: u32,
     offset: u64,
     len: u64,
+    logical_len: u64,
 }
 
 /// One aggregator subfile being assembled.
@@ -41,6 +45,7 @@ struct Chunk {
 struct AggBuild {
     content: Vec<u8>,
     bytes: u64,
+    logical_bytes: u64,
     account_only: bool,
     chunks: Vec<Chunk>,
 }
@@ -51,6 +56,7 @@ struct AggStep {
     aggs: BTreeMap<usize, AggBuild>,
     meta: Vec<u8>,
     meta_bytes: u64,
+    meta_logical_bytes: u64,
     meta_account_only: bool,
 }
 
@@ -104,6 +110,7 @@ impl IoBackend for Aggregated<'_> {
             aggs: BTreeMap::new(),
             meta: Vec::new(),
             meta_bytes: 0,
+            meta_logical_bytes: 0,
             meta_account_only: false,
         });
     }
@@ -115,7 +122,8 @@ impl IoBackend for Aggregated<'_> {
     fn put(&mut self, put: Put) -> io::Result<()> {
         let cur = self.cur.as_mut().expect("put: no open step");
         let len = put.payload.len();
-        self.tracker.record(put.key, put.kind, len);
+        let logical = put.payload.logical_len();
+        self.tracker.record(put.key, put.kind, logical);
         match put.kind {
             IoKind::Data => {
                 let agg = put.key.task as usize / self.ratio;
@@ -127,18 +135,25 @@ impl IoBackend for Aggregated<'_> {
                     task: put.key.task,
                     offset: build.bytes,
                     len,
+                    logical_len: logical,
                 });
                 build.bytes += len;
+                build.logical_bytes += logical;
                 match put.payload {
-                    Payload::Bytes(b) => build.content.extend_from_slice(&b),
-                    Payload::Size(_) => build.account_only = true,
+                    Payload::Bytes(b) | Payload::Encoded { data: b, .. } => {
+                        build.content.extend_from_slice(&b)
+                    }
+                    Payload::Size(_) | Payload::EncodedSize { .. } => build.account_only = true,
                 }
             }
             IoKind::Metadata => {
                 cur.meta_bytes += len;
+                cur.meta_logical_bytes += logical;
                 match put.payload {
-                    Payload::Bytes(b) => cur.meta.extend_from_slice(&b),
-                    Payload::Size(_) => cur.meta_account_only = true,
+                    Payload::Bytes(b) | Payload::Encoded { data: b, .. } => {
+                        cur.meta.extend_from_slice(&b)
+                    }
+                    Payload::Size(_) | Payload::EncodedSize { .. } => cur.meta_account_only = true,
                 }
             }
         }
@@ -161,9 +176,10 @@ impl IoBackend for Aggregated<'_> {
             for c in &build.chunks {
                 let _ = writeln!(
                     table,
-                    "{path} {offset} {len} {step} {level} {task} {logical}",
+                    "{path} {offset} {len} {logical_len} {step} {level} {task} {logical}",
                     offset = c.offset,
                     len = c.len,
+                    logical_len = c.logical_len,
                     step = c.step,
                     level = c.level,
                     task = c.task,
@@ -179,6 +195,7 @@ impl IoBackend for Aggregated<'_> {
             }
             stats.files += 1;
             stats.bytes += build.bytes;
+            stats.logical_bytes += build.logical_bytes;
             stats.requests.push(WriteRequest {
                 // Attributed to the aggregator's lowest producer task.
                 rank: agg * self.ratio,
@@ -203,6 +220,7 @@ impl IoBackend for Aggregated<'_> {
         }
         stats.files += 1;
         stats.bytes += index_bytes;
+        stats.logical_bytes += cur.meta_logical_bytes;
         stats.overhead_bytes += table.len() as u64;
         stats.requests.push(WriteRequest {
             rank: 0,
@@ -214,6 +232,7 @@ impl IoBackend for Aggregated<'_> {
         self.report.steps += 1;
         self.report.files += stats.files;
         self.report.bytes += stats.bytes;
+        self.report.logical_bytes += stats.logical_bytes;
         self.report.overhead_bytes += stats.overhead_bytes;
         Ok(stats)
     }
@@ -281,7 +300,7 @@ mod tests {
         let idx = String::from_utf8(fs.read_file("/plt/bp00001/md.idx").unwrap()).unwrap();
         assert!(idx.contains("/plt/L0/a"));
         assert!(idx.contains("/plt/L1/a"));
-        assert!(idx.contains(" 2 2 "), "offset 2, len 2: {idx}");
+        assert!(idx.contains(" 2 2 2 "), "offset 2, len 2, logical 2: {idx}");
     }
 
     #[test]

@@ -8,24 +8,58 @@ use std::sync::Arc;
 /// (the oracle engine sizes terabyte-scale dumps without materializing
 /// them; backends then skip physical writes but keep layout, file-count,
 /// and request accounting identical).
+///
+/// The `Encoded*` variants are produced by the compression stage and
+/// carry **two** byte counts: the *physical* size (what reaches storage,
+/// [`Payload::len`]) and the *logical* size the workload produced
+/// ([`Payload::logical_len`]). Trackers always account logical bytes, so
+/// the `(step, level, task)` samples are codec-invariant; file sizes,
+/// write requests, and burst timing use physical bytes.
 #[derive(Clone, Debug)]
 pub enum Payload {
     /// Materialized content to write.
     Bytes(Vec<u8>),
     /// Exact byte count of content that is not materialized.
     Size(u64),
+    /// Compressed materialized content plus its logical byte count.
+    Encoded {
+        /// The encoded bytes (what is physically written).
+        data: Vec<u8>,
+        /// Pre-compression byte count.
+        logical: u64,
+    },
+    /// Compressed account-only payload: physical and logical byte counts.
+    EncodedSize {
+        /// Modeled physical byte count.
+        physical: u64,
+        /// Pre-compression byte count.
+        logical: u64,
+    },
 }
 
 impl Payload {
-    /// Payload length in bytes.
+    /// Physical payload length in bytes (what reaches storage).
     pub fn len(&self) -> u64 {
         match self {
             Payload::Bytes(b) => b.len() as u64,
             Payload::Size(n) => *n,
+            Payload::Encoded { data, .. } => data.len() as u64,
+            Payload::EncodedSize { physical, .. } => *physical,
         }
     }
 
-    /// True when the payload is zero bytes.
+    /// Logical (pre-compression) length in bytes — what the tracker
+    /// records. Equals [`Payload::len`] for uncompressed payloads.
+    pub fn logical_len(&self) -> u64 {
+        match self {
+            Payload::Bytes(b) => b.len() as u64,
+            Payload::Size(n) => *n,
+            Payload::Encoded { logical, .. } => *logical,
+            Payload::EncodedSize { logical, .. } => *logical,
+        }
+    }
+
+    /// True when the payload is zero physical bytes.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -51,11 +85,18 @@ pub struct StepStats {
     pub step: u32,
     /// Physical files created this step.
     pub files: u64,
-    /// Bytes written this step (payloads + backend overhead).
+    /// Physical bytes written this step (payloads + backend overhead).
     pub bytes: u64,
-    /// Backend bookkeeping bytes (aggregation index tables); not part of
-    /// the workload's tracker accounting.
+    /// Logical (pre-compression) payload bytes this step — the tracker's
+    /// view. Equals `bytes - overhead_bytes` without compression.
+    pub logical_bytes: u64,
+    /// Backend bookkeeping bytes (aggregation index tables, compression
+    /// sidecars); not part of the workload's tracker accounting.
     pub overhead_bytes: u64,
+    /// Modeled codec CPU seconds spent compressing this step's payloads
+    /// (0 without a compression stage); charged as application compute
+    /// time by the burst scheduler.
+    pub codec_seconds: f64,
     /// Write requests for burst-timing simulation, in write order.
     pub requests: Vec<WriteRequest>,
 }
@@ -67,8 +108,10 @@ pub struct EngineReport {
     pub steps: u32,
     /// Physical files created.
     pub files: u64,
-    /// Bytes written (payloads + overhead).
+    /// Physical bytes written (payloads + overhead).
     pub bytes: u64,
+    /// Logical (pre-compression) payload bytes across the run.
+    pub logical_bytes: u64,
     /// Backend bookkeeping bytes.
     pub overhead_bytes: u64,
 }
@@ -158,8 +201,12 @@ impl<'a> From<Arc<IoTracker>> for TrackerHandle<'a> {
 ///
 /// Contract shared by all implementations:
 ///
-/// * every put is recorded in the tracker with its own key/kind/length,
-///   so `(step, level, task)` byte totals are backend-invariant;
+/// * every put is recorded in the tracker with its own key/kind and its
+///   **logical** length ([`Payload::logical_len`]), so `(step, level,
+///   task)` byte totals are backend- and codec-invariant;
+/// * physical accounting (file sizes, [`WriteRequest::bytes`], step and
+///   run byte totals) uses [`Payload::len`] — what actually reaches
+///   storage after any compression stage;
 /// * `end_step` returns one [`WriteRequest`] per physical file created
 ///   for the step, in write order;
 /// * `close` flushes anything still staged and returns run totals.

@@ -205,7 +205,8 @@ impl IoBackend for Deferred<'_> {
 
     fn put(&mut self, put: Put) -> io::Result<()> {
         let cur = self.cur.as_mut().expect("put: no open step");
-        self.tracker.record(put.key, put.kind, put.payload.len());
+        self.tracker
+            .record(put.key, put.kind, put.payload.logical_len());
         cur.push(put);
         Ok(())
     }
@@ -224,6 +225,7 @@ impl IoBackend for Deferred<'_> {
         for (path, build) in cur.into_files() {
             stats.files += 1;
             stats.bytes += build.bytes;
+            stats.logical_bytes += build.logical_bytes;
             stats.requests.push(WriteRequest {
                 rank: build.rank,
                 path: path.clone(),
@@ -243,6 +245,7 @@ impl IoBackend for Deferred<'_> {
         self.report.steps += 1;
         self.report.files += stats.files;
         self.report.bytes += stats.bytes;
+        self.report.logical_bytes += stats.logical_bytes;
         Ok(stats)
     }
 

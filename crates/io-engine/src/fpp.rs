@@ -20,8 +20,11 @@ pub(crate) struct FileBuild {
     pub rank: usize,
     /// Concatenated materialized content (empty in account-only mode).
     pub content: Vec<u8>,
-    /// Total payload bytes (tracks `content.len()` unless account-only).
+    /// Total physical payload bytes (tracks `content.len()` unless
+    /// account-only).
     pub bytes: u64,
+    /// Total logical (pre-compression) payload bytes.
+    pub logical_bytes: u64,
     /// True when any payload arrived as a bare size.
     pub account_only: bool,
 }
@@ -56,9 +59,12 @@ impl StepBuild {
             }
         };
         build.bytes += put.payload.len();
+        build.logical_bytes += put.payload.logical_len();
         match put.payload {
-            Payload::Bytes(b) => build.content.extend_from_slice(&b),
-            Payload::Size(_) => build.account_only = true,
+            Payload::Bytes(b) | Payload::Encoded { data: b, .. } => {
+                build.content.extend_from_slice(&b)
+            }
+            Payload::Size(_) | Payload::EncodedSize { .. } => build.account_only = true,
         }
     }
 
@@ -110,7 +116,8 @@ impl IoBackend for FilePerProcess<'_> {
 
     fn put(&mut self, put: Put) -> io::Result<()> {
         let cur = self.cur.as_mut().expect("put: no open step");
-        self.tracker.record(put.key, put.kind, put.payload.len());
+        self.tracker
+            .record(put.key, put.kind, put.payload.logical_len());
         cur.push(put);
         Ok(())
     }
@@ -128,6 +135,7 @@ impl IoBackend for FilePerProcess<'_> {
             }
             stats.files += 1;
             stats.bytes += build.bytes;
+            stats.logical_bytes += build.logical_bytes;
             stats.requests.push(WriteRequest {
                 rank: build.rank,
                 path,
@@ -138,6 +146,7 @@ impl IoBackend for FilePerProcess<'_> {
         self.report.steps += 1;
         self.report.files += stats.files;
         self.report.bytes += stats.bytes;
+        self.report.logical_bytes += stats.logical_bytes;
         Ok(stats)
     }
 
@@ -237,6 +246,7 @@ mod tests {
         assert_eq!(report.steps, 3);
         assert_eq!(report.files, 3);
         assert_eq!(report.bytes, 6);
+        assert_eq!(report.logical_bytes, 6, "no codec: physical == logical");
         assert_eq!(report.overhead_bytes, 0);
     }
 }

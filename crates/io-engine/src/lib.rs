@@ -17,21 +17,37 @@
 //!   double-buffered; a drain pool flushes the previous step's staging
 //!   while the application computes, so compute and flush overlap.
 //!
-//! Byte accounting is backend-invariant: every [`Put`] is recorded in the
-//! caller's `IoTracker` at the paper's `(step, level, task)` granularity
-//! before any physical layout decision, so the Eq. (1)/(2) samples are
-//! identical across backends (enforced by property tests). Only the
-//! physical file set, the [`iosim::WriteRequest`]s, and therefore the
-//! simulated burst timing differ.
+//! In front of any backend sits an optional **compression stage**
+//! ([`CompressionStage`]) applying a [`Codec`] — [`Identity`], lossless
+//! [`Rle`], or block-wise [`LossyQuant`] — to every data put. The stage
+//! splits byte accounting into two planes:
+//!
+//! * **logical bytes** — what the workload produced, recorded in the
+//!   tracker at `(step, level, task)` granularity. Backend- *and*
+//!   codec-invariant: the Eq. (1)/(2) samples see the workload, never the
+//!   wire format (enforced by property tests).
+//! * **physical bytes** — what reaches storage after encoding, carried by
+//!   file sizes, [`iosim::WriteRequest`]s, and therefore the simulated
+//!   burst timing. At most the logical count, strictly less whenever a
+//!   non-identity codec compresses.
+//!
+//! The stage writes one small sidecar per step recording
+//! `logical physical method path` per chunk, and its modeled CPU cost is
+//! charged as application compute time by the burst scheduler — the
+//! compression trade (CPU for wire bytes) is simulated on both sides.
 
 pub mod aggregated;
 pub mod backend;
+pub mod codec;
 pub mod deferred;
 pub mod fpp;
 pub mod spec;
+pub mod stage;
 
 pub use aggregated::Aggregated;
 pub use backend::{EngineReport, IoBackend, Payload, Put, StepStats, TrackerHandle, VfsHandle};
+pub use codec::{Codec, CodecContext, CodecSpec, Identity, LossyQuant, Rle};
 pub use deferred::Deferred;
 pub use fpp::FilePerProcess;
 pub use spec::BackendSpec;
+pub use stage::CompressionStage;

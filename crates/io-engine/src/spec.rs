@@ -2,6 +2,8 @@
 //! configs carry, turned into a live backend at run time.
 
 use crate::backend::{IoBackend, TrackerHandle, VfsHandle};
+use crate::codec::CodecSpec;
+use crate::stage::CompressionStage;
 use crate::{Aggregated, Deferred, FilePerProcess};
 use serde::{Deserialize, Serialize};
 
@@ -87,6 +89,24 @@ impl BackendSpec {
             BackendSpec::Aggregated(ratio) => Box::new(Aggregated::new(vfs, tracker, ratio)),
             BackendSpec::Deferred(workers) => Box::new(Deferred::new(vfs, tracker, workers)),
         }
+    }
+
+    /// Builds the live backend with a compression stage in front of it —
+    /// the full backend × codec write stack of a campaign scenario. The
+    /// identity codec adds no stage at all, so default-codec runs keep the
+    /// exact pre-compression write path (no sidecar, no wrapper).
+    pub fn build_with_codec<'a>(
+        &self,
+        codec: CodecSpec,
+        vfs: impl Into<VfsHandle<'a>>,
+        tracker: impl Into<TrackerHandle<'a>>,
+    ) -> Box<dyn IoBackend + 'a> {
+        let vfs = vfs.into();
+        if codec.is_identity() {
+            return self.build(vfs, tracker);
+        }
+        let inner = self.build(vfs.clone(), tracker);
+        Box::new(CompressionStage::new(inner, codec.build(), vfs))
     }
 }
 

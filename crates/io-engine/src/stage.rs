@@ -1,0 +1,381 @@
+//! The compression stage: a [`Codec`] applied in front of any
+//! [`IoBackend`].
+//!
+//! The stage intercepts every data put, encodes its payload (real bytes
+//! are actually compressed, account-only sizes use the codec's modeled
+//! size), and forwards a [`Payload::Encoded`]/[`Payload::EncodedSize`]
+//! carrying *both* byte counts downstream. The inner backend records the
+//! **logical** length in the tracker and ships the **physical** length to
+//! storage, so:
+//!
+//! * `(step, level, task)` tracker samples are codec-invariant (the
+//!   paper's Eq. (1)/(2) model sees the workload, not the wire format);
+//! * file sizes, write requests, and burst timing shrink with the codec's
+//!   real or modeled ratio.
+//!
+//! Metadata puts pass through uncompressed — headers stay readable, as in
+//! AMRIC, where only field blocks are compressed. Payloads that fail to
+//! compress are forwarded raw (the stage never expands data); the
+//! per-chunk method lands in the *sidecar*: one small
+//! `compression_<step>.csc` file per step recording
+//! `logical physical method path` for every data chunk, the
+//! uncompressed-logical-size record a reader needs to undo the stage.
+//! Sidecar bytes are counted as backend overhead, like the aggregation
+//! index — they never enter the tracker.
+
+use crate::backend::{EngineReport, IoBackend, Payload, Put, StepStats, VfsHandle};
+use crate::codec::{encode_payload, Codec, CodecContext};
+use iosim::{IoKind, WriteRequest};
+use std::fmt::Write as _;
+use std::io;
+
+/// One data chunk the stage processed in the open step.
+struct ChunkRec {
+    path: String,
+    logical: u64,
+    physical: u64,
+    encoded: bool,
+}
+
+struct StageStep {
+    step: u32,
+    dir: String,
+    chunks: Vec<ChunkRec>,
+    any_materialized: bool,
+    codec_ns: f64,
+}
+
+/// A codec in front of an inner backend (see module docs).
+pub struct CompressionStage<'a> {
+    inner: Box<dyn IoBackend + 'a>,
+    codec: Box<dyn Codec>,
+    vfs: VfsHandle<'a>,
+    cur: Option<StageStep>,
+    /// Sidecar files written across the run (added to the close report).
+    sidecar_files: u64,
+    /// Sidecar bytes written across the run.
+    sidecar_bytes: u64,
+}
+
+impl<'a> CompressionStage<'a> {
+    /// Wraps `inner` with `codec`, writing sidecars through `vfs` (the
+    /// same filesystem the inner backend writes to).
+    pub fn new(
+        inner: Box<dyn IoBackend + 'a>,
+        codec: Box<dyn Codec>,
+        vfs: impl Into<VfsHandle<'a>>,
+    ) -> Self {
+        Self {
+            inner,
+            codec,
+            vfs: vfs.into(),
+            cur: None,
+            sidecar_files: 0,
+            sidecar_bytes: 0,
+        }
+    }
+
+    /// Sidecar path for a step under `container`.
+    fn sidecar_path(container: &str, step: u32) -> String {
+        let base = container.trim_end_matches('/');
+        format!("{base}/compression_{step:05}.csc")
+    }
+}
+
+impl IoBackend for CompressionStage<'_> {
+    fn name(&self) -> String {
+        format!("{}+{}", self.inner.name(), self.codec.name())
+    }
+
+    fn overlapped(&self) -> bool {
+        self.inner.overlapped()
+    }
+
+    fn begin_step(&mut self, step: u32, container: &str) {
+        assert!(self.cur.is_none(), "begin_step: step already open");
+        self.cur = Some(StageStep {
+            step,
+            dir: container.to_string(),
+            chunks: Vec::new(),
+            any_materialized: false,
+            codec_ns: 0.0,
+        });
+        self.inner.begin_step(step, container);
+    }
+
+    fn create_dir_all(&mut self, path: &str) -> io::Result<()> {
+        self.inner.create_dir_all(path)
+    }
+
+    fn put(&mut self, put: Put) -> io::Result<()> {
+        let cur = self.cur.as_mut().expect("put: no open step");
+        if put.kind != IoKind::Data {
+            // Metadata stays uncompressed and readable.
+            return self.inner.put(put);
+        }
+        let ctx = CodecContext {
+            level: put.key.level,
+            kind: put.kind,
+            path: &put.path,
+        };
+        let logical = put.payload.logical_len();
+        let materialized = matches!(put.payload, Payload::Bytes(_) | Payload::Encoded { .. });
+        let (payload, encoded) = encode_payload(self.codec.as_ref(), put.payload, &ctx);
+        cur.codec_ns += logical as f64 * self.codec.cpu_ns_per_byte();
+        cur.any_materialized |= materialized;
+        cur.chunks.push(ChunkRec {
+            path: put.path.clone(),
+            logical,
+            physical: payload.len(),
+            encoded,
+        });
+        self.inner.put(Put { payload, ..put })
+    }
+
+    fn end_step(&mut self) -> io::Result<StepStats> {
+        let cur = self.cur.take().expect("end_step: no open step");
+        let mut stats = self.inner.end_step()?;
+        stats.codec_seconds += cur.codec_ns / 1e9;
+        if !cur.chunks.is_empty() {
+            // The uncompressed-logical-size sidecar.
+            let mut body = String::new();
+            let _ = writeln!(
+                body,
+                "# io-engine compression sidecar, codec {}, step {}",
+                self.codec.name(),
+                cur.step
+            );
+            for c in &cur.chunks {
+                let _ = writeln!(
+                    body,
+                    "{logical} {physical} {method} {path}",
+                    logical = c.logical,
+                    physical = c.physical,
+                    method = if c.encoded {
+                        self.codec.name()
+                    } else {
+                        "raw".to_string()
+                    },
+                    path = c.path,
+                );
+            }
+            let path = Self::sidecar_path(&cur.dir, cur.step);
+            let bytes = body.len() as u64;
+            // Mirror the backends' account-only handling: a step whose
+            // data never materialized stays write-free end to end.
+            if cur.any_materialized {
+                let written = self.vfs.write_file(&path, body.as_bytes())?;
+                debug_assert_eq!(written, bytes);
+            }
+            stats.files += 1;
+            stats.bytes += bytes;
+            stats.overhead_bytes += bytes;
+            self.sidecar_files += 1;
+            self.sidecar_bytes += bytes;
+            stats.requests.push(WriteRequest {
+                rank: 0,
+                path,
+                bytes,
+                start: 0.0,
+            });
+        }
+        Ok(stats)
+    }
+
+    fn close(&mut self) -> io::Result<EngineReport> {
+        assert!(self.cur.is_none(), "close: step still open");
+        let mut report = self.inner.close()?;
+        // The inner backend never saw the sidecars; fold them into the
+        // run totals so per-step stats and the close report agree.
+        report.files += self.sidecar_files;
+        report.bytes += self.sidecar_bytes;
+        report.overhead_bytes += self.sidecar_bytes;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{LossyQuant, Rle};
+    use crate::FilePerProcess;
+    use iosim::{IoKey, IoKind, IoTracker, MemFs, Vfs};
+
+    fn put(task: u32, kind: IoKind, path: &str, payload: Payload) -> Put {
+        Put {
+            key: IoKey {
+                step: 1,
+                level: 0,
+                task,
+            },
+            kind,
+            path: path.to_string(),
+            payload,
+        }
+    }
+
+    fn stage<'a>(
+        fs: &'a MemFs,
+        tracker: &'a IoTracker,
+        codec: Box<dyn Codec>,
+    ) -> CompressionStage<'a> {
+        let inner = Box::new(FilePerProcess::new(fs as &dyn Vfs, tracker));
+        CompressionStage::new(inner, codec, fs as &dyn Vfs)
+    }
+
+    #[test]
+    fn tracker_sees_logical_files_see_physical() {
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let mut b = stage(&fs, &tracker, Box::new(Rle::default()));
+        b.begin_step(1, "/");
+        b.put(put(0, IoKind::Data, "/f", Payload::Bytes(vec![0u8; 4096])))
+            .unwrap();
+        let stats = b.end_step().unwrap();
+        b.close().unwrap();
+        // Logical accounting is codec-invariant.
+        assert_eq!(tracker.total_bytes(), 4096);
+        assert_eq!(stats.logical_bytes, 4096);
+        // Physical bytes shrink; the file on disk is the encoded stream.
+        let on_disk = fs.file_size("/f").unwrap();
+        assert!(on_disk < 4096, "on disk: {on_disk}");
+        assert_eq!(
+            stats.bytes,
+            on_disk + stats.overhead_bytes,
+            "stats cover file + sidecar"
+        );
+        // The encoded file round-trips.
+        assert_eq!(Rle::decode(&fs.read_file("/f").unwrap()), vec![0u8; 4096]);
+    }
+
+    #[test]
+    fn sidecar_records_logical_physical_and_method() {
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let mut b = stage(&fs, &tracker, Box::new(Rle::default()));
+        b.begin_step(3, "/plt");
+        b.put(put(
+            0,
+            IoKind::Data,
+            "/plt/a",
+            Payload::Bytes(vec![1u8; 500]),
+        ))
+        .unwrap();
+        // Incompressible payload falls back to raw.
+        let noise: Vec<u8> = (0..500u32).map(|i| (i * 131 % 251) as u8).collect();
+        b.put(put(
+            1,
+            IoKind::Data,
+            "/plt/b",
+            Payload::Bytes(noise.clone()),
+        ))
+        .unwrap();
+        b.end_step().unwrap();
+        let sc = String::from_utf8(fs.read_file("/plt/compression_00003.csc").unwrap()).unwrap();
+        assert!(sc.starts_with("# io-engine compression sidecar, codec rle:2"));
+        assert!(sc.contains(" /plt/a"));
+        assert!(sc.contains("500 500 raw /plt/b"), "{sc}");
+        // The raw file is byte-identical to its logical payload.
+        assert_eq!(fs.read_file("/plt/b"), Some(noise));
+    }
+
+    #[test]
+    fn metadata_passes_through_uncompressed() {
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let mut b = stage(&fs, &tracker, Box::new(Rle::default()));
+        b.begin_step(1, "/");
+        b.put(put(
+            0,
+            IoKind::Metadata,
+            "/hdr",
+            Payload::Bytes(vec![7u8; 300]),
+        ))
+        .unwrap();
+        let stats = b.end_step().unwrap();
+        assert_eq!(fs.read_file("/hdr"), Some(vec![7u8; 300]));
+        // No data chunks: no sidecar either.
+        assert_eq!(stats.files, 1);
+        assert_eq!(fs.nfiles(), 1);
+        assert_eq!(stats.codec_seconds, 0.0);
+    }
+
+    #[test]
+    fn account_only_steps_stay_write_free() {
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let mut b = stage(&fs, &tracker, Box::new(LossyQuant::new(8)));
+        b.begin_step(1, "/");
+        b.put(put(0, IoKind::Data, "/big", Payload::Size(1 << 20)))
+            .unwrap();
+        let stats = b.end_step().unwrap();
+        b.close().unwrap();
+        assert_eq!(fs.nfiles(), 0, "nothing materialized");
+        // Accounting still covers the modeled physical file + sidecar.
+        assert_eq!(stats.files, 2);
+        assert_eq!(stats.logical_bytes, 1 << 20);
+        assert!(
+            stats.bytes - stats.overhead_bytes < 1 << 20,
+            "modeled ratio"
+        );
+        assert_eq!(tracker.total_bytes(), 1 << 20);
+        assert!(stats.codec_seconds > 0.0, "cpu cost charged");
+    }
+
+    #[test]
+    fn quant_materialized_size_matches_account_only_size() {
+        // The same logical payload must cost the same physical bytes
+        // whether materialized or size-only (oracle-path equivalence).
+        let data: Vec<u8> = (0..2048u32)
+            .flat_map(|i| (i as f64).cos().to_le_bytes())
+            .collect();
+        let run = |payload: Payload| {
+            let fs = MemFs::new();
+            let tracker = IoTracker::new();
+            let mut b = stage(&fs, &tracker, Box::new(LossyQuant::new(8)));
+            b.begin_step(1, "/");
+            b.put(put(0, IoKind::Data, "/f", payload)).unwrap();
+            let stats = b.end_step().unwrap();
+            stats.bytes - stats.overhead_bytes
+        };
+        assert_eq!(
+            run(Payload::Bytes(data.clone())),
+            run(Payload::Size(data.len() as u64))
+        );
+    }
+
+    #[test]
+    fn close_report_includes_sidecars() {
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let mut b = stage(&fs, &tracker, Box::new(Rle::default()));
+        let mut step_files = 0u64;
+        let mut step_bytes = 0u64;
+        for step in 1..=3u32 {
+            b.begin_step(step, "/");
+            b.put(put(
+                0,
+                IoKind::Data,
+                &format!("/f{step}"),
+                Payload::Bytes(vec![0u8; 600]),
+            ))
+            .unwrap();
+            let stats = b.end_step().unwrap();
+            step_files += stats.files;
+            step_bytes += stats.bytes;
+        }
+        let report = b.close().unwrap();
+        assert_eq!(report.files, step_files, "per-step and run totals agree");
+        assert_eq!(report.bytes, step_bytes);
+        assert_eq!(report.logical_bytes, 3 * 600);
+        assert!(report.overhead_bytes > 0, "sidecars are overhead");
+    }
+
+    #[test]
+    fn stage_names_compose() {
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let b = stage(&fs, &tracker, Box::new(LossyQuant::new(4)));
+        assert_eq!(b.name(), "fpp+quant:4");
+    }
+}

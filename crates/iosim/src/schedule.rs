@@ -84,6 +84,24 @@ impl<'a> BurstScheduler<'a> {
         }
     }
 
+    /// Like [`BurstScheduler::submit`], charging `compute_seconds` of
+    /// application CPU work (in-situ compression of the dump's payloads)
+    /// before the burst is handed to storage. Compression happens on the
+    /// compute nodes in both policies — synchronous backends compress
+    /// then block for the drain; overlapped backends compress then stage
+    /// — so the charge always lands on the application clock, while the
+    /// drain itself times the (smaller) physical request bytes.
+    pub fn submit_with_compute(
+        &mut self,
+        step: u32,
+        clock: f64,
+        compute_seconds: f64,
+        requests: &mut [WriteRequest],
+        bytes: u64,
+    ) -> (Burst, f64) {
+        self.submit(step, clock + compute_seconds, requests, bytes)
+    }
+
     /// Final wall-clock time: the application clock barriered against any
     /// drain still in flight (the run's closing flush).
     pub fn finish(&self, clock: f64) -> f64 {
@@ -172,6 +190,21 @@ mod tests {
             overlap_wall < sync_wall - 1.0,
             "overlap {overlap_wall} vs sync {sync_wall}"
         );
+    }
+
+    #[test]
+    fn codec_compute_charge_delays_the_burst() {
+        let model = StorageModel::ideal(1, 100.0);
+        // Synchronous: the charge shifts the whole burst.
+        let mut s = BurstScheduler::new(&model, false);
+        let (burst, clock) = s.submit_with_compute(1, 5.0, 2.0, &mut reqs(1, 100), 100);
+        assert_eq!(burst.t_start, 7.0);
+        assert!((clock - 8.0).abs() < 1e-9);
+        // Overlapped: the app pays the charge, the drain still overlaps.
+        let mut s = BurstScheduler::new(&model, true);
+        let (burst, clock) = s.submit_with_compute(1, 5.0, 2.0, &mut reqs(1, 100), 100);
+        assert_eq!(clock, 7.0, "charge lands on the application clock");
+        assert!((burst.t_end - 8.0).abs() < 1e-9);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! `--dataset_growth`) plus `--nprocs` standing in for `jsrun -n`.
 
 use crate::config::{FileMode, Interface, MacsioConfig};
-use io_engine::BackendSpec;
+use io_engine::{BackendSpec, CodecSpec};
 
 /// One-screen flag reference (printed by the `macsio` binary on bad
 /// usage). Table II flags plus the workspace extensions.
@@ -30,7 +30,11 @@ pub fn usage() -> &'static str {
        --io_backend SPEC               write path: fpp (N-to-N, default),\n\
                                        agg:<ratio> (BP-style two-level\n\
                                        aggregation), deferred[:<workers>]\n\
-                                       (burst-buffer staging, async drain)\n"
+                                       (burst-buffer staging, async drain)\n\
+       --compression SPEC              in-situ codec for data puts:\n\
+                                       identity (default), rle[:<ratio>]\n\
+                                       (lossless run-length), quant[:<bits>]\n\
+                                       (block-wise lossy quantization)\n"
 }
 
 /// Parses a MACSio command line into a configuration.
@@ -91,6 +95,9 @@ where
             }
             "--io_backend" => {
                 cfg.io_backend = BackendSpec::parse(&next(&mut i)?)?;
+            }
+            "--compression" => {
+                cfg.compression = CodecSpec::parse(&next(&mut i)?)?;
             }
             "--nprocs" | "-n" => {
                 cfg.nprocs = parse_num(&next(&mut i)?)? as usize;
@@ -195,6 +202,16 @@ mod tests {
         assert!(usage().contains("--io_backend"));
         assert!(usage().contains("agg:<ratio>"));
         assert!(usage().contains("deferred"));
+    }
+
+    #[test]
+    fn compression_flag_parses() {
+        let cfg = parse_args(["--compression", "quant:4"]).unwrap();
+        assert_eq!(cfg.compression, CodecSpec::LossyQuant(4));
+        let cfg = parse_args(["--compression", "rle"]).unwrap();
+        assert_eq!(cfg.compression, CodecSpec::Rle(2.0));
+        assert!(parse_args(["--compression", "zstd"]).is_err());
+        assert!(usage().contains("--compression"));
     }
 
     #[test]

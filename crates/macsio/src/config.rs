@@ -1,6 +1,6 @@
 //! MACSio run configuration: the command-line surface of Table II.
 
-use io_engine::BackendSpec;
+use io_engine::{BackendSpec, CodecSpec};
 use serde::{Deserialize, Serialize};
 
 /// Output interface (MACSio `--interface`).
@@ -130,6 +130,8 @@ pub struct MacsioConfig {
     pub seed: u64,
     /// I/O backend the dumps write through (`--io_backend`).
     pub io_backend: BackendSpec,
+    /// In-situ compression codec applied to data puts (`--compression`).
+    pub compression: CodecSpec,
 }
 
 impl Default for MacsioConfig {
@@ -147,6 +149,7 @@ impl Default for MacsioConfig {
             nprocs: 1,
             seed: 0x4D_41_43, // "MAC"
             io_backend: BackendSpec::default(),
+            compression: CodecSpec::default(),
         }
     }
 }
@@ -224,6 +227,9 @@ impl MacsioConfig {
         );
         if self.io_backend != BackendSpec::default() {
             line.push_str(&format!(" --io_backend {}", self.io_backend.name()));
+        }
+        if self.compression != CodecSpec::default() {
+            line.push_str(&format!(" --compression {}", self.compression.name()));
         }
         line
     }
@@ -341,6 +347,14 @@ mod tests {
         assert!(!cfg.command_line().contains("--io_backend"));
         cfg.io_backend = BackendSpec::Aggregated(8);
         assert!(cfg.command_line().contains("--io_backend agg:8"));
+    }
+
+    #[test]
+    fn command_line_names_non_default_codec() {
+        let mut cfg = MacsioConfig::default();
+        assert!(!cfg.command_line().contains("--compression"));
+        cfg.compression = CodecSpec::LossyQuant(8);
+        assert!(cfg.command_line().contains("--compression quant:8"));
     }
 
     #[test]

@@ -50,9 +50,17 @@ pub fn predicted_dump_bytes(cfg: &MacsioConfig, dump: u32) -> u64 {
 /// Outcome of a MACSio run.
 #[derive(Clone, Debug, Default)]
 pub struct MacsioReport {
-    /// Total bytes written (data + root metadata).
+    /// Total physical bytes written (data + root metadata + overhead).
     pub total_bytes: u64,
-    /// Bytes per dump (data + root), indexed by dump.
+    /// Total logical (pre-compression) payload bytes — what the tracker
+    /// records; equals `total_bytes` without a compression codec.
+    pub logical_bytes: u64,
+    /// Modeled codec CPU seconds across the run (0 without compression).
+    pub codec_seconds: f64,
+    /// Declared bookkeeping bytes inside `total_bytes` (aggregation index
+    /// tables, compression sidecars).
+    pub overhead_bytes: u64,
+    /// Physical bytes per dump (data + root), indexed by dump.
     pub bytes_per_dump: Vec<u64>,
     /// Files written across the run.
     pub files_written: u64,
@@ -62,18 +70,24 @@ pub struct MacsioReport {
     pub wall_time: f64,
 }
 
-/// Runs MACSio through the backend named in `cfg.io_backend`.
+/// Runs MACSio through the backend × codec stack named in
+/// `cfg.io_backend` / `cfg.compression`.
 ///
 /// Tracker keys use `step = dump + 1` (matching the AMR side's 1-based
 /// output counter), `level = 0` (MACSio has no level concept — the paper's
-/// central granularity limitation), and `task = rank`.
+/// central granularity limitation), and `task = rank`. Tracker bytes are
+/// logical (pre-compression), so the Eq. (1)/(2) calibration target is
+/// codec-invariant; the report's physical bytes and burst timing shrink
+/// with the codec's ratio.
 pub fn run(
     cfg: &MacsioConfig,
     vfs: &dyn Vfs,
     tracker: &IoTracker,
     storage: Option<&StorageModel>,
 ) -> io::Result<MacsioReport> {
-    let mut backend = cfg.io_backend.build(vfs, tracker);
+    let mut backend = cfg
+        .io_backend
+        .build_with_codec(cfg.compression, vfs, tracker);
     run_with_backend(cfg, backend.as_mut(), storage)
 }
 
@@ -165,15 +179,26 @@ pub fn run_with_backend(
         let mut stats = backend.end_step()?;
         report.files_written += stats.files;
 
-        // Timing.
+        // Timing: the codec's CPU cost lands on the application clock
+        // whether or not a storage model times the drain.
         if let Some(sched) = scheduler.as_mut() {
-            let (burst, next_clock) =
-                sched.submit(step_key, clock, &mut stats.requests, stats.bytes);
+            let (burst, next_clock) = sched.submit_with_compute(
+                step_key,
+                clock,
+                stats.codec_seconds,
+                &mut stats.requests,
+                stats.bytes,
+            );
             report.timeline.push(burst);
             clock = next_clock;
+        } else {
+            clock += stats.codec_seconds;
         }
         report.bytes_per_dump.push(stats.bytes);
         report.total_bytes += stats.bytes;
+        report.logical_bytes += stats.logical_bytes;
+        report.codec_seconds += stats.codec_seconds;
+        report.overhead_bytes += stats.overhead_bytes;
     }
     backend.close()?;
     report.wall_time = match &scheduler {
@@ -295,6 +320,31 @@ mod tests {
         // Bursts are ordered in time.
         let bursts = report.timeline.bursts();
         assert!(bursts.windows(2).all(|w| w[1].t_start >= w[0].t_end));
+    }
+
+    #[test]
+    fn compression_shrinks_physical_keeps_logical() {
+        let mut cfg = base_cfg();
+        let fs_id = MemFs::new();
+        let t_id = IoTracker::new();
+        let r_id = run(&cfg, &fs_id, &t_id, None).unwrap();
+        assert_eq!(r_id.logical_bytes, r_id.total_bytes, "identity: equal");
+        assert_eq!(r_id.codec_seconds, 0.0);
+
+        cfg.compression = io_engine::CodecSpec::LossyQuant(8);
+        let fs_q = MemFs::new();
+        let t_q = IoTracker::new();
+        let r_q = run(&cfg, &fs_q, &t_q, None).unwrap();
+        // The calibration target (tracker) is codec-invariant.
+        assert_eq!(t_id.export(), t_q.export());
+        assert_eq!(r_q.logical_bytes, r_id.logical_bytes);
+        // Physical volume shrinks and the CPU cost is accounted.
+        assert!(r_q.total_bytes < r_id.total_bytes);
+        assert_eq!(r_q.total_bytes, fs_q.total_bytes());
+        assert!(r_q.codec_seconds > 0.0);
+        assert!(r_q.wall_time >= r_q.codec_seconds);
+        // One sidecar per dump rides along.
+        assert_eq!(r_q.files_written, r_id.files_written + cfg.num_dumps as u64);
     }
 
     #[test]

@@ -30,6 +30,7 @@ fn arb_config() -> impl Strategy<Value = MacsioConfig> {
                 nprocs,
                 seed: MacsioConfig::default().seed,
                 io_backend: MacsioConfig::default().io_backend,
+                compression: MacsioConfig::default().compression,
             },
         )
 }

@@ -170,6 +170,7 @@ mod tests {
             nprocs,
             seed: 1,
             io_backend: Default::default(),
+            compression: Default::default(),
         }
     }
 

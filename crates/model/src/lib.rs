@@ -4,7 +4,9 @@
 //! * [`samples`] — Eqs. (1)/(2): cumulative `(x, y)` extraction from
 //!   tracked I/O records.
 //! * [`regression`] — the linear (and power-law) fits separating the
-//!   L0-dominated linear family from refinement-driven non-linearity.
+//!   L0-dominated linear family from refinement-driven non-linearity,
+//!   plus a multi-feature OLS fit that learns compression ratio as a
+//!   regression feature from backend × codec sweeps.
 //! * [`partsize`] — Eq. (3): `part_size = f * 8 * Nx * Ny / nprocs`.
 //! * [`mod@translate`] — Listing 1: the functional mapping `g` producing a
 //!   MACSio command line from Table I inputs.
@@ -27,6 +29,8 @@ pub use calibrate::{
 pub use metrics::{final_rel_err, mape, rmse};
 pub use partsize::{fit_f, part_size, Case4Constant, PAPER_F_RANGE};
 pub use predict::{GrowthPredictor, Observation};
-pub use regression::{linear_fit, powerlaw_fit, LinearFit};
+pub use regression::{
+    fit_bytes_with_ratio, linear_fit, multi_linear_fit, powerlaw_fit, LinearFit, MultiFit,
+};
 pub use samples::{Sample, XySeries};
 pub use translate::{default_growth_guess, translate, AmrInputs, TranslationModel};

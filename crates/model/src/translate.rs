@@ -34,17 +34,24 @@ pub struct TranslationModel {
     pub compute_time: f64,
     /// Extra metadata bytes per task per dump.
     pub meta_size: u64,
+    /// In-situ compression ratio of the modeled run (logical / physical;
+    /// 1.0 without compression). The proxy replicates the *physical* I/O
+    /// workload, so Eq. (3)'s part size shrinks by this factor — the
+    /// regression feature [`crate::regression::fit_bytes_with_ratio`]
+    /// learns it from backend × codec sweep samples.
+    pub compression_ratio: f64,
 }
 
 impl Default for TranslationModel {
     /// The paper's recommended starting point: `f` mid-range,
-    /// `dataset_growth` just above 1.
+    /// `dataset_growth` just above 1, no compression.
     fn default() -> Self {
         Self {
             f: 24.0,
             dataset_growth: 1.01,
             compute_time: 0.0,
             meta_size: 0,
+            compression_ratio: 1.0,
         }
     }
 }
@@ -59,13 +66,22 @@ pub fn default_growth_guess(cfl: f64, max_level: usize) -> f64 {
 }
 
 /// Listing 1: builds the MACSio invocation equivalent to an AMReX run.
+///
+/// A calibrated `compression_ratio > 1` divides the Eq. (3) part size:
+/// the proxy reproduces the physical (post-compression) byte stream the
+/// storage system actually absorbs.
 pub fn translate(inputs: &AmrInputs, model: &TranslationModel) -> MacsioConfig {
+    assert!(
+        model.compression_ratio >= 1.0,
+        "translate: compression ratio must be >= 1"
+    );
     let num_dumps = (inputs.max_step / inputs.plot_int.max(1)).max(1) as u32;
+    let logical = part_size(model.f, inputs.n_cell.0, inputs.n_cell.1, inputs.nprocs);
     MacsioConfig {
         interface: Interface::Miftmpl,
         parallel_file_mode: FileMode::Mif(inputs.nprocs),
         num_dumps,
-        part_size: part_size(model.f, inputs.n_cell.0, inputs.n_cell.1, inputs.nprocs),
+        part_size: ((logical as f64 / model.compression_ratio).round() as u64).max(1),
         avg_num_parts: 1.0,
         vars_per_part: 1,
         compute_time: model.compute_time,
@@ -74,6 +90,7 @@ pub fn translate(inputs: &AmrInputs, model: &TranslationModel) -> MacsioConfig {
         nprocs: inputs.nprocs,
         seed: 0x4D_41_43,
         io_backend: Default::default(),
+        compression: Default::default(),
     }
 }
 
@@ -131,5 +148,22 @@ mod tests {
     #[test]
     fn translated_config_validates() {
         translate(&case4(), &TranslationModel::default()).validate();
+    }
+
+    #[test]
+    fn compression_ratio_divides_part_size() {
+        let base = translate(&case4(), &TranslationModel::default());
+        let compressed = translate(
+            &case4(),
+            &TranslationModel {
+                compression_ratio: 4.0,
+                ..TranslationModel::default()
+            },
+        );
+        assert_eq!(compressed.part_size, base.part_size.div_ceil(4));
+        compressed.validate();
+        // Everything else is untouched.
+        assert_eq!(compressed.num_dumps, base.num_dumps);
+        assert_eq!(compressed.nprocs, base.nprocs);
     }
 }

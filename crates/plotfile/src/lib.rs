@@ -31,6 +31,6 @@ pub use format::{
 };
 pub use sizer::{account_plotfile, account_plotfile_with, LayoutLevel, PlotfileLayout};
 pub use writer::{
-    expected_payload_bytes, write_plotfile, write_plotfile_with, PlotLevel, PlotfileSpec,
-    PlotfileStats,
+    expected_payload_bytes, write_plotfile, write_plotfile_compressed, write_plotfile_with,
+    PlotLevel, PlotfileSpec, PlotfileStats,
 };

@@ -155,11 +155,7 @@ pub fn account_plotfile_with(
         );
     }
     let step = backend.end_step().expect("size-only steps cannot fail");
-    PlotfileStats {
-        total_bytes: step.bytes,
-        nfiles: step.files,
-        requests: step.requests,
-    }
+    PlotfileStats::from_step(step)
 }
 
 #[cfg(test)]

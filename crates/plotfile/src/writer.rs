@@ -10,7 +10,7 @@
 use crate::format::{cell_h, fab_header, job_info, plotfile_header, FabOnDisk, HeaderLevel};
 use amr_mesh::{Geometry, MultiFab};
 use bytes::{BufMut, BytesMut};
-use io_engine::{FilePerProcess, IoBackend, Payload, Put};
+use io_engine::{BackendSpec, CodecSpec, FilePerProcess, IoBackend, Payload, Put};
 use iosim::{IoKey, IoKind, IoTracker, Vfs, WriteRequest};
 use std::io;
 
@@ -46,13 +46,33 @@ pub struct PlotfileSpec<'a> {
 /// Per-dump outcome: sizes and the write requests for timing simulation.
 #[derive(Clone, Debug, Default)]
 pub struct PlotfileStats {
-    /// Total bytes written (data + metadata).
+    /// Total physical bytes written (data + metadata + backend overhead).
+    /// Equals the logical volume when no compression stage is active.
     pub total_bytes: u64,
+    /// Logical (pre-compression) payload bytes of the dump — what the
+    /// tracker records.
+    pub logical_bytes: u64,
+    /// Modeled codec CPU seconds spent compressing the dump (0 without a
+    /// compression stage).
+    pub codec_seconds: f64,
     /// Number of files created.
     pub nfiles: u64,
-    /// The write requests issued, suitable for
+    /// The write requests issued (physical sizes), suitable for
     /// [`iosim::StorageModel::simulate_burst`].
     pub requests: Vec<WriteRequest>,
+}
+
+impl PlotfileStats {
+    /// Builds from a backend's per-step stats.
+    pub(crate) fn from_step(step: io_engine::StepStats) -> Self {
+        Self {
+            total_bytes: step.bytes,
+            logical_bytes: step.logical_bytes,
+            codec_seconds: step.codec_seconds,
+            nfiles: step.files,
+            requests: step.requests,
+        }
+    }
 }
 
 /// Writes one plotfile dump through `vfs`, recording into `tracker`.
@@ -67,6 +87,23 @@ pub fn write_plotfile(
 ) -> io::Result<PlotfileStats> {
     let mut backend = FilePerProcess::new(vfs, tracker);
     write_plotfile_with(&mut backend, spec)
+}
+
+/// Writes one plotfile dump through the given backend × codec stack: the
+/// compressed chunk sizes land in the physical files and requests, the
+/// uncompressed-logical-size sidecar rides along as backend overhead, and
+/// the tracker keeps logical accounting (see `io-engine` docs).
+pub fn write_plotfile_compressed(
+    vfs: &dyn Vfs,
+    tracker: &IoTracker,
+    spec: &PlotfileSpec<'_>,
+    backend: BackendSpec,
+    codec: CodecSpec,
+) -> io::Result<PlotfileStats> {
+    let mut stack = backend.build_with_codec(codec, vfs, tracker);
+    let stats = write_plotfile_with(stack.as_mut(), spec)?;
+    stack.close()?;
+    Ok(stats)
 }
 
 /// Writes one plotfile dump through an [`IoBackend`].
@@ -200,11 +237,7 @@ pub fn write_plotfile_with(
     }
 
     let step = backend.end_step()?;
-    Ok(PlotfileStats {
-        total_bytes: step.bytes,
-        nfiles: step.files,
-        requests: step.requests,
-    })
+    Ok(PlotfileStats::from_step(step))
 }
 
 /// Expected payload bytes for a level: `cells * vars * 8` — the headerless
@@ -351,6 +384,93 @@ mod tests {
         assert!(header.contains("Level_1/Cell"));
         // Metadata recorded separately from data.
         assert!(tracker.total_bytes_of(IoKind::Metadata) > 0);
+    }
+
+    #[test]
+    fn compressed_dump_shrinks_physical_keeps_logical() {
+        let mf = level_mf(32, 16, 2, 2);
+        let run = |codec: CodecSpec| {
+            let fs = MemFs::new();
+            let tracker = IoTracker::new();
+            let stats = write_plotfile_compressed(
+                &fs,
+                &tracker,
+                &spec(&mf, 2),
+                BackendSpec::FilePerProcess,
+                codec,
+            )
+            .unwrap();
+            (fs, tracker, stats)
+        };
+        let (_, t_id, s_id) = run(CodecSpec::Identity);
+        let (fs_q, t_q, s_q) = run(CodecSpec::LossyQuant(8));
+        // Logical accounting is codec-invariant (Eq. (1)/(2) samples).
+        assert_eq!(t_id.export(), t_q.export());
+        assert_eq!(s_id.logical_bytes, s_q.logical_bytes);
+        // Physical volume shrinks; the identity path is exactly the old
+        // writer (logical == physical, no codec cost, no sidecar).
+        assert_eq!(s_id.total_bytes, s_id.logical_bytes);
+        assert_eq!(s_id.codec_seconds, 0.0);
+        assert!(s_q.total_bytes < s_id.total_bytes);
+        assert!(s_q.codec_seconds > 0.0);
+        // The sidecar names the data files with logical sizes.
+        let sc = fs_q
+            .read_file("/plt00000/compression_00001.csc")
+            .expect("sidecar exists");
+        let sc = String::from_utf8(sc).unwrap();
+        assert!(sc.contains("Cell_D_00000"), "{sc}");
+        assert!(sc.contains("quant:8"), "{sc}");
+        // Metadata (Header) stays readable.
+        let header = String::from_utf8(fs_q.read_file("/plt00000/Header").unwrap()).unwrap();
+        assert!(header.contains("Level_0/Cell"));
+    }
+
+    #[test]
+    fn sizer_and_writer_agree_under_compression() {
+        use crate::sizer::{account_plotfile_with, LayoutLevel, PlotfileLayout};
+        let mf = level_mf(32, 16, 2, 1);
+        let fs = MemFs::new();
+        let t_writer = IoTracker::new();
+        let ws = write_plotfile_compressed(
+            &fs,
+            &t_writer,
+            &spec(&mf, 1),
+            BackendSpec::FilePerProcess,
+            CodecSpec::LossyQuant(8),
+        )
+        .unwrap();
+
+        let t_sizer = IoTracker::new();
+        let layout = PlotfileLayout {
+            dir: "/plt00000".into(),
+            output_counter: 1,
+            time: 0.0,
+            var_names: vec!["var0".into()],
+            ref_ratio: 2,
+            levels: vec![LayoutLevel {
+                geom: Geometry::unit_square(IntVect::splat(32)),
+                ba: mf.box_array().clone(),
+                dm: mf.distribution_map().clone(),
+                level_steps: 0,
+            }],
+            inputs: vec![],
+        };
+        let throwaway = MemFs::with_retention(0);
+        let mut stack = BackendSpec::FilePerProcess.build_with_codec(
+            CodecSpec::LossyQuant(8),
+            &throwaway as &dyn Vfs,
+            &t_sizer,
+        );
+        let ss = account_plotfile_with(stack.as_mut(), &layout);
+        // Quantized physical size is a pure function of the logical size,
+        // so the oracle path prices data files identically to the writer.
+        for (rw, rs) in ws.requests.iter().zip(ss.requests.iter()) {
+            assert_eq!(rw.path, rs.path);
+            if rw.path.contains("Cell_D") {
+                assert_eq!(rw.bytes, rs.bytes, "bytes differ for {}", rw.path);
+            }
+        }
+        assert_eq!(ws.nfiles, ss.nfiles);
     }
 
     #[test]

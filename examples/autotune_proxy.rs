@@ -84,6 +84,7 @@ fn main() {
             dataset_growth: predicted_growth,
             compute_time: 1.0,
             meta_size: 256,
+            compression_ratio: 1.0,
         },
     );
     let fs = MemFs::with_retention(0);

@@ -24,6 +24,7 @@ fn main() {
         nprocs: 8,
         seed: 42,
         io_backend: Default::default(),
+        compression: Default::default(),
     };
     println!("# {}", cfg.command_line());
 

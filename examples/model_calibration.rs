@@ -31,6 +31,7 @@ fn main() {
         dataset_growth: default_growth_guess(inputs.cfl, inputs.max_level),
         compute_time: 0.0,
         meta_size: 0,
+        compression_ratio: 1.0,
     };
     let mut base = translate(&inputs, &guess);
     base.num_dumps = target.len() as u32;

@@ -1,0 +1,5 @@
+# io-engine compression sidecar, codec quant:8, step 1
+16716 2237 quant:8 /plt00000/Level_0/Cell_D_00000
+16718 2239 quant:8 /plt00000/Level_0/Cell_D_00001
+16718 2239 quant:8 /plt00000/Level_0/Cell_D_00002
+16720 2234 quant:8 /plt00000/Level_0/Cell_D_00003

@@ -1,0 +1,124 @@
+//! Golden-file regression tests for the `Aggregated` backend's per-step
+//! index layout and the compression stage's sidecar format.
+//!
+//! One small, fully deterministic campaign step is serialized through the
+//! aggregated backend and compared **byte-exactly** against checked-in
+//! fixtures. The index file is the contract readers (and the paper's
+//! byte-accounting model) depend on; this pins it against accidental
+//! format drift and against optimization-dependent layout bugs (CI runs
+//! these under both debug and release).
+//!
+//! Regenerate fixtures after an *intentional* format change with:
+//!
+//! ```text
+//! BLESS_GOLDEN=1 cargo test --test golden_aggregated_index
+//! ```
+
+use amr_proxy_io::amr_mesh::prelude::*;
+use amr_proxy_io::io_engine::{BackendSpec, CodecSpec};
+use amr_proxy_io::iosim::{IoTracker, MemFs, Vfs};
+use amr_proxy_io::plotfile::{write_plotfile_compressed, PlotLevel, PlotfileSpec};
+use std::path::PathBuf;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Compares `actual` against the named fixture, or regenerates it when
+/// `BLESS_GOLDEN` is set.
+fn assert_golden(name: &str, actual: &[u8]) {
+    let path = fixture_path(name);
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir fixtures");
+        std::fs::write(&path, actual).expect("write fixture");
+        return;
+    }
+    let expected = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!("missing fixture {path:?} ({e}); regenerate with BLESS_GOLDEN=1")
+    });
+    assert_eq!(
+        actual,
+        expected.as_slice(),
+        "{name} drifted from the checked-in fixture; if the format change \
+         is intentional, regenerate with BLESS_GOLDEN=1"
+    );
+}
+
+/// The deterministic one-step campaign workload: 64^2 cells on 4 ranks,
+/// two variables at fixed values, SFC distribution. Everything that
+/// reaches the index (paths, offsets, lengths, metadata bytes) is a pure
+/// function of this layout.
+fn dump_step(codec: CodecSpec) -> MemFs {
+    let ba = BoxArray::single(IndexBox::at_origin(IntVect::splat(64))).max_size(16);
+    let dm = DistributionMapping::new(&ba, 4, DistributionStrategy::Sfc);
+    let mut mf = MultiFab::new(ba, dm, 2, 0);
+    mf.set_val(0, 1.25);
+    mf.set_val(1, 2.5);
+    let spec = PlotfileSpec {
+        dir: "/plt00000".to_string(),
+        output_counter: 1,
+        time: 0.5,
+        var_names: vec!["density".into(), "pressure".into()],
+        ref_ratio: 2,
+        levels: vec![PlotLevel {
+            geom: Geometry::unit_square(IntVect::splat(64)),
+            mf: &mf,
+            level_steps: 4,
+        }],
+        inputs: vec![("amr.n_cell".into(), "64 64".into())],
+    };
+    let fs = MemFs::new();
+    let tracker = IoTracker::new();
+    write_plotfile_compressed(&fs, &tracker, &spec, BackendSpec::Aggregated(2), codec)
+        .expect("aggregated dump");
+    fs
+}
+
+#[test]
+fn aggregated_index_layout_is_byte_exact() {
+    let fs = dump_step(CodecSpec::Identity);
+    let idx = fs
+        .read_file("/plt00000/bp00001/md.idx")
+        .expect("index exists");
+    assert_golden("aggregated_md.idx", &idx);
+}
+
+#[test]
+fn aggregated_file_set_and_sizes_are_stable() {
+    let fs = dump_step(CodecSpec::Identity);
+    let mut listing = String::new();
+    let mut files = fs.list("/");
+    files.sort();
+    for f in files {
+        listing.push_str(&format!("{} {}\n", fs.file_size(&f).unwrap(), f));
+    }
+    assert_golden("aggregated_file_set.txt", listing.as_bytes());
+}
+
+#[test]
+fn compression_sidecar_layout_is_byte_exact() {
+    let fs = dump_step(CodecSpec::LossyQuant(8));
+    let sidecar = fs
+        .read_file("/plt00000/compression_00001.csc")
+        .expect("sidecar exists");
+    assert_golden("aggregated_quant_sidecar.csc", &sidecar);
+}
+
+#[test]
+fn compressed_index_records_both_byte_counts() {
+    // Not a golden file: a structural check that the quantized index's
+    // chunk lines carry physical < logical for every data chunk.
+    let fs = dump_step(CodecSpec::LossyQuant(8));
+    let idx = String::from_utf8(fs.read_file("/plt00000/bp00001/md.idx").unwrap()).unwrap();
+    let mut data_lines = 0;
+    for line in idx.lines().filter(|l| l.contains("/data.")) {
+        let cols: Vec<&str> = line.split_whitespace().collect();
+        let physical: u64 = cols[2].parse().expect("physical len column");
+        let logical: u64 = cols[3].parse().expect("logical len column");
+        assert!(physical < logical, "chunk must be compressed: {line}");
+        data_lines += 1;
+    }
+    assert!(data_lines >= 4, "one chunk per rank: {idx}");
+}

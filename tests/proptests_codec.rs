@@ -1,0 +1,166 @@
+//! Property tests for the compression stage's byte-accounting contract:
+//! logical `(step, level, task)` tracker totals are invariant across the
+//! full backend × codec matrix, and physical payload bytes never exceed
+//! logical bytes — with equality exactly on the identity codec for the
+//! modeled (account-only) path.
+
+use amr_proxy_io::amrproxy::{run_simulation, CastroSedovConfig, Engine};
+use amr_proxy_io::io_engine::{BackendSpec, Codec, CodecContext, CodecSpec, Rle};
+use amr_proxy_io::iosim::{IoKind, IoTracker, MemFs, Vfs};
+use amr_proxy_io::macsio::{self, FileMode, MacsioConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The PackBits encoder round-trips arbitrary byte streams losslessly.
+    /// A small alphabet forces run/literal boundary interactions (the
+    /// 128-caps) that uniform random bytes almost never produce.
+    #[test]
+    fn rle_round_trips_arbitrary_bytes(
+        noise in prop::collection::vec(0u8..=255, 0..2048),
+        runs in prop::collection::vec(0u8..=2, 0..2048),
+    ) {
+        let codec = Rle::default();
+        let ctx = CodecContext { level: 0, kind: IoKind::Data, path: "/f" };
+        for data in [noise, runs] {
+            let encoded = codec.encode(&data, &ctx);
+            prop_assert_eq!(Rle::decode(&encoded), data);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// MACSio (materialized bytes): the tracker export is byte-identical
+    /// across all 3 backends x 3 codecs, and physical payloads never
+    /// expand.
+    #[test]
+    fn macsio_tracker_invariant_across_backend_codec_matrix(
+        nprocs in 1usize..6,
+        dumps in 1u32..4,
+        part_size in 1_000u64..40_000,
+        agg_ratio in 1usize..5,
+        quant_bits in 2u8..13,
+    ) {
+        let cfg = MacsioConfig {
+            nprocs,
+            num_dumps: dumps,
+            part_size,
+            parallel_file_mode: FileMode::Mif(nprocs),
+            ..Default::default()
+        };
+        let backends = [
+            BackendSpec::FilePerProcess,
+            BackendSpec::Aggregated(agg_ratio),
+            BackendSpec::Deferred(1),
+        ];
+        let codecs = [
+            CodecSpec::Identity,
+            CodecSpec::Rle(2.0),
+            CodecSpec::LossyQuant(quant_bits),
+        ];
+        let mut baseline: Option<Vec<_>> = None;
+        for backend in backends {
+            for codec in codecs {
+                let cfg = MacsioConfig { io_backend: backend, compression: codec, ..cfg.clone() };
+                let fs = MemFs::new();
+                let tracker = IoTracker::new();
+                let report = macsio::run(&cfg, &fs, &tracker, None).expect("macsio run");
+                let label = format!("{}/{}", backend.name(), codec.name());
+
+                // (1) Logical tracker totals: backend- and codec-invariant.
+                let export = tracker.export();
+                prop_assert!(!export.is_empty());
+                match &baseline {
+                    None => baseline = Some(export),
+                    Some(b) => prop_assert_eq!(b, &export, "tracker drift in {}", label),
+                }
+
+                // (2) Physical payload bytes <= logical bytes, equality on
+                // identity (payload = total minus declared bookkeeping).
+                let payload = report.total_bytes - report.overhead_bytes;
+                prop_assert!(
+                    payload <= report.logical_bytes,
+                    "{}: payload {} > logical {}", label, payload, report.logical_bytes
+                );
+                if codec == CodecSpec::Identity {
+                    prop_assert_eq!(payload, report.logical_bytes, "identity must be 1:1 in {}", label);
+                    prop_assert_eq!(report.codec_seconds, 0.0);
+                } else {
+                    prop_assert!(report.codec_seconds > 0.0, "{}: cpu cost missing", label);
+                }
+                // LossyQuant payloads are large f64 streams: always strictly
+                // compressed.
+                if let CodecSpec::LossyQuant(_) = codec {
+                    prop_assert!(payload < report.logical_bytes, "{}", label);
+                }
+                // (3) The filesystem agrees with the report.
+                prop_assert_eq!(report.total_bytes, fs.total_bytes());
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Account-only AMR runs (the oracle path, size-only payloads): the
+    /// Eq. (1)/(2) series is invariant across the matrix and the modeled
+    /// physical volume satisfies `physical <= logical` with equality iff
+    /// the codec is identity.
+    #[test]
+    fn oracle_series_invariant_and_sizes_modeled(
+        n_cell in prop_oneof![Just(32i64), Just(64i64)],
+        nprocs in 1usize..5,
+        max_step in 2u64..7,
+        agg_ratio in 1usize..4,
+    ) {
+        let base = CastroSedovConfig {
+            name: "prop".into(),
+            engine: Engine::Oracle,
+            n_cell,
+            max_level: 2,
+            max_step,
+            plot_int: 2,
+            nprocs,
+            account_only: true,
+            ..Default::default()
+        };
+        let backends = [
+            BackendSpec::FilePerProcess,
+            BackendSpec::Aggregated(agg_ratio),
+            BackendSpec::Deferred(1),
+        ];
+        let codecs = [
+            CodecSpec::Identity,
+            CodecSpec::Rle(2.0),
+            CodecSpec::LossyQuant(8),
+        ];
+        let mut baseline: Option<Vec<(f64, f64)>> = None;
+        for backend in backends {
+            for codec in codecs {
+                let cfg = CastroSedovConfig { backend, codec, ..base.clone() };
+                let r = run_simulation(&cfg, None, None);
+                let label = format!("{}/{}", backend.name(), codec.name());
+                let series: Vec<(f64, f64)> =
+                    r.xy_series().points.iter().map(|p| (p.x, p.y)).collect();
+                match &baseline {
+                    None => baseline = Some(series),
+                    Some(b) => prop_assert_eq!(b, &series, "series drift in {}", label),
+                }
+                let payload = r.physical_bytes - r.overhead_bytes;
+                if codec == CodecSpec::Identity {
+                    prop_assert_eq!(payload, r.logical_bytes, "identity 1:1 in {}", label);
+                } else {
+                    // Modeled ratios are > 1 on every dump: strictly less.
+                    prop_assert!(
+                        payload < r.logical_bytes,
+                        "{}: payload {} !< logical {}", label, payload, r.logical_bytes
+                    );
+                }
+            }
+        }
+    }
+}
