@@ -58,6 +58,17 @@ pub struct RunSummary {
     pub wall_time: f64,
     /// Modeled codec CPU seconds inside `wall_time`.
     pub codec_seconds: f64,
+    /// True when the run restart-read its last dump back (the
+    /// read-after-write campaign axis).
+    pub restart: bool,
+    /// Logical bytes restart-read back (0 for write-only runs;
+    /// backend- and codec-invariant).
+    pub read_bytes: u64,
+    /// Physical bytes fetched from storage during the restart read
+    /// (what compression and aggregation shrink).
+    pub physical_read_bytes: u64,
+    /// Simulated seconds of the restart-read phase (inside `wall_time`).
+    pub read_wall: f64,
 }
 
 impl RunSummary {
@@ -82,6 +93,10 @@ impl RunSummary {
             physical_files: r.files_written,
             wall_time: r.wall_time,
             codec_seconds: r.codec_seconds,
+            restart: r.config.read_after_write,
+            read_bytes: r.read_bytes,
+            physical_read_bytes: r.physical_read_bytes,
+            read_wall: r.read_wall,
         }
     }
 
@@ -250,6 +265,29 @@ pub fn backend_codec_sweep(
                 });
             }
         }
+    }
+    out
+}
+
+/// Expands a set of configurations across the backend × codec ×
+/// {write, restart} cube: every [`backend_codec_sweep`] scenario appears
+/// once write-only and once with a read-after-write restart phase
+/// (suffix `_restart`). This is the read-plane generalization of the
+/// sweep — the write half reproduces `backend_codec_sweep` exactly, the
+/// restart half additionally prices recovery reads.
+pub fn restart_sweep(
+    configs: &[CastroSedovConfig],
+    backends: &[BackendSpec],
+    codecs: &[CodecSpec],
+) -> Vec<CastroSedovConfig> {
+    let mut out = Vec::new();
+    for cfg in backend_codec_sweep(configs, backends, codecs) {
+        out.push(cfg.clone());
+        out.push(CastroSedovConfig {
+            name: format!("{}_restart", cfg.name),
+            read_after_write: true,
+            ..cfg
+        });
     }
     out
 }
@@ -485,6 +523,97 @@ mod tests {
             );
             assert!(quant.codec_seconds > 0.0);
             assert!(quant.compression_ratio() > 3.0, "{backend}");
+        }
+    }
+
+    #[test]
+    fn restart_sweep_crosses_the_full_cube() {
+        let base = vec![CastroSedovConfig {
+            name: "m".into(),
+            ..Default::default()
+        }];
+        let backends = [
+            BackendSpec::FilePerProcess,
+            BackendSpec::Aggregated(4),
+            BackendSpec::Deferred(1),
+        ];
+        let codecs = [
+            CodecSpec::Identity,
+            CodecSpec::Rle(2.0),
+            CodecSpec::LossyQuant(8),
+        ];
+        let matrix = restart_sweep(&base, &backends, &codecs);
+        assert_eq!(matrix.len(), 18, "3 backends x 3 codecs x 2 modes");
+        assert_eq!(matrix.iter().filter(|c| c.read_after_write).count(), 9);
+        let mut names: Vec<String> = matrix.iter().map(|c| c.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 18, "scenario names stay unique");
+        assert!(matrix
+            .iter()
+            .any(|c| c.name == "m_agg4_quant8_restart" && c.read_after_write));
+    }
+
+    #[test]
+    fn restart_axis_prices_recovery_reads() {
+        let base = CastroSedovConfig {
+            name: "rst".into(),
+            engine: Engine::Oracle,
+            n_cell: 64,
+            max_step: 6,
+            plot_int: 2,
+            nprocs: 4,
+            account_only: true,
+            compute_ns_per_cell: 40_000.0,
+            ..Default::default()
+        };
+        let matrix = restart_sweep(
+            &[base],
+            &[BackendSpec::FilePerProcess, BackendSpec::Aggregated(4)],
+            &[CodecSpec::Identity, CodecSpec::LossyQuant(8)],
+        );
+        let storage = iosim::StorageModel::ideal(2, 5e7);
+        let summaries = run_campaign_timed(&matrix, &storage);
+        for s in &summaries {
+            if s.restart {
+                assert!(s.read_bytes > 0, "{}", s.name);
+                assert!(s.read_wall > 0.0, "{}", s.name);
+                assert!(s.physical_read_bytes > 0, "{}", s.name);
+            } else {
+                assert_eq!(s.read_bytes, 0, "{}", s.name);
+                assert_eq!(s.read_wall, 0.0, "{}", s.name);
+            }
+        }
+        // Logical read bytes are backend- and codec-invariant; physical
+        // read bytes shrink under compression (restart reads less wire).
+        let restarts: Vec<_> = summaries.iter().filter(|s| s.restart).collect();
+        assert!(restarts
+            .windows(2)
+            .all(|w| w[0].read_bytes == w[1].read_bytes));
+        let of = |backend: &str, codec: &str| {
+            restarts
+                .iter()
+                .find(|s| s.backend == backend && s.codec == codec)
+                .copied()
+                .unwrap_or_else(|| panic!("{backend}/{codec}"))
+        };
+        for b in ["fpp", "agg:4"] {
+            let id = of(b, "identity");
+            let q = of(b, "quant:8");
+            assert!(
+                q.physical_read_bytes < id.physical_read_bytes,
+                "{b}: compressed restart fetches less wire"
+            );
+            assert!(q.read_wall < id.read_wall, "{b}: and finishes faster");
+            // Decode CPU lands in codec_seconds next to the encode cost.
+            let q_write = summaries
+                .iter()
+                .find(|s| !s.restart && s.backend == b && s.codec == "quant:8")
+                .unwrap();
+            assert!(
+                q.codec_seconds > q_write.codec_seconds,
+                "{b}: restart adds decode CPU to codec_seconds"
+            );
         }
     }
 

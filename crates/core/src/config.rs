@@ -65,6 +65,11 @@ pub struct CastroSedovConfig {
     /// In-situ compression codec applied to plot data (the campaign's
     /// compression axis, crossed with the backend axis).
     pub codec: CodecSpec,
+    /// When true, the run restart-reads its last plot dump back through
+    /// the backend after the simulation finishes (the campaign's
+    /// read-after-write axis); `RunResult`/`RunSummary` then carry read
+    /// bytes and read wall-clock.
+    pub read_after_write: bool,
 }
 
 impl Default for CastroSedovConfig {
@@ -98,6 +103,7 @@ impl Default for CastroSedovConfig {
             account_only: false,
             backend: BackendSpec::default(),
             codec: CodecSpec::default(),
+            read_after_write: false,
         }
     }
 }

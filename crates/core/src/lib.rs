@@ -22,8 +22,8 @@ pub mod config;
 pub mod run;
 
 pub use campaign::{
-    backend_codec_sweep, backend_sweep, run_campaign, run_campaign_timed, table3_campaign,
-    RunSummary,
+    backend_codec_sweep, backend_sweep, restart_sweep, run_campaign, run_campaign_timed,
+    table3_campaign, RunSummary,
 };
 pub use cases::{big8192, case27, case4, case4_hydro_scaled};
 pub use compare::{compare_with_macsio, Comparison};

@@ -42,6 +42,14 @@ pub struct RunResult {
     pub overhead_bytes: u64,
     /// Modeled codec CPU seconds across the run (0 without compression).
     pub codec_seconds: f64,
+    /// Logical bytes restart-read back (0 unless `read_after_write`).
+    pub read_bytes: u64,
+    /// Physical bytes fetched from storage during the restart read.
+    pub physical_read_bytes: u64,
+    /// Physical files opened during the restart read.
+    pub read_files: u64,
+    /// Simulated seconds of the restart-read phase (inside `wall_time`).
+    pub read_wall: f64,
     /// Burst timeline (empty without a storage model).
     pub timeline: BurstTimeline,
     /// Final simulated wall-clock seconds (compute + I/O).
@@ -128,6 +136,56 @@ fn dump_burst(
         // No storage model: the codec's CPU cost still lands on the
         // application clock (it is compute, not I/O).
         *clock += codec_seconds;
+    }
+}
+
+/// Totals of the restart-read phase appended to a run.
+#[derive(Clone, Copy, Debug, Default)]
+struct ReadPhase {
+    read_bytes: u64,
+    physical_read_bytes: u64,
+    read_files: u64,
+    read_wall: f64,
+    codec_seconds: f64,
+}
+
+/// Restart-reads the last plot dump back through the backend (the
+/// recovery phase of an AMR campaign): the backend barriers in-flight
+/// drains, the scheduler prices the read burst at the storage model's
+/// read bandwidth (recorded in the run's burst timeline like every
+/// write burst), and decode CPU lands on the application clock after
+/// the bytes arrive. Advances `clock` past the read phase.
+fn restart_read(
+    backend: &mut dyn IoBackend,
+    scheduler: &mut Option<BurstScheduler<'_>>,
+    timeline: &mut BurstTimeline,
+    clock: &mut f64,
+    output_counter: u32,
+    dir: &str,
+) -> ReadPhase {
+    let read_start = match &scheduler {
+        // Recovery starts after the run's closing flush.
+        Some(sched) => sched.finish(*clock),
+        None => *clock,
+    };
+    *clock = read_start;
+    let read = backend
+        .read_step(output_counter, dir)
+        .expect("restart read of a written step");
+    let mut requests = read.stats.requests;
+    if let Some(sched) = scheduler.as_mut() {
+        let (burst, next_clock) =
+            sched.submit_read(output_counter, *clock, &mut requests, read.stats.bytes);
+        timeline.push(burst);
+        *clock = next_clock;
+    }
+    *clock += read.stats.codec_seconds;
+    ReadPhase {
+        read_bytes: read.stats.logical_bytes,
+        physical_read_bytes: read.stats.bytes,
+        read_files: read.stats.files,
+        read_wall: *clock - read_start,
+        codec_seconds: read.stats.codec_seconds,
     }
 }
 
@@ -228,6 +286,7 @@ fn run_hydro(cfg: &CastroSedovConfig, fs: &dyn Vfs, storage: Option<&StorageMode
         backend.as_mut(),
         &mut scheduler,
     );
+    let mut last_plot = (outputs, cfg.plot_dir(0));
 
     // Checkpoints keep the plain N-to-N accounting path (they are restart
     // state, not analysis output, and stay outside the backend's layout);
@@ -251,6 +310,7 @@ fn run_hydro(cfg: &CastroSedovConfig, fs: &dyn Vfs, storage: Option<&StorageMode
                 backend.as_mut(),
                 &mut scheduler,
             );
+            last_plot = (outputs, cfg.plot_dir(info.step));
         }
         if cfg.check_int > 0 && info.step.is_multiple_of(cfg.check_int) {
             outputs += 1;
@@ -289,6 +349,19 @@ fn run_hydro(cfg: &CastroSedovConfig, fs: &dyn Vfs, storage: Option<&StorageMode
         steps.push(info);
     }
 
+    let read_phase = if cfg.read_after_write {
+        restart_read(
+            backend.as_mut(),
+            &mut scheduler,
+            &mut timeline,
+            &mut clock,
+            last_plot.0,
+            &last_plot.1,
+        )
+    } else {
+        ReadPhase::default()
+    };
+
     let engine_report = backend.close().expect("backend close");
     drop(backend);
     let wall_time = match &scheduler {
@@ -304,7 +377,11 @@ fn run_hydro(cfg: &CastroSedovConfig, fs: &dyn Vfs, storage: Option<&StorageMode
         physical_bytes: engine_report.bytes + checkpoint_bytes,
         logical_bytes: engine_report.logical_bytes + checkpoint_bytes,
         overhead_bytes: engine_report.overhead_bytes,
-        codec_seconds,
+        codec_seconds: codec_seconds + read_phase.codec_seconds,
+        read_bytes: read_phase.read_bytes,
+        physical_read_bytes: read_phase.physical_read_bytes,
+        read_files: read_phase.read_files,
+        read_wall: read_phase.read_wall,
         timeline,
         wall_time,
     }
@@ -385,6 +462,7 @@ fn run_oracle(cfg: &CastroSedovConfig, fs: &dyn Vfs, storage: Option<&StorageMod
         backend.as_mut(),
         &mut scheduler,
     );
+    let mut last_plot = (outputs, cfg.plot_dir(0));
 
     // Checkpoints keep the plain N-to-N accounting path (they are restart
     // state, not analysis output, and stay outside the backend's layout);
@@ -408,6 +486,7 @@ fn run_oracle(cfg: &CastroSedovConfig, fs: &dyn Vfs, storage: Option<&StorageMod
                 backend.as_mut(),
                 &mut scheduler,
             );
+            last_plot = (outputs, cfg.plot_dir(info.step));
         }
         if cfg.check_int > 0 && info.step.is_multiple_of(cfg.check_int) {
             outputs += 1;
@@ -446,6 +525,19 @@ fn run_oracle(cfg: &CastroSedovConfig, fs: &dyn Vfs, storage: Option<&StorageMod
         steps.push(info);
     }
 
+    let read_phase = if cfg.read_after_write {
+        restart_read(
+            backend.as_mut(),
+            &mut scheduler,
+            &mut timeline,
+            &mut clock,
+            last_plot.0,
+            &last_plot.1,
+        )
+    } else {
+        ReadPhase::default()
+    };
+
     let engine_report = backend.close().expect("backend close");
     drop(backend);
     let wall_time = match &scheduler {
@@ -461,7 +553,11 @@ fn run_oracle(cfg: &CastroSedovConfig, fs: &dyn Vfs, storage: Option<&StorageMod
         physical_bytes: engine_report.bytes + checkpoint_bytes,
         logical_bytes: engine_report.logical_bytes + checkpoint_bytes,
         overhead_bytes: engine_report.overhead_bytes,
-        codec_seconds,
+        codec_seconds: codec_seconds + read_phase.codec_seconds,
+        read_bytes: read_phase.read_bytes,
+        physical_read_bytes: read_phase.physical_read_bytes,
+        read_files: read_phase.read_files,
+        read_wall: read_phase.read_wall,
         timeline,
         wall_time,
     }
@@ -582,6 +678,65 @@ mod tests {
         // (22 vars), so total growth stays well below 2x.
         let ratio = with_chk.tracker.total_bytes() as f64 / plot_only.tracker.total_bytes() as f64;
         assert!((1.05..1.40).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn read_after_write_restart_reads_the_last_dump() {
+        let mut cfg = small(Engine::Oracle);
+        cfg.account_only = true;
+        cfg.read_after_write = true;
+        let r = run_simulation(&cfg, None, None);
+        // The restart reads exactly the last output counter's logical
+        // bytes (dumps at steps 0, 4, 8, 12 -> counter 4).
+        let last = *r.tracker.steps().last().unwrap();
+        assert_eq!(r.read_bytes, r.tracker.bytes_per_step()[&last]);
+        assert_eq!(r.tracker.total_read_bytes(), r.read_bytes);
+        assert!(r.read_files > 0);
+        // Without a storage model only decode CPU could cost time; the
+        // identity codec costs none.
+        assert_eq!(r.read_wall, 0.0);
+
+        cfg.read_after_write = false;
+        let w = run_simulation(&cfg, None, None);
+        assert_eq!(w.read_bytes, 0);
+        assert_eq!(w.tracker.total_read_bytes(), 0);
+        assert_eq!(w.tracker.export(), r.tracker.export(), "writes invariant");
+    }
+
+    #[test]
+    fn restart_read_costs_wall_clock_under_storage() {
+        let mut cfg = small(Engine::Oracle);
+        cfg.account_only = true;
+        let model = StorageModel::ideal(2, 1e6);
+        let write_only = run_simulation(&cfg, None, Some(&model));
+        cfg.read_after_write = true;
+        let with_read = run_simulation(&cfg, None, Some(&model));
+        assert!(with_read.read_wall > 0.0);
+        // The restart burst is recorded in the timeline like the writes.
+        assert_eq!(with_read.timeline.len(), write_only.timeline.len() + 1);
+        assert!(
+            with_read.wall_time > write_only.wall_time,
+            "restart {} must cost over write-only {}",
+            with_read.wall_time,
+            write_only.wall_time
+        );
+        assert!(
+            (with_read.wall_time - write_only.wall_time - with_read.read_wall).abs()
+                < 1e-9 + with_read.wall_time * 1e-12,
+            "the gap is the read phase"
+        );
+    }
+
+    #[test]
+    fn restart_read_round_trips_materialized_hydro_dumps() {
+        // Full hydro engine with materialized payloads: the read plane
+        // returns exactly the bytes the writers produced.
+        let mut cfg = small(Engine::Hydro);
+        cfg.read_after_write = true;
+        let r = run_simulation(&cfg, None, None);
+        let last = *r.tracker.steps().last().unwrap();
+        assert_eq!(r.read_bytes, r.tracker.bytes_per_step()[&last]);
+        assert_eq!(r.physical_read_bytes, r.read_bytes, "identity codec");
     }
 
     #[test]

@@ -23,13 +23,17 @@
 //! per-chunk logical column lets readers recover pre-compression sizes
 //! (the format a golden-file test pins byte-exactly).
 
-use crate::backend::{EngineReport, IoBackend, Payload, Put, StepStats, TrackerHandle, VfsHandle};
-use iosim::{IoKind, WriteRequest};
-use std::collections::BTreeMap;
+use crate::backend::{
+    ChunkRead, EngineReport, IoBackend, Payload, Put, ReadStats, StepRead, StepStats,
+    TrackerHandle, VfsHandle,
+};
+use iosim::{IoKey, IoKind, ReadRequest, WriteRequest};
+use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 use std::io;
 
 /// One coalesced chunk inside an aggregator subfile.
+#[derive(Clone)]
 struct Chunk {
     path: String,
     step: u32,
@@ -38,6 +42,16 @@ struct Chunk {
     offset: u64,
     len: u64,
     logical_len: u64,
+}
+
+impl Chunk {
+    fn key(&self) -> IoKey {
+        IoKey {
+            step: self.step,
+            level: self.level,
+            task: self.task,
+        }
+    }
 }
 
 /// One aggregator subfile being assembled.
@@ -50,6 +64,17 @@ struct AggBuild {
     chunks: Vec<Chunk>,
 }
 
+/// One metadata put retained for the read path (boundaries inside the
+/// index file's embedded metadata blob).
+#[derive(Clone)]
+struct MetaChunk {
+    key: IoKey,
+    path: String,
+    offset: u64,
+    len: u64,
+    logical_len: u64,
+}
+
 struct AggStep {
     step: u32,
     dir: String,
@@ -57,6 +82,29 @@ struct AggStep {
     meta: Vec<u8>,
     meta_bytes: u64,
     meta_logical_bytes: u64,
+    meta_account_only: bool,
+    meta_chunks: Vec<MetaChunk>,
+}
+
+/// What the backend remembers about a finished step so `read_step` can
+/// serve it: the chunk *data* comes back from the on-disk `md.idx` index
+/// whenever it was materialized; the retained copy is the fallback for
+/// account-only (modeled) steps and carries the metadata boundaries the
+/// flat index format does not store. Retained for every step (wr-mode
+/// reads all dumps back) — spans and paths only, never content.
+#[derive(Clone)]
+struct RetainedStep {
+    dir: String,
+    /// Byte length of the chunk table inside the index file (the
+    /// embedded metadata blob starts there).
+    table_len: u64,
+    index_bytes: u64,
+    index_written: bool,
+    /// `(physical bytes, account_only)` per aggregator id.
+    subfiles: BTreeMap<usize, (u64, bool)>,
+    /// Fallback chunk table for steps whose index never materialized.
+    data_chunks: Vec<(usize, Chunk)>,
+    meta_chunks: Vec<MetaChunk>,
     meta_account_only: bool,
 }
 
@@ -67,6 +115,7 @@ pub struct Aggregated<'a> {
     /// Producer tasks per aggregator (>= 1).
     ratio: usize,
     cur: Option<AggStep>,
+    retained: HashMap<u32, RetainedStep>,
     report: EngineReport,
 }
 
@@ -82,6 +131,7 @@ impl<'a> Aggregated<'a> {
             tracker: tracker.into(),
             ratio: ratio.max(1),
             cur: None,
+            retained: HashMap::new(),
             report: EngineReport::default(),
         }
     }
@@ -94,6 +144,44 @@ impl<'a> Aggregated<'a> {
     fn step_dir(container: &str, step: u32) -> String {
         let base = container.trim_end_matches('/');
         format!("{base}/bp{step:05}")
+    }
+
+    /// Parses the plain-text chunk table of an index file back into
+    /// `(aggregator id, chunk)` rows. Returns `None` on any malformed
+    /// line (the caller then falls back to its retained copy).
+    fn parse_index_table(table: &str) -> Option<Vec<(usize, Chunk)>> {
+        let mut out = Vec::new();
+        for line in table.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            // The logical path is the *last* column and may contain
+            // spaces: split off exactly the 7 leading fixed fields and
+            // keep the remainder verbatim.
+            let mut f = line.splitn(8, ' ');
+            let subfile = f.next()?;
+            let agg: usize = subfile.rsplit_once('.')?.1.parse().ok()?;
+            let offset: u64 = f.next()?.parse().ok()?;
+            let len: u64 = f.next()?.parse().ok()?;
+            let logical_len: u64 = f.next()?.parse().ok()?;
+            let step: u32 = f.next()?.parse().ok()?;
+            let level: u32 = f.next()?.parse().ok()?;
+            let task: u32 = f.next()?.parse().ok()?;
+            let path = f.next()?.to_string();
+            out.push((
+                agg,
+                Chunk {
+                    path,
+                    step,
+                    level,
+                    task,
+                    offset,
+                    len,
+                    logical_len,
+                },
+            ));
+        }
+        Some(out)
     }
 }
 
@@ -112,6 +200,7 @@ impl IoBackend for Aggregated<'_> {
             meta_bytes: 0,
             meta_logical_bytes: 0,
             meta_account_only: false,
+            meta_chunks: Vec::new(),
         });
     }
 
@@ -147,6 +236,13 @@ impl IoBackend for Aggregated<'_> {
                 }
             }
             IoKind::Metadata => {
+                cur.meta_chunks.push(MetaChunk {
+                    key: put.key,
+                    path: put.path,
+                    offset: cur.meta_bytes,
+                    len,
+                    logical_len: logical,
+                });
                 cur.meta_bytes += len;
                 cur.meta_logical_bytes += logical;
                 match put.payload {
@@ -212,7 +308,8 @@ impl IoBackend for Aggregated<'_> {
         // content: metadata payloads must all be real bytes, and a step
         // whose every put was size-only stays write-free end to end.
         let wrote_any_data = cur.aggs.values().any(|a| !a.account_only);
-        if !cur.meta_account_only && (wrote_any_data || cur.meta_bytes > 0) {
+        let index_written = !cur.meta_account_only && (wrote_any_data || cur.meta_bytes > 0);
+        if index_written {
             let mut index = table.clone().into_bytes();
             index.extend_from_slice(&cur.meta);
             let written = self.vfs.write_file(&index_path, &index)?;
@@ -229,12 +326,185 @@ impl IoBackend for Aggregated<'_> {
             start: 0.0,
         });
 
+        // Retain what the read path needs (chunk data itself is re-read
+        // from md.idx whenever it was materialized).
+        self.retained.insert(
+            cur.step,
+            RetainedStep {
+                dir: cur.dir.clone(),
+                table_len: table.len() as u64,
+                index_bytes,
+                index_written,
+                subfiles: cur
+                    .aggs
+                    .iter()
+                    .map(|(&agg, b)| (agg, (b.bytes, b.account_only)))
+                    .collect(),
+                data_chunks: cur
+                    .aggs
+                    .iter()
+                    .flat_map(|(&agg, b)| b.chunks.iter().map(move |c| (agg, c.clone())))
+                    .collect(),
+                meta_chunks: cur.meta_chunks.clone(),
+                meta_account_only: cur.meta_account_only,
+            },
+        );
+
         self.report.steps += 1;
         self.report.files += stats.files;
         self.report.bytes += stats.bytes;
         self.report.logical_bytes += stats.logical_bytes;
         self.report.overhead_bytes += stats.overhead_bytes;
         Ok(stats)
+    }
+
+    fn read_step(&mut self, step: u32, _container: &str) -> io::Result<StepRead> {
+        assert!(self.cur.is_none(), "read_step: step still open");
+        let info = self.retained.get(&step).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("read_step: step {step} was never written"),
+            )
+        })?;
+        let mut out = StepRead {
+            stats: ReadStats {
+                step,
+                ..ReadStats::default()
+            },
+            ..StepRead::default()
+        };
+
+        // Resolve the chunk table: seek through the on-disk md.idx when
+        // the step materialized one (the honest restart path), falling
+        // back to the retained copy for account-only (modeled) steps.
+        let index_path = format!("{}/md.idx", info.dir);
+        let index_content = info
+            .index_written
+            .then(|| self.vfs.read_file_exact(&index_path))
+            .flatten();
+        let (chunks, meta_blob) = match &index_content {
+            Some(content) => {
+                let table = std::str::from_utf8(&content[..info.table_len as usize])
+                    .ok()
+                    .and_then(Self::parse_index_table);
+                (
+                    table.unwrap_or_else(|| info.data_chunks.clone()),
+                    Some(content[info.table_len as usize..].to_vec()),
+                )
+            }
+            None => (info.data_chunks.clone(), None),
+        };
+        // One read request for the index itself (table + embedded
+        // metadata), modeled at its declared size when not materialized.
+        out.stats.files += 1;
+        out.stats.bytes += info.index_bytes;
+        out.stats.requests.push(ReadRequest {
+            rank: 0,
+            path: index_path,
+            bytes: info.index_bytes,
+            start: 0.0,
+        });
+
+        // Data chunks: seek into each aggregator subfile by the index's
+        // (offset, len) ranges; one read request per touched subfile
+        // counting only the fetched bytes.
+        let mut per_subfile_bytes: BTreeMap<usize, u64> = BTreeMap::new();
+        let mut subfile_content: BTreeMap<usize, Option<Vec<u8>>> = BTreeMap::new();
+        for (agg, chunk) in &chunks {
+            let (_, account_only) = *info.subfiles.get(agg).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("read_step: unknown subfile data.{agg} in index"),
+                )
+            })?;
+            if !subfile_content.contains_key(agg) {
+                let loaded = if account_only {
+                    // Modeled (size-only) subfile: nothing on disk by
+                    // design.
+                    None
+                } else {
+                    let path = format!("{}/data.{agg}", info.dir);
+                    if self.vfs.file_size(&path).is_none() {
+                        // A materialized subfile must be present — a
+                        // missing one is a lost write, not a modeled
+                        // read (mirrors the fpp/deferred path).
+                        return Err(io::Error::new(
+                            io::ErrorKind::NotFound,
+                            format!("read_step: missing subfile '{path}'"),
+                        ));
+                    }
+                    // Present but content-truncated retention degrades
+                    // to a modeled read.
+                    self.vfs.read_file_exact(&path)
+                };
+                subfile_content.insert(*agg, loaded);
+            }
+            let content = subfile_content.get(agg).expect("just inserted");
+            let payload = match content {
+                Some(bytes) => {
+                    let slice =
+                        bytes[chunk.offset as usize..(chunk.offset + chunk.len) as usize].to_vec();
+                    if chunk.len == chunk.logical_len {
+                        Payload::Bytes(slice)
+                    } else {
+                        Payload::Encoded {
+                            data: slice,
+                            logical: chunk.logical_len,
+                        }
+                    }
+                }
+                None => Payload::Size(chunk.logical_len),
+            };
+            self.tracker
+                .record_read(chunk.key(), IoKind::Data, chunk.logical_len);
+            *per_subfile_bytes.entry(*agg).or_insert(0) += chunk.len;
+            out.stats.logical_bytes += chunk.logical_len;
+            out.chunks.push(ChunkRead {
+                key: chunk.key(),
+                kind: IoKind::Data,
+                path: chunk.path.clone(),
+                payload,
+            });
+        }
+        for (agg, bytes) in per_subfile_bytes {
+            out.stats.files += 1;
+            out.stats.bytes += bytes;
+            out.stats.requests.push(ReadRequest {
+                rank: agg * self.ratio,
+                path: format!("{}/data.{agg}", info.dir),
+                bytes,
+                start: 0.0,
+            });
+        }
+
+        // Metadata chunks: sliced out of the index file's embedded blob
+        // (already fetched with the index request).
+        for mc in &info.meta_chunks {
+            let payload = match &meta_blob {
+                Some(blob) if !info.meta_account_only => {
+                    let slice = blob[mc.offset as usize..(mc.offset + mc.len) as usize].to_vec();
+                    if mc.len == mc.logical_len {
+                        Payload::Bytes(slice)
+                    } else {
+                        Payload::Encoded {
+                            data: slice,
+                            logical: mc.logical_len,
+                        }
+                    }
+                }
+                _ => Payload::Size(mc.logical_len),
+            };
+            self.tracker
+                .record_read(mc.key, IoKind::Metadata, mc.logical_len);
+            out.stats.logical_bytes += mc.logical_len;
+            out.chunks.push(ChunkRead {
+                key: mc.key,
+                kind: IoKind::Metadata,
+                path: mc.path.clone(),
+                payload,
+            });
+        }
+        Ok(out)
     }
 
     fn close(&mut self) -> io::Result<EngineReport> {
@@ -356,6 +626,118 @@ mod tests {
         assert_eq!(fs.read_file("/bp00001/data.0"), Some(b"bytes".to_vec()));
         assert!(fs.file_size("/bp00001/data.1").is_none(), "size-only");
         assert!(fs.file_size("/bp00001/md.idx").is_some());
+    }
+
+    #[test]
+    fn read_step_seeks_through_the_index() {
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let mut b = Aggregated::new(&fs as &dyn Vfs, &tracker, 2);
+        b.begin_step(1, "/plt");
+        b.put(put(0, IoKind::Data, "/plt/L0/a", b"AA")).unwrap();
+        b.put(put(1, IoKind::Data, "/plt/L0/b", b"BBB")).unwrap();
+        b.put(put(2, IoKind::Data, "/plt/L1/c", b"CCCC")).unwrap();
+        b.put(put(0, IoKind::Metadata, "/plt/Header", b"hdr1"))
+            .unwrap();
+        b.put(put(0, IoKind::Metadata, "/plt/job_info", b"jobinfo"))
+            .unwrap();
+        b.end_step().unwrap();
+
+        let read = b.read_step(1, "/plt").unwrap();
+        // Every logical path round-trips byte-exactly, with keys intact.
+        assert_eq!(read.logical_content("/plt/L0/a"), Some(b"AA".to_vec()));
+        assert_eq!(read.logical_content("/plt/L0/b"), Some(b"BBB".to_vec()));
+        assert_eq!(read.logical_content("/plt/L1/c"), Some(b"CCCC".to_vec()));
+        assert_eq!(
+            read.logical_content("/plt/Header"),
+            Some(b"hdr1".to_vec()),
+            "metadata comes back out of the index blob"
+        );
+        assert_eq!(
+            read.logical_content("/plt/job_info"),
+            Some(b"jobinfo".to_vec())
+        );
+        // Physical accounting: index + two touched subfiles, seeked bytes.
+        assert_eq!(read.stats.files, 3);
+        assert_eq!(read.stats.requests.len(), 3);
+        assert!(read
+            .stats
+            .requests
+            .iter()
+            .any(|r| r.path == "/plt/bp00001/md.idx"));
+        // The tracker read plane sees logical bytes only (no table).
+        assert_eq!(tracker.total_read_bytes_of(IoKind::Data), 9);
+        assert_eq!(tracker.total_read_bytes_of(IoKind::Metadata), 11);
+    }
+
+    #[test]
+    fn read_step_errors_on_missing_materialized_subfile() {
+        // A lost write must surface as NotFound, not silently degrade to
+        // a modeled read (mirrors the fpp/deferred behaviour).
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let mut b = Aggregated::new(&fs as &dyn Vfs, &tracker, 2);
+        b.begin_step(1, "/");
+        b.put(put(0, IoKind::Data, "/f", b"bytes")).unwrap();
+        b.end_step().unwrap();
+        // Simulate the loss: a filesystem holding the index but not the
+        // subfile (MemFs has no delete), served to a reader that carries
+        // the writer's retained step state.
+        let empty = MemFs::new();
+        let idx = fs.read_file("/bp00001/md.idx").unwrap();
+        empty.write_file("/bp00001/md.idx", &idx).unwrap();
+        let mut reader = Aggregated::new(&empty as &dyn Vfs, &tracker, 2);
+        reader.retained = b.retained.clone();
+        let err = reader.read_step(1, "/").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound, "{err}");
+    }
+
+    #[test]
+    fn index_paths_with_spaces_round_trip() {
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let mut b = Aggregated::new(&fs as &dyn Vfs, &tracker, 2);
+        b.begin_step(1, "/");
+        b.put(put(0, IoKind::Data, "/run 1/Cell D", b"spaced"))
+            .unwrap();
+        b.end_step().unwrap();
+        let read = b.read_step(1, "/").unwrap();
+        assert_eq!(
+            read.logical_content("/run 1/Cell D"),
+            Some(b"spaced".to_vec())
+        );
+    }
+
+    #[test]
+    fn read_step_models_account_only_steps() {
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let mut b = Aggregated::new(&fs as &dyn Vfs, &tracker, 2);
+        b.begin_step(1, "/");
+        for task in 0..4u32 {
+            b.put(Put {
+                key: IoKey {
+                    step: 1,
+                    level: 0,
+                    task,
+                },
+                kind: IoKind::Data,
+                path: format!("/f{task}"),
+                payload: Payload::Size(1000),
+            })
+            .unwrap();
+        }
+        b.end_step().unwrap();
+        assert_eq!(fs.nfiles(), 0);
+        let read = b.read_step(1, "/").unwrap();
+        assert_eq!(read.chunks.len(), 4);
+        assert!(read
+            .chunks
+            .iter()
+            .all(|c| matches!(c.payload, Payload::Size(1000))));
+        // Index + 2 subfiles, all modeled.
+        assert_eq!(read.stats.files, 3);
+        assert_eq!(tracker.total_read_bytes(), 4000);
     }
 
     #[test]

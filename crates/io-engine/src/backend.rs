@@ -1,6 +1,6 @@
 //! The backend trait and the types flowing through it.
 
-use iosim::{IoKey, IoKind, IoTracker, Vfs, WriteRequest};
+use iosim::{IoKey, IoKind, IoTracker, ReadRequest, Vfs, WriteRequest};
 use std::io;
 use std::sync::Arc;
 
@@ -78,6 +78,87 @@ pub struct Put {
     pub payload: Payload,
 }
 
+/// One logical chunk read back from a step — the read-side mirror of a
+/// [`Put`]. The payload is the *logical* view of the chunk:
+///
+/// * [`Payload::Bytes`] — the chunk's logical bytes (raw on the wire, or
+///   already decoded by a [`crate::CompressionStage`]);
+/// * [`Payload::Encoded`] — the physical (encoded) bytes plus the logical
+///   length, as returned by a bare backend under a chunk that a
+///   compression stage encoded (the stage decodes these);
+/// * [`Payload::Size`] — logical length only, for account-only writes
+///   (nothing was materialized; the read is modeled).
+#[derive(Clone, Debug)]
+pub struct ChunkRead {
+    /// Tracker key the chunk was written under.
+    pub key: IoKey,
+    /// Data or metadata classification.
+    pub kind: IoKind,
+    /// Logical file path the producer wrote.
+    pub path: String,
+    /// The chunk's logical payload (see above).
+    pub payload: Payload,
+}
+
+/// Physical accounting of one [`IoBackend::read_step`] call, mirroring
+/// [`StepStats`] on the read side.
+#[derive(Clone, Debug, Default)]
+pub struct ReadStats {
+    /// The step that was read back.
+    pub step: u32,
+    /// Physical files opened.
+    pub files: u64,
+    /// Physical bytes fetched from storage (encoded sizes, index tables,
+    /// sidecars).
+    pub bytes: u64,
+    /// Logical bytes delivered to the workload.
+    pub logical_bytes: u64,
+    /// Modeled codec CPU seconds spent decoding (0 without a compression
+    /// stage).
+    pub codec_seconds: f64,
+    /// Read requests for burst-timing simulation, one per physical file
+    /// touched (seeked ranges count only the bytes fetched).
+    pub requests: Vec<ReadRequest>,
+}
+
+/// Everything [`IoBackend::read_step`] returns: the logical chunks plus
+/// the physical read accounting.
+#[derive(Clone, Debug, Default)]
+pub struct StepRead {
+    /// Chunks of the step. Order groups chunks of one logical path in
+    /// their original submission order (so concatenating a path's chunk
+    /// payloads reconstructs the path's logical content).
+    pub chunks: Vec<ChunkRead>,
+    /// Physical read accounting.
+    pub stats: ReadStats,
+}
+
+impl StepRead {
+    /// Concatenated logical bytes of one path, when every chunk of the
+    /// path is materialized and decoded (`None` as soon as one chunk is
+    /// account-only or still encoded).
+    pub fn logical_content(&self, path: &str) -> Option<Vec<u8>> {
+        let mut out = Vec::new();
+        let mut seen = false;
+        for c in self.chunks.iter().filter(|c| c.path == path) {
+            seen = true;
+            match &c.payload {
+                Payload::Bytes(b) => out.extend_from_slice(b),
+                _ => return None,
+            }
+        }
+        seen.then_some(out)
+    }
+
+    /// Sorted unique logical paths of the step.
+    pub fn paths(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.chunks.iter().map(|c| c.path.clone()).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+}
+
 /// Per-step outcome returned by [`IoBackend::end_step`].
 #[derive(Clone, Debug, Default)]
 pub struct StepStats {
@@ -143,6 +224,32 @@ impl VfsHandle<'_> {
         }
     }
 
+    /// Full content of a file when available (possibly a retained
+    /// prefix; see [`iosim::MemFs::with_retention`]).
+    pub fn read_file(&self, path: &str) -> Option<Vec<u8>> {
+        match self {
+            VfsHandle::Borrowed(v) => v.read_file(path),
+            VfsHandle::Shared(v) => v.read_file(path),
+        }
+    }
+
+    /// Size of a file, or `None` when absent.
+    pub fn file_size(&self, path: &str) -> Option<u64> {
+        match self {
+            VfsHandle::Borrowed(v) => v.file_size(path),
+            VfsHandle::Shared(v) => v.file_size(path),
+        }
+    }
+
+    /// Exact full content of a file: `None` when the file is absent *or*
+    /// its retained content is truncated below its size (content-limited
+    /// in-memory filesystems) — readers then fall back to modeled reads.
+    pub fn read_file_exact(&self, path: &str) -> Option<Vec<u8>> {
+        let size = self.file_size(path)?;
+        let content = self.read_file(path)?;
+        (content.len() as u64 == size).then_some(content)
+    }
+
     /// The shared handle, when this is one.
     pub fn shared(&self) -> Option<Arc<dyn Vfs>> {
         match self {
@@ -179,6 +286,14 @@ impl TrackerHandle<'_> {
         match self {
             TrackerHandle::Borrowed(t) => t.record(key, kind, bytes),
             TrackerHandle::Shared(t) => t.record(key, kind, bytes),
+        }
+    }
+
+    /// Records bytes read back for a key (the tracker's read plane).
+    pub fn record_read(&self, key: IoKey, kind: IoKind, bytes: u64) {
+        match self {
+            TrackerHandle::Borrowed(t) => t.record_read(key, kind, bytes),
+            TrackerHandle::Shared(t) => t.record_read(key, kind, bytes),
         }
     }
 }
@@ -234,6 +349,35 @@ pub trait IoBackend: Send {
     /// Closes the step: materializes (or stages) the physical files and
     /// returns what was written.
     fn end_step(&mut self) -> io::Result<StepStats>;
+
+    /// Reads back every chunk written for `step` under `container` — the
+    /// restart/analysis path. Callable any time after the step's
+    /// `end_step` (no step may be open). Contract shared by all
+    /// implementations:
+    ///
+    /// * the returned chunks carry **logical** payloads: for materialized
+    ///   writes without a compression stage, `read_step(write(x)) == x`
+    ///   byte-for-byte per logical path; with a stage, the stage decodes
+    ///   through its codec before returning;
+    /// * account-only writes read back as [`Payload::Size`] (modeled
+    ///   read, physical request accounting intact);
+    /// * every chunk is recorded in the tracker's *read* plane at its
+    ///   logical length, so read totals are backend- and codec-invariant
+    ///   like the write totals;
+    /// * backends with staged/deferred writes barrier any in-flight
+    ///   drain first (read-after-write consistency);
+    /// * `stats.requests` holds one [`ReadRequest`] per physical file
+    ///   touched, for `simulate_read_burst` timing.
+    ///
+    /// The default errors with `Unsupported` so write-only adapters keep
+    /// compiling.
+    fn read_step(&mut self, step: u32, container: &str) -> io::Result<StepRead> {
+        let _ = (step, container);
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            format!("backend '{}' has no read path", self.name()),
+        ))
+    }
 
     /// Flushes staged work and returns run totals.
     fn close(&mut self) -> io::Result<EngineReport>;

@@ -49,7 +49,13 @@ pub struct CodecContext<'a> {
 /// * `encoded_size` is the exact size `encode` would produce whenever that
 ///   size is a pure function of the input length, and a *modeled* size
 ///   otherwise — in both cases `encoded_size(n) <= n`;
-/// * `cpu_ns_per_byte` is charged per **logical** byte.
+/// * `decode` inverts `encode` given the original logical length and the
+///   same context: byte-exact for lossless codecs, a
+///   `logical_len`-byte reconstruction within the error bound for lossy
+///   ones — and `encode(decode(y)) == y` either way (decode/re-encode is
+///   a fixed point);
+/// * `cpu_ns_per_byte` is charged per **logical** byte, on both the
+///   encode (write) and decode (restart read) sides.
 pub trait Codec: Send {
     /// Short human-readable codec name (e.g. `"rle:2"`, `"quant:8"`).
     fn name(&self) -> String;
@@ -59,8 +65,18 @@ pub trait Codec: Send {
         false
     }
 
+    /// True when `decode(encode(x)) == x` byte-for-byte.
+    fn is_lossless(&self) -> bool {
+        true
+    }
+
     /// Encodes materialized bytes. Must not expand.
     fn encode(&self, data: &[u8], ctx: &CodecContext<'_>) -> Vec<u8>;
+
+    /// Decodes an encoded stream back to `logical_len` logical bytes
+    /// (the length is the reader's record from the sidecar/index — lossy
+    /// block formats are not self-delimiting).
+    fn decode(&self, data: &[u8], logical_len: u64, ctx: &CodecContext<'_>) -> Vec<u8>;
 
     /// Physical size for a logical size (exact where derivable, modeled
     /// otherwise). Must satisfy `encoded_size(n, ctx) <= n`.
@@ -87,6 +103,10 @@ impl Codec for Identity {
     }
 
     fn encode(&self, data: &[u8], _ctx: &CodecContext<'_>) -> Vec<u8> {
+        data.to_vec()
+    }
+
+    fn decode(&self, data: &[u8], _logical_len: u64, _ctx: &CodecContext<'_>) -> Vec<u8> {
         data.to_vec()
     }
 
@@ -202,6 +222,12 @@ impl Codec for Rle {
         out
     }
 
+    fn decode(&self, data: &[u8], logical_len: u64, _ctx: &CodecContext<'_>) -> Vec<u8> {
+        let out = Rle::decode(data);
+        debug_assert_eq!(out.len() as u64, logical_len, "Rle: length mismatch");
+        out
+    }
+
     fn encoded_size(&self, logical: u64, _ctx: &CodecContext<'_>) -> u64 {
         // Modeled: run-lengths are unknowable from a size alone.
         ((logical as f64 / self.modeled_ratio).round() as u64).min(logical)
@@ -295,6 +321,10 @@ impl Codec for LossyQuant {
         format!("quant:{}", self.bits)
     }
 
+    fn is_lossless(&self) -> bool {
+        false
+    }
+
     fn encode(&self, data: &[u8], ctx: &CodecContext<'_>) -> Vec<u8> {
         let bits = self.bits_for(ctx) as u32;
         let nvals = (data.len() / 8) as u64;
@@ -308,7 +338,18 @@ impl Codec for LossyQuant {
             let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
             let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             let levels = ((1u64 << bits) - 1) as f64;
-            let scale = if max > min { (max - min) / levels } else { 0.0 };
+            // Degenerate blocks get an explicit zero scale: constant
+            // blocks (max == min, where (v - min) / scale would be 0/0 =
+            // NaN and silently cast to index 0), ranges so extreme that
+            // max - min overflows to infinity, and subnormal ranges whose
+            // scale underflows. A zero scale means "every value decodes
+            // to min" — exact for constant blocks, clamped otherwise.
+            let range = max - min;
+            let scale = if range > 0.0 && range.is_finite() {
+                range / levels
+            } else {
+                0.0
+            };
             out.extend_from_slice(&min.to_le_bytes());
             out.extend_from_slice(&scale.to_le_bytes());
             // Pack quantized values little-endian, LSB first.
@@ -316,7 +357,14 @@ impl Codec for LossyQuant {
             let mut nbits: u32 = 0;
             for v in &vals {
                 let q = if scale > 0.0 {
-                    (((v - min) / scale).round() as u64).min(levels as u64)
+                    let t = (v - min) / scale;
+                    // Non-finite values (NaN/inf inputs) clamp to index 0
+                    // explicitly instead of through a silent NaN cast.
+                    if t.is_finite() {
+                        (t.round() as u64).min(levels as u64)
+                    } else {
+                        0
+                    }
                 } else {
                     0
                 };
@@ -333,6 +381,42 @@ impl Codec for LossyQuant {
             }
         }
         out.extend_from_slice(&data[nvals as usize * 8..]);
+        out
+    }
+
+    fn decode(&self, data: &[u8], logical_len: u64, ctx: &CodecContext<'_>) -> Vec<u8> {
+        let bits = self.bits_for(ctx) as u32;
+        let nvals = (logical_len / 8) as usize;
+        let tail = (logical_len % 8) as usize;
+        let mut out = Vec::with_capacity(logical_len as usize);
+        let mut pos = 0usize;
+        let mut remaining = nvals;
+        while remaining > 0 {
+            let block_vals = remaining.min(QUANT_BLOCK_VALUES as usize);
+            let min = f64::from_le_bytes(data[pos..pos + 8].try_into().expect("block header"));
+            let scale =
+                f64::from_le_bytes(data[pos + 8..pos + 16].try_into().expect("block header"));
+            pos += 16;
+            // Unpack little-endian, LSB first — the mirror of encode.
+            let mut acc: u64 = 0;
+            let mut nbits: u32 = 0;
+            let mask: u64 = (1u64 << bits) - 1;
+            for _ in 0..block_vals {
+                while nbits < bits {
+                    acc |= (data[pos] as u64) << nbits;
+                    pos += 1;
+                    nbits += 8;
+                }
+                let q = acc & mask;
+                acc >>= bits;
+                nbits -= bits;
+                let v = min + q as f64 * scale;
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            remaining -= block_vals;
+        }
+        out.extend_from_slice(&data[pos..pos + tail]);
+        debug_assert_eq!(out.len() as u64, logical_len);
         out
     }
 
@@ -580,6 +664,113 @@ mod tests {
         let q0 = enc[16] as f64;
         let v0 = min + q0 * scale;
         assert!((v0 - vals[0]).abs() <= scale / 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn quant_decode_reconstructs_within_scale() {
+        let c = LossyQuant::new(8);
+        for nvals in [1usize, 255, 256, 300, 1000] {
+            for tail in [0usize, 5] {
+                let mut data = Vec::new();
+                for i in 0..nvals {
+                    data.extend_from_slice(&((i as f64 * 0.37).sin() * 3.0).to_le_bytes());
+                }
+                data.extend((0..tail).map(|i| i as u8));
+                let enc = c.encode(&data, &ctx(0, "/f"));
+                let dec = c.decode(&enc, data.len() as u64, &ctx(0, "/f"));
+                assert_eq!(dec.len(), data.len(), "nvals {nvals} tail {tail}");
+                // Tail bytes pass through raw.
+                assert_eq!(&dec[nvals * 8..], &data[nvals * 8..]);
+                // Values reconstruct within half a quantization step.
+                for (d, o) in dec[..nvals * 8].chunks_exact(8).zip(data.chunks_exact(8)) {
+                    let dv = f64::from_le_bytes(d.try_into().unwrap());
+                    let ov = f64::from_le_bytes(o.try_into().unwrap());
+                    assert!((dv - ov).abs() <= 6.0 / 255.0 / 2.0 + 1e-12, "{dv} vs {ov}");
+                }
+                // Decode/re-encode is a fixed point of the format.
+                assert_eq!(c.encode(&dec, &ctx(0, "/f")), enc);
+            }
+        }
+    }
+
+    #[test]
+    fn quant_constant_block_round_trips_exactly() {
+        // Regression: a constant-valued block has max == min; the scale
+        // must be an explicit 0 (not a 0/0 NaN silently cast to index 0),
+        // and the decode must reproduce the constant bit-exactly.
+        let c = LossyQuant::new(8);
+        for value in [0.0f64, -3.25, 1e300, f64::MIN_POSITIVE] {
+            let data: Vec<u8> = std::iter::repeat_n(value, 500)
+                .flat_map(f64::to_le_bytes)
+                .collect();
+            let enc = c.encode(&data, &ctx(0, "/f"));
+            let scale = f64::from_le_bytes(enc[8..16].try_into().unwrap());
+            assert_eq!(scale, 0.0, "constant block stores zero scale");
+            let dec = c.decode(&enc, data.len() as u64, &ctx(0, "/f"));
+            assert_eq!(dec, data, "constant field must restart bit-exactly");
+        }
+    }
+
+    #[test]
+    fn quant_degenerate_blocks_never_emit_nan() {
+        let c = LossyQuant::new(8);
+        // Range overflowing to infinity, and non-finite inputs.
+        for vals in [
+            vec![f64::MAX, -f64::MAX, 0.0, 1.0],
+            vec![f64::NAN, 1.0, 2.0, 3.0],
+            vec![f64::INFINITY, 0.5, -0.5, 0.0],
+        ] {
+            let data: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+            let enc = c.encode(&data, &ctx(0, "/f"));
+            let scale = f64::from_le_bytes(enc[8..16].try_into().unwrap());
+            assert!(scale.is_finite(), "scale stays finite: {scale}");
+            let dec = c.decode(&enc, data.len() as u64, &ctx(0, "/f"));
+            // min + q * scale with finite scale: finite whenever the
+            // block min is finite.
+            if vals.iter().all(|v| v.is_finite()) {
+                for chunk in dec.chunks_exact(8) {
+                    let v = f64::from_le_bytes(chunk.try_into().unwrap());
+                    assert!(v.is_finite(), "decoded NaN/inf from finite input");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quant_lattice_fields_round_trip_bit_exactly() {
+        // Integer-valued fields anchored at 0 and 255 quantize with
+        // scale 1.0 at 8 bits: q == v exactly, so even the lossy codec
+        // restarts bit-exactly on lattice data.
+        let c = LossyQuant::new(8);
+        let vals: Vec<f64> = (0..512).map(|i| (i * 7 % 256) as f64).collect();
+        let mut vals = vals;
+        for block in vals.chunks_mut(256) {
+            block[0] = 0.0;
+            let last = block.len() - 1;
+            block[last] = 255.0;
+        }
+        let data: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let enc = c.encode(&data, &ctx(0, "/f"));
+        assert!(enc.len() < data.len());
+        assert_eq!(c.decode(&enc, data.len() as u64, &ctx(0, "/f")), data);
+    }
+
+    #[test]
+    fn lossless_flags() {
+        assert!(Identity.is_lossless());
+        assert!(Rle::default().is_lossless());
+        assert!(!LossyQuant::new(8).is_lossless());
+    }
+
+    #[test]
+    fn rle_codec_decode_matches_static_decode() {
+        let c = Rle::default();
+        let data = b"aaaaaabcdefggggggg".to_vec();
+        let enc = c.encode(&data, &ctx(0, "/f"));
+        assert_eq!(
+            Codec::decode(&c, &enc, data.len() as u64, &ctx(0, "/f")),
+            data
+        );
     }
 
     #[test]

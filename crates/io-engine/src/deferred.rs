@@ -19,9 +19,10 @@
 //! compute phase — which is what makes deferred runs finish in less
 //! simulated wall-clock than file-per-process for the same byte volume.
 
-use crate::backend::{EngineReport, IoBackend, Put, StepStats, TrackerHandle, VfsHandle};
-use crate::fpp::StepBuild;
+use crate::backend::{EngineReport, IoBackend, Put, StepRead, StepStats, TrackerHandle, VfsHandle};
+use crate::fpp::{manifest_of, read_manifest_step, StepBuild, StepManifest};
 use iosim::{Vfs, WriteRequest};
+use std::collections::HashMap;
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
@@ -141,6 +142,8 @@ pub struct Deferred<'a> {
     /// Staged files awaiting inline flush (borrowed-handle mode only).
     pending: Vec<StagedFile>,
     cur: Option<StepBuild>,
+    /// Per-step layout manifests for the read path (layout == fpp).
+    manifests: HashMap<u32, StepManifest>,
     report: EngineReport,
 }
 
@@ -161,6 +164,7 @@ impl<'a> Deferred<'a> {
             pool,
             pending: Vec::new(),
             cur: None,
+            manifests: HashMap::new(),
             report: EngineReport::default(),
         }
     }
@@ -217,12 +221,15 @@ impl IoBackend for Deferred<'_> {
         // finished draining.
         self.drain_previous()?;
 
+        let step = cur.step;
         let mut stats = StepStats {
-            step: cur.step,
+            step,
             ..StepStats::default()
         };
+        let files = cur.into_files();
+        self.manifests.insert(step, manifest_of(&files));
         let mut staged = Vec::new();
-        for (path, build) in cur.into_files() {
+        for (path, build) in files {
             stats.files += 1;
             stats.bytes += build.bytes;
             stats.logical_bytes += build.logical_bytes;
@@ -247,6 +254,21 @@ impl IoBackend for Deferred<'_> {
         self.report.bytes += stats.bytes;
         self.report.logical_bytes += stats.logical_bytes;
         Ok(stats)
+    }
+
+    fn read_step(&mut self, step: u32, _container: &str) -> io::Result<StepRead> {
+        assert!(self.cur.is_none(), "read_step: step still open");
+        // Read-after-write consistency: the requested step may still be
+        // staged (in the drain pool or the inline pending buffer) —
+        // barrier every in-flight drain before touching the filesystem.
+        self.drain_previous()?;
+        let manifest = self.manifests.get(&step).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("read_step: step {step} was never written"),
+            )
+        })?;
+        read_manifest_step(&self.vfs, &self.tracker, manifest, step)
     }
 
     fn close(&mut self) -> io::Result<EngineReport> {
@@ -340,6 +362,40 @@ mod tests {
         assert_eq!(stats.requests.len(), 2);
         b.close().unwrap();
         assert_eq!(fs.read_file("/shared"), Some(b"aabb".to_vec()));
+    }
+
+    #[test]
+    fn read_step_barriers_staged_drains() {
+        // The just-ended step is still staged (borrowed mode defers it);
+        // a restart read must flush it first and then round-trip.
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let mut b = Deferred::new(&fs as &dyn Vfs, &tracker, 1);
+        b.begin_step(1, "/");
+        b.put(put(1, 0, "/s1", b"staged")).unwrap();
+        b.end_step().unwrap();
+        assert_eq!(fs.nfiles(), 0, "still staged");
+        let read = b.read_step(1, "/").unwrap();
+        assert_eq!(fs.nfiles(), 1, "read barriered the drain");
+        assert_eq!(read.logical_content("/s1"), Some(b"staged".to_vec()));
+        assert_eq!(tracker.total_read_bytes(), 6);
+    }
+
+    #[test]
+    fn async_read_step_waits_for_drain_pool() {
+        let fs: Arc<dyn Vfs> = Arc::new(MemFs::new());
+        let tracker = Arc::new(IoTracker::new());
+        let mut b = Deferred::new(Arc::clone(&fs), Arc::clone(&tracker), 2);
+        for step in 1..=3u32 {
+            b.begin_step(step, "/");
+            b.put(put(step, 0, &format!("/f{step}"), b"payload"))
+                .unwrap();
+            b.end_step().unwrap();
+        }
+        // Reading the last (possibly in-flight) step must see its bytes.
+        let read = b.read_step(3, "/").unwrap();
+        assert_eq!(read.logical_content("/f3"), Some(b"payload".to_vec()));
+        b.close().unwrap();
     }
 
     #[test]

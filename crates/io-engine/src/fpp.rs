@@ -8,10 +8,27 @@
 //! mode points the ranks of a file group at one shared group path
 //! (baton-passing appends).
 
-use crate::backend::{EngineReport, IoBackend, Payload, Put, StepStats, TrackerHandle, VfsHandle};
-use iosim::WriteRequest;
+use crate::backend::{
+    ChunkRead, EngineReport, IoBackend, Payload, Put, ReadStats, StepRead, StepStats,
+    TrackerHandle, VfsHandle,
+};
+use iosim::{IoKey, IoKind, ReadRequest, WriteRequest};
 use std::collections::HashMap;
 use std::io;
+
+/// Boundaries of one put inside a coalesced physical file — what a
+/// restart reader needs to slice the file back into logical chunks.
+#[derive(Clone, Debug)]
+pub(crate) struct ChunkSpan {
+    pub key: IoKey,
+    pub kind: IoKind,
+    /// Physical offset inside the file.
+    pub offset: u64,
+    /// Physical length.
+    pub len: u64,
+    /// Logical (pre-compression) length.
+    pub logical_len: u64,
+}
 
 /// One physical file being assembled for the open step.
 #[derive(Debug, Default)]
@@ -27,6 +44,8 @@ pub(crate) struct FileBuild {
     pub logical_bytes: u64,
     /// True when any payload arrived as a bare size.
     pub account_only: bool,
+    /// Per-put boundaries, in submission order.
+    pub chunks: Vec<ChunkSpan>,
 }
 
 /// Coalesces puts by path, preserving first-put order.
@@ -58,6 +77,13 @@ impl StepBuild {
                 })
             }
         };
+        build.chunks.push(ChunkSpan {
+            key: put.key,
+            kind: put.kind,
+            offset: build.bytes,
+            len: put.payload.len(),
+            logical_len: put.payload.logical_len(),
+        });
         build.bytes += put.payload.len();
         build.logical_bytes += put.payload.logical_len();
         match put.payload {
@@ -80,11 +106,117 @@ impl StepBuild {
     }
 }
 
+/// One written file as remembered for the read path (no content).
+#[derive(Clone, Debug)]
+pub(crate) struct ManifestFile {
+    pub path: String,
+    pub rank: usize,
+    pub bytes: u64,
+    pub account_only: bool,
+    pub chunks: Vec<ChunkSpan>,
+}
+
+/// Per-step manifest of the N-to-N layout, retained so `read_step` can
+/// slice the coalesced files back into logical chunks (the file format
+/// itself stores no boundaries — exactly like the original writers).
+///
+/// Manifests are kept for *every* step because wr-mode workloads read
+/// all dumps back, and they hold only spans and paths (tens of bytes per
+/// put), never payload content — a deliberate memory-for-readability
+/// trade even in write-only runs.
+pub(crate) type StepManifest = Vec<ManifestFile>;
+
+/// Reads one step back through its manifest: the shared read path of the
+/// [`FilePerProcess`] and [`crate::Deferred`] backends (identical
+/// physical layout, different write timing). Materialized files must be
+/// on the filesystem; truncated retained content (content-limited
+/// [`iosim::MemFs`]) degrades to a modeled size-only read.
+pub(crate) fn read_manifest_step(
+    vfs: &VfsHandle<'_>,
+    tracker: &TrackerHandle<'_>,
+    manifest: &StepManifest,
+    step: u32,
+) -> io::Result<StepRead> {
+    let mut out = StepRead {
+        stats: ReadStats {
+            step,
+            ..ReadStats::default()
+        },
+        ..StepRead::default()
+    };
+    for file in manifest {
+        let content = if file.account_only {
+            None
+        } else {
+            let c = vfs.read_file_exact(&file.path);
+            if c.is_none() && vfs.file_size(&file.path).is_none() {
+                return Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("read_step: missing file '{}'", file.path),
+                ));
+            }
+            c
+        };
+        for span in &file.chunks {
+            let payload = match &content {
+                Some(bytes) => {
+                    let slice =
+                        bytes[span.offset as usize..(span.offset + span.len) as usize].to_vec();
+                    if span.len == span.logical_len {
+                        Payload::Bytes(slice)
+                    } else {
+                        // Encoded by a compression stage; the stage (or
+                        // the caller) decodes with the logical length.
+                        Payload::Encoded {
+                            data: slice,
+                            logical: span.logical_len,
+                        }
+                    }
+                }
+                None => Payload::Size(span.logical_len),
+            };
+            tracker.record_read(span.key, span.kind, span.logical_len);
+            out.stats.logical_bytes += span.logical_len;
+            out.chunks.push(ChunkRead {
+                key: span.key,
+                kind: span.kind,
+                path: file.path.clone(),
+                payload,
+            });
+        }
+        out.stats.files += 1;
+        out.stats.bytes += file.bytes;
+        out.stats.requests.push(ReadRequest {
+            rank: file.rank,
+            path: file.path.clone(),
+            bytes: file.bytes,
+            start: 0.0,
+        });
+    }
+    Ok(out)
+}
+
+/// Builds the retained manifest from a step's finished files.
+pub(crate) fn manifest_of(files: &[(String, FileBuild)]) -> StepManifest {
+    files
+        .iter()
+        .map(|(path, build)| ManifestFile {
+            path: path.clone(),
+            rank: build.rank,
+            bytes: build.bytes,
+            account_only: build.account_only,
+            chunks: build.chunks.clone(),
+        })
+        .collect()
+}
+
 /// The N-to-N backend (see module docs).
 pub struct FilePerProcess<'a> {
     vfs: VfsHandle<'a>,
     tracker: TrackerHandle<'a>,
     cur: Option<StepBuild>,
+    /// Per-step layout manifests for the read path.
+    manifests: HashMap<u32, StepManifest>,
     report: EngineReport,
 }
 
@@ -95,6 +227,7 @@ impl<'a> FilePerProcess<'a> {
             vfs: vfs.into(),
             tracker: tracker.into(),
             cur: None,
+            manifests: HashMap::new(),
             report: EngineReport::default(),
         }
     }
@@ -124,11 +257,14 @@ impl IoBackend for FilePerProcess<'_> {
 
     fn end_step(&mut self) -> io::Result<StepStats> {
         let cur = self.cur.take().expect("end_step: no open step");
+        let step = cur.step;
         let mut stats = StepStats {
-            step: cur.step,
+            step,
             ..StepStats::default()
         };
-        for (path, build) in cur.into_files() {
+        let files = cur.into_files();
+        self.manifests.insert(step, manifest_of(&files));
+        for (path, build) in files {
             if !build.account_only {
                 let written = self.vfs.write_file(&path, &build.content)?;
                 debug_assert_eq!(written, build.bytes);
@@ -148,6 +284,17 @@ impl IoBackend for FilePerProcess<'_> {
         self.report.bytes += stats.bytes;
         self.report.logical_bytes += stats.logical_bytes;
         Ok(stats)
+    }
+
+    fn read_step(&mut self, step: u32, _container: &str) -> io::Result<StepRead> {
+        assert!(self.cur.is_none(), "read_step: step still open");
+        let manifest = self.manifests.get(&step).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("read_step: step {step} was never written"),
+            )
+        })?;
+        read_manifest_step(&self.vfs, &self.tracker, manifest, step)
     }
 
     fn close(&mut self) -> io::Result<EngineReport> {
@@ -230,6 +377,66 @@ mod tests {
         assert_eq!(stats.bytes, 1 << 30);
         assert_eq!(stats.requests[0].bytes, 1 << 30);
         assert_eq!(tracker.total_bytes(), 1 << 30);
+    }
+
+    #[test]
+    fn read_step_round_trips_written_chunks() {
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let mut b = FilePerProcess::new(&fs as &dyn Vfs, &tracker);
+        b.begin_step(1, "/");
+        b.put(put(1, 0, "/group", b"r0r0")).unwrap();
+        b.put(put(1, 1, "/group", b"r1")).unwrap();
+        b.put(put(1, 2, "/own", b"solo")).unwrap();
+        b.end_step().unwrap();
+
+        let read = b.read_step(1, "/").unwrap();
+        // Chunk-level round trip with keys intact.
+        assert_eq!(read.chunks.len(), 3);
+        assert_eq!(read.logical_content("/group"), Some(b"r0r0r1".to_vec()));
+        assert_eq!(read.logical_content("/own"), Some(b"solo".to_vec()));
+        assert_eq!(read.chunks[1].key.task, 1);
+        // Physical accounting: one request per file, whole-file bytes.
+        assert_eq!(read.stats.files, 2);
+        assert_eq!(read.stats.bytes, 10);
+        assert_eq!(read.stats.logical_bytes, 10);
+        assert_eq!(read.stats.requests.len(), 2);
+        // The tracker's read plane mirrors the write plane.
+        assert_eq!(tracker.total_read_bytes(), 10);
+        assert_eq!(tracker.total_bytes(), 10, "writes untouched");
+    }
+
+    #[test]
+    fn read_step_models_account_only_chunks() {
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let mut b = FilePerProcess::new(&fs as &dyn Vfs, &tracker);
+        b.begin_step(2, "/");
+        b.put(Put {
+            key: IoKey {
+                step: 2,
+                level: 1,
+                task: 0,
+            },
+            kind: IoKind::Data,
+            path: "/big".into(),
+            payload: Payload::Size(1 << 20),
+        })
+        .unwrap();
+        b.end_step().unwrap();
+        let read = b.read_step(2, "/").unwrap();
+        assert!(matches!(read.chunks[0].payload, Payload::Size(n) if n == 1 << 20));
+        assert_eq!(read.stats.bytes, 1 << 20, "modeled physical read");
+        assert_eq!(read.stats.requests[0].bytes, 1 << 20);
+        assert_eq!(tracker.total_read_bytes(), 1 << 20);
+    }
+
+    #[test]
+    fn read_step_of_unwritten_step_errors() {
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let mut b = FilePerProcess::new(&fs as &dyn Vfs, &tracker);
+        assert!(b.read_step(9, "/").is_err());
     }
 
     #[test]

@@ -35,6 +35,20 @@
 //! `logical physical method path` per chunk, and its modeled CPU cost is
 //! charged as application compute time by the burst scheduler — the
 //! compression trade (CPU for wire bytes) is simulated on both sides.
+//!
+//! Every backend also exposes the **read plane**
+//! ([`IoBackend::read_step`]): the restart/analysis path that reads a
+//! written step back into logical chunks. [`FilePerProcess`] and
+//! [`Deferred`] slice their coalesced files through a retained layout
+//! manifest (deferred barriers any in-flight drain first — read-after-
+//! write consistency); [`Aggregated`] seeks through its on-disk per-step
+//! `md.idx` chunk table; the compression stage decodes each chunk through
+//! its codec, so restart bytes round-trip to the logical bytes written
+//! (byte-exact for lossless codecs, an error-bounded reconstruction of
+//! the same length for the lossy quantizer). Reads are recorded in the
+//! tracker's separate read plane at logical size, and
+//! [`ReadStats::requests`] feeds `iosim`'s read-burst timing
+//! (`simulate_read_burst`: own bandwidth, per-file open charge).
 
 pub mod aggregated;
 pub mod backend;
@@ -45,7 +59,10 @@ pub mod spec;
 pub mod stage;
 
 pub use aggregated::Aggregated;
-pub use backend::{EngineReport, IoBackend, Payload, Put, StepStats, TrackerHandle, VfsHandle};
+pub use backend::{
+    ChunkRead, EngineReport, IoBackend, Payload, Put, ReadStats, StepRead, StepStats,
+    TrackerHandle, VfsHandle,
+};
 pub use codec::{Codec, CodecContext, CodecSpec, Identity, LossyQuant, Rle};
 pub use deferred::Deferred;
 pub use fpp::FilePerProcess;

@@ -23,9 +23,10 @@
 //! Sidecar bytes are counted as backend overhead, like the aggregation
 //! index — they never enter the tracker.
 
-use crate::backend::{EngineReport, IoBackend, Payload, Put, StepStats, VfsHandle};
+use crate::backend::{EngineReport, IoBackend, Payload, Put, StepRead, StepStats, VfsHandle};
 use crate::codec::{encode_payload, Codec, CodecContext};
-use iosim::{IoKind, WriteRequest};
+use iosim::{IoKind, ReadRequest, WriteRequest};
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::io;
 
@@ -45,12 +46,20 @@ struct StageStep {
     codec_ns: f64,
 }
 
+/// Per-step sidecar record retained for the read path.
+struct SidecarInfo {
+    dir: String,
+    bytes: u64,
+}
+
 /// A codec in front of an inner backend (see module docs).
 pub struct CompressionStage<'a> {
     inner: Box<dyn IoBackend + 'a>,
     codec: Box<dyn Codec>,
     vfs: VfsHandle<'a>,
     cur: Option<StageStep>,
+    /// Steps that wrote (or modeled) a sidecar, for read accounting.
+    sidecars: HashMap<u32, SidecarInfo>,
     /// Sidecar files written across the run (added to the close report).
     sidecar_files: u64,
     /// Sidecar bytes written across the run.
@@ -70,6 +79,7 @@ impl<'a> CompressionStage<'a> {
             codec,
             vfs: vfs.into(),
             cur: None,
+            sidecars: HashMap::new(),
             sidecar_files: 0,
             sidecar_bytes: 0,
         }
@@ -161,6 +171,13 @@ impl IoBackend for CompressionStage<'_> {
             }
             let path = Self::sidecar_path(&cur.dir, cur.step);
             let bytes = body.len() as u64;
+            self.sidecars.insert(
+                cur.step,
+                SidecarInfo {
+                    dir: cur.dir.clone(),
+                    bytes,
+                },
+            );
             // Mirror the backends' account-only handling: a step whose
             // data never materialized stays write-free end to end.
             if cur.any_materialized {
@@ -180,6 +197,48 @@ impl IoBackend for CompressionStage<'_> {
             });
         }
         Ok(stats)
+    }
+
+    fn read_step(&mut self, step: u32, container: &str) -> io::Result<StepRead> {
+        assert!(self.cur.is_none(), "read_step: step still open");
+        let mut read = self.inner.read_step(step, container)?;
+        // Decode every data chunk the write side encoded back to its
+        // logical bytes; raw-fallback chunks come back as `Bytes` already
+        // (physical == logical) and pass through untouched. The decode
+        // CPU cost mirrors the encode side: charged per logical byte of
+        // every data chunk.
+        let mut decode_ns = 0.0f64;
+        for chunk in &mut read.chunks {
+            if chunk.kind != IoKind::Data {
+                continue;
+            }
+            decode_ns += chunk.payload.logical_len() as f64 * self.codec.cpu_ns_per_byte();
+            if let Payload::Encoded { data, logical } = &chunk.payload {
+                let ctx = CodecContext {
+                    level: chunk.key.level,
+                    kind: chunk.kind,
+                    path: &chunk.path,
+                };
+                let decoded = self.codec.decode(data, *logical, &ctx);
+                debug_assert_eq!(decoded.len() as u64, *logical, "decode length");
+                chunk.payload = Payload::Bytes(decoded);
+            }
+        }
+        read.stats.codec_seconds += decode_ns / 1e9;
+        // A restart reader consults the uncompressed-logical-size sidecar
+        // before touching data: account its fetch.
+        if let Some(info) = self.sidecars.get(&step) {
+            let path = Self::sidecar_path(&info.dir, step);
+            read.stats.files += 1;
+            read.stats.bytes += info.bytes;
+            read.stats.requests.push(ReadRequest {
+                rank: 0,
+                path,
+                bytes: info.bytes,
+                start: 0.0,
+            });
+        }
+        Ok(read)
     }
 
     fn close(&mut self) -> io::Result<EngineReport> {
@@ -369,6 +428,70 @@ mod tests {
         assert_eq!(report.bytes, step_bytes);
         assert_eq!(report.logical_bytes, 3 * 600);
         assert!(report.overhead_bytes > 0, "sidecars are overhead");
+    }
+
+    #[test]
+    fn read_step_decodes_back_to_logical_bytes() {
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let mut b = stage(&fs, &tracker, Box::new(Rle::default()));
+        let compressible = vec![3u8; 4096];
+        let noise: Vec<u8> = (0..500u32).map(|i| (i * 131 % 251) as u8).collect();
+        b.begin_step(1, "/");
+        b.put(put(
+            0,
+            IoKind::Data,
+            "/a",
+            Payload::Bytes(compressible.clone()),
+        ))
+        .unwrap();
+        b.put(put(1, IoKind::Data, "/b", Payload::Bytes(noise.clone())))
+            .unwrap();
+        b.put(put(
+            0,
+            IoKind::Metadata,
+            "/hdr",
+            Payload::Bytes(vec![7u8; 64]),
+        ))
+        .unwrap();
+        b.end_step().unwrap();
+
+        let read = b.read_step(1, "/").unwrap();
+        // Compressed chunk decodes to the exact logical bytes; the raw
+        // fallback and metadata pass through.
+        assert_eq!(read.logical_content("/a"), Some(compressible));
+        assert_eq!(read.logical_content("/b"), Some(noise));
+        assert_eq!(read.logical_content("/hdr"), Some(vec![7u8; 64]));
+        // Physical read bytes < logical bytes (the wire was compressed),
+        // and the sidecar fetch is accounted.
+        assert!(read.stats.bytes < read.stats.logical_bytes + 64);
+        assert!(read
+            .stats
+            .requests
+            .iter()
+            .any(|r| r.path.contains("compression_00001.csc")));
+        assert!(read.stats.codec_seconds > 0.0, "decode CPU charged");
+        // Tracker read plane is codec-invariant: logical bytes only.
+        assert_eq!(tracker.total_read_bytes(), 4096 + 500 + 64);
+    }
+
+    #[test]
+    fn read_step_models_account_only_chunks() {
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let mut b = stage(&fs, &tracker, Box::new(LossyQuant::new(8)));
+        b.begin_step(1, "/");
+        b.put(put(0, IoKind::Data, "/big", Payload::Size(1 << 20)))
+            .unwrap();
+        b.end_step().unwrap();
+        let read = b.read_step(1, "/").unwrap();
+        assert!(matches!(read.chunks[0].payload, Payload::Size(n) if n == 1 << 20));
+        assert_eq!(read.stats.logical_bytes, 1 << 20);
+        assert!(
+            read.stats.bytes < 1 << 20,
+            "physical read is the modeled encoded size"
+        );
+        assert!(read.stats.codec_seconds > 0.0);
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod vfs;
 
 pub use characterize::{characterize, IoCharacterization};
 pub use schedule::BurstScheduler;
-pub use storage::{BurstResult, StorageModel, WriteRequest};
+pub use storage::{BurstResult, ReadRequest, StorageModel, WriteRequest};
 pub use timeline::{Burst, BurstTimeline};
 pub use tracker::{IoKey, IoKind, IoTracker};
 pub use vfs::{MemFs, RealFs, Vfs};

@@ -8,7 +8,7 @@
 //! application only stalls when it reaches the next dump before the
 //! previous drain finished (double buffering with one drain in flight).
 
-use crate::storage::{StorageModel, WriteRequest};
+use crate::storage::{ReadRequest, StorageModel, WriteRequest};
 use crate::timeline::Burst;
 
 /// Times a run's sequence of dump bursts under one policy.
@@ -100,6 +100,43 @@ impl<'a> BurstScheduler<'a> {
         bytes: u64,
     ) -> (Burst, f64) {
         self.submit(step, clock + compute_seconds, requests, bytes)
+    }
+
+    /// Submits a read burst (restart / analysis phase) at application
+    /// time `clock`. Reads are synchronous in *both* policies — the
+    /// application blocks until its restart bytes arrive — and
+    /// read-after-write consistency barriers any drain still in flight
+    /// before the read starts. Returns the timed burst and the clock
+    /// after the data is in memory.
+    pub fn submit_read(
+        &mut self,
+        step: u32,
+        clock: f64,
+        requests: &mut [ReadRequest],
+        bytes: u64,
+    ) -> (Burst, f64) {
+        let start = clock.max(self.drain_end);
+        self.stall_time += start - clock;
+        if requests.is_empty() {
+            let burst = Burst {
+                step,
+                t_start: start,
+                t_end: start,
+                bytes,
+            };
+            return (burst, start);
+        }
+        for r in requests.iter_mut() {
+            r.start = start;
+        }
+        let result = self.model.simulate_read_burst(requests);
+        let burst = Burst {
+            step,
+            t_start: start,
+            t_end: result.t_end,
+            bytes,
+        };
+        (burst, result.t_end)
     }
 
     /// Final wall-clock time: the application clock barriered against any
@@ -205,6 +242,43 @@ mod tests {
         let (burst, clock) = s.submit_with_compute(1, 5.0, 2.0, &mut reqs(1, 100), 100);
         assert_eq!(clock, 7.0, "charge lands on the application clock");
         assert!((burst.t_end - 8.0).abs() < 1e-9);
+    }
+
+    fn read_reqs(n: usize, bytes: u64) -> Vec<ReadRequest> {
+        (0..n)
+            .map(|i| ReadRequest {
+                rank: i,
+                path: format!("/f{i}"),
+                bytes,
+                start: 0.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn restart_reads_block_in_both_policies() {
+        let model = StorageModel::ideal(1, 100.0);
+        for overlapped in [false, true] {
+            let mut s = BurstScheduler::new(&model, overlapped);
+            let (burst, clock) = s.submit_read(1, 5.0, &mut read_reqs(1, 1000), 1000);
+            assert_eq!(burst.t_start, 5.0);
+            assert!((burst.t_end - 15.0).abs() < 1e-9);
+            assert_eq!(clock, burst.t_end, "reads never overlap (ov={overlapped})");
+        }
+    }
+
+    #[test]
+    fn restart_read_barriers_inflight_drain() {
+        let model = StorageModel::ideal(1, 100.0);
+        let mut s = BurstScheduler::new(&model, true);
+        // A write drain runs 0 -> 10 in the background.
+        let (_, clock) = s.submit(1, 0.0, &mut reqs(1, 1000), 1000);
+        assert_eq!(clock, 0.0);
+        // The restart read at t=2 must wait for the drain, then read.
+        let (burst, clock2) = s.submit_read(1, 2.0, &mut read_reqs(1, 500), 500);
+        assert!((burst.t_start - 10.0).abs() < 1e-9, "read-after-write");
+        assert!((clock2 - 15.0).abs() < 1e-9);
+        assert!((s.stall_time() - 8.0).abs() < 1e-9);
     }
 
     #[test]

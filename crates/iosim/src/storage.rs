@@ -2,13 +2,16 @@
 //!
 //! A deterministic, seeded stand-in for Summit's Alpine GPFS filesystem:
 //! files are striped across `nservers` storage servers; each server
-//! processes its active write requests by fair processor sharing at a
-//! fixed bandwidth; each file creation charges a metadata latency *as
+//! processes its active requests by fair processor sharing at a fixed
+//! bandwidth; each file creation charges a metadata latency *as
 //! serialized server work*, so a burst of many small files is slower than
 //! the same bytes in few aggregated files — the effect the io-engine's
 //! BP-style aggregation exists to exploit; service demand carries
-//! lognormal variability. Only the *dynamic* aspect of the paper (burst
-//! durations, bandwidth) depends on this model — byte counts never do.
+//! lognormal variability. Reads (restart and post-hoc analysis bursts)
+//! run through the same event-driven server simulation with their own
+//! bandwidth and per-file open charge. Only the *dynamic* aspect of the
+//! paper (burst durations, bandwidth) depends on this model — byte counts
+//! never do.
 
 use mpi_sim::rank_seed;
 use rand::Rng;
@@ -18,19 +21,34 @@ use serde::{Deserialize, Serialize};
 /// Storage system parameters.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct StorageModel {
-    /// Number of storage (NSD) servers.
+    /// Number of storage (NSD) servers. Treated as at least 1 everywhere
+    /// (the constructors clamp; a zero smuggled in through the public
+    /// field falls back to one server instead of dividing by zero).
     pub nservers: usize,
     /// Sustained write bandwidth per server, bytes/second.
     pub server_bandwidth: f64,
+    /// Sustained read bandwidth per server, bytes/second (restart and
+    /// analysis reads; GPFS read and write peaks differ in general).
+    pub server_read_bandwidth: f64,
     /// Server time charged per file creation (metadata round trip),
     /// seconds; serializes with the server's other work, so it prices
     /// file *count*, not just bytes.
     pub metadata_latency: f64,
+    /// Server time charged per file open on the read side, seconds
+    /// (opens are cheaper than creates: no allocation round trip).
+    pub open_latency: f64,
     /// Lognormal sigma applied to each request's service demand
     /// (0 disables variability).
     pub variability_sigma: f64,
     /// Seed for the variability noise.
     pub seed: u64,
+}
+
+/// Internal request view shared by the write and read burst simulations.
+struct ReqView<'a> {
+    path: &'a str,
+    bytes: u64,
+    start: f64,
 }
 
 impl StorageModel {
@@ -44,21 +62,33 @@ impl StorageModel {
         Self {
             nservers,
             server_bandwidth: 2.5e12 / 77.0,
+            // GPFS streams reads at the same published peak; opens skip
+            // the block-allocation round trip of a create.
+            server_read_bandwidth: 2.5e12 / 77.0,
             metadata_latency: 1.0e-3,
+            open_latency: 0.5e-3,
             variability_sigma: 0.15,
             seed: 0xA1_91_4E,
         }
     }
 
-    /// An idealized noiseless model (useful in tests).
+    /// An idealized noiseless model (useful in tests). A zero server
+    /// count is clamped to one.
     pub fn ideal(nservers: usize, server_bandwidth: f64) -> Self {
         Self {
-            nservers,
+            nservers: nservers.max(1),
             server_bandwidth,
+            server_read_bandwidth: server_bandwidth,
             metadata_latency: 0.0,
+            open_latency: 0.0,
             variability_sigma: 0.0,
             seed: 0,
         }
+    }
+
+    /// The server count the simulation actually uses (never zero).
+    fn effective_nservers(&self) -> usize {
+        self.nservers.max(1)
     }
 
     /// Stable server assignment for a file path (FNV-1a hash mod servers).
@@ -68,35 +98,76 @@ impl StorageModel {
             h ^= *b as u64;
             h = h.wrapping_mul(0x100_0000_01b3);
         }
-        (h % self.nservers as u64) as usize
+        (h % self.effective_nservers() as u64) as usize
     }
 
-    /// Simulates one I/O burst: all `reqs` proceed concurrently, each on
-    /// its file's server, fair-sharing server bandwidth. Returns per-request
-    /// finish times and aggregate statistics.
+    /// Simulates one write burst: all `reqs` proceed concurrently, each on
+    /// its file's server, fair-sharing server write bandwidth with the
+    /// per-file creation charge. Returns per-request finish times and
+    /// aggregate statistics.
     pub fn simulate_burst(&self, reqs: &[WriteRequest]) -> BurstResult {
+        let views: Vec<ReqView<'_>> = reqs
+            .iter()
+            .map(|r| ReqView {
+                path: &r.path,
+                bytes: r.bytes,
+                start: r.start,
+            })
+            .collect();
+        self.simulate_views(&views, self.server_bandwidth, self.metadata_latency)
+    }
+
+    /// Read-side mirror of [`StorageModel::simulate_burst`]: the same
+    /// event-driven fair sharing, at the read bandwidth with the per-file
+    /// open charge.
+    pub fn simulate_read_burst(&self, reqs: &[ReadRequest]) -> BurstResult {
+        let views: Vec<ReqView<'_>> = reqs
+            .iter()
+            .map(|r| ReqView {
+                path: &r.path,
+                bytes: r.bytes,
+                start: r.start,
+            })
+            .collect();
+        self.simulate_views(&views, self.server_read_bandwidth, self.open_latency)
+    }
+
+    fn simulate_views(&self, reqs: &[ReqView<'_>], bw: f64, per_file_latency: f64) -> BurstResult {
         let mut finish = vec![0.0f64; reqs.len()];
-        let mut per_server: Vec<Vec<usize>> = vec![Vec::new(); self.nservers];
+        let mut per_server: Vec<Vec<usize>> = vec![Vec::new(); self.effective_nservers()];
         for (i, r) in reqs.iter().enumerate() {
-            per_server[self.server_of(&r.path)].push(i);
+            per_server[self.server_of(r.path)].push(i);
         }
         let mut rng = rand::rngs::StdRng::seed_from_u64(rank_seed(self.seed, reqs.len()));
         for ids in per_server.iter().filter(|v| !v.is_empty()) {
-            self.simulate_server(ids, reqs, &mut finish, &mut rng);
+            self.simulate_server(ids, reqs, bw, per_file_latency, &mut finish, &mut rng);
         }
         let total_bytes: u64 = reqs.iter().map(|r| r.bytes).sum();
         let t_start = reqs.iter().map(|r| r.start).fold(f64::INFINITY, f64::min);
         let t_end = finish.iter().copied().fold(0.0, f64::max);
         let duration = (t_end - t_start).max(0.0);
+        // A zero-duration burst that still moved payload (an idealized
+        // infinitely fast model) must not report bandwidth 0 — downstream
+        // bytes/s regressions would ingest fake zeros. Floor the duration
+        // at the per-file charge; if that is zero too the model really is
+        // infinitely fast and the sample is `INFINITY` (non-finite, so
+        // consumers can skip it).
+        let effective = if total_bytes > 0 {
+            duration.max(per_file_latency)
+        } else {
+            duration
+        };
         BurstResult {
             finish,
             t_start: if reqs.is_empty() { 0.0 } else { t_start },
             t_end,
             total_bytes,
-            aggregate_bandwidth: if duration > 0.0 {
-                total_bytes as f64 / duration
-            } else {
+            aggregate_bandwidth: if total_bytes == 0 {
                 0.0
+            } else if effective > 0.0 {
+                total_bytes as f64 / effective
+            } else {
+                f64::INFINITY
             },
         }
     }
@@ -105,17 +176,23 @@ impl StorageModel {
     fn simulate_server(
         &self,
         ids: &[usize],
-        reqs: &[WriteRequest],
+        reqs: &[ReqView<'_>],
+        bw: f64,
+        per_file_latency: f64,
         finish: &mut [f64],
         rng: &mut rand::rngs::StdRng,
     ) {
-        // Arrival = request start; work = noisy bytes plus the byte
-        // equivalent of the per-file metadata charge (serialized on the
-        // server, which is what makes file count a first-order cost).
+        // Arrival = request start; work = noisy transfer seconds plus the
+        // per-file charge (serialized on the server, which is what makes
+        // file count a first-order cost). Working in *seconds of server
+        // demand* rather than bytes keeps the event loop well-defined for
+        // idealized infinite-bandwidth models (bytes / inf = 0, where the
+        // byte-domain `latency * bw` term would be NaN or infinite and
+        // jobs could never retire).
         struct Job {
             id: usize,
             arrival: f64,
-            work: f64, // remaining bytes of service demand
+            work: f64, // remaining seconds of service demand
         }
         let mut jobs: Vec<Job> = ids
             .iter()
@@ -132,14 +209,11 @@ impl StorageModel {
                 Job {
                     id,
                     arrival: reqs[id].start,
-                    work: reqs[id].bytes as f64 * noise
-                        + self.metadata_latency * self.server_bandwidth,
+                    work: reqs[id].bytes as f64 / bw * noise + per_file_latency,
                 }
             })
             .collect();
         jobs.sort_by(|a, b| a.arrival.total_cmp(&b.arrival).then(a.id.cmp(&b.id)));
-
-        let bw = self.server_bandwidth;
         let mut t = jobs.first().map(|j| j.arrival).unwrap_or(0.0);
         let mut active: Vec<Job> = Vec::new();
         let mut next = 0usize;
@@ -160,7 +234,9 @@ impl StorageModel {
                 t = jobs[next].arrival;
                 continue;
             }
-            let rate = bw / active.len() as f64;
+            // Fair sharing: each active job progresses at 1/n server
+            // seconds per second.
+            let rate = 1.0 / active.len() as f64;
             // Next event: earliest completion at shared rate vs next arrival.
             let min_work = active.iter().map(|j| j.work).fold(f64::INFINITY, f64::min);
             let t_complete = t + min_work / rate;
@@ -171,8 +247,8 @@ impl StorageModel {
                 j.work -= rate * elapsed;
             }
             t = t_next;
-            // Retire finished jobs (floating-point tolerant).
-            let eps = 1e-6 * bw.max(1.0);
+            // Retire finished jobs (floating-point tolerant; seconds).
+            let eps = 1e-6;
             active.retain(|j| {
                 if j.work <= eps {
                     finish[j.id] = t;
@@ -198,7 +274,20 @@ pub struct WriteRequest {
     pub start: f64,
 }
 
-/// Outcome of a simulated burst.
+/// One file read submitted to a read burst (restart / analysis phase).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReadRequest {
+    /// Rank issuing the read (for reporting).
+    pub rank: usize,
+    /// Source file path (determines the server).
+    pub path: String,
+    /// Bytes fetched from the file (whole file or a seeked range).
+    pub bytes: u64,
+    /// Simulated time at which the read is issued.
+    pub start: f64,
+}
+
+/// Outcome of a simulated burst (write or read).
 #[derive(Clone, Debug, PartialEq)]
 pub struct BurstResult {
     /// Completion time of each request, in submission order.
@@ -209,7 +298,9 @@ pub struct BurstResult {
     pub t_end: f64,
     /// Total payload bytes.
     pub total_bytes: u64,
-    /// `total_bytes / (t_end - t_start)`.
+    /// `total_bytes` over the burst duration floored at the per-file
+    /// charge; `INFINITY` when payload moved in zero simulated time
+    /// (consumers skip non-finite samples), `0.0` for empty bursts.
     pub aggregate_bandwidth: f64,
 }
 
@@ -334,5 +425,80 @@ mod tests {
         let r = m.simulate_burst(&[]);
         assert_eq!(r.total_bytes, 0);
         assert_eq!(r.t_end, 0.0);
+        assert_eq!(r.aggregate_bandwidth, 0.0);
+    }
+
+    fn read(rank: usize, path: &str, bytes: u64, start: f64) -> ReadRequest {
+        ReadRequest {
+            rank,
+            path: path.to_string(),
+            bytes,
+            start,
+        }
+    }
+
+    #[test]
+    fn zero_server_config_does_not_divide_by_zero() {
+        // Regression: `server_of` computed `h % nservers` unguarded, so a
+        // zero-server model panicked. Constructors clamp, and a zero
+        // smuggled through the public field acts as one server.
+        let m = StorageModel::ideal(0, 100.0);
+        assert_eq!(m.nservers, 1);
+        let mut raw = StorageModel::ideal(4, 100.0);
+        raw.nservers = 0;
+        assert_eq!(raw.server_of("/f"), 0);
+        let r = raw.simulate_burst(&[req(0, "/f", 1000, 0.0)]);
+        assert!((r.finish[0] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_burst_does_not_report_zero_bandwidth() {
+        // Regression: an infinitely fast model produced duration 0 and
+        // bandwidth 0.0 despite moving payload, poisoning downstream
+        // bytes/s regressions with fake zeros.
+        let mut m = StorageModel::ideal(1, f64::INFINITY);
+        let r = m.simulate_burst(&[req(0, "/f", 1000, 0.0)]);
+        assert_eq!(r.total_bytes, 1000);
+        assert!(
+            r.aggregate_bandwidth.is_infinite(),
+            "skippable non-finite sample, not a fake zero: {}",
+            r.aggregate_bandwidth
+        );
+        // With a per-file charge the duration is floored instead.
+        m.metadata_latency = 0.01;
+        let r = m.simulate_burst(&[req(0, "/f", 1000, 0.0)]);
+        assert!(r.aggregate_bandwidth.is_finite());
+        assert!((r.aggregate_bandwidth - 1000.0 / 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn read_burst_uses_read_bandwidth_and_open_latency() {
+        let mut m = StorageModel::ideal(1, 100.0);
+        m.server_read_bandwidth = 200.0;
+        let w = m.simulate_burst(&[req(0, "/f", 1000, 0.0)]);
+        let r = m.simulate_read_burst(&[read(0, "/f", 1000, 0.0)]);
+        assert!((w.finish[0] - 10.0).abs() < 1e-9);
+        assert!((r.finish[0] - 5.0).abs() < 1e-9, "reads run at read bw");
+        // The open charge serializes like the write-side metadata charge.
+        m.open_latency = 0.5;
+        let r = m.simulate_read_burst(&[read(0, "/tiny", 2, 0.0)]);
+        assert!(r.finish[0] >= 0.5);
+    }
+
+    #[test]
+    fn read_burst_fair_shares_servers() {
+        let m = StorageModel::ideal(1, 100.0);
+        let r = m.simulate_read_burst(&[read(0, "/a", 500, 0.0), read(1, "/b", 500, 0.0)]);
+        assert!((r.finish[0] - 10.0).abs() < 1e-9, "{:?}", r.finish);
+        assert!((r.finish[1] - 10.0).abs() < 1e-9);
+        assert!((r.aggregate_bandwidth - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn summit_preset_has_a_read_side() {
+        let m = StorageModel::summit_alpine(1.0);
+        assert!(m.server_read_bandwidth > 1e10);
+        assert!(m.open_latency > 0.0);
+        assert!(m.open_latency < m.metadata_latency, "opens beat creates");
     }
 }

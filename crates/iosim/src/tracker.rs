@@ -32,9 +32,15 @@ pub enum IoKind {
 }
 
 /// Aggregated byte counts per `(key, kind)`.
+///
+/// Writes and reads are tracked in separate planes: `record` feeds the
+/// Eq. (1)/(2) write samples, `record_read` the restart/analysis read
+/// side. Both store *logical* bytes, so read totals are backend- and
+/// codec-invariant like the write totals.
 #[derive(Default, Debug)]
 pub struct IoTracker {
     records: Mutex<BTreeMap<(IoKey, IoKind), Record>>,
+    read_records: Mutex<BTreeMap<(IoKey, IoKind), Record>>,
 }
 
 #[derive(Default, Debug, Clone, Copy, Serialize, Deserialize)]
@@ -206,6 +212,54 @@ impl IoTracker {
             .map(|((k, kind), r)| (*k, *kind, r.bytes, r.files))
             .collect()
     }
+
+    // ---------------------------------------------------------------- reads
+
+    /// Records `bytes` read back for `key`, counting one chunk read.
+    pub fn record_read(&self, key: IoKey, kind: IoKind, bytes: u64) {
+        let mut map = self.read_records.lock();
+        let r = map.entry((key, kind)).or_default();
+        r.bytes += bytes;
+        r.files += 1;
+    }
+
+    /// Total logical bytes read back across everything.
+    pub fn total_read_bytes(&self) -> u64 {
+        self.read_records.lock().values().map(|r| r.bytes).sum()
+    }
+
+    /// Total logical bytes read back of one kind.
+    pub fn total_read_bytes_of(&self, kind: IoKind) -> u64 {
+        self.read_records
+            .lock()
+            .iter()
+            .filter(|((_, k), _)| *k == kind)
+            .map(|(_, r)| r.bytes)
+            .sum()
+    }
+
+    /// Number of chunk reads recorded.
+    pub fn total_read_records(&self) -> u64 {
+        self.read_records.lock().values().map(|r| r.files).sum()
+    }
+
+    /// Logical bytes read back per output step, ordered by step.
+    pub fn read_bytes_per_step(&self) -> BTreeMap<u32, u64> {
+        let mut out = BTreeMap::new();
+        for ((key, _), r) in self.read_records.lock().iter() {
+            *out.entry(key.step).or_insert(0) += r.bytes;
+        }
+        out
+    }
+
+    /// Flat export of all read records as `(key, kind, bytes, reads)`.
+    pub fn export_reads(&self) -> Vec<(IoKey, IoKind, u64, u64)> {
+        self.read_records
+            .lock()
+            .iter()
+            .map(|((k, kind), r)| (*k, *kind, r.bytes, r.files))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -281,5 +335,25 @@ mod tests {
         assert!(t.bytes_per_step().is_empty());
         assert!(t.cumulative_per_step().is_empty());
         assert!(t.bytes_per_task(0, 0).is_empty());
+        assert_eq!(t.total_read_bytes(), 0);
+        assert!(t.read_bytes_per_step().is_empty());
+    }
+
+    #[test]
+    fn read_plane_is_separate_from_write_plane() {
+        let t = IoTracker::new();
+        t.record(key(1, 0, 0), IoKind::Data, 100);
+        t.record_read(key(1, 0, 0), IoKind::Data, 40);
+        t.record_read(key(2, 0, 1), IoKind::Metadata, 7);
+        assert_eq!(t.total_bytes(), 100, "writes unaffected by reads");
+        assert_eq!(t.total_read_bytes(), 47);
+        assert_eq!(t.total_read_bytes_of(IoKind::Data), 40);
+        assert_eq!(t.total_read_bytes_of(IoKind::Metadata), 7);
+        assert_eq!(t.total_read_records(), 2);
+        let per = t.read_bytes_per_step();
+        assert_eq!(per[&1], 40);
+        assert_eq!(per[&2], 7);
+        assert_eq!(t.export_reads().len(), 2);
+        assert_eq!(t.export().len(), 1);
     }
 }

@@ -72,4 +72,10 @@ fn main() {
         report.wall_time,
         report.timeline.duty_cycle()
     );
+    if cfg.mode.reads() {
+        println!(
+            "# read_bytes={} physical_read_bytes={} read_files={} read_wall={:.3}s",
+            report.read_bytes, report.physical_read_bytes, report.read_files, report.read_wall
+        );
+    }
 }

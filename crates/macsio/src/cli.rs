@@ -5,7 +5,7 @@
 //! `--avg_num_parts`, `--vars_per_part`, `--compute_time`, `--meta_size`,
 //! `--dataset_growth`) plus `--nprocs` standing in for `jsrun -n`.
 
-use crate::config::{FileMode, Interface, MacsioConfig};
+use crate::config::{FileMode, Interface, MacsioConfig, RunMode};
 use io_engine::{BackendSpec, CodecSpec};
 
 /// One-screen flag reference (printed by the `macsio` binary on bad
@@ -34,7 +34,10 @@ pub fn usage() -> &'static str {
        --compression SPEC              in-situ codec for data puts:\n\
                                        identity (default), rle[:<ratio>]\n\
                                        (lossless run-length), quant[:<bits>]\n\
-                                       (block-wise lossy quantization)\n"
+                                       (block-wise lossy quantization)\n\
+       --mode write|restart|wr         write-only (default), write then\n\
+                                       restart-read the last dump, or write\n\
+                                       then read every dump back\n"
 }
 
 /// Parses a MACSio command line into a configuration.
@@ -98,6 +101,9 @@ where
             }
             "--compression" => {
                 cfg.compression = CodecSpec::parse(&next(&mut i)?)?;
+            }
+            "--mode" => {
+                cfg.mode = RunMode::parse(&next(&mut i)?)?;
             }
             "--nprocs" | "-n" => {
                 cfg.nprocs = parse_num(&next(&mut i)?)? as usize;
@@ -212,6 +218,16 @@ mod tests {
         assert_eq!(cfg.compression, CodecSpec::Rle(2.0));
         assert!(parse_args(["--compression", "zstd"]).is_err());
         assert!(usage().contains("--compression"));
+    }
+
+    #[test]
+    fn mode_flag_parses() {
+        let cfg = parse_args(["--mode", "restart"]).unwrap();
+        assert_eq!(cfg.mode, RunMode::Restart);
+        let cfg = parse_args(["--mode", "wr"]).unwrap();
+        assert_eq!(cfg.mode, RunMode::WriteRead);
+        assert!(parse_args(["--mode", "append"]).is_err());
+        assert!(usage().contains("--mode"));
     }
 
     #[test]

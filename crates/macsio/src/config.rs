@@ -102,6 +102,49 @@ impl Deserialize for FileMode {
     }
 }
 
+/// What a run does with its dumps (`--mode`): write them (the paper's
+/// original proxy behaviour), write then restart-read the last dump, or
+/// write then read every dump back (post-hoc analysis).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunMode {
+    /// Write-only (default; the original proxy workload).
+    #[default]
+    Write,
+    /// Write all dumps, then read the *last* dump back — the restart
+    /// phase that dominates recovery time at scale.
+    Restart,
+    /// Write all dumps, then read *every* dump back (`wr`).
+    WriteRead,
+}
+
+impl RunMode {
+    /// Parses the CLI spelling: `write` | `restart` | `wr`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "write" | "w" => Ok(Self::Write),
+            "restart" => Ok(Self::Restart),
+            "wr" | "write_read" => Ok(Self::WriteRead),
+            other => Err(format!(
+                "unknown mode '{other}' (expected write, restart, or wr)"
+            )),
+        }
+    }
+
+    /// The canonical CLI spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Write => "write",
+            Self::Restart => "restart",
+            Self::WriteRead => "wr",
+        }
+    }
+
+    /// True when the run reads dumps back after writing.
+    pub fn reads(&self) -> bool {
+        !matches!(self, Self::Write)
+    }
+}
+
 /// Full MACSio configuration (Table II plus the execution context).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct MacsioConfig {
@@ -132,6 +175,8 @@ pub struct MacsioConfig {
     pub io_backend: BackendSpec,
     /// In-situ compression codec applied to data puts (`--compression`).
     pub compression: CodecSpec,
+    /// Write-only, restart, or write+read-back behaviour (`--mode`).
+    pub mode: RunMode,
 }
 
 impl Default for MacsioConfig {
@@ -150,6 +195,7 @@ impl Default for MacsioConfig {
             seed: 0x4D_41_43, // "MAC"
             io_backend: BackendSpec::default(),
             compression: CodecSpec::default(),
+            mode: RunMode::default(),
         }
     }
 }
@@ -230,6 +276,9 @@ impl MacsioConfig {
         }
         if self.compression != CodecSpec::default() {
             line.push_str(&format!(" --compression {}", self.compression.name()));
+        }
+        if self.mode != RunMode::default() {
+            line.push_str(&format!(" --mode {}", self.mode.name()));
         }
         line
     }
@@ -355,6 +404,28 @@ mod tests {
         assert!(!cfg.command_line().contains("--compression"));
         cfg.compression = CodecSpec::LossyQuant(8);
         assert!(cfg.command_line().contains("--compression quant:8"));
+    }
+
+    #[test]
+    fn run_mode_spellings_round_trip() {
+        assert_eq!(RunMode::parse("write").unwrap(), RunMode::Write);
+        assert_eq!(RunMode::parse("restart").unwrap(), RunMode::Restart);
+        assert_eq!(RunMode::parse("wr").unwrap(), RunMode::WriteRead);
+        assert!(RunMode::parse("read").is_err());
+        for m in [RunMode::Write, RunMode::Restart, RunMode::WriteRead] {
+            assert_eq!(RunMode::parse(m.name()).unwrap(), m);
+        }
+        assert!(!RunMode::Write.reads());
+        assert!(RunMode::Restart.reads());
+        assert!(RunMode::WriteRead.reads());
+    }
+
+    #[test]
+    fn command_line_names_non_default_mode() {
+        let mut cfg = MacsioConfig::default();
+        assert!(!cfg.command_line().contains("--mode"));
+        cfg.mode = RunMode::Restart;
+        assert!(cfg.command_line().contains("--mode restart"));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! [`IoTracker`], and optionally timed against a [`StorageModel`] to
 //! produce the burst timeline.
 
-use crate::config::{FileMode, MacsioConfig};
+use crate::config::{FileMode, MacsioConfig, RunMode};
 use crate::marshal::{marshal_part, marshal_root};
 use crate::mesh::MeshPart;
 use io_engine::{IoBackend, Payload, Put};
@@ -64,6 +64,16 @@ pub struct MacsioReport {
     pub bytes_per_dump: Vec<u64>,
     /// Files written across the run.
     pub files_written: u64,
+    /// Logical bytes read back in the restart/analysis phase (0 in
+    /// write-only mode; the tracker's read-plane view, codec-invariant).
+    pub read_bytes: u64,
+    /// Physical bytes fetched from storage in the read phase (encoded
+    /// chunks, index tables, sidecars).
+    pub physical_read_bytes: u64,
+    /// Physical files opened in the read phase.
+    pub read_files: u64,
+    /// Simulated seconds spent in the read phase (inside `wall_time`).
+    pub read_wall: f64,
     /// Burst timeline (empty when no storage model was supplied).
     pub timeline: BurstTimeline,
     /// Final simulated wall time in seconds.
@@ -200,6 +210,43 @@ pub fn run_with_backend(
         report.codec_seconds += stats.codec_seconds;
         report.overhead_bytes += stats.overhead_bytes;
     }
+
+    // Read phase: restart-read the last dump, or read every dump back.
+    // The backend barriers in-flight drains itself (read-after-write
+    // consistency); the scheduler does the same on the simulated clock.
+    if cfg.mode.reads() && cfg.num_dumps > 0 {
+        let read_start = match &scheduler {
+            // A restart happens after the run's closing flush.
+            Some(sched) => sched.finish(clock),
+            None => clock,
+        };
+        clock = read_start;
+        let steps: Vec<u32> = match cfg.mode {
+            RunMode::Restart => vec![cfg.num_dumps],
+            RunMode::WriteRead => (1..=cfg.num_dumps).collect(),
+            RunMode::Write => unreachable!(),
+        };
+        for step in steps {
+            let read = backend.read_step(step, "/")?;
+            report.read_bytes += read.stats.logical_bytes;
+            report.physical_read_bytes += read.stats.bytes;
+            report.read_files += read.stats.files;
+            report.codec_seconds += read.stats.codec_seconds;
+            let mut requests = read.stats.requests;
+            if let Some(sched) = scheduler.as_mut() {
+                let (burst, next_clock) =
+                    sched.submit_read(step, clock, &mut requests, read.stats.bytes);
+                // Read bursts join the timeline like write bursts, so
+                // duty-cycle analysis covers the whole run.
+                report.timeline.push(burst);
+                clock = next_clock;
+            }
+            // Decoding happens after the bytes are in memory.
+            clock += read.stats.codec_seconds;
+        }
+        report.read_wall = clock - read_start;
+    }
+
     backend.close()?;
     report.wall_time = match &scheduler {
         Some(sched) => sched.finish(clock),
@@ -345,6 +392,103 @@ mod tests {
         assert!(r_q.wall_time >= r_q.codec_seconds);
         // One sidecar per dump rides along.
         assert_eq!(r_q.files_written, r_id.files_written + cfg.num_dumps as u64);
+    }
+
+    #[test]
+    fn restart_mode_reads_the_last_dump_back() {
+        let mut cfg = base_cfg();
+        cfg.mode = RunMode::Restart;
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let report = run(&cfg, &fs, &tracker, None).unwrap();
+        // The restart reads exactly the last dump's logical bytes.
+        let last_dump_logical = tracker.bytes_per_step()[&cfg.num_dumps];
+        assert_eq!(report.read_bytes, last_dump_logical);
+        assert_eq!(tracker.total_read_bytes(), last_dump_logical);
+        assert_eq!(
+            tracker
+                .read_bytes_per_step()
+                .keys()
+                .copied()
+                .collect::<Vec<_>>(),
+            vec![cfg.num_dumps]
+        );
+        // Identity codec, fpp: physical read == logical read.
+        assert_eq!(report.physical_read_bytes, report.read_bytes);
+        assert_eq!(report.read_files, 5, "4 data files + 1 root");
+    }
+
+    #[test]
+    fn wr_mode_reads_every_dump_back() {
+        let mut cfg = base_cfg();
+        cfg.mode = RunMode::WriteRead;
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let report = run(&cfg, &fs, &tracker, None).unwrap();
+        assert_eq!(report.read_bytes, report.logical_bytes, "full read-back");
+        assert_eq!(tracker.total_read_bytes(), tracker.total_bytes());
+        assert_eq!(report.read_files, report.files_written);
+    }
+
+    #[test]
+    fn restart_read_is_timed_against_storage() {
+        let mut cfg = base_cfg();
+        cfg.mode = RunMode::Restart;
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let model = StorageModel::ideal(2, 1e6);
+        let report = run(&cfg, &fs, &tracker, Some(&model)).unwrap();
+        assert!(report.read_wall > 0.0, "reads cost simulated time");
+        assert!(report.wall_time >= report.read_wall);
+        // The read burst joins the timeline next to the write bursts.
+        assert_eq!(
+            report.timeline.len(),
+            cfg.num_dumps as usize + 1,
+            "write bursts + one restart read burst"
+        );
+        // Write-only run of the same config is strictly faster.
+        let mut w = base_cfg();
+        w.mode = RunMode::Write;
+        let fsw = MemFs::new();
+        let tw = IoTracker::new();
+        let wr = run(&w, &fsw, &tw, Some(&model)).unwrap();
+        assert!(report.wall_time > wr.wall_time);
+        assert_eq!(wr.read_wall, 0.0);
+    }
+
+    #[test]
+    fn restart_round_trips_across_backend_codec_matrix() {
+        use io_engine::{BackendSpec, CodecSpec};
+        // The wr-mode read phase re-reads every dump; with a lossless
+        // codec the logical read totals must equal the write totals for
+        // every backend × codec combination.
+        for backend in [
+            BackendSpec::FilePerProcess,
+            BackendSpec::Aggregated(2),
+            BackendSpec::Deferred(1),
+        ] {
+            for codec in [CodecSpec::Identity, CodecSpec::Rle(2.0)] {
+                let cfg = MacsioConfig {
+                    nprocs: 4,
+                    num_dumps: 2,
+                    part_size: 4 * 1024,
+                    io_backend: backend,
+                    compression: codec,
+                    mode: RunMode::WriteRead,
+                    ..Default::default()
+                };
+                let fs = MemFs::new();
+                let tracker = IoTracker::new();
+                let report = run(&cfg, &fs, &tracker, None).unwrap();
+                let label = format!("{}/{}", backend.name(), codec.name());
+                assert_eq!(
+                    tracker.total_read_bytes(),
+                    tracker.total_bytes(),
+                    "read plane drift in {label}"
+                );
+                assert_eq!(report.read_bytes, report.logical_bytes, "{label}");
+            }
+        }
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod marshal;
 pub mod mesh;
 
 pub use cli::{parse_args, usage};
-pub use config::{FileMode, Interface, MacsioConfig};
+pub use config::{FileMode, Interface, MacsioConfig, RunMode};
 pub use dump::{run, run_with_backend, MacsioReport};
 pub use marshal::{marshal_part, marshal_root};
 pub use mesh::MeshPart;

@@ -1,36 +1,46 @@
 //! Property test: any valid MACSio configuration survives the
 //! `command_line()` -> `parse_args()` round trip.
 
-use macsio::{parse_args, FileMode, Interface, MacsioConfig};
+use macsio::{parse_args, FileMode, Interface, MacsioConfig, RunMode};
 use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = MacsioConfig> {
     (
-        prop_oneof![Just(Interface::Miftmpl), Just(Interface::Json)],
-        1usize..64, // nprocs
-        prop_oneof![(1usize..64).prop_map(FileMode::Mif), Just(FileMode::Sif)],
-        1u32..50,         // num_dumps
-        1u64..10_000_000, // part_size
-        1u32..4,          // avg parts (whole, to survive text round trip)
-        1usize..5,        // vars
-        0u64..10_000,     // meta
-        0.99f64..1.05,    // growth (printed in full precision)
+        (
+            prop_oneof![Just(Interface::Miftmpl), Just(Interface::Json)],
+            1usize..64, // nprocs
+            prop_oneof![(1usize..64).prop_map(FileMode::Mif), Just(FileMode::Sif)],
+            1u32..50,         // num_dumps
+            1u64..10_000_000, // part_size
+            1u32..4,          // avg parts (whole, to survive text round trip)
+            1usize..5,        // vars
+            0u64..10_000,     // meta
+            0.99f64..1.05,    // growth (printed in full precision)
+        ),
+        prop_oneof![
+            Just(RunMode::Write),
+            Just(RunMode::Restart),
+            Just(RunMode::WriteRead)
+        ],
     )
         .prop_map(
-            |(interface, nprocs, mode, dumps, part, avg, vars, meta, growth)| MacsioConfig {
-                interface,
-                parallel_file_mode: mode,
-                num_dumps: dumps,
-                part_size: part,
-                avg_num_parts: avg as f64,
-                vars_per_part: vars,
-                compute_time: 0.25,
-                meta_size: meta,
-                dataset_growth: growth,
-                nprocs,
-                seed: MacsioConfig::default().seed,
-                io_backend: MacsioConfig::default().io_backend,
-                compression: MacsioConfig::default().compression,
+            |((interface, nprocs, mode, dumps, part, avg, vars, meta, growth), run_mode)| {
+                MacsioConfig {
+                    interface,
+                    parallel_file_mode: mode,
+                    num_dumps: dumps,
+                    part_size: part,
+                    avg_num_parts: avg as f64,
+                    vars_per_part: vars,
+                    compute_time: 0.25,
+                    meta_size: meta,
+                    dataset_growth: growth,
+                    nprocs,
+                    seed: MacsioConfig::default().seed,
+                    io_backend: MacsioConfig::default().io_backend,
+                    compression: MacsioConfig::default().compression,
+                    mode: run_mode,
+                }
             },
         )
 }
@@ -55,6 +65,7 @@ proptest! {
         prop_assert_eq!(parsed.nprocs, cfg.nprocs);
         prop_assert!((parsed.avg_num_parts - cfg.avg_num_parts).abs() < 1e-12);
         prop_assert!((parsed.dataset_growth - cfg.dataset_growth).abs() < 1e-12);
+        prop_assert_eq!(parsed.mode, cfg.mode);
         // MIF counts are clamped to nprocs when printed.
         match (parsed.parallel_file_mode, cfg.parallel_file_mode) {
             (FileMode::Sif, FileMode::Sif) => {}

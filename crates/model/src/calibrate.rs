@@ -171,6 +171,7 @@ mod tests {
             seed: 1,
             io_backend: Default::default(),
             compression: Default::default(),
+            mode: Default::default(),
         }
     }
 

@@ -30,7 +30,8 @@ pub use metrics::{final_rel_err, mape, rmse};
 pub use partsize::{fit_f, part_size, Case4Constant, PAPER_F_RANGE};
 pub use predict::{GrowthPredictor, Observation};
 pub use regression::{
-    fit_bytes_with_ratio, linear_fit, multi_linear_fit, powerlaw_fit, LinearFit, MultiFit,
+    fit_bytes_with_ratio, fit_read_time, linear_fit, multi_linear_fit, powerlaw_fit, LinearFit,
+    MultiFit,
 };
 pub use samples::{Sample, XySeries};
 pub use translate::{default_growth_guess, translate, AmrInputs, TranslationModel};

@@ -162,6 +162,32 @@ pub fn fit_bytes_with_ratio(xs: &[f64], ratios: &[f64], ys: &[f64]) -> LinearFit
     linear_fit(&scaled, ys)
 }
 
+/// Fits restart-read wall-clock against physical read volume:
+/// `read_wall = a + b * physical_read_bytes` — the read plane's second
+/// regression target next to the Eq. (1) write-bytes family. `1 / b` is
+/// the effective restart bandwidth the proxy achieved, `a` the per-phase
+/// fixed cost (index fetches, file opens). Samples come from restart
+/// sweeps (`RunSummary::{physical_read_bytes, read_wall}`); non-finite
+/// samples (idealized zero-latency models) are skipped rather than
+/// ingested as fake zeros.
+///
+/// # Panics
+/// Panics when fewer than 2 finite samples remain or all x are identical.
+pub fn fit_read_time(physical_read_bytes: &[f64], read_walls: &[f64]) -> LinearFit {
+    assert_eq!(
+        physical_read_bytes.len(),
+        read_walls.len(),
+        "fit_read_time: length mismatch"
+    );
+    let (xs, ys): (Vec<f64>, Vec<f64>) = physical_read_bytes
+        .iter()
+        .zip(read_walls)
+        .filter(|(&x, &y)| x.is_finite() && y.is_finite())
+        .map(|(&x, &y)| (x, y))
+        .unzip();
+    linear_fit(&xs, &ys)
+}
+
 /// Fits a power law `y = c * x^p` by regressing in log-log space.
 /// Requires strictly positive data.
 pub fn powerlaw_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
@@ -271,6 +297,27 @@ mod tests {
         assert!((fit.slope - 400.0).abs() < 1e-6, "{fit:?}");
         assert!(fit.intercept.abs() < 1e-6);
         assert!((fit.r2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn read_time_fit_recovers_bandwidth_and_open_cost() {
+        // read_wall = 0.02 + bytes / 5e7, with two non-finite samples
+        // (ideal-model artifacts) that must be skipped.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for mb in [1u64, 4, 16, 64, 256] {
+            let bytes = (mb * 1_000_000) as f64;
+            xs.push(bytes);
+            ys.push(0.02 + bytes / 5e7);
+        }
+        xs.push(f64::INFINITY);
+        ys.push(1.0);
+        xs.push(1.0e6);
+        ys.push(f64::NAN);
+        let fit = fit_read_time(&xs, &ys);
+        assert!((1.0 / fit.slope - 5e7).abs() / 5e7 < 1e-9, "{fit:?}");
+        assert!((fit.intercept - 0.02).abs() < 1e-9);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -91,6 +91,7 @@ pub fn translate(inputs: &AmrInputs, model: &TranslationModel) -> MacsioConfig {
         seed: 0x4D_41_43,
         io_backend: Default::default(),
         compression: Default::default(),
+        mode: Default::default(),
     }
 }
 

@@ -19,6 +19,7 @@
 
 pub mod checkpoint;
 pub mod format;
+pub mod reader;
 pub mod sizer;
 pub mod writer;
 
@@ -29,6 +30,7 @@ pub use format::{
     castro_sedov_plot_vars, cell_h, fab_header, format_box, job_info, plotfile_header, FabOnDisk,
     HeaderLevel,
 };
+pub use reader::{read_plotfile_with, PlotfileReadStats};
 pub use sizer::{account_plotfile, account_plotfile_with, LayoutLevel, PlotfileLayout};
 pub use writer::{
     expected_payload_bytes, write_plotfile, write_plotfile_compressed, write_plotfile_with,

@@ -1,0 +1,148 @@
+//! Restart reading of plotfile dumps through the backend read plane.
+//!
+//! AMReX restarts by re-reading a dump's `Header` and per-level `Cell_D`
+//! files; the read-side layout (which physical files a restart touches,
+//! in what sizes) is exactly what the io-engine backends encode. This
+//! module is the thin plotfile-shaped wrapper over
+//! [`IoBackend::read_step`]: it reads one dump back and reports the same
+//! stats shape the writer side uses, so campaign loops can time the
+//! restart burst with `iosim::StorageModel::simulate_read_burst`.
+
+use io_engine::{IoBackend, StepRead};
+use iosim::ReadRequest;
+use std::io;
+
+/// Per-dump read outcome: the read-side mirror of
+/// [`crate::writer::PlotfileStats`].
+#[derive(Clone, Debug, Default)]
+pub struct PlotfileReadStats {
+    /// Physical bytes fetched from storage (encoded chunks, aggregation
+    /// index tables, compression sidecars).
+    pub total_bytes: u64,
+    /// Logical bytes delivered to the restart (the tracker's read-plane
+    /// view; codec-invariant).
+    pub logical_bytes: u64,
+    /// Modeled codec CPU seconds spent decoding.
+    pub codec_seconds: f64,
+    /// Physical files opened.
+    pub nfiles: u64,
+    /// The read requests issued, suitable for
+    /// [`iosim::StorageModel::simulate_read_burst`].
+    pub requests: Vec<ReadRequest>,
+}
+
+impl PlotfileReadStats {
+    /// Builds from a backend's step read.
+    pub fn from_read(read: &StepRead) -> Self {
+        Self {
+            total_bytes: read.stats.bytes,
+            logical_bytes: read.stats.logical_bytes,
+            codec_seconds: read.stats.codec_seconds,
+            nfiles: read.stats.files,
+            requests: read.stats.requests.clone(),
+        }
+    }
+}
+
+/// Restart-reads one plotfile dump back through an [`IoBackend`]:
+/// `dir` and `output_counter` are the values the dump was written with
+/// ([`crate::PlotfileSpec::dir`] / `output_counter`). Returns the logical
+/// chunks (for round-trip verification) plus the read stats.
+pub fn read_plotfile_with(
+    backend: &mut dyn IoBackend,
+    dir: &str,
+    output_counter: u32,
+) -> io::Result<(StepRead, PlotfileReadStats)> {
+    let read = backend.read_step(output_counter, dir)?;
+    let stats = PlotfileReadStats::from_read(&read);
+    Ok((read, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::{write_plotfile_with, PlotfileSpec};
+    use crate::{castro_sedov_plot_vars, PlotLevel};
+    use amr_mesh::prelude::*;
+    use io_engine::{FilePerProcess, Payload};
+    use iosim::{IoTracker, MemFs, Vfs};
+
+    fn level_mf(n: i64, nranks: usize, ncomp: usize) -> MultiFab {
+        let ba = BoxArray::single(IndexBox::at_origin(IntVect::splat(n))).max_size(n / 2);
+        let dm = DistributionMapping::new(&ba, nranks, DistributionStrategy::Sfc);
+        let mut mf = MultiFab::new(ba, dm, ncomp, 0);
+        for c in 0..ncomp {
+            mf.set_val(c, c as f64 + 0.5);
+        }
+        mf
+    }
+
+    #[test]
+    fn plotfile_restart_read_round_trips() {
+        let mf = level_mf(16, 2, 4);
+        let spec = PlotfileSpec {
+            dir: "/plt00000".to_string(),
+            output_counter: 1,
+            time: 0.0,
+            var_names: castro_sedov_plot_vars(),
+            ref_ratio: 2,
+            levels: vec![PlotLevel {
+                geom: Geometry::unit_square(IntVect::splat(16)),
+                mf: &mf,
+                level_steps: 0,
+            }],
+            inputs: vec![("amr.n_cell".into(), "16 16".into())],
+        };
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let mut backend = FilePerProcess::new(&fs as &dyn Vfs, &tracker);
+        let written = write_plotfile_with(&mut backend, &spec).unwrap();
+
+        let (read, stats) = read_plotfile_with(&mut backend, "/plt00000", 1).unwrap();
+        assert_eq!(stats.total_bytes, written.total_bytes);
+        assert_eq!(stats.logical_bytes, written.logical_bytes);
+        assert_eq!(stats.nfiles, written.nfiles);
+        assert_eq!(stats.requests.len(), written.requests.len());
+        // Every written file round-trips byte-exactly (identity path).
+        for path in read.paths() {
+            let logical = read.logical_content(&path).expect("materialized");
+            assert_eq!(Some(logical), fs.read_file(&path), "{path}");
+        }
+        // The Header metadata is among the chunks.
+        assert!(read.paths().iter().any(|p| p.ends_with("/Header")));
+        assert_eq!(tracker.total_read_bytes(), written.logical_bytes);
+    }
+
+    #[test]
+    fn account_only_layout_reads_are_modeled() {
+        use crate::sizer::{account_plotfile_with, LayoutLevel, PlotfileLayout};
+        let ba = BoxArray::single(IndexBox::at_origin(IntVect::splat(16))).max_size(8);
+        let dm = DistributionMapping::new(&ba, 2, DistributionStrategy::Sfc);
+        let layout = PlotfileLayout {
+            dir: "/plt00002".to_string(),
+            output_counter: 2,
+            time: 0.0,
+            var_names: castro_sedov_plot_vars(),
+            ref_ratio: 2,
+            levels: vec![LayoutLevel {
+                geom: Geometry::unit_square(IntVect::splat(16)),
+                ba,
+                dm,
+                level_steps: 0,
+            }],
+            inputs: Vec::new(),
+        };
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let mut backend = FilePerProcess::new(&fs as &dyn Vfs, &tracker);
+        let written = account_plotfile_with(&mut backend, &layout);
+        let (read, stats) = read_plotfile_with(&mut backend, "/plt00002", 2).unwrap();
+        assert_eq!(stats.total_bytes, written.total_bytes);
+        // Size-only writes come back as modeled size-only reads.
+        assert!(read
+            .chunks
+            .iter()
+            .any(|c| matches!(c.payload, Payload::Size(_))));
+        assert_eq!(tracker.total_read_bytes(), written.logical_bytes);
+    }
+}

@@ -25,6 +25,7 @@ fn main() {
         seed: 42,
         io_backend: Default::default(),
         compression: Default::default(),
+        mode: Default::default(),
     };
     println!("# {}", cfg.command_line());
 

@@ -1,13 +1,15 @@
 //! Property tests for the compression stage's byte-accounting contract:
 //! logical `(step, level, task)` tracker totals are invariant across the
-//! full backend × codec matrix, and physical payload bytes never exceed
+//! full backend × codec matrix, physical payload bytes never exceed
 //! logical bytes — with equality exactly on the identity codec for the
-//! modeled (account-only) path.
+//! modeled (account-only) path — and the read plane round-trips:
+//! `read_step(write(x)) == x` per logical path for every backend × codec
+//! combination.
 
 use amr_proxy_io::amrproxy::{run_simulation, CastroSedovConfig, Engine};
-use amr_proxy_io::io_engine::{BackendSpec, Codec, CodecContext, CodecSpec, Rle};
-use amr_proxy_io::iosim::{IoKind, IoTracker, MemFs, Vfs};
-use amr_proxy_io::macsio::{self, FileMode, MacsioConfig};
+use amr_proxy_io::io_engine::{BackendSpec, Codec, CodecContext, CodecSpec, Payload, Put, Rle};
+use amr_proxy_io::iosim::{IoKey, IoKind, IoTracker, MemFs, Vfs};
+use amr_proxy_io::macsio::{self, FileMode, MacsioConfig, RunMode};
 use proptest::prelude::*;
 
 proptest! {
@@ -99,6 +101,150 @@ proptest! {
                 // (3) The filesystem agrees with the report.
                 prop_assert_eq!(report.total_bytes, fs.total_bytes());
             }
+        }
+    }
+}
+
+/// `nvals` f64 values on the 8-bit quantization lattice: integers in
+/// [0, 255] with 0 and 255 anchored per 256-value block, so `quant:8`
+/// stores them exactly (scale = 1.0, q = v) and even the lossy codec
+/// round-trips bit-exactly.
+fn lattice_field(nvals: usize, salt: u32) -> Vec<u8> {
+    let mut vals: Vec<f64> = (0..nvals)
+        .map(|i| ((i as u32).wrapping_mul(37).wrapping_add(salt * 13) % 256) as f64)
+        .collect();
+    for block in vals.chunks_mut(256) {
+        block[0] = 0.0;
+        let last = block.len() - 1;
+        block[last] = 255.0;
+    }
+    vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The read plane: for every backend × codec combination, reading a
+    /// written step back returns byte-identical logical payloads —
+    /// `read_step(write(x)) == x` per logical path. Fields are lattice-
+    /// valued f64s so the property is byte-exact even for the lossy
+    /// quantizer; shared paths (MIF-style groups) exercise chunk
+    /// reassembly order.
+    #[test]
+    fn read_back_round_trips_across_backend_codec_matrix(
+        ntasks in 1u32..7,
+        nvals in 1usize..700,
+        group in 1u32..4,
+        agg_ratio in 1usize..5,
+        steps in 1u32..3,
+    ) {
+        let backends = [
+            BackendSpec::FilePerProcess,
+            BackendSpec::Aggregated(agg_ratio),
+            BackendSpec::Deferred(1),
+        ];
+        let codecs = [
+            CodecSpec::Identity,
+            CodecSpec::Rle(2.0),
+            CodecSpec::LossyQuant(8),
+        ];
+        for backend in backends {
+            for codec in codecs {
+                let fs = MemFs::new();
+                let tracker = IoTracker::new();
+                let mut stack = backend.build_with_codec(codec, &fs as &dyn Vfs, &tracker);
+                let label = format!("{}/{}", backend.name(), codec.name());
+                for step in 1..=steps {
+                    // Logical reference: path -> concatenated logical bytes.
+                    let mut expected: Vec<(String, Vec<u8>)> = Vec::new();
+                    stack.begin_step(step, "/plt");
+                    for task in 0..ntasks {
+                        // Tasks share group files MIF-style.
+                        let path = format!("/plt/s{step}/g{:03}", task / group);
+                        let data = lattice_field(nvals, task + step);
+                        match expected.iter_mut().find(|(p, _)| *p == path) {
+                            Some((_, acc)) => acc.extend_from_slice(&data),
+                            None => expected.push((path.clone(), data.clone())),
+                        }
+                        stack.put(Put {
+                            key: IoKey { step, level: task % 3, task },
+                            kind: IoKind::Data,
+                            path,
+                            payload: Payload::Bytes(data),
+                        }).expect("put");
+                    }
+                    stack.put(Put {
+                        key: IoKey { step, level: 0, task: 0 },
+                        kind: IoKind::Metadata,
+                        path: format!("/plt/s{step}/hdr"),
+                        payload: Payload::Bytes(vec![b'h'; 100]),
+                    }).expect("meta put");
+                    stack.end_step().expect("end_step");
+
+                    let read = stack.read_step(step, "/plt").expect("read_step");
+                    for (path, data) in &expected {
+                        let back = read.logical_content(path);
+                        prop_assert_eq!(
+                            back.as_ref(),
+                            Some(data),
+                            "restart bytes differ for {} in {}", path, label
+                        );
+                    }
+                    prop_assert_eq!(
+                        read.logical_content(&format!("/plt/s{step}/hdr")),
+                        Some(vec![b'h'; 100]),
+                        "metadata round trip in {}", label
+                    );
+                    // The read plane records logical bytes, codec- and
+                    // backend-invariantly.
+                    let logical: u64 =
+                        expected.iter().map(|(_, d)| d.len() as u64).sum::<u64>() + 100;
+                    prop_assert_eq!(read.stats.logical_bytes, logical, "{}", label);
+                }
+                prop_assert_eq!(
+                    tracker.total_read_bytes(),
+                    tracker.total_bytes(),
+                    "full read-back equals full write in {}", label
+                );
+                stack.close().expect("close");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// MACSio wr-mode: the read phase's logical totals equal the write
+    /// totals for every backend (lossless codec), and the report's read
+    /// accounting is consistent.
+    #[test]
+    fn macsio_write_read_mode_round_trips(
+        nprocs in 1usize..5,
+        dumps in 1u32..3,
+        part_size in 1_000u64..20_000,
+        agg_ratio in 1usize..4,
+    ) {
+        for backend in [
+            BackendSpec::FilePerProcess,
+            BackendSpec::Aggregated(agg_ratio),
+            BackendSpec::Deferred(1),
+        ] {
+            let cfg = MacsioConfig {
+                nprocs,
+                num_dumps: dumps,
+                part_size,
+                io_backend: backend,
+                compression: CodecSpec::Rle(2.0),
+                mode: RunMode::WriteRead,
+                ..Default::default()
+            };
+            let fs = MemFs::new();
+            let tracker = IoTracker::new();
+            let report = macsio::run(&cfg, &fs, &tracker, None).expect("macsio run");
+            prop_assert_eq!(tracker.total_read_bytes(), tracker.total_bytes());
+            prop_assert_eq!(report.read_bytes, report.logical_bytes);
+            prop_assert!(report.physical_read_bytes <= report.total_bytes + report.read_bytes);
         }
     }
 }
