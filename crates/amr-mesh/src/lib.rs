@@ -10,6 +10,11 @@
 //! distribution mapping produce byte-identical results, which the I/O model
 //! layers above rely on.
 //!
+//! **Layer position:** the mesh substrate — `hydro` evolves fields on
+//! it, `plotfile` serializes it; it depends on no other workspace crate.
+//! Key types: [`IndexBox`], [`BoxArray`], [`DistributionMapping`],
+//! [`MultiFab`], [`GridParams`].
+//!
 //! # Quick tour
 //!
 //! ```

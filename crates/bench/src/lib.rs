@@ -3,6 +3,18 @@
 //! Every bench prints a human-readable table to stdout (the series the
 //! paper plots) and writes a JSON artifact under `results/` so
 //! EXPERIMENTS.md can cite exact numbers.
+//!
+//! **Layer position:** top of the workspace, next to `core` — the
+//! benches under `benches/` drive every lower layer to regenerate the
+//! paper's figures/tables; this library is only their shared output
+//! plumbing. Key items: [`banner`], [`print_series`], [`write_artifact`],
+//! [`results_dir`].
+//!
+//! ```
+//! // The stdout shape every figure bench uses.
+//! bench::banner("fig99", "demo", "doc-example banner");
+//! bench::print_series("cumulative bytes", &[(1.0, 10.0), (2.0, 30.0)]);
+//! ```
 
 use serde::Serialize;
 use std::path::PathBuf;

@@ -9,7 +9,7 @@ use crate::config::{CastroSedovConfig, Engine};
 use crate::run::{run_simulation, RunResult};
 use amr_mesh::GridParams;
 use hydro::TimestepControl;
-use io_engine::{BackendSpec, CodecSpec};
+use io_engine::{BackendSpec, CodecSpec, ReadSelection};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -69,6 +69,25 @@ pub struct RunSummary {
     pub physical_read_bytes: u64,
     /// Simulated seconds of the restart-read phase (inside `wall_time`).
     pub read_wall: f64,
+    /// Selective analysis-read pattern of the run (`none` without one;
+    /// otherwise the `ReadSelection` spelling: `level:1`, `field:...`,
+    /// `box:...`, `full`).
+    pub read_pattern: String,
+    /// True when the analysis read was served from the reorganized
+    /// (read-optimized) layout instead of the raw written one.
+    pub reorganized: bool,
+    /// Logical bytes the selective analysis read delivered (layout- and
+    /// codec-invariant: the matched chunks' logical volume).
+    pub selective_read_bytes: u64,
+    /// Physical bytes the selective analysis read fetched — the column
+    /// the raw-vs-reorganized comparison prices.
+    pub selective_physical_read_bytes: u64,
+    /// Simulated seconds of the selective analysis read (inside
+    /// `wall_time`; excludes the reorganization pass).
+    pub selective_read_wall: f64,
+    /// Simulated seconds of the reorganization pass itself (0 for raw
+    /// runs) — what selective-read savings must amortize.
+    pub reorg_wall: f64,
 }
 
 impl RunSummary {
@@ -97,6 +116,18 @@ impl RunSummary {
             read_bytes: r.read_bytes,
             physical_read_bytes: r.physical_read_bytes,
             read_wall: r.read_wall,
+            read_pattern: r
+                .config
+                .analysis_read
+                .as_ref()
+                .map_or_else(|| "none".to_string(), |s| s.name()),
+            // Reorganization only runs as part of an analysis read; a
+            // config with the flag set but no pattern rewrote nothing.
+            reorganized: r.config.reorganize && r.config.analysis_read.is_some(),
+            selective_read_bytes: r.selective_read_bytes,
+            selective_physical_read_bytes: r.selective_physical_read_bytes,
+            selective_read_wall: r.selective_read_wall,
+            reorg_wall: r.reorg_wall,
         }
     }
 
@@ -288,6 +319,62 @@ pub fn restart_sweep(
             read_after_write: true,
             ..cfg
         });
+    }
+    out
+}
+
+/// Expands a set of configurations across the backend × codec ×
+/// {raw, reorganized} × read-pattern cube: every [`backend_codec_sweep`]
+/// scenario appears once per read pattern on the raw written layout
+/// (suffix `_raw`) and once served from the reorganized layout (suffix
+/// `_reorg`). This is the analysis-read generalization of the sweep
+/// family — it makes "how much does online layout reorganization buy
+/// each read pattern" (Wan et al.) a priced campaign question: the
+/// summaries carry selective-read physical bytes and wall for both
+/// layouts, plus the reorganization cost the savings must amortize.
+pub fn analysis_sweep(
+    configs: &[CastroSedovConfig],
+    backends: &[BackendSpec],
+    codecs: &[CodecSpec],
+    patterns: &[ReadSelection],
+) -> Vec<CastroSedovConfig> {
+    // Pattern spellings flatten to name-safe tokens (`level:1` ->
+    // `level1`, `box:0-1,2-5` -> `box0to1_2to5`). The flattening is
+    // lossy (distinct field substrings can collapse), so colliding tags
+    // are disambiguated with their pattern index to keep scenario names
+    // unique.
+    let mut tags: Vec<String> = patterns
+        .iter()
+        .map(|p| {
+            p.name()
+                .replace(':', "")
+                .replace('-', "to")
+                .replace([',', '/', '.'], "_")
+        })
+        .collect();
+    let flat = tags.clone();
+    for i in 0..tags.len() {
+        if flat.iter().filter(|t| **t == flat[i]).count() > 1 {
+            tags[i] = format!("{}_p{i}", flat[i]);
+        }
+    }
+    let mut out = Vec::new();
+    for cfg in backend_codec_sweep(configs, backends, codecs) {
+        for (pattern, tag) in patterns.iter().zip(&tags) {
+            for reorganize in [false, true] {
+                out.push(CastroSedovConfig {
+                    name: format!(
+                        "{}_{}_{}",
+                        cfg.name,
+                        tag,
+                        if reorganize { "reorg" } else { "raw" }
+                    ),
+                    analysis_read: Some(pattern.clone()),
+                    reorganize,
+                    ..cfg.clone()
+                });
+            }
+        }
     }
     out
 }
@@ -615,6 +702,128 @@ mod tests {
                 "{b}: restart adds decode CPU to codec_seconds"
             );
         }
+    }
+
+    #[test]
+    fn analysis_sweep_crosses_patterns_and_layouts() {
+        let base = vec![CastroSedovConfig {
+            name: "m".into(),
+            ..Default::default()
+        }];
+        let backends = [BackendSpec::FilePerProcess, BackendSpec::Aggregated(4)];
+        let codecs = [CodecSpec::Identity, CodecSpec::LossyQuant(8)];
+        let patterns = [
+            ReadSelection::Level(1),
+            ReadSelection::parse("box:0-1,0-3").unwrap(),
+        ];
+        let matrix = analysis_sweep(&base, &backends, &codecs, &patterns);
+        assert_eq!(matrix.len(), 2 * 2 * 2 * 2, "b x c x pattern x layout");
+        let mut names: Vec<String> = matrix.iter().map(|c| c.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), matrix.len(), "scenario names stay unique");
+        assert!(matrix
+            .iter()
+            .any(|c| c.name == "m_agg4_quant8_level1_reorg" && c.reorganize));
+        assert!(matrix
+            .iter()
+            .any(|c| c.name == "m_fpp_identity_box0to1_0to3_raw"));
+        assert!(matrix
+            .iter()
+            .all(|c| c.analysis_read.is_some() && !c.read_after_write));
+
+        // Lossy tag flattening must not collapse distinct patterns into
+        // one scenario name: colliding tags are index-disambiguated.
+        let colliding = analysis_sweep(
+            &base,
+            &[BackendSpec::FilePerProcess],
+            &[CodecSpec::Identity],
+            &[
+                ReadSelection::Field("a,b".into()),
+                ReadSelection::Field("a.b".into()),
+            ],
+        );
+        let mut names: Vec<String> = colliding.iter().map(|c| c.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), colliding.len(), "{names:?}");
+    }
+
+    #[test]
+    fn reorganized_column_requires_an_analysis_read() {
+        // A config with the reorganize flag but no analysis pattern
+        // rewrites nothing; the summary must not claim it did.
+        let cfg = CastroSedovConfig {
+            name: "noop".into(),
+            engine: Engine::Oracle,
+            n_cell: 64,
+            max_step: 4,
+            plot_int: 2,
+            nprocs: 2,
+            account_only: true,
+            reorganize: true,
+            ..Default::default()
+        };
+        let s = &run_campaign(&[cfg])[0];
+        assert!(!s.reorganized);
+        assert_eq!(s.read_pattern, "none");
+        assert_eq!(s.reorg_wall, 0.0);
+    }
+
+    #[test]
+    fn analysis_axis_prices_reorganization_against_selective_reads() {
+        // The acceptance slice at campaign level: on the aggregated
+        // backend, a by-level analysis read of the reorganized layout
+        // fetches strictly fewer physical bytes and strictly less wall
+        // than the same selection on the raw layout — and the logical
+        // volume delivered is layout-invariant.
+        let base = CastroSedovConfig {
+            name: "ana".into(),
+            engine: Engine::Oracle,
+            n_cell: 64,
+            max_step: 6,
+            plot_int: 2,
+            nprocs: 4,
+            account_only: true,
+            compute_ns_per_cell: 40_000.0,
+            ..Default::default()
+        };
+        let matrix = analysis_sweep(
+            &[base],
+            &[BackendSpec::Aggregated(2)],
+            &[CodecSpec::Identity],
+            &[ReadSelection::Level(1)],
+        );
+        // Bandwidth-bound storage (one server class): wall tracks bytes
+        // moved + files opened. On wide stripes the raw layout's scatter
+        // can buy parallelism back — the reorg module docs call out that
+        // trade; here we pin the volume/open-count win.
+        let storage = iosim::StorageModel {
+            open_latency: 1e-3,
+            ..iosim::StorageModel::ideal(1, 5e7)
+        };
+        let summaries = run_campaign_timed(&matrix, &storage);
+        assert_eq!(summaries.len(), 2);
+        let raw = summaries.iter().find(|s| !s.reorganized).unwrap();
+        let opt = summaries.iter().find(|s| s.reorganized).unwrap();
+        assert_eq!(raw.read_pattern, "level:1");
+        assert!(raw.selective_read_bytes > 0);
+        assert_eq!(raw.selective_read_bytes, opt.selective_read_bytes);
+        assert!(
+            opt.selective_physical_read_bytes < raw.selective_physical_read_bytes,
+            "reorg {} must fetch less than raw {}",
+            opt.selective_physical_read_bytes,
+            raw.selective_physical_read_bytes
+        );
+        assert!(
+            opt.selective_read_wall < raw.selective_read_wall,
+            "reorg {} s must beat raw {} s",
+            opt.selective_read_wall,
+            raw.selective_read_wall
+        );
+        // The rewrite itself is priced, not free.
+        assert!(opt.reorg_wall > 0.0);
+        assert_eq!(raw.reorg_wall, 0.0);
     }
 
     #[test]

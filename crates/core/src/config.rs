@@ -2,7 +2,7 @@
 
 use amr_mesh::{DistributionStrategy, GridParams};
 use hydro::{SedovProblem, TagCriteria, TimestepControl};
-use io_engine::{BackendSpec, CodecSpec};
+use io_engine::{BackendSpec, CodecSpec, ReadSelection};
 use serde::{Deserialize, Serialize};
 
 /// Which engine generates the grid hierarchy.
@@ -70,6 +70,18 @@ pub struct CastroSedovConfig {
     /// read-after-write axis); `RunResult`/`RunSummary` then carry read
     /// bytes and read wall-clock.
     pub read_after_write: bool,
+    /// When set, the run performs a *selective* analysis read of its
+    /// last plot dump after the simulation (and any restart phase):
+    /// one level, one field, or a spatial key box — the campaign's
+    /// analysis-read axis. `RunResult`/`RunSummary` then carry
+    /// selective-read bytes and wall-clock.
+    pub analysis_read: Option<ReadSelection>,
+    /// When true (and `analysis_read` is set), the last dump is first
+    /// rewritten from its write-optimized layout into a read-optimized
+    /// one (`io_engine::Reorganizer`) and the analysis read is served
+    /// from the reorganized layout; the rewrite's read+write bursts are
+    /// charged to the simulated clock like any other I/O.
+    pub reorganize: bool,
 }
 
 impl Default for CastroSedovConfig {
@@ -104,6 +116,8 @@ impl Default for CastroSedovConfig {
             backend: BackendSpec::default(),
             codec: CodecSpec::default(),
             read_after_write: false,
+            analysis_read: None,
+            reorganize: false,
         }
     }
 }

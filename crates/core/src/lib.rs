@@ -1,6 +1,13 @@
 //! Orchestration of the paper's study: parameterized Castro-Sedov runs,
 //! the Table III campaign, and the AMR-vs-MACSio comparison pipeline.
 //!
+//! **Layer position:** the top of the workspace (package name
+//! `amrproxy`): it drives `hydro` workloads through `plotfile` and the
+//! `io-engine` stack, times them against `iosim`, and feeds `model`.
+//! Key types: [`CastroSedovConfig`], [`RunResult`], [`RunSummary`], and
+//! the sweep family ([`backend_sweep`] → [`backend_codec_sweep`] →
+//! [`restart_sweep`] → [`analysis_sweep`]).
+//!
 //! ```
 //! use amrproxy::{run_simulation, CastroSedovConfig, Engine};
 //!
@@ -22,8 +29,8 @@ pub mod config;
 pub mod run;
 
 pub use campaign::{
-    backend_codec_sweep, backend_sweep, restart_sweep, run_campaign, run_campaign_timed,
-    table3_campaign, RunSummary,
+    analysis_sweep, backend_codec_sweep, backend_sweep, restart_sweep, run_campaign,
+    run_campaign_timed, table3_campaign, RunSummary,
 };
 pub use cases::{big8192, case27, case4, case4_hydro_scaled};
 pub use compare::{compare_with_macsio, Comparison};

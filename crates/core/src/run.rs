@@ -7,7 +7,7 @@
 
 use crate::config::{CastroSedovConfig, Engine};
 use hydro::{AmrConfig, AmrSim, OracleConfig, OracleSim, StepInfo};
-use io_engine::IoBackend;
+use io_engine::{IoBackend, Reorganizer};
 use iosim::{BurstScheduler, BurstTimeline, IoTracker, MemFs, StorageModel, Vfs};
 use mpi_sim::{collectives::allreduce_max, SimComm};
 use plotfile::{
@@ -50,6 +50,25 @@ pub struct RunResult {
     pub read_files: u64,
     /// Simulated seconds of the restart-read phase (inside `wall_time`).
     pub read_wall: f64,
+    /// Logical bytes delivered by the selective analysis read (0 unless
+    /// `analysis_read` is set; exactly the matched chunks' logical
+    /// volume, layout- and codec-invariant).
+    pub selective_read_bytes: u64,
+    /// Physical bytes the selective analysis read fetched from storage
+    /// (what the layout — raw vs reorganized — changes).
+    pub selective_physical_read_bytes: u64,
+    /// Physical files the selective analysis read opened.
+    pub selective_read_files: u64,
+    /// Simulated seconds of the selective analysis read (inside
+    /// `wall_time`; excludes the reorganization pass).
+    pub selective_read_wall: f64,
+    /// Simulated seconds spent reorganizing the last dump into the
+    /// read-optimized layout (0 unless `reorganize`; inside
+    /// `wall_time`). The price a campaign weighs against the per-read
+    /// savings.
+    pub reorg_wall: f64,
+    /// Physical bytes the reorganization moved (source fetch + rewrite).
+    pub reorg_bytes: u64,
     /// Burst timeline (empty without a storage model).
     pub timeline: BurstTimeline,
     /// Final simulated wall-clock seconds (compute + I/O).
@@ -187,6 +206,104 @@ fn restart_read(
         read_wall: *clock - read_start,
         codec_seconds: read.stats.codec_seconds,
     }
+}
+
+/// Totals of the selective analysis phase appended to a run.
+#[derive(Clone, Copy, Debug, Default)]
+struct AnalysisPhase {
+    selective_read_bytes: u64,
+    selective_physical_read_bytes: u64,
+    selective_read_files: u64,
+    selective_read_wall: f64,
+    reorg_wall: f64,
+    reorg_bytes: u64,
+    codec_seconds: f64,
+}
+
+/// Performs the selective analysis read of the last plot dump: with
+/// `cfg.reorganize`, the dump is first rewritten into the read-optimized
+/// layout (source fetch + rewrite both priced as bursts on the simulated
+/// clock), then the selection is served from whichever layout applies.
+/// Advances `clock` past the whole phase.
+// One argument per simulation plane the phase touches, mirroring
+// `restart_read` plus the rewrite's filesystem/tracker dependencies.
+#[allow(clippy::too_many_arguments)]
+fn analysis_read(
+    cfg: &CastroSedovConfig,
+    backend: &mut dyn IoBackend,
+    fs: &dyn Vfs,
+    tracker: &IoTracker,
+    scheduler: &mut Option<BurstScheduler<'_>>,
+    timeline: &mut BurstTimeline,
+    clock: &mut f64,
+    output_counter: u32,
+    dir: &str,
+) -> AnalysisPhase {
+    let Some(sel) = &cfg.analysis_read else {
+        return AnalysisPhase::default();
+    };
+    let mut phase = AnalysisPhase::default();
+    // Analysis happens after the run's closing flush, like a restart.
+    let start = match &scheduler {
+        Some(sched) => sched.finish(*clock),
+        None => *clock,
+    };
+    *clock = start;
+
+    let read = if cfg.reorganize {
+        let mut reorg = Reorganizer::new(fs, tracker, cfg.codec);
+        let stats = reorg
+            .reorganize(backend, output_counter, dir)
+            .expect("reorganize a written step");
+        // Price the rewrite: the source fetch as a read burst, its
+        // decode CPU, then the clustered rewrite as a write burst with
+        // the re-encode CPU charged up front.
+        let mut read_reqs = stats.read.requests.clone();
+        let mut write_reqs = stats.requests.clone();
+        if let Some(sched) = scheduler.as_mut() {
+            let (burst, next) =
+                sched.submit_read(output_counter, *clock, &mut read_reqs, stats.read.bytes);
+            timeline.push(burst);
+            *clock = next + stats.read.codec_seconds;
+            let (burst, next) = sched.submit_with_compute(
+                output_counter,
+                *clock,
+                stats.codec_seconds,
+                &mut write_reqs,
+                stats.bytes,
+            );
+            timeline.push(burst);
+            *clock = sched.finish(next);
+        } else {
+            *clock += stats.read.codec_seconds + stats.codec_seconds;
+        }
+        phase.reorg_wall = *clock - start;
+        phase.reorg_bytes = stats.read.bytes + stats.bytes;
+        phase.codec_seconds += stats.read.codec_seconds + stats.codec_seconds;
+        reorg
+            .read_selection(output_counter, sel)
+            .expect("selective read of a reorganized step")
+    } else {
+        backend
+            .read_selection(output_counter, dir, sel)
+            .expect("selective read of a written step")
+    };
+
+    let sel_start = *clock;
+    let mut requests = read.stats.requests;
+    if let Some(sched) = scheduler.as_mut() {
+        let (burst, next) =
+            sched.submit_read(output_counter, *clock, &mut requests, read.stats.bytes);
+        timeline.push(burst);
+        *clock = next;
+    }
+    *clock += read.stats.codec_seconds;
+    phase.selective_read_bytes = read.stats.logical_bytes;
+    phase.selective_physical_read_bytes = read.stats.bytes;
+    phase.selective_read_files = read.stats.files;
+    phase.selective_read_wall = *clock - sel_start;
+    phase.codec_seconds += read.stats.codec_seconds;
+    phase
 }
 
 fn run_hydro(cfg: &CastroSedovConfig, fs: &dyn Vfs, storage: Option<&StorageModel>) -> RunResult {
@@ -362,6 +479,18 @@ fn run_hydro(cfg: &CastroSedovConfig, fs: &dyn Vfs, storage: Option<&StorageMode
         ReadPhase::default()
     };
 
+    let analysis = analysis_read(
+        cfg,
+        backend.as_mut(),
+        fs,
+        &tracker,
+        &mut scheduler,
+        &mut timeline,
+        &mut clock,
+        last_plot.0,
+        &last_plot.1,
+    );
+
     let engine_report = backend.close().expect("backend close");
     drop(backend);
     let wall_time = match &scheduler {
@@ -377,11 +506,17 @@ fn run_hydro(cfg: &CastroSedovConfig, fs: &dyn Vfs, storage: Option<&StorageMode
         physical_bytes: engine_report.bytes + checkpoint_bytes,
         logical_bytes: engine_report.logical_bytes + checkpoint_bytes,
         overhead_bytes: engine_report.overhead_bytes,
-        codec_seconds: codec_seconds + read_phase.codec_seconds,
+        codec_seconds: codec_seconds + read_phase.codec_seconds + analysis.codec_seconds,
         read_bytes: read_phase.read_bytes,
         physical_read_bytes: read_phase.physical_read_bytes,
         read_files: read_phase.read_files,
         read_wall: read_phase.read_wall,
+        selective_read_bytes: analysis.selective_read_bytes,
+        selective_physical_read_bytes: analysis.selective_physical_read_bytes,
+        selective_read_files: analysis.selective_read_files,
+        selective_read_wall: analysis.selective_read_wall,
+        reorg_wall: analysis.reorg_wall,
+        reorg_bytes: analysis.reorg_bytes,
         timeline,
         wall_time,
     }
@@ -538,6 +673,18 @@ fn run_oracle(cfg: &CastroSedovConfig, fs: &dyn Vfs, storage: Option<&StorageMod
         ReadPhase::default()
     };
 
+    let analysis = analysis_read(
+        cfg,
+        backend.as_mut(),
+        fs,
+        &tracker,
+        &mut scheduler,
+        &mut timeline,
+        &mut clock,
+        last_plot.0,
+        &last_plot.1,
+    );
+
     let engine_report = backend.close().expect("backend close");
     drop(backend);
     let wall_time = match &scheduler {
@@ -553,11 +700,17 @@ fn run_oracle(cfg: &CastroSedovConfig, fs: &dyn Vfs, storage: Option<&StorageMod
         physical_bytes: engine_report.bytes + checkpoint_bytes,
         logical_bytes: engine_report.logical_bytes + checkpoint_bytes,
         overhead_bytes: engine_report.overhead_bytes,
-        codec_seconds: codec_seconds + read_phase.codec_seconds,
+        codec_seconds: codec_seconds + read_phase.codec_seconds + analysis.codec_seconds,
         read_bytes: read_phase.read_bytes,
         physical_read_bytes: read_phase.physical_read_bytes,
         read_files: read_phase.read_files,
         read_wall: read_phase.read_wall,
+        selective_read_bytes: analysis.selective_read_bytes,
+        selective_physical_read_bytes: analysis.selective_physical_read_bytes,
+        selective_read_files: analysis.selective_read_files,
+        selective_read_wall: analysis.selective_read_wall,
+        reorg_wall: analysis.reorg_wall,
+        reorg_bytes: analysis.reorg_bytes,
         timeline,
         wall_time,
     }
@@ -737,6 +890,48 @@ mod tests {
         let last = *r.tracker.steps().last().unwrap();
         assert_eq!(r.read_bytes, r.tracker.bytes_per_step()[&last]);
         assert_eq!(r.physical_read_bytes, r.read_bytes, "identity codec");
+    }
+
+    #[test]
+    fn analysis_read_fetches_a_level_subset() {
+        use io_engine::ReadSelection;
+        let mut cfg = small(Engine::Oracle);
+        cfg.account_only = true;
+        cfg.analysis_read = Some(ReadSelection::Level(1));
+        let r = run_simulation(&cfg, None, None);
+        // The selection delivers exactly the last dump's level-1 logical
+        // bytes — a strict subset of a full restart read.
+        let last = *r.tracker.steps().last().unwrap();
+        assert!(r.selective_read_bytes > 0);
+        assert!(r.selective_read_bytes < r.tracker.bytes_per_step()[&last]);
+        assert_eq!(
+            r.tracker
+                .read_bytes_per_level()
+                .keys()
+                .copied()
+                .collect::<Vec<_>>(),
+            vec![1],
+            "only level 1 was read"
+        );
+        assert!(r.selective_read_files > 0);
+        assert_eq!(r.reorg_wall, 0.0, "raw layout: no rewrite");
+
+        // Reorganized variant under a storage model: the rewrite costs
+        // wall, the selective read itself fetches fewer physical bytes.
+        // The byte win is an aggregated-layout story (fpp's in-memory
+        // manifest already seeks exactly; the BP index blob does not).
+        cfg.backend = io_engine::BackendSpec::Aggregated(2);
+        let storage = StorageModel::ideal(1, 1e6);
+        let raw = run_simulation(&cfg, None, Some(&storage));
+        cfg.reorganize = true;
+        let opt = run_simulation(&cfg, None, Some(&storage));
+        assert!(opt.reorg_wall > 0.0);
+        assert!(opt.reorg_bytes > 0);
+        assert_eq!(opt.selective_read_bytes, raw.selective_read_bytes);
+        assert!(opt.selective_physical_read_bytes < raw.selective_physical_read_bytes);
+        assert!(opt.selective_read_wall < raw.selective_read_wall);
+        // But the whole run pays for the rewrite.
+        assert!(opt.wall_time > raw.wall_time);
     }
 
     #[test]

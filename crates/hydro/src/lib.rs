@@ -12,6 +12,27 @@
 //!
 //! Both produce the same level/grid/ownership structure consumed by the
 //! `plotfile` writer, so byte accounting is identical in kind.
+//!
+//! **Layer position:** workload generator — above the `amr-mesh`
+//! substrate, below `core`'s campaign orchestration; it never performs
+//! I/O itself, it only evolves the hierarchy the writers serialize. Key
+//! types: [`AmrSim`], [`OracleSim`], [`SedovProblem`],
+//! [`TimestepControl`], [`StepInfo`].
+//!
+//! ```
+//! use hydro::{OracleConfig, OracleSim};
+//!
+//! // A small Sedov oracle: the blast refines the center immediately.
+//! let mut sim = OracleSim::new(OracleConfig {
+//!     n_cell: 32,
+//!     max_level: 2,
+//!     ..Default::default()
+//! });
+//! let info = sim.step();
+//! assert_eq!(info.step, 1);
+//! assert!(sim.levels().len() >= 2, "refined levels exist");
+//! assert!(sim.time() > 0.0);
+//! ```
 
 pub mod amr;
 pub mod eos;

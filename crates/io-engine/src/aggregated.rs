@@ -27,6 +27,7 @@ use crate::backend::{
     ChunkRead, EngineReport, IoBackend, Payload, Put, ReadStats, StepRead, StepStats,
     TrackerHandle, VfsHandle,
 };
+use crate::selection::ReadSelection;
 use iosim::{IoKey, IoKind, ReadRequest, WriteRequest};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
@@ -358,7 +359,12 @@ impl IoBackend for Aggregated<'_> {
         Ok(stats)
     }
 
-    fn read_step(&mut self, step: u32, _container: &str) -> io::Result<StepRead> {
+    fn read_selection(
+        &mut self,
+        step: u32,
+        _container: &str,
+        sel: &ReadSelection,
+    ) -> io::Result<StepRead> {
         assert!(self.cur.is_none(), "read_step: step still open");
         let info = self.retained.get(&step).ok_or_else(|| {
             io::Error::new(
@@ -396,6 +402,10 @@ impl IoBackend for Aggregated<'_> {
         };
         // One read request for the index itself (table + embedded
         // metadata), modeled at its declared size when not materialized.
+        // The whole index is fetched regardless of the selection: the
+        // write-optimized BP layout stores one monolithic index blob, and
+        // a reader must pull it in full to locate *any* chunk — the
+        // per-query penalty the reorg module's rewritten index removes.
         out.stats.files += 1;
         out.stats.bytes += info.index_bytes;
         out.stats.requests.push(ReadRequest {
@@ -406,11 +416,18 @@ impl IoBackend for Aggregated<'_> {
         });
 
         // Data chunks: seek into each aggregator subfile by the index's
-        // (offset, len) ranges; one read request per touched subfile
-        // counting only the fetched bytes.
-        let mut per_subfile_bytes: BTreeMap<usize, u64> = BTreeMap::new();
+        // (offset, len) ranges for the chunks the selection touches; one
+        // read request per maximal *contiguous* matched range (a seek +
+        // fetch), counting only the fetched bytes — scattered selections
+        // over the arrival-ordered layout cost more requests than
+        // clustered ones. Subfiles none of whose chunks match stay
+        // unopened.
+        let mut per_subfile_ranges: BTreeMap<usize, crate::fpp::RangeCoalescer> = BTreeMap::new();
         let mut subfile_content: BTreeMap<usize, Option<Vec<u8>>> = BTreeMap::new();
         for (agg, chunk) in &chunks {
+            if !sel.matches(&chunk.key(), &chunk.path) {
+                continue;
+            }
             let (_, account_only) = *info.subfiles.get(agg).ok_or_else(|| {
                 io::Error::new(
                     io::ErrorKind::InvalidData,
@@ -457,7 +474,10 @@ impl IoBackend for Aggregated<'_> {
             };
             self.tracker
                 .record_read(chunk.key(), IoKind::Data, chunk.logical_len);
-            *per_subfile_bytes.entry(*agg).or_insert(0) += chunk.len;
+            per_subfile_ranges
+                .entry(*agg)
+                .or_insert_with(crate::fpp::RangeCoalescer::new)
+                .push(chunk.offset, chunk.len);
             out.stats.logical_bytes += chunk.logical_len;
             out.chunks.push(ChunkRead {
                 key: chunk.key(),
@@ -466,20 +486,22 @@ impl IoBackend for Aggregated<'_> {
                 payload,
             });
         }
-        for (agg, bytes) in per_subfile_bytes {
+        for (agg, ranges) in per_subfile_ranges {
             out.stats.files += 1;
-            out.stats.bytes += bytes;
-            out.stats.requests.push(ReadRequest {
-                rank: agg * self.ratio,
-                path: format!("{}/data.{agg}", info.dir),
-                bytes,
-                start: 0.0,
-            });
+            out.stats.bytes += ranges.bytes();
+            ranges.requests_into(
+                agg * self.ratio,
+                &format!("{}/data.{agg}", info.dir),
+                &mut out.stats.requests,
+            );
         }
 
         // Metadata chunks: sliced out of the index file's embedded blob
-        // (already fetched with the index request).
+        // (already fetched with the index request), filtered like data.
         for mc in &info.meta_chunks {
+            if !sel.matches(&mc.key, &mc.path) {
+                continue;
+            }
             let payload = match &meta_blob {
                 Some(blob) if !info.meta_account_only => {
                     let slice = blob[mc.offset as usize..(mc.offset + mc.len) as usize].to_vec();

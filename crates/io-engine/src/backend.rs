@@ -1,5 +1,6 @@
 //! The backend trait and the types flowing through it.
 
+use crate::selection::ReadSelection;
 use iosim::{IoKey, IoKind, IoTracker, ReadRequest, Vfs, WriteRequest};
 use std::io;
 use std::sync::Arc;
@@ -116,8 +117,11 @@ pub struct ReadStats {
     /// Modeled codec CPU seconds spent decoding (0 without a compression
     /// stage).
     pub codec_seconds: f64,
-    /// Read requests for burst-timing simulation, one per physical file
-    /// touched (seeked ranges count only the bytes fetched).
+    /// Read requests for burst-timing simulation: one per maximal
+    /// contiguous byte range fetched (a seek + transfer). Whole-file
+    /// restart reads issue one request per file; selective reads over
+    /// scattered layouts issue one per matched range, so contiguity is
+    /// a priced quantity.
     pub requests: Vec<ReadRequest>,
 }
 
@@ -351,28 +355,53 @@ pub trait IoBackend: Send {
     fn end_step(&mut self) -> io::Result<StepStats>;
 
     /// Reads back every chunk written for `step` under `container` — the
-    /// restart/analysis path. Callable any time after the step's
-    /// `end_step` (no step may be open). Contract shared by all
-    /// implementations:
+    /// restart path. Exactly `read_selection` with
+    /// [`ReadSelection::Full`]; see there for the contract.
+    fn read_step(&mut self, step: u32, container: &str) -> io::Result<StepRead> {
+        self.read_selection(step, container, &ReadSelection::Full)
+    }
+
+    /// Reads back the chunks of `step` under `container` that belong to
+    /// `sel` — the restart/analysis path, generalized over a
+    /// [`ReadSelection`]. Callable any time after the step's `end_step`
+    /// (no step may be open). Contract shared by all implementations:
     ///
-    /// * the returned chunks carry **logical** payloads: for materialized
-    ///   writes without a compression stage, `read_step(write(x)) == x`
-    ///   byte-for-byte per logical path; with a stage, the stage decodes
+    /// * the returned chunks are exactly the chunks of a full-step read
+    ///   for which [`ReadSelection::matches`] holds (on the key the
+    ///   chunk was written under and its logical path), in the backend's
+    ///   layout order — pinned by property tests across the backend ×
+    ///   codec × layout cube;
+    /// * chunks carry **logical** payloads: for materialized writes
+    ///   without a compression stage, reading back a written chunk
+    ///   returns its bytes exactly; with a stage, the stage decodes
     ///   through its codec before returning;
     /// * account-only writes read back as [`Payload::Size`] (modeled
     ///   read, physical request accounting intact);
-    /// * every chunk is recorded in the tracker's *read* plane at its
-    ///   logical length, so read totals are backend- and codec-invariant
-    ///   like the write totals;
+    /// * every *returned* chunk is recorded in the tracker's *read*
+    ///   plane at its logical length, so read totals are backend- and
+    ///   codec-invariant like the write totals;
     /// * backends with staged/deferred writes barrier any in-flight
     ///   drain first (read-after-write consistency);
-    /// * `stats.requests` holds one [`ReadRequest`] per physical file
-    ///   touched, for `simulate_read_burst` timing.
+    /// * `stats.requests` holds one [`ReadRequest`] per maximal
+    ///   contiguous byte range fetched (whole-file for full reads), for
+    ///   `simulate_read_burst` timing. Physical accounting
+    ///   is layout-honest: coalesced per-path files are seeked through
+    ///   the retained manifest (only matched spans are fetched), while
+    ///   the aggregated layout always fetches its whole per-step index
+    ///   blob before seeking subfiles — the write-optimized-layout
+    ///   penalty the `reorg` module exists to remove. A selection that
+    ///   matches nothing fetches no data (index-bearing layouts still
+    ///   pay the index fetch that discovered the emptiness).
     ///
     /// The default errors with `Unsupported` so write-only adapters keep
     /// compiling.
-    fn read_step(&mut self, step: u32, container: &str) -> io::Result<StepRead> {
-        let _ = (step, container);
+    fn read_selection(
+        &mut self,
+        step: u32,
+        container: &str,
+        sel: &ReadSelection,
+    ) -> io::Result<StepRead> {
+        let _ = (step, container, sel);
         Err(io::Error::new(
             io::ErrorKind::Unsupported,
             format!("backend '{}' has no read path", self.name()),

@@ -21,6 +21,7 @@
 
 use crate::backend::{EngineReport, IoBackend, Put, StepRead, StepStats, TrackerHandle, VfsHandle};
 use crate::fpp::{manifest_of, read_manifest_step, StepBuild, StepManifest};
+use crate::selection::ReadSelection;
 use iosim::{Vfs, WriteRequest};
 use std::collections::HashMap;
 use std::io;
@@ -256,7 +257,12 @@ impl IoBackend for Deferred<'_> {
         Ok(stats)
     }
 
-    fn read_step(&mut self, step: u32, _container: &str) -> io::Result<StepRead> {
+    fn read_selection(
+        &mut self,
+        step: u32,
+        _container: &str,
+        sel: &ReadSelection,
+    ) -> io::Result<StepRead> {
         assert!(self.cur.is_none(), "read_step: step still open");
         // Read-after-write consistency: the requested step may still be
         // staged (in the drain pool or the inline pending buffer) —
@@ -268,7 +274,7 @@ impl IoBackend for Deferred<'_> {
                 format!("read_step: step {step} was never written"),
             )
         })?;
-        read_manifest_step(&self.vfs, &self.tracker, manifest, step)
+        read_manifest_step(&self.vfs, &self.tracker, manifest, step, sel)
     }
 
     fn close(&mut self) -> io::Result<EngineReport> {

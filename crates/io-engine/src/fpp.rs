@@ -12,6 +12,7 @@ use crate::backend::{
     ChunkRead, EngineReport, IoBackend, Payload, Put, ReadStats, StepRead, StepStats,
     TrackerHandle, VfsHandle,
 };
+use crate::selection::ReadSelection;
 use iosim::{IoKey, IoKind, ReadRequest, WriteRequest};
 use std::collections::HashMap;
 use std::io;
@@ -106,12 +107,12 @@ impl StepBuild {
     }
 }
 
-/// One written file as remembered for the read path (no content).
+/// One written file as remembered for the read path (no content; byte
+/// totals derive from the chunk spans).
 #[derive(Clone, Debug)]
 pub(crate) struct ManifestFile {
     pub path: String,
     pub rank: usize,
-    pub bytes: u64,
     pub account_only: bool,
     pub chunks: Vec<ChunkSpan>,
 }
@@ -131,11 +132,19 @@ pub(crate) type StepManifest = Vec<ManifestFile>;
 /// physical layout, different write timing). Materialized files must be
 /// on the filesystem; truncated retained content (content-limited
 /// [`iosim::MemFs`]) degrades to a modeled size-only read.
+///
+/// Only chunks matching `sel` are returned and fetched: a file none of
+/// whose chunks match is not opened at all, and a partially matching
+/// file is seeked through the manifest's spans, so its read request
+/// carries only the matched bytes (the manifest is what makes the
+/// write-optimized N-to-N layout selectively readable — the file format
+/// itself stores no boundaries).
 pub(crate) fn read_manifest_step(
     vfs: &VfsHandle<'_>,
     tracker: &TrackerHandle<'_>,
     manifest: &StepManifest,
     step: u32,
+    sel: &ReadSelection,
 ) -> io::Result<StepRead> {
     let mut out = StepRead {
         stats: ReadStats {
@@ -145,6 +154,14 @@ pub(crate) fn read_manifest_step(
         ..StepRead::default()
     };
     for file in manifest {
+        let matched: Vec<&ChunkSpan> = file
+            .chunks
+            .iter()
+            .filter(|span| sel.matches(&span.key, &file.path))
+            .collect();
+        if matched.is_empty() {
+            continue; // file untouched: no open, no bytes
+        }
         let content = if file.account_only {
             None
         } else {
@@ -157,7 +174,8 @@ pub(crate) fn read_manifest_step(
             }
             c
         };
-        for span in &file.chunks {
+        let mut ranges = RangeCoalescer::new();
+        for span in &matched {
             let payload = match &content {
                 Some(bytes) => {
                     let slice =
@@ -176,6 +194,7 @@ pub(crate) fn read_manifest_step(
                 None => Payload::Size(span.logical_len),
             };
             tracker.record_read(span.key, span.kind, span.logical_len);
+            ranges.push(span.offset, span.len);
             out.stats.logical_bytes += span.logical_len;
             out.chunks.push(ChunkRead {
                 key: span.key,
@@ -185,15 +204,52 @@ pub(crate) fn read_manifest_step(
             });
         }
         out.stats.files += 1;
-        out.stats.bytes += file.bytes;
-        out.stats.requests.push(ReadRequest {
-            rank: file.rank,
-            path: file.path.clone(),
-            bytes: file.bytes,
-            start: 0.0,
-        });
+        out.stats.bytes += ranges.bytes();
+        ranges.requests_into(file.rank, &file.path, &mut out.stats.requests);
     }
     Ok(out)
+}
+
+/// Coalesces byte spans of one file into maximal contiguous ranges — a
+/// selective reader issues one request (one seek + fetch) per range, so
+/// scattered matches cost more opens than clustered ones. This is the
+/// accounting that makes layout *contiguity*, not just byte volume, a
+/// simulated quantity (the lever online reorganization pulls).
+pub(crate) struct RangeCoalescer {
+    ranges: Vec<(u64, u64)>,
+}
+
+impl RangeCoalescer {
+    pub fn new() -> Self {
+        Self { ranges: Vec::new() }
+    }
+
+    /// Adds a span, merging it into the previous range when contiguous.
+    /// Spans must arrive in non-decreasing offset order (read paths walk
+    /// their chunk tables in layout order).
+    pub fn push(&mut self, offset: u64, len: u64) {
+        match self.ranges.last_mut() {
+            Some((start, rlen)) if *start + *rlen == offset => *rlen += len,
+            _ => self.ranges.push((offset, len)),
+        }
+    }
+
+    /// Total bytes across all ranges.
+    pub fn bytes(&self) -> u64 {
+        self.ranges.iter().map(|(_, l)| *l).sum()
+    }
+
+    /// Emits one [`ReadRequest`] per contiguous range.
+    pub fn requests_into(&self, rank: usize, path: &str, out: &mut Vec<ReadRequest>) {
+        for &(_, len) in &self.ranges {
+            out.push(ReadRequest {
+                rank,
+                path: path.to_string(),
+                bytes: len,
+                start: 0.0,
+            });
+        }
+    }
 }
 
 /// Builds the retained manifest from a step's finished files.
@@ -203,7 +259,6 @@ pub(crate) fn manifest_of(files: &[(String, FileBuild)]) -> StepManifest {
         .map(|(path, build)| ManifestFile {
             path: path.clone(),
             rank: build.rank,
-            bytes: build.bytes,
             account_only: build.account_only,
             chunks: build.chunks.clone(),
         })
@@ -286,7 +341,12 @@ impl IoBackend for FilePerProcess<'_> {
         Ok(stats)
     }
 
-    fn read_step(&mut self, step: u32, _container: &str) -> io::Result<StepRead> {
+    fn read_selection(
+        &mut self,
+        step: u32,
+        _container: &str,
+        sel: &ReadSelection,
+    ) -> io::Result<StepRead> {
         assert!(self.cur.is_none(), "read_step: step still open");
         let manifest = self.manifests.get(&step).ok_or_else(|| {
             io::Error::new(
@@ -294,7 +354,7 @@ impl IoBackend for FilePerProcess<'_> {
                 format!("read_step: step {step} was never written"),
             )
         })?;
-        read_manifest_step(&self.vfs, &self.tracker, manifest, step)
+        read_manifest_step(&self.vfs, &self.tracker, manifest, step, sel)
     }
 
     fn close(&mut self) -> io::Result<EngineReport> {

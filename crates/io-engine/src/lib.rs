@@ -37,8 +37,10 @@
 //! compression trade (CPU for wire bytes) is simulated on both sides.
 //!
 //! Every backend also exposes the **read plane**
-//! ([`IoBackend::read_step`]): the restart/analysis path that reads a
-//! written step back into logical chunks. [`FilePerProcess`] and
+//! ([`IoBackend::read_step`] / [`IoBackend::read_selection`]): the
+//! restart/analysis path that reads a written step — or a selected
+//! subset of it ([`ReadSelection`]: one level, one field, a `(level,
+//! task)` key box) — back into logical chunks. [`FilePerProcess`] and
 //! [`Deferred`] slice their coalesced files through a retained layout
 //! manifest (deferred barriers any in-flight drain first — read-after-
 //! write consistency); [`Aggregated`] seeks through its on-disk per-step
@@ -47,14 +49,69 @@
 //! (byte-exact for lossless codecs, an error-bounded reconstruction of
 //! the same length for the lossy quantizer). Reads are recorded in the
 //! tracker's separate read plane at logical size, and
-//! [`ReadStats::requests`] feeds `iosim`'s read-burst timing
-//! (`simulate_read_burst`: own bandwidth, per-file open charge).
+//! [`ReadStats::requests`] — one request per maximal contiguous byte
+//! range fetched — feed `iosim`'s read-burst timing
+//! (`simulate_read_burst`: own bandwidth, per-file open charge), so a
+//! selection scattered across a write-optimized layout costs more than
+//! the same bytes clustered.
+//!
+//! That scatter is what the [`reorg`] module removes: an **online
+//! reorganization pass** ([`Reorganizer`], after Wan et al.) rewrites a
+//! written step into a read-optimized layout — chunks re-clustered by
+//! level and field with a segmented, partially-fetchable index — and
+//! serves selective reads from it at strictly fewer physical bytes for
+//! by-level and by-field queries, with both the rewrite and the reads
+//! priced like any other I/O.
+//!
+//! **Layer position:** between the proxy writers (`plotfile`, `macsio`)
+//! and the `iosim` substrate: writers choose logical paths, this crate
+//! chooses the physical layout on both planes. Key types: [`IoBackend`],
+//! [`BackendSpec`], [`CodecSpec`], [`Put`]/[`Payload`], [`StepRead`],
+//! [`ReadSelection`], [`Reorganizer`].
+//!
+//! ```
+//! use io_engine::{BackendSpec, CodecSpec, Payload, Put, ReadSelection};
+//! use iosim::{IoKey, IoKind, IoTracker, MemFs, Vfs};
+//!
+//! let fs = MemFs::new();
+//! let tracker = IoTracker::new();
+//! let mut backend = BackendSpec::Aggregated(2).build_with_codec(
+//!     CodecSpec::Identity,
+//!     &fs as &dyn Vfs,
+//!     &tracker,
+//! );
+//! backend.begin_step(1, "/plt");
+//! for (level, task) in [(0u32, 0u32), (0, 1), (1, 0)] {
+//!     backend
+//!         .put(Put {
+//!             key: IoKey { step: 1, level, task },
+//!             kind: IoKind::Data,
+//!             path: format!("/plt/L{level}/density_{task:05}"),
+//!             payload: Payload::Bytes(vec![level as u8; 64]),
+//!         })
+//!         .unwrap();
+//! }
+//! backend.end_step().unwrap();
+//!
+//! // Full restart read round-trips; a by-level selection fetches the
+//! // matching slice only.
+//! let full = backend.read_step(1, "/plt").unwrap();
+//! assert_eq!(full.chunks.len(), 3);
+//! let level1 = backend
+//!     .read_selection(1, "/plt", &ReadSelection::Level(1))
+//!     .unwrap();
+//! assert_eq!(level1.chunks.len(), 1);
+//! assert_eq!(level1.stats.logical_bytes, 64);
+//! assert_eq!(tracker.total_read_bytes(), 3 * 64 + 64);
+//! ```
 
 pub mod aggregated;
 pub mod backend;
 pub mod codec;
 pub mod deferred;
 pub mod fpp;
+pub mod reorg;
+pub mod selection;
 pub mod spec;
 pub mod stage;
 
@@ -66,5 +123,7 @@ pub use backend::{
 pub use codec::{Codec, CodecContext, CodecSpec, Identity, LossyQuant, Rle};
 pub use deferred::Deferred;
 pub use fpp::FilePerProcess;
+pub use reorg::{ReorgStats, Reorganizer};
+pub use selection::{KeyBox, ReadSelection};
 pub use spec::BackendSpec;
 pub use stage::CompressionStage;

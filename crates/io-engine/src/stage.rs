@@ -25,6 +25,7 @@
 
 use crate::backend::{EngineReport, IoBackend, Payload, Put, StepRead, StepStats, VfsHandle};
 use crate::codec::{encode_payload, Codec, CodecContext};
+use crate::selection::ReadSelection;
 use iosim::{IoKind, ReadRequest, WriteRequest};
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -199,14 +200,19 @@ impl IoBackend for CompressionStage<'_> {
         Ok(stats)
     }
 
-    fn read_step(&mut self, step: u32, container: &str) -> io::Result<StepRead> {
+    fn read_selection(
+        &mut self,
+        step: u32,
+        container: &str,
+        sel: &ReadSelection,
+    ) -> io::Result<StepRead> {
         assert!(self.cur.is_none(), "read_step: step still open");
-        let mut read = self.inner.read_step(step, container)?;
-        // Decode every data chunk the write side encoded back to its
-        // logical bytes; raw-fallback chunks come back as `Bytes` already
-        // (physical == logical) and pass through untouched. The decode
-        // CPU cost mirrors the encode side: charged per logical byte of
-        // every data chunk.
+        let mut read = self.inner.read_selection(step, container, sel)?;
+        // Decode every returned data chunk the write side encoded back to
+        // its logical bytes; raw-fallback chunks come back as `Bytes`
+        // already (physical == logical) and pass through untouched. The
+        // decode CPU cost mirrors the encode side: charged per logical
+        // byte of every returned data chunk.
         let mut decode_ns = 0.0f64;
         for chunk in &mut read.chunks {
             if chunk.kind != IoKind::Data {
@@ -225,8 +231,10 @@ impl IoBackend for CompressionStage<'_> {
             }
         }
         read.stats.codec_seconds += decode_ns / 1e9;
-        // A restart reader consults the uncompressed-logical-size sidecar
-        // before touching data: account its fetch.
+        // A reader consults the uncompressed-logical-size sidecar before
+        // touching data: account its fetch. The sidecar is one small flat
+        // file fetched whole even for narrow selections (it has no
+        // per-chunk directory of its own).
         if let Some(info) = self.sidecars.get(&step) {
             let path = Self::sidecar_path(&info.dir, step);
             read.stats.files += 1;

@@ -252,6 +252,18 @@ impl IoTracker {
         out
     }
 
+    /// Logical bytes read back per AMR level, ordered by level — the
+    /// read-plane mirror of `bytes_per_level`. Selective by-level
+    /// analysis reads land exactly one key here, which is what tests of
+    /// the selection read plane pin.
+    pub fn read_bytes_per_level(&self) -> BTreeMap<u32, u64> {
+        let mut out = BTreeMap::new();
+        for ((key, _), r) in self.read_records.lock().iter() {
+            *out.entry(key.level).or_insert(0) += r.bytes;
+        }
+        out
+    }
+
     /// Flat export of all read records as `(key, kind, bytes, reads)`.
     pub fn export_reads(&self) -> Vec<(IoKey, IoKind, u64, u64)> {
         self.read_records
@@ -355,5 +367,27 @@ mod tests {
         assert_eq!(per[&2], 7);
         assert_eq!(t.export_reads().len(), 2);
         assert_eq!(t.export().len(), 1);
+    }
+
+    #[test]
+    fn read_bytes_group_by_level() {
+        let t = IoTracker::new();
+        t.record_read(key(1, 0, 0), IoKind::Data, 10);
+        t.record_read(key(1, 1, 0), IoKind::Data, 20);
+        t.record_read(key(1, 1, 3), IoKind::Data, 5);
+        let per = t.read_bytes_per_level();
+        assert_eq!(per[&0], 10);
+        assert_eq!(per[&1], 25);
+        assert_eq!(per.len(), 2);
+        // A by-level selective read touches exactly one level key.
+        let t2 = IoTracker::new();
+        t2.record_read(key(1, 1, 0), IoKind::Data, 20);
+        assert_eq!(
+            t2.read_bytes_per_level()
+                .keys()
+                .copied()
+                .collect::<Vec<_>>(),
+            vec![1]
+        );
     }
 }

@@ -1,6 +1,6 @@
 //! MACSio run configuration: the command-line surface of Table II.
 
-use io_engine::{BackendSpec, CodecSpec};
+use io_engine::{BackendSpec, CodecSpec, ReadSelection};
 use serde::{Deserialize, Serialize};
 
 /// Output interface (MACSio `--interface`).
@@ -177,6 +177,11 @@ pub struct MacsioConfig {
     pub compression: CodecSpec,
     /// Write-only, restart, or write+read-back behaviour (`--mode`).
     pub mode: RunMode,
+    /// What the read phase fetches (`--read_pattern`): the whole dump
+    /// (default), one level (always 0 for MACSio's flat meshes), one
+    /// field (path substring), or a `(level, task)` key box. Applies to
+    /// the reads of `--mode restart|wr`.
+    pub read_pattern: ReadSelection,
 }
 
 impl Default for MacsioConfig {
@@ -196,6 +201,7 @@ impl Default for MacsioConfig {
             io_backend: BackendSpec::default(),
             compression: CodecSpec::default(),
             mode: RunMode::default(),
+            read_pattern: ReadSelection::default(),
         }
     }
 }
@@ -279,6 +285,9 @@ impl MacsioConfig {
         }
         if self.mode != RunMode::default() {
             line.push_str(&format!(" --mode {}", self.mode.name()));
+        }
+        if self.read_pattern != ReadSelection::default() {
+            line.push_str(&format!(" --read_pattern {}", self.read_pattern.name()));
         }
         line
     }
@@ -426,6 +435,17 @@ mod tests {
         assert!(!cfg.command_line().contains("--mode"));
         cfg.mode = RunMode::Restart;
         assert!(cfg.command_line().contains("--mode restart"));
+    }
+
+    #[test]
+    fn command_line_names_non_default_read_pattern() {
+        let mut cfg = MacsioConfig::default();
+        assert!(!cfg.command_line().contains("--read_pattern"));
+        cfg.mode = RunMode::Restart;
+        cfg.read_pattern = ReadSelection::Field("macsio_json_00000".into());
+        assert!(cfg
+            .command_line()
+            .contains("--read_pattern field:macsio_json_00000"));
     }
 
     #[test]

@@ -11,7 +11,15 @@
 //!
 //! The `dataset_growth` multiplier provides the non-linear "kernel"
 //! data-production behaviour the paper calibrates against AMReX-Castro;
-//! `compute_time` sets the burst cadence for dynamic studies.
+//! `compute_time` sets the burst cadence for dynamic studies. Runs can
+//! also read their dumps back (`--mode restart|wr`), selectively so with
+//! `--read_pattern` (one field, a task box) through the io-engine's
+//! selection read plane.
+//!
+//! **Layer position:** the second proxy write path, next to `plotfile` —
+//! above `io-engine`, parameterized by `model`'s Listing-1 translation.
+//! Key types: [`MacsioConfig`], [`RunMode`], [`FileMode`],
+//! [`MacsioReport`].
 //!
 //! ```
 //! use macsio::{run, MacsioConfig};

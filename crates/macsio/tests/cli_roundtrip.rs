@@ -1,6 +1,7 @@
 //! Property test: any valid MACSio configuration survives the
 //! `command_line()` -> `parse_args()` round trip.
 
+use io_engine::ReadSelection;
 use macsio::{parse_args, FileMode, Interface, MacsioConfig, RunMode};
 use proptest::prelude::*;
 
@@ -22,9 +23,19 @@ fn arb_config() -> impl Strategy<Value = MacsioConfig> {
             Just(RunMode::Restart),
             Just(RunMode::WriteRead)
         ],
+        prop_oneof![
+            Just(ReadSelection::Full),
+            (0u32..3).prop_map(ReadSelection::Level),
+            Just(ReadSelection::Field("root".to_string())),
+            (0u32..4).prop_map(|t| ReadSelection::parse(&format!("box:0,{t}-{}", t + 2)).unwrap()),
+        ],
     )
         .prop_map(
-            |((interface, nprocs, mode, dumps, part, avg, vars, meta, growth), run_mode)| {
+            |(
+                (interface, nprocs, mode, dumps, part, avg, vars, meta, growth),
+                run_mode,
+                read_pattern,
+            )| {
                 MacsioConfig {
                     interface,
                     parallel_file_mode: mode,
@@ -40,6 +51,7 @@ fn arb_config() -> impl Strategy<Value = MacsioConfig> {
                     io_backend: MacsioConfig::default().io_backend,
                     compression: MacsioConfig::default().compression,
                     mode: run_mode,
+                    read_pattern,
                 }
             },
         )
@@ -66,6 +78,7 @@ proptest! {
         prop_assert!((parsed.avg_num_parts - cfg.avg_num_parts).abs() < 1e-12);
         prop_assert!((parsed.dataset_growth - cfg.dataset_growth).abs() < 1e-12);
         prop_assert_eq!(parsed.mode, cfg.mode);
+        prop_assert_eq!(parsed.read_pattern, cfg.read_pattern);
         // MIF counts are clamped to nprocs when printed.
         match (parsed.parallel_file_mode, cfg.parallel_file_mode) {
             (FileMode::Sif, FileMode::Sif) => {}

@@ -172,6 +172,7 @@ mod tests {
             io_backend: Default::default(),
             compression: Default::default(),
             mode: Default::default(),
+            read_pattern: Default::default(),
         }
     }
 

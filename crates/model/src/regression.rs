@@ -188,6 +188,40 @@ pub fn fit_read_time(physical_read_bytes: &[f64], read_walls: &[f64]) -> LinearF
     linear_fit(&xs, &ys)
 }
 
+/// Fits selective-analysis-read wall-clock against *touched* physical
+/// bytes: `selective_read_wall = a + b * touched_physical_bytes` — the
+/// analysis plane's regression target, fitted across read patterns and
+/// layouts ({raw, reorganized} × {level, field, box} from
+/// `analysis_sweep` summaries:
+/// `RunSummary::{selective_physical_read_bytes, selective_read_wall}`).
+/// `1 / b` is the effective selective-read bandwidth, `a` the per-query
+/// fixed cost (index/directory fetches, file opens). A layout change
+/// that helps shows up as the reorganized samples sitting below the raw
+/// fit line at equal logical volume — which is how "how much does reorg
+/// buy each read pattern" becomes a number.
+///
+/// Non-finite samples and zero-byte samples (empty selections, which
+/// carry no bandwidth information) are skipped rather than ingested as
+/// fake zeros.
+///
+/// # Panics
+/// Panics when fewer than 2 usable samples remain or all x are
+/// identical.
+pub fn fit_selective_read(touched_physical_bytes: &[f64], selective_walls: &[f64]) -> LinearFit {
+    assert_eq!(
+        touched_physical_bytes.len(),
+        selective_walls.len(),
+        "fit_selective_read: length mismatch"
+    );
+    let (xs, ys): (Vec<f64>, Vec<f64>) = touched_physical_bytes
+        .iter()
+        .zip(selective_walls)
+        .filter(|(&x, &y)| x.is_finite() && y.is_finite() && x > 0.0)
+        .map(|(&x, &y)| (x, y))
+        .unzip();
+    linear_fit(&xs, &ys)
+}
+
 /// Fits a power law `y = c * x^p` by regressing in log-log space.
 /// Requires strictly positive data.
 pub fn powerlaw_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
@@ -317,6 +351,27 @@ mod tests {
         let fit = fit_read_time(&xs, &ys);
         assert!((1.0 / fit.slope - 5e7).abs() / 5e7 < 1e-9, "{fit:?}");
         assert!((fit.intercept - 0.02).abs() < 1e-9);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn selective_read_fit_recovers_bandwidth_and_skips_empty_queries() {
+        // Samples across patterns and layouts: wall = open cost + bytes
+        // at 2e7 B/s, with a zero-byte empty selection and a NaN thrown
+        // in — both must be skipped, not ingested.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for bytes in [5e4, 2e5, 1e6, 4e6, 2e7] {
+            xs.push(bytes);
+            ys.push(0.005 + bytes / 2e7);
+        }
+        xs.push(0.0);
+        ys.push(0.0); // empty selection: no bandwidth information
+        xs.push(3e5);
+        ys.push(f64::NAN);
+        let fit = fit_selective_read(&xs, &ys);
+        assert!((1.0 / fit.slope - 2e7).abs() / 2e7 < 1e-9, "{fit:?}");
+        assert!((fit.intercept - 0.005).abs() < 1e-9);
         assert!((fit.r2 - 1.0).abs() < 1e-12);
     }
 

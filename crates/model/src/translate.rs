@@ -92,6 +92,7 @@ pub fn translate(inputs: &AmrInputs, model: &TranslationModel) -> MacsioConfig {
         io_backend: Default::default(),
         compression: Default::default(),
         mode: Default::default(),
+        read_pattern: Default::default(),
     }
 }
 

@@ -13,6 +13,24 @@
 //!
 //! Rank loops execute through rayon but are bit-reproducible: each rank's
 //! context is derived only from `(seed, rank)`.
+//!
+//! **Layer position:** the very bottom of the workspace — no other
+//! workspace crate sits below it; `iosim` and the workloads build on its
+//! clocks and rank streams. Key types: [`SimComm`], [`RankCtx`],
+//! [`SimClock`].
+//!
+//! ```
+//! use mpi_sim::{collectives::allreduce_max, SimComm};
+//!
+//! // Four ranks each advance their clock; the barrier takes the max.
+//! let comm = SimComm::summit(4, 0xC0FFEE);
+//! let finish = comm.run(0.0, |ctx| {
+//!     ctx.clock.advance(1.0 + ctx.rank as f64 * 0.25);
+//!     ctx.clock.now()
+//! });
+//! assert_eq!(finish.len(), 4);
+//! assert_eq!(allreduce_max(&finish), 1.75);
+//! ```
 
 pub mod clock;
 pub mod collectives;

@@ -1,14 +1,19 @@
-//! Restart reading of plotfile dumps through the backend read plane.
+//! Restart and analysis reading of plotfile dumps through the backend
+//! read plane.
 //!
 //! AMReX restarts by re-reading a dump's `Header` and per-level `Cell_D`
 //! files; the read-side layout (which physical files a restart touches,
 //! in what sizes) is exactly what the io-engine backends encode. This
 //! module is the thin plotfile-shaped wrapper over
-//! [`IoBackend::read_step`]: it reads one dump back and reports the same
-//! stats shape the writer side uses, so campaign loops can time the
-//! restart burst with `iosim::StorageModel::simulate_read_burst`.
+//! [`IoBackend::read_step`] / `read_selection`: it reads one dump (or a
+//! selected subset — one level, one field, a spatial region) back and
+//! reports the same stats shape the writer side uses, so campaign loops
+//! can time the burst with `iosim::StorageModel::simulate_read_burst`.
+//! [`region_selection`] is where spatial queries lower into the
+//! io-engine's key space.
 
-use io_engine::{IoBackend, StepRead};
+use amr_mesh::{BoxArray, DistributionMapping, IndexBox};
+use io_engine::{IoBackend, KeyBox, ReadSelection, StepRead};
 use iosim::ReadRequest;
 use std::io;
 
@@ -56,6 +61,54 @@ pub fn read_plotfile_with(
     let read = backend.read_step(output_counter, dir)?;
     let stats = PlotfileReadStats::from_read(&read);
     Ok((read, stats))
+}
+
+/// Selective analysis read of one plotfile dump: like
+/// [`read_plotfile_with`] but fetching only the chunks of `sel` — one
+/// level, one field (path substring), or a key box produced by
+/// [`region_selection`].
+pub fn read_plotfile_selection(
+    backend: &mut dyn IoBackend,
+    dir: &str,
+    output_counter: u32,
+    sel: &ReadSelection,
+) -> io::Result<(StepRead, PlotfileReadStats)> {
+    let read = backend.read_selection(output_counter, dir, sel)?;
+    let stats = PlotfileReadStats::from_read(&read);
+    Ok((read, stats))
+}
+
+/// Lowers a *spatial* query to the io-engine's key space: the selection
+/// covering every rank whose grids at `level` intersect `region` (a box
+/// of that level's index space).
+///
+/// The io-engine retains only `(step, level, task)` keys and paths per
+/// chunk, so the cover is a contiguous task range — conservative under
+/// space-filling-curve distributions, where ranks owning a spatial
+/// region cluster into a near-contiguous id range. A superset cover
+/// over-fetches but never misses data. Returns `None` when no grid
+/// intersects the region (the empty selection).
+pub fn region_selection(
+    ba: &BoxArray,
+    dm: &DistributionMapping,
+    level: u32,
+    region: &IndexBox,
+) -> Option<ReadSelection> {
+    let mut lo = u32::MAX;
+    let mut hi = 0u32;
+    for (bi, b) in ba.iter().enumerate() {
+        if b.intersects(region) {
+            let owner = dm.owner(bi) as u32;
+            lo = lo.min(owner);
+            hi = hi.max(owner);
+        }
+    }
+    (lo <= hi).then_some(ReadSelection::Box(KeyBox {
+        level_lo: level,
+        level_hi: level,
+        task_lo: lo,
+        task_hi: hi,
+    }))
 }
 
 #[cfg(test)]
@@ -144,5 +197,71 @@ mod tests {
             .iter()
             .any(|c| matches!(c.payload, Payload::Size(_))));
         assert_eq!(tracker.total_read_bytes(), written.logical_bytes);
+    }
+
+    #[test]
+    fn selective_read_fetches_a_subset() {
+        let mf = level_mf(16, 4, 2);
+        let spec = PlotfileSpec {
+            dir: "/plt00000".to_string(),
+            output_counter: 1,
+            time: 0.0,
+            var_names: vec!["a".into(), "b".into()],
+            ref_ratio: 2,
+            levels: vec![PlotLevel {
+                geom: Geometry::unit_square(IntVect::splat(16)),
+                mf: &mf,
+                level_steps: 0,
+            }],
+            inputs: vec![],
+        };
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let mut backend = FilePerProcess::new(&fs as &dyn Vfs, &tracker);
+        let written = write_plotfile_with(&mut backend, &spec).unwrap();
+        // One rank's data (the Cell_D field-file query).
+        let sel = ReadSelection::Field("Cell_D_00001".into());
+        let (read, stats) = read_plotfile_selection(&mut backend, "/plt00000", 1, &sel).unwrap();
+        assert_eq!(read.chunks.len(), 1);
+        assert!(stats.total_bytes < written.total_bytes);
+        assert_eq!(stats.nfiles, 1, "only the matched file opens");
+    }
+
+    #[test]
+    fn region_selection_covers_intersecting_owners() {
+        // 16^2 domain in four 8^2 boxes over 4 ranks: a corner region
+        // touches exactly one box/owner; the whole domain touches all.
+        let ba = BoxArray::single(IndexBox::at_origin(IntVect::splat(16))).max_size(8);
+        let dm = DistributionMapping::new(&ba, 4, DistributionStrategy::Sfc);
+        assert_eq!(ba.len(), 4);
+
+        let corner = IndexBox::from_lo_size(IntVect::new(0, 0), IntVect::splat(2));
+        let sel = region_selection(&ba, &dm, 0, &corner).expect("corner intersects");
+        let owner = ba
+            .iter()
+            .enumerate()
+            .find(|(_, b)| b.intersects(&corner))
+            .map(|(bi, _)| dm.owner(bi) as u32)
+            .unwrap();
+        match &sel {
+            ReadSelection::Box(kb) => {
+                assert_eq!((kb.level_lo, kb.level_hi), (0, 0));
+                assert_eq!((kb.task_lo, kb.task_hi), (owner, owner));
+            }
+            other => panic!("expected a key box, got {other:?}"),
+        }
+
+        let all = IndexBox::at_origin(IntVect::splat(16));
+        let sel = region_selection(&ba, &dm, 0, &all).unwrap();
+        match &sel {
+            ReadSelection::Box(kb) => {
+                assert_eq!((kb.task_lo, kb.task_hi), (0, 3), "full cover");
+            }
+            other => panic!("expected a key box, got {other:?}"),
+        }
+
+        // A region outside the domain covers nothing.
+        let outside = IndexBox::from_lo_size(IntVect::new(100, 100), IntVect::splat(2));
+        assert!(region_selection(&ba, &dm, 0, &outside).is_none());
     }
 }

@@ -26,6 +26,7 @@ fn main() {
         io_backend: Default::default(),
         compression: Default::default(),
         mode: Default::default(),
+        read_pattern: Default::default(),
     };
     println!("# {}", cfg.command_line());
 
