@@ -9,12 +9,12 @@ use crate::config::{CastroSedovConfig, Engine};
 use crate::run::{run_simulation, RunResult};
 use amr_mesh::GridParams;
 use hydro::TimestepControl;
-use io_engine::{BackendSpec, CodecSpec, ReadSelection};
+use io_engine::{BackendSpec, CodecSpec, ReadSelection, Scenario};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Summary of one campaign run (serializable for the figure benches).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RunSummary {
     /// Run label.
     pub name: String,
@@ -88,11 +88,42 @@ pub struct RunSummary {
     /// Simulated seconds of the reorganization pass itself (0 for raw
     /// runs) — what selective-read savings must amortize.
     pub reorg_wall: f64,
+    /// Canonical spelling of the scenario the run executed (`write`,
+    /// `write;restart`, `write;check@4;fail@10;restart`, ...).
+    pub scenario: String,
+    /// Restart reads performed (mid-run recoveries + trailing reads).
+    pub restarts: u32,
+    /// Physical bytes of checkpoint dumps inside `physical_bytes` (the
+    /// checkpoint plane is priced through the same backend/codec stack
+    /// but reported separately from plot totals).
+    pub check_bytes: u64,
+    /// Physical files of checkpoint dumps inside `physical_files`.
+    pub check_files: u64,
+    /// Simulated seconds of checkpoint bursts (inside `wall_time`).
+    pub check_wall: f64,
+    /// Simulated seconds of compute phases (inside `wall_time`; includes
+    /// compute re-paid after mid-run restarts).
+    pub compute_wall: f64,
+    /// Simulated seconds of plot-dump bursts on the application clock.
+    pub plot_wall: f64,
+    /// Simulated seconds the closing flush barrier waited on drains.
+    pub drain_wall: f64,
 }
 
 impl RunSummary {
     fn from_result(r: &RunResult) -> Self {
         let xy = r.xy_series();
+        // The read-plane columns derive from the *effective* scenario,
+        // so scenario-first configs and legacy boolean configs report
+        // identically.
+        let scenario = r.config.effective_scenario();
+        let analyze = scenario.ops.iter().find_map(|op| match op {
+            io_engine::ScenarioOp::Analyze { sel, reorganize }
+            | io_engine::ScenarioOp::AnalyzeEvery {
+                sel, reorganize, ..
+            } => Some((sel.clone(), *reorganize)),
+            _ => None,
+        });
         Self {
             name: r.config.name.clone(),
             n_cell: r.config.n_cell,
@@ -112,22 +143,28 @@ impl RunSummary {
             physical_files: r.files_written,
             wall_time: r.wall_time,
             codec_seconds: r.codec_seconds,
-            restart: r.config.read_after_write,
+            restart: r.restarts > 0,
             read_bytes: r.read_bytes,
             physical_read_bytes: r.physical_read_bytes,
             read_wall: r.read_wall,
-            read_pattern: r
-                .config
-                .analysis_read
+            read_pattern: analyze
                 .as_ref()
-                .map_or_else(|| "none".to_string(), |s| s.name()),
+                .map_or_else(|| "none".to_string(), |(sel, _)| sel.name()),
             // Reorganization only runs as part of an analysis read; a
             // config with the flag set but no pattern rewrote nothing.
-            reorganized: r.config.reorganize && r.config.analysis_read.is_some(),
+            reorganized: analyze.as_ref().is_some_and(|(_, reorg)| *reorg),
             selective_read_bytes: r.selective_read_bytes,
             selective_physical_read_bytes: r.selective_physical_read_bytes,
             selective_read_wall: r.selective_read_wall,
             reorg_wall: r.reorg_wall,
+            scenario: r.scenario.clone(),
+            restarts: r.restarts,
+            check_bytes: r.check_bytes,
+            check_files: r.check_files,
+            check_wall: r.check_wall,
+            compute_wall: r.compute_wall,
+            plot_wall: r.plot_wall,
+            drain_wall: r.drain_wall,
         }
     }
 
@@ -352,12 +389,7 @@ pub fn analysis_sweep(
                 .replace([',', '/', '.'], "_")
         })
         .collect();
-    let flat = tags.clone();
-    for i in 0..tags.len() {
-        if flat.iter().filter(|t| **t == flat[i]).count() > 1 {
-            tags[i] = format!("{}_p{i}", flat[i]);
-        }
-    }
+    disambiguate_tags(&mut tags, 'p');
     let mut out = Vec::new();
     for cfg in backend_codec_sweep(configs, backends, codecs) {
         for (pattern, tag) in patterns.iter().zip(&tags) {
@@ -379,8 +411,71 @@ pub fn analysis_sweep(
     out
 }
 
-/// Runs a set of configurations in parallel, returning summaries in the
-/// input order.
+/// Disambiguates lossy name-safe tags in place: every member of a
+/// colliding group gets `_{prefix}{index}` appended, and the pass
+/// repeats until the whole set is unique — a single pass is not enough,
+/// because a renamed tag can itself collide with a *different* entry's
+/// original flattening (e.g. `x`, `x` and a third entry already named
+/// `x_s1`). Indices are per-entry, so renamed tags never collide with
+/// each other and the fixed point is reached in a few rounds.
+fn disambiguate_tags(tags: &mut [String], prefix: char) {
+    loop {
+        let snapshot: Vec<String> = tags.to_vec();
+        let mut changed = false;
+        for i in 0..tags.len() {
+            if snapshot.iter().filter(|t| **t == snapshot[i]).count() > 1 {
+                tags[i] = format!("{}_{prefix}{i}", snapshot[i]);
+                changed = true;
+            }
+        }
+        if !changed {
+            return;
+        }
+    }
+}
+
+/// Expands a set of configurations across a scenario axis: every
+/// `(run, scenario)` pair becomes one configuration with the scenario's
+/// spelling flattened into the run label. This is the scenario-plane
+/// generalization of the sweep family — one base run crossed with, say,
+/// `write`, `write;check@4;fail@10;restart`, and
+/// `write;analyze_every:2:level:1` prices what failures, checkpoint
+/// cadence, and in-run analysis each cost on the same workload.
+pub fn scenario_sweep(
+    configs: &[CastroSedovConfig],
+    scenarios: &[Scenario],
+) -> Vec<CastroSedovConfig> {
+    // Scenario spellings flatten to name-safe tokens (`write;check@4` ->
+    // `write_check4`). The flattening is lossy (field substrings can
+    // collapse), so colliding tags are index-disambiguated like
+    // `analysis_sweep`'s pattern tags.
+    let mut tags: Vec<String> = scenarios
+        .iter()
+        .map(|s| {
+            s.name()
+                .replace([';', ','], "_")
+                .replace('-', "to")
+                .replace([':', '@', '.', '/'], "")
+        })
+        .collect();
+    disambiguate_tags(&mut tags, 's');
+    let mut out = Vec::with_capacity(configs.len() * scenarios.len());
+    for cfg in configs {
+        for (scenario, tag) in scenarios.iter().zip(&tags) {
+            out.push(CastroSedovConfig {
+                name: format!("{}_{}", cfg.name, tag),
+                scenario: Some(scenario.clone()),
+                ..cfg.clone()
+            });
+        }
+    }
+    out
+}
+
+/// Runs a set of configurations in parallel (the rayon stand-in fans
+/// the work across threads), returning summaries in the input order.
+/// Deterministic: identical to [`run_campaign_serial`] on the same
+/// configs, pinned by a test.
 pub fn run_campaign(configs: &[CastroSedovConfig]) -> Vec<RunSummary> {
     configs
         .par_iter()
@@ -388,15 +483,36 @@ pub fn run_campaign(configs: &[CastroSedovConfig]) -> Vec<RunSummary> {
         .collect()
 }
 
+/// Sequential reference implementation of [`run_campaign`] (debugging,
+/// and the determinism oracle for the parallel path).
+pub fn run_campaign_serial(configs: &[CastroSedovConfig]) -> Vec<RunSummary> {
+    configs
+        .iter()
+        .map(|cfg| RunSummary::from_result(&run_simulation(cfg, None, None)))
+        .collect()
+}
+
 /// Like [`run_campaign`] but timing every run against `storage`, so
 /// summaries carry comparable wall-clock times (the backend axis's
-/// dependent variable).
+/// dependent variable). Parallel over configs with deterministic,
+/// input-ordered results.
 pub fn run_campaign_timed(
     configs: &[CastroSedovConfig],
     storage: &iosim::StorageModel,
 ) -> Vec<RunSummary> {
     configs
         .par_iter()
+        .map(|cfg| RunSummary::from_result(&run_simulation(cfg, None, Some(storage))))
+        .collect()
+}
+
+/// Sequential reference implementation of [`run_campaign_timed`].
+pub fn run_campaign_timed_serial(
+    configs: &[CastroSedovConfig],
+    storage: &iosim::StorageModel,
+) -> Vec<RunSummary> {
+    configs
+        .iter()
         .map(|cfg| RunSummary::from_result(&run_simulation(cfg, None, Some(storage))))
         .collect()
 }
@@ -824,6 +940,140 @@ mod tests {
         // The rewrite itself is priced, not free.
         assert!(opt.reorg_wall > 0.0);
         assert_eq!(raw.reorg_wall, 0.0);
+    }
+
+    #[test]
+    fn scenario_sweep_crosses_configs_and_scenarios() {
+        let base = vec![CastroSedovConfig {
+            name: "m".into(),
+            ..Default::default()
+        }];
+        let scenarios = [
+            Scenario::write_only(),
+            Scenario::parse("write;check@4;fail@10;restart").unwrap(),
+            Scenario::in_run_analysis(2, ReadSelection::Level(1)),
+        ];
+        let matrix = scenario_sweep(&base, &scenarios);
+        assert_eq!(matrix.len(), 3);
+        let mut names: Vec<String> = matrix.iter().map(|c| c.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 3, "scenario names stay unique");
+        assert!(matrix.iter().all(|c| c.scenario.is_some()));
+        assert!(matrix.iter().any(|c| c.name == "m_write"));
+        assert!(matrix
+            .iter()
+            .any(|c| c.name == "m_write_check4_fail10_restart"));
+
+        // Lossy tag flattening must not collapse distinct scenarios.
+        let colliding = scenario_sweep(
+            &base,
+            &[
+                Scenario::parse("write;analyze:field:a,b").unwrap(),
+                Scenario::parse("write;analyze:field:a.b").unwrap(),
+            ],
+        );
+        let mut names: Vec<String> = colliding.iter().map(|c| c.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), colliding.len(), "{names:?}");
+
+        // Regression: a disambiguating rename must not collide with a
+        // *third* scenario whose flattening already looks renamed
+        // (field `xy_s1` flattens to exactly what `xy`'s rename
+        // produces). The dedup iterates to a fixed point.
+        let adversarial = scenario_sweep(
+            &base,
+            &[
+                Scenario::parse("write;analyze:field:xy").unwrap(),
+                Scenario::parse("write;analyze:field:x.y").unwrap(),
+                Scenario::parse("write;analyze:field:xy_s1").unwrap(),
+            ],
+        );
+        let mut names: Vec<String> = adversarial.iter().map(|c| c.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), adversarial.len(), "{names:?}");
+    }
+
+    #[test]
+    fn scenario_axis_prices_failures_and_in_run_analysis() {
+        // The tentpole acceptance at campaign level: one base workload
+        // crossed with three scenario shapes, each summary carrying the
+        // scenario spelling and its per-phase walls.
+        let base = CastroSedovConfig {
+            name: "sc".into(),
+            engine: Engine::Oracle,
+            n_cell: 64,
+            max_step: 12,
+            plot_int: 4,
+            nprocs: 4,
+            account_only: true,
+            compute_ns_per_cell: 40_000.0,
+            ..Default::default()
+        };
+        let matrix = scenario_sweep(
+            &[base],
+            &[
+                Scenario::write_only(),
+                Scenario::parse("write;check@4;fail@10;restart").unwrap(),
+                Scenario::in_run_analysis(2, ReadSelection::Level(1)),
+            ],
+        );
+        let storage = iosim::StorageModel::ideal(2, 5e7);
+        let summaries = run_campaign_timed(&matrix, &storage);
+        let clean = &summaries[0];
+        let failed = &summaries[1];
+        let insitu = &summaries[2];
+        assert_eq!(clean.scenario, "write");
+        assert_eq!(clean.restarts, 0);
+        assert_eq!(failed.scenario, "write;check@4;fail@10;restart");
+        // The failure re-pays compute and the recovery read, on top of
+        // the checkpoint cadence's own write cost.
+        assert_eq!(failed.restarts, 1);
+        assert!(failed.check_bytes > 0);
+        assert!(failed.check_wall > 0.0);
+        assert!(failed.compute_wall > clean.compute_wall);
+        assert!(failed.read_bytes > 0);
+        assert!(failed.wall_time > clean.wall_time);
+        // In-run analysis pays selective reads between writes; the
+        // write plane stays untouched.
+        assert_eq!(insitu.total_bytes, clean.total_bytes);
+        assert!(insitu.selective_read_bytes > 0);
+        assert!(insitu.wall_time > clean.wall_time);
+    }
+
+    #[test]
+    fn parallel_campaign_matches_serial_reference() {
+        // The rayon fan-out must be a pure speedup: summaries identical
+        // to the sequential path, in input order.
+        let mut configs: Vec<CastroSedovConfig> = table3_campaign()
+            .into_iter()
+            .filter(|c| c.n_cell <= 64)
+            .collect();
+        configs.push(CastroSedovConfig {
+            name: "sc_fail".into(),
+            engine: Engine::Oracle,
+            n_cell: 64,
+            max_step: 12,
+            plot_int: 4,
+            nprocs: 4,
+            account_only: true,
+            scenario: Some(Scenario::parse("write;check@4;fail@10;restart").unwrap()),
+            ..Default::default()
+        });
+        assert!(configs.len() >= 3);
+        let parallel = run_campaign(&configs);
+        let serial = run_campaign_serial(&configs);
+        assert_eq!(parallel, serial);
+        let storage = iosim::StorageModel::ideal(2, 5e7);
+        let parallel_timed = run_campaign_timed(&configs, &storage);
+        let serial_timed = run_campaign_timed_serial(&configs, &storage);
+        assert_eq!(parallel_timed, serial_timed);
+        // Order is the input order, not completion order.
+        for (s, c) in parallel.iter().zip(&configs) {
+            assert_eq!(s.name, c.name);
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use amr_mesh::{DistributionStrategy, GridParams};
 use hydro::{SedovProblem, TagCriteria, TimestepControl};
-use io_engine::{BackendSpec, CodecSpec, ReadSelection};
+use io_engine::{BackendSpec, CodecSpec, ReadSelection, Scenario, ScenarioOp};
 use serde::{Deserialize, Serialize};
 
 /// Which engine generates the grid hierarchy.
@@ -69,19 +69,38 @@ pub struct CastroSedovConfig {
     /// the backend after the simulation finishes (the campaign's
     /// read-after-write axis); `RunResult`/`RunSummary` then carry read
     /// bytes and read wall-clock.
+    ///
+    /// *Deprecated boolean axis:* compiles to the `write;restart`
+    /// scenario (see [`CastroSedovConfig::effective_scenario`]); prefer
+    /// setting [`CastroSedovConfig::scenario`] directly. Ignored when
+    /// `scenario` is set.
     pub read_after_write: bool,
     /// When set, the run performs a *selective* analysis read of its
     /// last plot dump after the simulation (and any restart phase):
     /// one level, one field, or a spatial key box — the campaign's
     /// analysis-read axis. `RunResult`/`RunSummary` then carry
     /// selective-read bytes and wall-clock.
+    ///
+    /// *Deprecated boolean axis:* compiles to a trailing `analyze:SEL`
+    /// scenario op; prefer [`CastroSedovConfig::scenario`]. Ignored when
+    /// `scenario` is set.
     pub analysis_read: Option<ReadSelection>,
     /// When true (and `analysis_read` is set), the last dump is first
     /// rewritten from its write-optimized layout into a read-optimized
     /// one (`io_engine::Reorganizer`) and the analysis read is served
     /// from the reorganized layout; the rewrite's read+write bursts are
     /// charged to the simulated clock like any other I/O.
+    ///
+    /// *Deprecated boolean axis:* compiles to the `,reorg` suffix of the
+    /// trailing `analyze:` op; prefer [`CastroSedovConfig::scenario`].
+    /// Ignored when `scenario` is set.
     pub reorganize: bool,
+    /// The run's phase program (the scenario plane): how writes,
+    /// checkpoints, mid-run failures/restarts, and analysis reads
+    /// interleave. `None` compiles the legacy boolean axes above into
+    /// their equivalent scenario ([`CastroSedovConfig::effective_scenario`]),
+    /// so old configs keep working bit-identically.
+    pub scenario: Option<Scenario>,
 }
 
 impl Default for CastroSedovConfig {
@@ -118,6 +137,7 @@ impl Default for CastroSedovConfig {
             read_after_write: false,
             analysis_read: None,
             reorganize: false,
+            scenario: None,
         }
     }
 }
@@ -187,6 +207,30 @@ impl CastroSedovConfig {
     pub fn check_dir(&self, step: u64) -> String {
         format!("/{}{:05}", self.check_file, step)
     }
+
+    /// The scenario this run executes: [`CastroSedovConfig::scenario`]
+    /// when set, otherwise the legacy boolean axes
+    /// (`read_after_write`, `analysis_read`, `reorganize`) compiled into
+    /// their equivalent program — `write`, plus a trailing `restart`
+    /// and/or `analyze:SEL[,reorg]`. The checkpoint cadence stays on
+    /// [`CastroSedovConfig::check_int`] unless the scenario carries a
+    /// `check@K` override.
+    pub fn effective_scenario(&self) -> Scenario {
+        if let Some(s) = &self.scenario {
+            return s.clone();
+        }
+        let mut ops = vec![ScenarioOp::Write];
+        if self.read_after_write {
+            ops.push(ScenarioOp::Restart);
+        }
+        if let Some(sel) = &self.analysis_read {
+            ops.push(ScenarioOp::Analyze {
+                sel: sel.clone(),
+                reorganize: self.reorganize,
+            });
+        }
+        Scenario { ops }
+    }
 }
 
 #[cfg(test)]
@@ -228,6 +272,36 @@ mod tests {
         let cfg = CastroSedovConfig::default();
         assert_eq!(cfg.plot_dir(20), "/sedov_2d_cyl_in_cart_plt00020");
         assert_eq!(cfg.plot_dir(0), "/sedov_2d_cyl_in_cart_plt00000");
+    }
+
+    #[test]
+    fn legacy_booleans_compile_to_scenarios() {
+        let mut cfg = CastroSedovConfig::default();
+        assert_eq!(cfg.effective_scenario().name(), "write");
+        cfg.read_after_write = true;
+        assert_eq!(cfg.effective_scenario().name(), "write;restart");
+        cfg.analysis_read = Some(ReadSelection::Level(1));
+        cfg.reorganize = true;
+        assert_eq!(
+            cfg.effective_scenario().name(),
+            "write;restart;analyze:level:1,reorg"
+        );
+        // An explicit scenario wins over the booleans.
+        cfg.scenario = Some(Scenario::fail_restart(7));
+        assert_eq!(cfg.effective_scenario().name(), "write;fail@7;restart");
+    }
+
+    #[test]
+    fn config_with_scenario_round_trips_serde() {
+        use serde::{Deserialize as _, Serialize as _};
+        let cfg = CastroSedovConfig {
+            scenario: Some(Scenario::parse("write;check@4;fail@10;restart").unwrap()),
+            ..Default::default()
+        };
+        let v = cfg.to_value();
+        let back = CastroSedovConfig::from_value(&v).unwrap();
+        assert_eq!(back.scenario, cfg.scenario);
+        assert_eq!(back.name, cfg.name);
     }
 
     #[test]

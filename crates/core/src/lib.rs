@@ -4,9 +4,11 @@
 //! **Layer position:** the top of the workspace (package name
 //! `amrproxy`): it drives `hydro` workloads through `plotfile` and the
 //! `io-engine` stack, times them against `iosim`, and feeds `model`.
-//! Key types: [`CastroSedovConfig`], [`RunResult`], [`RunSummary`], and
-//! the sweep family ([`backend_sweep`] → [`backend_codec_sweep`] →
-//! [`restart_sweep`] → [`analysis_sweep`]).
+//! Key types: [`CastroSedovConfig`], [`RunResult`], [`RunSummary`], the
+//! scenario plane ([`Scenario`] programs compiled by [`compile_phases`]
+//! and executed by the [`driver`] over a [`StepSource`]), and the sweep
+//! family ([`backend_sweep`] → [`backend_codec_sweep`] →
+//! [`restart_sweep`] → [`analysis_sweep`] → [`scenario_sweep`]).
 //!
 //! ```
 //! use amrproxy::{run_simulation, CastroSedovConfig, Engine};
@@ -26,13 +28,20 @@ pub mod campaign;
 pub mod cases;
 pub mod compare;
 pub mod config;
+pub mod driver;
 pub mod run;
 
 pub use campaign::{
     analysis_sweep, backend_codec_sweep, backend_sweep, restart_sweep, run_campaign,
-    run_campaign_timed, table3_campaign, RunSummary,
+    run_campaign_serial, run_campaign_timed, run_campaign_timed_serial, scenario_sweep,
+    table3_campaign, RunSummary,
 };
 pub use cases::{big8192, case27, case4, case4_hydro_scaled};
 pub use compare::{compare_with_macsio, Comparison};
 pub use config::{CastroSedovConfig, Engine};
+pub use driver::{
+    compile_phases, run_scenario, AmrSource, DumpSource, OracleSource, Phase, ScheduledPhase,
+    StepSource,
+};
+pub use io_engine::{Scenario, ScenarioOp};
 pub use run::{run_simulation, RunResult};

@@ -3,31 +3,37 @@
 //! Mirrors the paper's measurement loop: advance the simulation, dump a
 //! plotfile every `plot_int` steps (including the step-0 dump AMReX
 //! writes), record every byte at `(step, level, task)` granularity, and
-//! (optionally) time each dump burst against the storage model.
+//! (optionally) time each dump burst against the storage model. The
+//! *shape* of the run — where checkpoints, mid-run failures/restarts,
+//! and analysis reads interleave with the write stream — is a compiled
+//! scenario program executed by the engine-agnostic phase driver in
+//! [`crate::driver`].
 
 use crate::config::{CastroSedovConfig, Engine};
-use hydro::{AmrConfig, AmrSim, OracleConfig, OracleSim, StepInfo};
-use io_engine::{IoBackend, Reorganizer};
+use crate::driver::{run_scenario, AmrSource, OracleSource};
+use hydro::StepInfo;
 use iosim::{BurstScheduler, BurstTimeline, IoTracker, MemFs, StorageModel, Vfs};
 use mpi_sim::{collectives::allreduce_max, SimComm};
-use plotfile::{
-    account_plotfile_with, castro_sedov_plot_vars, write_plotfile_with, LayoutLevel, PlotLevel,
-    PlotfileLayout, PlotfileSpec,
-};
-use rand::Rng;
 
 /// Everything measured from one run.
 pub struct RunResult {
     /// The configuration that produced it.
     pub config: CastroSedovConfig,
+    /// Canonical spelling of the scenario the run executed (the
+    /// compiled legacy booleans when `config.scenario` is `None`).
+    pub scenario: String,
     /// Byte records at `(step, level, task)` granularity. The tracker
     /// `step` key is the 1-based output counter (Eq. 1), not the
     /// simulation step number.
     pub tracker: IoTracker,
-    /// Per-step advance summaries.
+    /// Per-step advance summaries, in the order the clock paid for them
+    /// (steps re-computed after a mid-run restart appear twice).
     pub steps: Vec<StepInfo>,
-    /// Number of plot dumps performed.
+    /// Number of dumps performed (plot + checkpoint output counters).
     pub outputs: u32,
+    /// Restart reads performed (mid-run recoveries plus any trailing
+    /// read-back phases).
+    pub restarts: u32,
     /// Physical files the I/O backend created (differs from the
     /// tracker's logical record count under aggregation).
     pub files_written: u64,
@@ -42,33 +48,52 @@ pub struct RunResult {
     pub overhead_bytes: u64,
     /// Modeled codec CPU seconds across the run (0 without compression).
     pub codec_seconds: f64,
-    /// Logical bytes restart-read back (0 unless `read_after_write`).
+    /// Physical bytes of checkpoint dumps inside `physical_bytes` (0
+    /// without a checkpoint cadence). Checkpoints ride the same
+    /// backend/codec stack as plot dumps but are reported separately,
+    /// not folded into plot totals.
+    pub check_bytes: u64,
+    /// Physical files of checkpoint dumps inside `files_written`.
+    pub check_files: u64,
+    /// Simulated seconds of checkpoint write bursts (inside
+    /// `wall_time`).
+    pub check_wall: f64,
+    /// Logical bytes restart-read back (0 without a restart phase).
     pub read_bytes: u64,
-    /// Physical bytes fetched from storage during the restart read.
+    /// Physical bytes fetched from storage during restart reads.
     pub physical_read_bytes: u64,
-    /// Physical files opened during the restart read.
+    /// Physical files opened during restart reads.
     pub read_files: u64,
-    /// Simulated seconds of the restart-read phase (inside `wall_time`).
+    /// Simulated seconds of restart-read phases (inside `wall_time`).
     pub read_wall: f64,
-    /// Logical bytes delivered by the selective analysis read (0 unless
-    /// `analysis_read` is set; exactly the matched chunks' logical
-    /// volume, layout- and codec-invariant).
+    /// Logical bytes delivered by selective analysis reads (0 without an
+    /// analysis phase; exactly the matched chunks' logical volume,
+    /// layout- and codec-invariant).
     pub selective_read_bytes: u64,
-    /// Physical bytes the selective analysis read fetched from storage
+    /// Physical bytes the selective analysis reads fetched from storage
     /// (what the layout — raw vs reorganized — changes).
     pub selective_physical_read_bytes: u64,
-    /// Physical files the selective analysis read opened.
+    /// Physical files the selective analysis reads opened.
     pub selective_read_files: u64,
-    /// Simulated seconds of the selective analysis read (inside
-    /// `wall_time`; excludes the reorganization pass).
+    /// Simulated seconds of selective analysis reads (inside
+    /// `wall_time`; excludes the reorganization passes).
     pub selective_read_wall: f64,
-    /// Simulated seconds spent reorganizing the last dump into the
-    /// read-optimized layout (0 unless `reorganize`; inside
-    /// `wall_time`). The price a campaign weighs against the per-read
-    /// savings.
+    /// Simulated seconds spent reorganizing dumps into the
+    /// read-optimized layout (0 unless analysis phases reorganize;
+    /// inside `wall_time`). The price a campaign weighs against the
+    /// per-read savings.
     pub reorg_wall: f64,
     /// Physical bytes the reorganization moved (source fetch + rewrite).
     pub reorg_bytes: u64,
+    /// Simulated seconds of compute phases (inside `wall_time`; includes
+    /// compute re-paid after a mid-run restart).
+    pub compute_wall: f64,
+    /// Simulated seconds of plot-dump bursts on the application clock
+    /// (inside `wall_time`; near zero for overlapped backends).
+    pub plot_wall: f64,
+    /// Simulated seconds the closing flush barrier waited on in-flight
+    /// drains (inside `wall_time`).
+    pub drain_wall: f64,
     /// Burst timeline (empty without a storage model).
     pub timeline: BurstTimeline,
     /// Final simulated wall-clock seconds (compute + I/O).
@@ -97,7 +122,9 @@ impl RunResult {
 
 /// Runs a configuration to `max_step` (or `stop_time`), writing plotfiles
 /// through `vfs` (an internal throw-away memory FS when `None`) and timing
-/// bursts against `storage` when given.
+/// bursts against `storage` when given. The run's phase program is
+/// `cfg.effective_scenario()` compiled against its cadences — both
+/// engines execute through the same [`crate::driver`] plane.
 pub fn run_simulation(
     cfg: &CastroSedovConfig,
     vfs: Option<&dyn Vfs>,
@@ -112,9 +139,24 @@ pub fn run_simulation(
         }
     };
     match cfg.engine {
-        Engine::Hydro => run_hydro(cfg, fs, storage),
-        Engine::Oracle => run_oracle(cfg, fs, storage),
+        Engine::Hydro => run_scenario(cfg, AmrSource::new(cfg), fs, storage),
+        Engine::Oracle => run_scenario(cfg, OracleSource::new(cfg), fs, storage),
     }
+}
+
+/// Deterministic per-(seed, rank, step) speed jitter in `[0.97, 1.03)`:
+/// a splitmix64-style hash, so any two distinct `(rank, step)` pairs
+/// draw independent factors — steps 8 apart are as decorrelated as
+/// steps 1 apart (the old draw-burning scheme cycled with period 8).
+pub(crate) fn rank_step_jitter(seed: u64, rank: u64, step: u64) -> f64 {
+    let mut z =
+        seed ^ rank.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ step.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+    0.97 + 0.06 * unit
 }
 
 /// Advances the simulated wall clock through one compute phase: every
@@ -122,22 +164,26 @@ pub fn run_simulation(
 /// deterministic per-rank speed jitter, then all ranks hit the barrier
 /// preceding the plot dump (the paper's "bursty" pattern: CPU activity
 /// followed by intense I/O activity). Returns the post-barrier time.
-fn compute_phase(comm: &SimComm, step: u64, t0: f64, total_cells: i64, ns_per_cell: f64) -> f64 {
+pub(crate) fn compute_phase(
+    comm: &SimComm,
+    step: u64,
+    t0: f64,
+    total_cells: i64,
+    ns_per_cell: f64,
+) -> f64 {
     let per_rank_seconds = total_cells as f64 * ns_per_cell / 1e9 / comm.nranks() as f64;
+    let seed = comm.seed();
     let finish_times = comm.run(t0, |ctx| {
-        // Per-rank, per-step speed jitter in [0.97, 1.03]; seeded by
-        // (seed, rank), decorrelated across steps by burning `step` draws.
-        let mut jitter = 1.0;
-        for _ in 0..=(step % 8) {
-            jitter = 0.97 + 0.06 * ctx.rng.gen::<f64>();
-        }
+        let jitter = rank_step_jitter(seed, ctx.rank as u64, step);
         ctx.clock.advance(per_rank_seconds * jitter);
         ctx.clock.now()
     });
     allreduce_max(&finish_times)
 }
 
-fn dump_burst(
+/// Submits one dump burst: times it against the storage model when one
+/// is attached, otherwise charges only the codec CPU to the clock.
+pub(crate) fn dump_burst(
     timeline: &mut BurstTimeline,
     clock: &mut f64,
     scheduler: &mut Option<BurstScheduler<'_>>,
@@ -158,567 +204,10 @@ fn dump_burst(
     }
 }
 
-/// Totals of the restart-read phase appended to a run.
-#[derive(Clone, Copy, Debug, Default)]
-struct ReadPhase {
-    read_bytes: u64,
-    physical_read_bytes: u64,
-    read_files: u64,
-    read_wall: f64,
-    codec_seconds: f64,
-}
-
-/// Restart-reads the last plot dump back through the backend (the
-/// recovery phase of an AMR campaign): the backend barriers in-flight
-/// drains, the scheduler prices the read burst at the storage model's
-/// read bandwidth (recorded in the run's burst timeline like every
-/// write burst), and decode CPU lands on the application clock after
-/// the bytes arrive. Advances `clock` past the read phase.
-fn restart_read(
-    backend: &mut dyn IoBackend,
-    scheduler: &mut Option<BurstScheduler<'_>>,
-    timeline: &mut BurstTimeline,
-    clock: &mut f64,
-    output_counter: u32,
-    dir: &str,
-) -> ReadPhase {
-    let read_start = match &scheduler {
-        // Recovery starts after the run's closing flush.
-        Some(sched) => sched.finish(*clock),
-        None => *clock,
-    };
-    *clock = read_start;
-    let read = backend
-        .read_step(output_counter, dir)
-        .expect("restart read of a written step");
-    let mut requests = read.stats.requests;
-    if let Some(sched) = scheduler.as_mut() {
-        let (burst, next_clock) =
-            sched.submit_read(output_counter, *clock, &mut requests, read.stats.bytes);
-        timeline.push(burst);
-        *clock = next_clock;
-    }
-    *clock += read.stats.codec_seconds;
-    ReadPhase {
-        read_bytes: read.stats.logical_bytes,
-        physical_read_bytes: read.stats.bytes,
-        read_files: read.stats.files,
-        read_wall: *clock - read_start,
-        codec_seconds: read.stats.codec_seconds,
-    }
-}
-
-/// Totals of the selective analysis phase appended to a run.
-#[derive(Clone, Copy, Debug, Default)]
-struct AnalysisPhase {
-    selective_read_bytes: u64,
-    selective_physical_read_bytes: u64,
-    selective_read_files: u64,
-    selective_read_wall: f64,
-    reorg_wall: f64,
-    reorg_bytes: u64,
-    codec_seconds: f64,
-}
-
-/// Performs the selective analysis read of the last plot dump: with
-/// `cfg.reorganize`, the dump is first rewritten into the read-optimized
-/// layout (source fetch + rewrite both priced as bursts on the simulated
-/// clock), then the selection is served from whichever layout applies.
-/// Advances `clock` past the whole phase.
-// One argument per simulation plane the phase touches, mirroring
-// `restart_read` plus the rewrite's filesystem/tracker dependencies.
-#[allow(clippy::too_many_arguments)]
-fn analysis_read(
-    cfg: &CastroSedovConfig,
-    backend: &mut dyn IoBackend,
-    fs: &dyn Vfs,
-    tracker: &IoTracker,
-    scheduler: &mut Option<BurstScheduler<'_>>,
-    timeline: &mut BurstTimeline,
-    clock: &mut f64,
-    output_counter: u32,
-    dir: &str,
-) -> AnalysisPhase {
-    let Some(sel) = &cfg.analysis_read else {
-        return AnalysisPhase::default();
-    };
-    let mut phase = AnalysisPhase::default();
-    // Analysis happens after the run's closing flush, like a restart.
-    let start = match &scheduler {
-        Some(sched) => sched.finish(*clock),
-        None => *clock,
-    };
-    *clock = start;
-
-    let read = if cfg.reorganize {
-        let mut reorg = Reorganizer::new(fs, tracker, cfg.codec);
-        let stats = reorg
-            .reorganize(backend, output_counter, dir)
-            .expect("reorganize a written step");
-        // Price the rewrite: the source fetch as a read burst, its
-        // decode CPU, then the clustered rewrite as a write burst with
-        // the re-encode CPU charged up front.
-        let mut read_reqs = stats.read.requests.clone();
-        let mut write_reqs = stats.requests.clone();
-        if let Some(sched) = scheduler.as_mut() {
-            let (burst, next) =
-                sched.submit_read(output_counter, *clock, &mut read_reqs, stats.read.bytes);
-            timeline.push(burst);
-            *clock = next + stats.read.codec_seconds;
-            let (burst, next) = sched.submit_with_compute(
-                output_counter,
-                *clock,
-                stats.codec_seconds,
-                &mut write_reqs,
-                stats.bytes,
-            );
-            timeline.push(burst);
-            *clock = sched.finish(next);
-        } else {
-            *clock += stats.read.codec_seconds + stats.codec_seconds;
-        }
-        phase.reorg_wall = *clock - start;
-        phase.reorg_bytes = stats.read.bytes + stats.bytes;
-        phase.codec_seconds += stats.read.codec_seconds + stats.codec_seconds;
-        reorg
-            .read_selection(output_counter, sel)
-            .expect("selective read of a reorganized step")
-    } else {
-        backend
-            .read_selection(output_counter, dir, sel)
-            .expect("selective read of a written step")
-    };
-
-    let sel_start = *clock;
-    let mut requests = read.stats.requests;
-    if let Some(sched) = scheduler.as_mut() {
-        let (burst, next) =
-            sched.submit_read(output_counter, *clock, &mut requests, read.stats.bytes);
-        timeline.push(burst);
-        *clock = next;
-    }
-    *clock += read.stats.codec_seconds;
-    phase.selective_read_bytes = read.stats.logical_bytes;
-    phase.selective_physical_read_bytes = read.stats.bytes;
-    phase.selective_read_files = read.stats.files;
-    phase.selective_read_wall = *clock - sel_start;
-    phase.codec_seconds += read.stats.codec_seconds;
-    phase
-}
-
-fn run_hydro(cfg: &CastroSedovConfig, fs: &dyn Vfs, storage: Option<&StorageModel>) -> RunResult {
-    let amr_cfg = AmrConfig {
-        n_cell: cfg.n_cell,
-        max_level: cfg.max_level,
-        grid: cfg.grid,
-        regrid_int: cfg.regrid_int,
-        nranks: cfg.nprocs,
-        strategy: cfg.strategy,
-        ctrl: cfg.ctrl,
-        tag: cfg.tag,
-        problem: cfg.problem,
-    };
-    let mut sim = AmrSim::new(amr_cfg);
-    let tracker = IoTracker::new();
-    let comm = SimComm::summit(cfg.nprocs, 0x5ED0);
-    let mut backend = cfg.backend.build_with_codec(cfg.codec, fs, &tracker);
-    let mut scheduler = storage.map(|m| BurstScheduler::new(m, backend.overlapped()));
-    let mut timeline = BurstTimeline::new();
-    let mut clock = 0.0f64;
-    let mut outputs = 0u32;
-    let mut codec_seconds = 0.0f64;
-    let var_names = castro_sedov_plot_vars();
-    let inputs = cfg.inputs();
-
-    let dump = |sim: &AmrSim,
-                step: u64,
-                outputs: &mut u32,
-                clock: &mut f64,
-                codec_seconds: &mut f64,
-                timeline: &mut BurstTimeline,
-                backend: &mut dyn IoBackend,
-                scheduler: &mut Option<BurstScheduler<'_>>| {
-        *outputs += 1;
-        let stats = if cfg.account_only {
-            let layout = PlotfileLayout {
-                dir: cfg.plot_dir(step),
-                output_counter: *outputs,
-                time: sim.time(),
-                var_names: var_names.clone(),
-                ref_ratio: cfg.grid.ref_ratio,
-                levels: sim
-                    .levels()
-                    .iter()
-                    .map(|l| LayoutLevel {
-                        geom: l.geom,
-                        ba: l.mf.box_array().clone(),
-                        dm: l.mf.distribution_map().clone(),
-                        level_steps: l.steps,
-                    })
-                    .collect(),
-                inputs: inputs.clone(),
-            };
-            account_plotfile_with(backend, &layout)
-        } else {
-            let spec = PlotfileSpec {
-                dir: cfg.plot_dir(step),
-                output_counter: *outputs,
-                time: sim.time(),
-                var_names: var_names.clone(),
-                ref_ratio: cfg.grid.ref_ratio,
-                levels: sim
-                    .levels()
-                    .iter()
-                    .map(|l| PlotLevel {
-                        geom: l.geom,
-                        mf: &l.mf,
-                        level_steps: l.steps,
-                    })
-                    .collect(),
-                inputs: inputs.clone(),
-            };
-            write_plotfile_with(backend, &spec).expect("plotfile write")
-        };
-        *codec_seconds += stats.codec_seconds;
-        let mut requests = stats.requests;
-        dump_burst(
-            timeline,
-            clock,
-            scheduler,
-            *outputs,
-            stats.codec_seconds,
-            &mut requests,
-            stats.total_bytes,
-        );
-    };
-
-    // AMReX writes plt00000 before the first step.
-    dump(
-        &sim,
-        0,
-        &mut outputs,
-        &mut clock,
-        &mut codec_seconds,
-        &mut timeline,
-        backend.as_mut(),
-        &mut scheduler,
-    );
-    let mut last_plot = (outputs, cfg.plot_dir(0));
-
-    // Checkpoints keep the plain N-to-N accounting path (they are restart
-    // state, not analysis output, and stay outside the backend's layout);
-    // their files still count toward the run's physical file total and
-    // their bursts share the run's drain policy.
-    let mut checkpoint_files = 0u64;
-    let mut checkpoint_bytes = 0u64;
-    let mut steps = Vec::new();
-    while sim.step_count() < cfg.max_step && sim.time() < cfg.stop_time {
-        let info = sim.step();
-        let cells: i64 = info.cells.iter().sum();
-        clock = compute_phase(&comm, info.step, clock, cells, cfg.compute_ns_per_cell);
-        if info.step.is_multiple_of(cfg.plot_int) {
-            dump(
-                &sim,
-                info.step,
-                &mut outputs,
-                &mut clock,
-                &mut codec_seconds,
-                &mut timeline,
-                backend.as_mut(),
-                &mut scheduler,
-            );
-            last_plot = (outputs, cfg.plot_dir(info.step));
-        }
-        if cfg.check_int > 0 && info.step.is_multiple_of(cfg.check_int) {
-            outputs += 1;
-            let spec = plotfile::CheckpointSpec {
-                dir: cfg.check_dir(info.step),
-                output_counter: outputs,
-                time: sim.time(),
-                ncomp: hydro::NCOMP,
-                ref_ratio: cfg.grid.ref_ratio,
-                levels: sim
-                    .levels()
-                    .iter()
-                    .map(|l| plotfile::CheckpointLevel {
-                        geom: l.geom,
-                        ba: l.mf.box_array().clone(),
-                        dm: l.mf.distribution_map().clone(),
-                        level_steps: l.steps,
-                        dt: info.dt,
-                    })
-                    .collect(),
-            };
-            let stats = plotfile::account_checkpoint(&tracker, &spec);
-            checkpoint_files += stats.nfiles;
-            checkpoint_bytes += stats.total_bytes;
-            let mut requests = stats.requests;
-            dump_burst(
-                &mut timeline,
-                &mut clock,
-                &mut scheduler,
-                outputs,
-                0.0,
-                &mut requests,
-                stats.total_bytes,
-            );
-        }
-        steps.push(info);
-    }
-
-    let read_phase = if cfg.read_after_write {
-        restart_read(
-            backend.as_mut(),
-            &mut scheduler,
-            &mut timeline,
-            &mut clock,
-            last_plot.0,
-            &last_plot.1,
-        )
-    } else {
-        ReadPhase::default()
-    };
-
-    let analysis = analysis_read(
-        cfg,
-        backend.as_mut(),
-        fs,
-        &tracker,
-        &mut scheduler,
-        &mut timeline,
-        &mut clock,
-        last_plot.0,
-        &last_plot.1,
-    );
-
-    let engine_report = backend.close().expect("backend close");
-    drop(backend);
-    let wall_time = match &scheduler {
-        Some(sched) => sched.finish(clock),
-        None => clock,
-    };
-    RunResult {
-        config: cfg.clone(),
-        tracker,
-        steps,
-        outputs,
-        files_written: engine_report.files + checkpoint_files,
-        physical_bytes: engine_report.bytes + checkpoint_bytes,
-        logical_bytes: engine_report.logical_bytes + checkpoint_bytes,
-        overhead_bytes: engine_report.overhead_bytes,
-        codec_seconds: codec_seconds + read_phase.codec_seconds + analysis.codec_seconds,
-        read_bytes: read_phase.read_bytes,
-        physical_read_bytes: read_phase.physical_read_bytes,
-        read_files: read_phase.read_files,
-        read_wall: read_phase.read_wall,
-        selective_read_bytes: analysis.selective_read_bytes,
-        selective_physical_read_bytes: analysis.selective_physical_read_bytes,
-        selective_read_files: analysis.selective_read_files,
-        selective_read_wall: analysis.selective_read_wall,
-        reorg_wall: analysis.reorg_wall,
-        reorg_bytes: analysis.reorg_bytes,
-        timeline,
-        wall_time,
-    }
-}
-
-fn run_oracle(cfg: &CastroSedovConfig, fs: &dyn Vfs, storage: Option<&StorageModel>) -> RunResult {
-    let oracle_cfg = OracleConfig {
-        n_cell: cfg.n_cell,
-        max_level: cfg.max_level,
-        grid: cfg.grid,
-        regrid_int: cfg.regrid_int,
-        nranks: cfg.nprocs,
-        strategy: cfg.strategy,
-        ctrl: cfg.ctrl,
-        problem: cfg.problem,
-        shock_halfwidth_cells: 6.0,
-    };
-    let mut sim = OracleSim::new(oracle_cfg);
-    let tracker = IoTracker::new();
-    let comm = SimComm::summit(cfg.nprocs, 0x5ED0);
-    let mut backend = cfg.backend.build_with_codec(cfg.codec, fs, &tracker);
-    let mut scheduler = storage.map(|m| BurstScheduler::new(m, backend.overlapped()));
-    let mut timeline = BurstTimeline::new();
-    let mut clock = 0.0f64;
-    let mut outputs = 0u32;
-    let mut codec_seconds = 0.0f64;
-    let var_names = castro_sedov_plot_vars();
-    let inputs = cfg.inputs();
-
-    let dump = |sim: &OracleSim,
-                step: u64,
-                outputs: &mut u32,
-                clock: &mut f64,
-                codec_seconds: &mut f64,
-                timeline: &mut BurstTimeline,
-                backend: &mut dyn IoBackend,
-                scheduler: &mut Option<BurstScheduler<'_>>| {
-        *outputs += 1;
-        let layout = PlotfileLayout {
-            dir: cfg.plot_dir(step),
-            output_counter: *outputs,
-            time: sim.time(),
-            var_names: var_names.clone(),
-            ref_ratio: cfg.grid.ref_ratio,
-            levels: sim
-                .levels()
-                .iter()
-                .map(|l| LayoutLevel {
-                    geom: l.geom,
-                    ba: l.ba.clone(),
-                    dm: l.dm.clone(),
-                    level_steps: l.steps,
-                })
-                .collect(),
-            inputs: inputs.clone(),
-        };
-        let stats = account_plotfile_with(backend, &layout);
-        *codec_seconds += stats.codec_seconds;
-        let mut requests = stats.requests;
-        dump_burst(
-            timeline,
-            clock,
-            scheduler,
-            *outputs,
-            stats.codec_seconds,
-            &mut requests,
-            stats.total_bytes,
-        );
-    };
-
-    dump(
-        &sim,
-        0,
-        &mut outputs,
-        &mut clock,
-        &mut codec_seconds,
-        &mut timeline,
-        backend.as_mut(),
-        &mut scheduler,
-    );
-    let mut last_plot = (outputs, cfg.plot_dir(0));
-
-    // Checkpoints keep the plain N-to-N accounting path (they are restart
-    // state, not analysis output, and stay outside the backend's layout);
-    // their files still count toward the run's physical file total and
-    // their bursts share the run's drain policy.
-    let mut checkpoint_files = 0u64;
-    let mut checkpoint_bytes = 0u64;
-    let mut steps = Vec::new();
-    while sim.step_count() < cfg.max_step && sim.time() < cfg.stop_time {
-        let info = sim.step();
-        let cells: i64 = info.cells.iter().sum();
-        clock = compute_phase(&comm, info.step, clock, cells, cfg.compute_ns_per_cell);
-        if info.step.is_multiple_of(cfg.plot_int) {
-            dump(
-                &sim,
-                info.step,
-                &mut outputs,
-                &mut clock,
-                &mut codec_seconds,
-                &mut timeline,
-                backend.as_mut(),
-                &mut scheduler,
-            );
-            last_plot = (outputs, cfg.plot_dir(info.step));
-        }
-        if cfg.check_int > 0 && info.step.is_multiple_of(cfg.check_int) {
-            outputs += 1;
-            let spec = plotfile::CheckpointSpec {
-                dir: cfg.check_dir(info.step),
-                output_counter: outputs,
-                time: sim.time(),
-                ncomp: hydro::NCOMP,
-                ref_ratio: cfg.grid.ref_ratio,
-                levels: sim
-                    .levels()
-                    .iter()
-                    .map(|l| plotfile::CheckpointLevel {
-                        geom: l.geom,
-                        ba: l.ba.clone(),
-                        dm: l.dm.clone(),
-                        level_steps: l.steps,
-                        dt: info.dt,
-                    })
-                    .collect(),
-            };
-            let stats = plotfile::account_checkpoint(&tracker, &spec);
-            checkpoint_files += stats.nfiles;
-            checkpoint_bytes += stats.total_bytes;
-            let mut requests = stats.requests;
-            dump_burst(
-                &mut timeline,
-                &mut clock,
-                &mut scheduler,
-                outputs,
-                0.0,
-                &mut requests,
-                stats.total_bytes,
-            );
-        }
-        steps.push(info);
-    }
-
-    let read_phase = if cfg.read_after_write {
-        restart_read(
-            backend.as_mut(),
-            &mut scheduler,
-            &mut timeline,
-            &mut clock,
-            last_plot.0,
-            &last_plot.1,
-        )
-    } else {
-        ReadPhase::default()
-    };
-
-    let analysis = analysis_read(
-        cfg,
-        backend.as_mut(),
-        fs,
-        &tracker,
-        &mut scheduler,
-        &mut timeline,
-        &mut clock,
-        last_plot.0,
-        &last_plot.1,
-    );
-
-    let engine_report = backend.close().expect("backend close");
-    drop(backend);
-    let wall_time = match &scheduler {
-        Some(sched) => sched.finish(clock),
-        None => clock,
-    };
-    RunResult {
-        config: cfg.clone(),
-        tracker,
-        steps,
-        outputs,
-        files_written: engine_report.files + checkpoint_files,
-        physical_bytes: engine_report.bytes + checkpoint_bytes,
-        logical_bytes: engine_report.logical_bytes + checkpoint_bytes,
-        overhead_bytes: engine_report.overhead_bytes,
-        codec_seconds: codec_seconds + read_phase.codec_seconds + analysis.codec_seconds,
-        read_bytes: read_phase.read_bytes,
-        physical_read_bytes: read_phase.physical_read_bytes,
-        read_files: read_phase.read_files,
-        read_wall: read_phase.read_wall,
-        selective_read_bytes: analysis.selective_read_bytes,
-        selective_physical_read_bytes: analysis.selective_physical_read_bytes,
-        selective_read_files: analysis.selective_read_files,
-        selective_read_wall: analysis.selective_read_wall,
-        reorg_wall: analysis.reorg_wall,
-        reorg_bytes: analysis.reorg_bytes,
-        timeline,
-        wall_time,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use io_engine::Scenario;
     use iosim::IoKind;
 
     fn small(engine: Engine) -> CastroSedovConfig {
@@ -748,6 +237,7 @@ mod tests {
         assert_eq!(r.tracker.steps(), vec![1, 2, 3, 4]);
         assert_eq!(r.steps.len(), 12);
         assert!(r.tracker.total_bytes() > 0);
+        assert_eq!(r.scenario, "write");
     }
 
     #[test]
@@ -796,6 +286,15 @@ mod tests {
         assert_eq!(r.timeline.len(), 4);
         assert!(r.timeline.duty_cycle() < 0.9);
         assert!(r.wall_time > 0.0);
+        // Per-phase walls decompose the run: compute + plot bursts are
+        // the whole story for a write-only synchronous run.
+        assert!(r.compute_wall > 0.0);
+        assert!(r.plot_wall > 0.0);
+        assert!(
+            (r.compute_wall + r.plot_wall + r.drain_wall - r.wall_time).abs()
+                < 1e-9 + r.wall_time * 1e-12,
+            "phase walls must sum to wall_time for a write-only sync run"
+        );
     }
 
     #[test]
@@ -831,6 +330,59 @@ mod tests {
         // (22 vars), so total growth stays well below 2x.
         let ratio = with_chk.tracker.total_bytes() as f64 / plot_only.tracker.total_bytes() as f64;
         assert!((1.05..1.40).contains(&ratio), "ratio {ratio}");
+        // The checkpoint plane is reported separately, not folded into
+        // plot totals.
+        assert!(with_chk.check_bytes > 0);
+        assert!(with_chk.check_files > 0);
+        assert_eq!(plot_only.check_bytes, 0);
+        assert_eq!(
+            with_chk.physical_bytes - with_chk.check_bytes,
+            plot_only.physical_bytes,
+            "plot volume is checkpoint-invariant"
+        );
+    }
+
+    #[test]
+    fn checkpoints_ride_the_backend_and_codec_stack() {
+        // The satellite contract: checkpoint dumps go through the same
+        // backend/codec stack as plot dumps — aggregation funnels their
+        // files, compression shrinks their physical bytes.
+        let mut cfg = small(Engine::Oracle);
+        cfg.account_only = true;
+        cfg.check_int = 4;
+        let fpp = run_simulation(&cfg, None, None);
+        cfg.backend = io_engine::BackendSpec::Aggregated(2);
+        let agg = run_simulation(&cfg, None, None);
+        assert!(
+            agg.check_files < fpp.check_files,
+            "aggregation must funnel checkpoint files: {} vs {}",
+            agg.check_files,
+            fpp.check_files
+        );
+        cfg.backend = io_engine::BackendSpec::FilePerProcess;
+        cfg.codec = io_engine::CodecSpec::LossyQuant(8);
+        let quant = run_simulation(&cfg, None, None);
+        assert!(
+            quant.check_bytes < fpp.check_bytes,
+            "compression must shrink checkpoint state: {} vs {}",
+            quant.check_bytes,
+            fpp.check_bytes
+        );
+        // The logical tracker view stays invariant across the stack.
+        assert_eq!(fpp.tracker.total_bytes(), agg.tracker.total_bytes());
+        assert_eq!(fpp.tracker.total_bytes(), quant.tracker.total_bytes());
+    }
+
+    #[test]
+    fn checkpoint_bursts_cost_wall_clock() {
+        let mut cfg = small(Engine::Oracle);
+        cfg.account_only = true;
+        cfg.check_int = 4;
+        let model = StorageModel::ideal(2, 1e6);
+        let r = run_simulation(&cfg, None, Some(&model));
+        assert!(r.check_wall > 0.0);
+        // 4 plot bursts + 3 checkpoint bursts in the timeline.
+        assert_eq!(r.timeline.len(), 7);
     }
 
     #[test]
@@ -845,6 +397,8 @@ mod tests {
         assert_eq!(r.read_bytes, r.tracker.bytes_per_step()[&last]);
         assert_eq!(r.tracker.total_read_bytes(), r.read_bytes);
         assert!(r.read_files > 0);
+        assert_eq!(r.restarts, 1);
+        assert_eq!(r.scenario, "write;restart");
         // Without a storage model only decode CPU could cost time; the
         // identity codec costs none.
         assert_eq!(r.read_wall, 0.0);
@@ -953,5 +507,150 @@ mod tests {
             })
             .sum();
         assert!(a.wall_time > exact, "barrier waits on the slowest rank");
+    }
+
+    #[test]
+    fn jitter_decorrelates_steps_eight_apart() {
+        // Regression for the draw-burning bug: `step % 8` RNG burns made
+        // steps 8 apart reuse identical jitter. The hash-seeded jitter
+        // must draw independently for every (rank, step) pair.
+        for rank in 0..4u64 {
+            for step in 0..32u64 {
+                let a = rank_step_jitter(0x5ED0, rank, step);
+                let b = rank_step_jitter(0x5ED0, rank, step + 8);
+                assert!(
+                    (a - b).abs() > 1e-12,
+                    "rank {rank}: steps {step} and {} share jitter {a}",
+                    step + 8
+                );
+            }
+        }
+        // Range, determinism, and per-rank decorrelation.
+        for rank in 0..8u64 {
+            for step in 0..64u64 {
+                let j = rank_step_jitter(0x5ED0, rank, step);
+                assert!((0.97..1.03).contains(&j), "jitter {j} out of range");
+                assert_eq!(j, rank_step_jitter(0x5ED0, rank, step));
+            }
+        }
+        assert_ne!(
+            rank_step_jitter(0x5ED0, 0, 3),
+            rank_step_jitter(0x5ED0, 1, 3),
+            "ranks draw independent streams"
+        );
+    }
+
+    #[test]
+    fn fail_restart_repays_compute_but_not_dumps() {
+        // The scenario-plane acceptance invariant: a fail@k;restart run
+        // re-pays compute for the steps lost since the restart point but
+        // never re-writes the dumps it already flushed.
+        let mut cfg = small(Engine::Oracle);
+        cfg.account_only = true;
+        cfg.compute_ns_per_cell = 40_000.0;
+        let storage = StorageModel::ideal(2, 5e7);
+        let clean = run_simulation(&cfg, None, Some(&storage));
+
+        cfg.scenario = Some(Scenario::fail_restart(10));
+        let failed = run_simulation(&cfg, None, Some(&storage));
+
+        // Write plane identical: no dump is flushed twice.
+        assert_eq!(failed.tracker.export(), clean.tracker.export());
+        assert_eq!(failed.outputs, clean.outputs);
+        assert_eq!(failed.physical_bytes, clean.physical_bytes);
+        // Restart point is the plot dump at step 8 (no checkpoints):
+        // steps 9 and 10 are computed twice.
+        assert_eq!(failed.steps.len(), clean.steps.len() + 2);
+        assert_eq!(failed.restarts, 1);
+        assert!(failed.read_bytes > 0, "the recovery read is priced");
+        assert!(
+            failed.compute_wall > clean.compute_wall,
+            "lost compute is re-paid"
+        );
+        assert!(failed.wall_time > clean.wall_time);
+        // The replayed steps are byte-identical to the originals (the
+        // deterministic engine reproduces the hierarchy).
+        assert_eq!(failed.steps[8].cells, failed.steps[12].cells);
+        assert_eq!(failed.steps[9].cells, failed.steps[13].cells);
+    }
+
+    #[test]
+    fn checkpoint_cadence_shortens_the_replay() {
+        // With checkpoints every 4 steps, a failure at step 10 restarts
+        // from step 8's checkpoint (2 steps lost); without, from the
+        // plot dump at step 8 as well — but a checkpointed failure at
+        // step 11 loses 3 steps either way while fail@10 with check@5
+        // loses none... pin the simple comparison: denser checkpoints
+        // mean fewer replayed steps.
+        let mut cfg = small(Engine::Oracle);
+        cfg.account_only = true;
+        cfg.plot_int = 12; // sparse plots: dumps at 0 and 12 only
+        let base_steps = run_simulation(&cfg, None, None).steps.len();
+
+        cfg.scenario = Some(Scenario::parse("write;fail@10;restart").unwrap());
+        let sparse = run_simulation(&cfg, None, None);
+        // Restart source is the step-0 plot dump: all 10 steps replayed.
+        assert_eq!(sparse.steps.len(), base_steps + 10);
+
+        cfg.scenario = Some(Scenario::parse("write;check@4;fail@10;restart").unwrap());
+        let dense = run_simulation(&cfg, None, None);
+        // Restart source is the step-8 checkpoint: 2 steps replayed.
+        assert_eq!(dense.steps.len(), base_steps + 2);
+        assert!(dense.check_bytes > 0);
+        // The checkpoint read is smaller than the full plot-dump read
+        // (4 conserved components vs 22 plot variables).
+        assert!(dense.read_bytes < sparse.read_bytes);
+    }
+
+    #[test]
+    fn in_run_analysis_interleaves_with_writes() {
+        use io_engine::ReadSelection;
+        let mut cfg = small(Engine::Oracle);
+        cfg.account_only = true;
+        cfg.compute_ns_per_cell = 40_000.0;
+        cfg.scenario = Some(Scenario::in_run_analysis(2, ReadSelection::Level(1)));
+        let storage = StorageModel::ideal(2, 5e7);
+        let r = run_simulation(&cfg, None, Some(&storage));
+        // Dumps 2 and 4 (steps 4 and 12) are analyzed in-run: the read
+        // bursts sit *between* write bursts, not after them all.
+        assert!(r.selective_read_bytes > 0);
+        assert_eq!(r.timeline.len(), 6, "4 write + 2 analysis bursts");
+        let bursts = r.timeline.bursts();
+        // The first analysis burst (of output counter 2) ends before the
+        // next write burst (counter 3) starts.
+        assert!(bursts[2].t_end <= bursts[3].t_start + 1e-12);
+        assert_eq!(
+            bursts.iter().map(|b| b.step).collect::<Vec<_>>(),
+            vec![1, 2, 2, 3, 4, 4],
+            "write/read interleave by output counter"
+        );
+    }
+
+    #[test]
+    fn readall_scenario_reads_every_dump() {
+        let mut cfg = small(Engine::Oracle);
+        cfg.account_only = true;
+        cfg.scenario = Some(Scenario::parse("write;readall").unwrap());
+        let r = run_simulation(&cfg, None, None);
+        assert_eq!(r.restarts, 4, "all four dumps read back");
+        assert_eq!(
+            r.tracker.total_read_bytes(),
+            r.tracker.total_bytes(),
+            "full campaign read-back"
+        );
+    }
+
+    #[test]
+    fn stop_time_halt_skips_the_failure_but_keeps_trailing_reads() {
+        let mut cfg = small(Engine::Oracle);
+        cfg.account_only = true;
+        cfg.stop_time = 1e-12; // halts after step 1
+        cfg.scenario = Some(Scenario::parse("write;fail@10;restart;restart").unwrap());
+        let r = run_simulation(&cfg, None, None);
+        assert_eq!(r.steps.len(), 1);
+        // The failure at step 10 never happened; the trailing restart
+        // still reads the newest dump actually written (step 0's).
+        assert_eq!(r.restarts, 1);
+        assert_eq!(r.read_bytes, r.tracker.bytes_per_step()[&1]);
     }
 }

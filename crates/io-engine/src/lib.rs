@@ -63,11 +63,18 @@
 //! by-level and by-field queries, with both the rewrite and the reads
 //! priced like any other I/O.
 //!
+//! Finally, the [`scenario`] module hosts the **workload grammar** shared
+//! by every engine driver: a [`Scenario`] program
+//! (`write;fail@17;restart;analyze:level:2,reorg`) names how a campaign
+//! interleaves writes, checkpoints, mid-run failures/restarts, and
+//! in-run analysis reads; `amrproxy` compiles it into a phase program,
+//! `macsio` interprets it over its dump loop.
+//!
 //! **Layer position:** between the proxy writers (`plotfile`, `macsio`)
 //! and the `iosim` substrate: writers choose logical paths, this crate
 //! chooses the physical layout on both planes. Key types: [`IoBackend`],
 //! [`BackendSpec`], [`CodecSpec`], [`Put`]/[`Payload`], [`StepRead`],
-//! [`ReadSelection`], [`Reorganizer`].
+//! [`ReadSelection`], [`Reorganizer`], [`Scenario`].
 //!
 //! ```
 //! use io_engine::{BackendSpec, CodecSpec, Payload, Put, ReadSelection};
@@ -111,6 +118,7 @@ pub mod codec;
 pub mod deferred;
 pub mod fpp;
 pub mod reorg;
+pub mod scenario;
 pub mod selection;
 pub mod spec;
 pub mod stage;
@@ -124,6 +132,7 @@ pub use codec::{Codec, CodecContext, CodecSpec, Identity, LossyQuant, Rle};
 pub use deferred::Deferred;
 pub use fpp::FilePerProcess;
 pub use reorg::{ReorgStats, Reorganizer};
+pub use scenario::{Scenario, ScenarioOp};
 pub use selection::{KeyBox, ReadSelection};
 pub use spec::BackendSpec;
 pub use stage::CompressionStage;

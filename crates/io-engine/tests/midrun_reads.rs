@@ -1,0 +1,171 @@
+//! Mid-run reads: the scenario plane's io-engine contract.
+//!
+//! Phase programs interleave restart and analysis reads *with* the write
+//! stream — a step is read back while later steps are still being
+//! written. These tests pin that contract across the backend matrix:
+//! reading step `s` between `end_step(s)` and `begin_step(s + 1)` (or
+//! after later steps landed) returns exactly what a post-run read
+//! returns, and never disturbs subsequent writes.
+
+use io_engine::{BackendSpec, CodecSpec, IoBackend, Payload, Put, ReadSelection};
+use iosim::{IoKey, IoKind, IoTracker, MemFs, Vfs};
+
+fn backends() -> Vec<BackendSpec> {
+    vec![
+        BackendSpec::FilePerProcess,
+        BackendSpec::Aggregated(2),
+        BackendSpec::Deferred(1),
+    ]
+}
+
+fn write_step(backend: &mut dyn IoBackend, step: u32, ntasks: u32) {
+    backend.begin_step(step, "/plt");
+    for task in 0..ntasks {
+        for level in 0..2u32 {
+            backend
+                .put(Put {
+                    key: IoKey { step, level, task },
+                    kind: IoKind::Data,
+                    path: format!("/plt/s{step}/L{level}/Cell_D_{task:05}"),
+                    payload: Payload::Bytes(vec![(step as u8) ^ (task as u8); 96]),
+                })
+                .unwrap();
+        }
+    }
+    backend.end_step().unwrap();
+}
+
+#[test]
+fn midrun_read_matches_postrun_read_across_backends() {
+    for spec in backends() {
+        for codec in [CodecSpec::Identity, CodecSpec::Rle(2.0)] {
+            // Run A: read step 1 mid-run, right before step 2 is written.
+            let fs_a = MemFs::new();
+            let tracker_a = IoTracker::new();
+            let mut a = spec.build_with_codec(codec, &fs_a as &dyn Vfs, &tracker_a);
+            write_step(a.as_mut(), 1, 4);
+            let midrun = a
+                .read_selection(1, "/plt", &ReadSelection::Level(1))
+                .unwrap();
+            write_step(a.as_mut(), 2, 4);
+            a.close().unwrap();
+
+            // Run B: identical writes, read step 1 only after the run.
+            let fs_b = MemFs::new();
+            let tracker_b = IoTracker::new();
+            let mut b = spec.build_with_codec(codec, &fs_b as &dyn Vfs, &tracker_b);
+            write_step(b.as_mut(), 1, 4);
+            write_step(b.as_mut(), 2, 4);
+            let postrun = b
+                .read_selection(1, "/plt", &ReadSelection::Level(1))
+                .unwrap();
+            b.close().unwrap();
+
+            let label = format!("{}/{}", spec.name(), codec.name());
+            assert_eq!(
+                midrun.chunks.len(),
+                postrun.chunks.len(),
+                "{label}: chunk count"
+            );
+            for (m, p) in midrun.chunks.iter().zip(&postrun.chunks) {
+                assert_eq!(m.key, p.key, "{label}");
+                assert_eq!(m.path, p.path, "{label}");
+                assert_eq!(
+                    m.payload.logical_len(),
+                    p.payload.logical_len(),
+                    "{label}: logical length"
+                );
+            }
+            assert_eq!(
+                midrun.stats.logical_bytes, postrun.stats.logical_bytes,
+                "{label}: logical read volume is position-invariant"
+            );
+            assert_eq!(
+                midrun.stats.bytes, postrun.stats.bytes,
+                "{label}: physical read volume is position-invariant"
+            );
+            // The mid-run read must not disturb the write plane.
+            assert_eq!(
+                tracker_a.export(),
+                tracker_b.export(),
+                "{label}: writes invariant under read position"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_step_stays_readable_while_later_steps_land() {
+    for spec in backends() {
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let mut backend = spec.build(&fs as &dyn Vfs, &tracker);
+        let mut logical_per_step = Vec::new();
+        for step in 1..=3u32 {
+            write_step(backend.as_mut(), step, 3);
+            // After step `step` lands, every earlier step (and the new
+            // one) reads back in full.
+            for earlier in 1..=step {
+                let read = backend.read_step(earlier, "/plt").unwrap();
+                assert_eq!(
+                    read.chunks.len(),
+                    6,
+                    "{}: step {earlier} after step {step}",
+                    spec.name()
+                );
+                if earlier == step {
+                    logical_per_step.push(read.stats.logical_bytes);
+                }
+            }
+        }
+        assert_eq!(logical_per_step, vec![576, 576, 576]);
+        backend.close().unwrap();
+    }
+}
+
+#[test]
+fn midrun_read_of_account_only_steps_is_modeled() {
+    // The oracle engine never materializes payloads; mid-run reads must
+    // still return modeled chunks with exact physical accounting.
+    for spec in backends() {
+        let fs = MemFs::with_retention(0);
+        let tracker = IoTracker::new();
+        let mut backend = spec.build(&fs as &dyn Vfs, &tracker);
+        backend.begin_step(1, "/plt");
+        backend
+            .put(Put {
+                key: IoKey {
+                    step: 1,
+                    level: 0,
+                    task: 0,
+                },
+                kind: IoKind::Data,
+                path: "/plt/s1/Cell_D_00000".to_string(),
+                payload: Payload::Size(4096),
+            })
+            .unwrap();
+        backend.end_step().unwrap();
+        let read = backend.read_step(1, "/plt").unwrap();
+        backend.begin_step(2, "/plt");
+        backend
+            .put(Put {
+                key: IoKey {
+                    step: 2,
+                    level: 0,
+                    task: 0,
+                },
+                kind: IoKind::Data,
+                path: "/plt/s2/Cell_D_00000".to_string(),
+                payload: Payload::Size(4096),
+            })
+            .unwrap();
+        backend.end_step().unwrap();
+        assert_eq!(read.stats.logical_bytes, 4096, "{}", spec.name());
+        assert!(
+            matches!(read.chunks[0].payload, Payload::Size(4096)),
+            "{}: modeled chunk",
+            spec.name()
+        );
+        backend.close().unwrap();
+    }
+}

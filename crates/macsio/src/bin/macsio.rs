@@ -66,16 +66,21 @@ fn main() {
         println!("{k:>6}  {b:>12}  {cum:>12}");
     }
     println!(
-        "# total_bytes={} files={} wall_time={:.3}s duty_cycle={:.3}",
+        "# scenario={} total_bytes={} files={} wall_time={:.3}s duty_cycle={:.3}",
+        report.scenario,
         report.total_bytes,
         report.files_written,
         report.wall_time,
         report.timeline.duty_cycle()
     );
-    if cfg.mode.reads() {
+    if report.read_bytes > 0 || report.restarts > 0 {
         println!(
-            "# read_bytes={} physical_read_bytes={} read_files={} read_wall={:.3}s",
-            report.read_bytes, report.physical_read_bytes, report.read_files, report.read_wall
+            "# restarts={} read_bytes={} physical_read_bytes={} read_files={} read_wall={:.3}s",
+            report.restarts,
+            report.read_bytes,
+            report.physical_read_bytes,
+            report.read_files,
+            report.read_wall
         );
     }
 }

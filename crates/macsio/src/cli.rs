@@ -6,7 +6,7 @@
 //! `--dataset_growth`) plus `--nprocs` standing in for `jsrun -n`.
 
 use crate::config::{FileMode, Interface, MacsioConfig, RunMode};
-use io_engine::{BackendSpec, CodecSpec, ReadSelection};
+use io_engine::{BackendSpec, CodecSpec, ReadSelection, Scenario};
 
 /// One-screen flag reference (printed by the `macsio` binary on bad
 /// usage). Table II flags plus the workspace extensions, each with its
@@ -51,6 +51,11 @@ pub fn usage() -> &'static str {
                                        (default), level:<l>, field:<path\n\
                                        substring>, box:<l0>-<l1>,<t0>-<t1>\n\
                                        (inclusive level,task key ranges)\n\
+       --scenario PROGRAM              workload program overriding --mode:\n\
+                                       ';'-joined ops among write, fail@K,\n\
+                                       restart, readall, analyze:SEL, and\n\
+                                       analyze_every:M:SEL (default: --mode\n\
+                                       compiled, e.g. wr -> write;readall)\n\
      \n\
      binary flags (macsio executable only):\n\
        --output_dir DIR                write real files under DIR\n\
@@ -127,6 +132,9 @@ where
             }
             "--read_pattern" => {
                 cfg.read_pattern = ReadSelection::parse(&next(&mut i)?)?;
+            }
+            "--scenario" => {
+                cfg.scenario = Some(Scenario::parse(&next(&mut i)?)?);
             }
             "--nprocs" | "-n" => {
                 cfg.nprocs = parse_num(&next(&mut i)?)? as usize;
@@ -285,6 +293,7 @@ mod tests {
             "--compression",
             "--mode",
             "--read_pattern",
+            "--scenario",
             "--output_dir",
             "--summit_scale",
         ] {
@@ -306,6 +315,20 @@ mod tests {
         assert!(u.contains("fpp (N-to-N, default)"));
         assert!(u.contains("identity (default)"));
         assert!(u.contains("write-only (default)"));
+    }
+
+    #[test]
+    fn scenario_flag_parses() {
+        let cfg = parse_args(["--scenario", "write;fail@3;restart"]).unwrap();
+        assert_eq!(cfg.scenario, Some(Scenario::fail_restart(3)));
+        let cfg = parse_args(["--scenario", "write;analyze_every:2:field:root"]).unwrap();
+        assert_eq!(
+            cfg.scenario.unwrap().name(),
+            "write;analyze_every:2:field:root"
+        );
+        // Malformed programs are rejected at parse time.
+        assert!(parse_args(["--scenario", "write;fail@3"]).is_err());
+        assert!(parse_args(["--scenario", "explode"]).is_err());
     }
 
     #[test]

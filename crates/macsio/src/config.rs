@@ -1,6 +1,6 @@
 //! MACSio run configuration: the command-line surface of Table II.
 
-use io_engine::{BackendSpec, CodecSpec, ReadSelection};
+use io_engine::{BackendSpec, CodecSpec, ReadSelection, Scenario};
 use serde::{Deserialize, Serialize};
 
 /// Output interface (MACSio `--interface`).
@@ -180,8 +180,17 @@ pub struct MacsioConfig {
     /// What the read phase fetches (`--read_pattern`): the whole dump
     /// (default), one level (always 0 for MACSio's flat meshes), one
     /// field (path substring), or a `(level, task)` key box. Applies to
-    /// the reads of `--mode restart|wr`.
+    /// the reads of `--mode restart|wr` and of a scenario's trailing
+    /// `restart`/`readall` ops.
     pub read_pattern: ReadSelection,
+    /// The run's workload program (`--scenario`): how dumps, mid-run
+    /// failures/restarts, and analysis reads interleave. `None` compiles
+    /// [`MacsioConfig::mode`] into its equivalent scenario (`write`,
+    /// `write;restart`, `write;readall`), so `--mode` keeps working
+    /// bit-identically. MACSio's flat dump stream has no checkpoint or
+    /// reorganization plane, so `check@` ops and `,reorg` analysis
+    /// suffixes are rejected at run time.
+    pub scenario: Option<Scenario>,
 }
 
 impl Default for MacsioConfig {
@@ -202,6 +211,7 @@ impl Default for MacsioConfig {
             compression: CodecSpec::default(),
             mode: RunMode::default(),
             read_pattern: ReadSelection::default(),
+            scenario: None,
         }
     }
 }
@@ -289,7 +299,26 @@ impl MacsioConfig {
         if self.read_pattern != ReadSelection::default() {
             line.push_str(&format!(" --read_pattern {}", self.read_pattern.name()));
         }
+        if let Some(scenario) = &self.scenario {
+            line.push_str(&format!(" --scenario {}", scenario.name()));
+        }
         line
+    }
+
+    /// The scenario this run executes: [`MacsioConfig::scenario`] when
+    /// set, otherwise [`MacsioConfig::mode`] compiled into its
+    /// equivalent program (`write`, `write;restart`, `write;readall`).
+    pub fn effective_scenario(&self) -> Scenario {
+        if let Some(s) = &self.scenario {
+            return s.clone();
+        }
+        match self.mode {
+            RunMode::Write => Scenario::write_only(),
+            RunMode::Restart => Scenario::write_restart(),
+            RunMode::WriteRead => Scenario {
+                ops: vec![io_engine::ScenarioOp::Write, io_engine::ScenarioOp::ReadAll],
+            },
+        }
     }
 }
 
@@ -446,6 +475,39 @@ mod tests {
         assert!(cfg
             .command_line()
             .contains("--read_pattern field:macsio_json_00000"));
+    }
+
+    #[test]
+    fn modes_compile_to_scenarios_and_explicit_wins() {
+        let mut cfg = MacsioConfig::default();
+        assert_eq!(cfg.effective_scenario().name(), "write");
+        cfg.mode = RunMode::Restart;
+        assert_eq!(cfg.effective_scenario().name(), "write;restart");
+        cfg.mode = RunMode::WriteRead;
+        assert_eq!(cfg.effective_scenario().name(), "write;readall");
+        cfg.scenario = Some(Scenario::fail_restart(2));
+        assert_eq!(cfg.effective_scenario().name(), "write;fail@2;restart");
+    }
+
+    #[test]
+    fn command_line_names_non_default_scenario() {
+        let mut cfg = MacsioConfig::default();
+        assert!(!cfg.command_line().contains("--scenario"));
+        cfg.scenario = Some(Scenario::fail_restart(3));
+        assert!(cfg
+            .command_line()
+            .contains("--scenario write;fail@3;restart"));
+    }
+
+    #[test]
+    fn config_with_scenario_round_trips_serde() {
+        use serde::{Deserialize as _, Serialize as _};
+        let cfg = MacsioConfig {
+            scenario: Some(Scenario::parse("write;analyze_every:2:field:root").unwrap()),
+            ..Default::default()
+        };
+        let back = MacsioConfig::from_value(&cfg.to_value()).unwrap();
+        assert_eq!(back, cfg);
     }
 
     #[test]

@@ -6,11 +6,20 @@
 //! `dataset_growth^k`. Bytes are written through a [`Vfs`], recorded in an
 //! [`IoTracker`], and optionally timed against a [`StorageModel`] to
 //! produce the burst timeline.
+//!
+//! The run's *shape* is an [`io_engine::Scenario`] program interpreted
+//! over the dump stream: the legacy `--mode` spellings compile to
+//! `write`, `write;restart`, and `write;readall`, while `--scenario`
+//! opens the rest of the grammar — `fail@K;restart` re-reads the newest
+//! dump mid-stream (recovery interleaved with the write bursts) and
+//! `analyze_every:M:SEL` prices periodic in-run analysis reads. MACSio's
+//! flat dump stream has no checkpoint or reorganization plane, so
+//! `check@` ops and `,reorg` suffixes are rejected.
 
-use crate::config::{FileMode, MacsioConfig, RunMode};
+use crate::config::{FileMode, MacsioConfig};
 use crate::marshal::{marshal_part, marshal_root};
 use crate::mesh::MeshPart;
-use io_engine::{IoBackend, Payload, Put};
+use io_engine::{IoBackend, Payload, Put, ReadSelection, ScenarioOp};
 use iosim::{BurstScheduler, BurstTimeline, IoKey, IoKind, IoTracker, StorageModel, Vfs};
 use std::io;
 
@@ -50,6 +59,12 @@ pub fn predicted_dump_bytes(cfg: &MacsioConfig, dump: u32) -> u64 {
 /// Outcome of a MACSio run.
 #[derive(Clone, Debug, Default)]
 pub struct MacsioReport {
+    /// Canonical spelling of the scenario the run executed (the
+    /// compiled `--mode` when no `--scenario` was given).
+    pub scenario: String,
+    /// Restart reads performed (mid-run recoveries plus trailing
+    /// `restart`/`readall` reads; `analyze` reads are not restarts).
+    pub restarts: u32,
     /// Total physical bytes written (data + root metadata + overhead).
     pub total_bytes: u64,
     /// Total logical (pre-compression) payload bytes — what the tracker
@@ -114,7 +129,48 @@ pub fn run_with_backend(
     storage: Option<&StorageModel>,
 ) -> io::Result<MacsioReport> {
     cfg.validate();
-    let mut report = MacsioReport::default();
+    let scenario = cfg.effective_scenario();
+    scenario.validate().map_err(io::Error::other)?;
+    if scenario.check_every().is_some() {
+        return Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "macsio has no checkpoint plane: 'check@' ops need the AMR engines",
+        ));
+    }
+    if scenario.ops.iter().any(|op| {
+        matches!(
+            op,
+            ScenarioOp::Analyze {
+                reorganize: true,
+                ..
+            } | ScenarioOp::AnalyzeEvery {
+                reorganize: true,
+                ..
+            }
+        )
+    }) {
+        return Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "macsio has no reorganization plane: drop ',reorg' from analysis ops",
+        ));
+    }
+    let fail = scenario.fail_step();
+    if let Some(k) = fail {
+        if k > u64::from(cfg.num_dumps) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "fail@{k} is beyond num_dumps {} (the failure would never happen)",
+                    cfg.num_dumps
+                ),
+            ));
+        }
+    }
+    let analyze_every = scenario.analyze_every_ops();
+    let mut report = MacsioReport {
+        scenario: scenario.name(),
+        ..MacsioReport::default()
+    };
     let mut clock = 0.0f64;
     let mut scheduler = storage.map(|m| BurstScheduler::new(m, backend.overlapped()));
 
@@ -209,44 +265,85 @@ pub fn run_with_backend(
         report.logical_bytes += stats.logical_bytes;
         report.codec_seconds += stats.codec_seconds;
         report.overhead_bytes += stats.overhead_bytes;
+
+        // In-run analysis reads ride the dump stream: every M-th dump
+        // is read back *between* write bursts, not after the campaign.
+        for (every, sel, _) in &analyze_every {
+            if u64::from(step_key).is_multiple_of(*every) {
+                read_phase(
+                    backend,
+                    &mut scheduler,
+                    &mut report,
+                    &mut clock,
+                    step_key,
+                    sel,
+                )?;
+            }
+        }
+        // Mid-run failure: the crash loses the in-memory mesh, so the
+        // recovery re-reads the newest dump in full before the stream
+        // resumes. MACSio's state lives entirely in its dumps — no
+        // marshal work is re-paid; the read burst is the price of the
+        // failure.
+        if fail == Some(u64::from(step_key)) {
+            read_phase(
+                backend,
+                &mut scheduler,
+                &mut report,
+                &mut clock,
+                step_key,
+                &ReadSelection::Full,
+            )?;
+            report.restarts += 1;
+        }
     }
 
-    // Read phase: restart-read the last dump, or read every dump back —
-    // fetching only the chunks of `cfg.read_pattern` (the default `full`
-    // pattern is the whole-dump restart). The backend barriers in-flight
-    // drains itself (read-after-write consistency); the scheduler does
-    // the same on the simulated clock.
-    if cfg.mode.reads() && cfg.num_dumps > 0 {
-        let read_start = match &scheduler {
-            // A restart happens after the run's closing flush.
-            Some(sched) => sched.finish(clock),
-            None => clock,
-        };
-        clock = read_start;
-        let steps: Vec<u32> = match cfg.mode {
-            RunMode::Restart => vec![cfg.num_dumps],
-            RunMode::WriteRead => (1..=cfg.num_dumps).collect(),
-            RunMode::Write => unreachable!(),
-        };
-        for step in steps {
-            let read = backend.read_selection(step, "/", &cfg.read_pattern)?;
-            report.read_bytes += read.stats.logical_bytes;
-            report.physical_read_bytes += read.stats.bytes;
-            report.read_files += read.stats.files;
-            report.codec_seconds += read.stats.codec_seconds;
-            let mut requests = read.stats.requests;
-            if let Some(sched) = scheduler.as_mut() {
-                let (burst, next_clock) =
-                    sched.submit_read(step, clock, &mut requests, read.stats.bytes);
-                // Read bursts join the timeline like write bursts, so
-                // duty-cycle analysis covers the whole run.
-                report.timeline.push(burst);
-                clock = next_clock;
+    // Trailing read ops: restart-read the last dump, read every dump
+    // back, or a selective analysis read — `restart`/`readall` fetch
+    // only the chunks of `cfg.read_pattern` (the default `full` pattern
+    // is the whole-dump restart), `analyze:` carries its own selection.
+    // The backend barriers in-flight drains itself (read-after-write
+    // consistency); the scheduler does the same on the simulated clock.
+    if cfg.num_dumps > 0 {
+        for op in scenario.trailing_ops() {
+            match op {
+                ScenarioOp::Restart => {
+                    read_phase(
+                        backend,
+                        &mut scheduler,
+                        &mut report,
+                        &mut clock,
+                        cfg.num_dumps,
+                        &cfg.read_pattern,
+                    )?;
+                    report.restarts += 1;
+                }
+                ScenarioOp::ReadAll => {
+                    for step in 1..=cfg.num_dumps {
+                        read_phase(
+                            backend,
+                            &mut scheduler,
+                            &mut report,
+                            &mut clock,
+                            step,
+                            &cfg.read_pattern,
+                        )?;
+                        report.restarts += 1;
+                    }
+                }
+                ScenarioOp::Analyze { sel, .. } => {
+                    read_phase(
+                        backend,
+                        &mut scheduler,
+                        &mut report,
+                        &mut clock,
+                        cfg.num_dumps,
+                        &sel,
+                    )?;
+                }
+                _ => unreachable!("trailing_ops yields only read ops"),
             }
-            // Decoding happens after the bytes are in memory.
-            clock += read.stats.codec_seconds;
         }
-        report.read_wall = clock - read_start;
     }
 
     backend.close()?;
@@ -257,10 +354,44 @@ pub fn run_with_backend(
     Ok(report)
 }
 
+/// One read phase of the scenario interpreter: barriers any in-flight
+/// drain, fetches the selected chunks of `step`, prices the read burst
+/// (joining the timeline next to the write bursts so duty-cycle analysis
+/// covers the whole run), and charges decode CPU after the bytes arrive.
+fn read_phase(
+    backend: &mut dyn IoBackend,
+    scheduler: &mut Option<BurstScheduler<'_>>,
+    report: &mut MacsioReport,
+    clock: &mut f64,
+    step: u32,
+    sel: &ReadSelection,
+) -> io::Result<()> {
+    let read_start = match &scheduler {
+        Some(sched) => sched.finish(*clock),
+        None => *clock,
+    };
+    *clock = read_start;
+    let read = backend.read_selection(step, "/", sel)?;
+    report.read_bytes += read.stats.logical_bytes;
+    report.physical_read_bytes += read.stats.bytes;
+    report.read_files += read.stats.files;
+    report.codec_seconds += read.stats.codec_seconds;
+    let mut requests = read.stats.requests;
+    if let Some(sched) = scheduler.as_mut() {
+        let (burst, next_clock) = sched.submit_read(step, *clock, &mut requests, read.stats.bytes);
+        report.timeline.push(burst);
+        *clock = next_clock;
+    }
+    // Decoding happens after the bytes are in memory.
+    *clock += read.stats.codec_seconds;
+    report.read_wall += *clock - read_start;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::Interface;
+    use crate::config::{Interface, RunMode};
     use iosim::MemFs;
 
     fn base_cfg() -> MacsioConfig {
@@ -530,6 +661,110 @@ mod tests {
                 assert_eq!(report.read_bytes, report.logical_bytes, "{label}");
             }
         }
+    }
+
+    #[test]
+    fn scenario_path_reproduces_mode_reports_exactly() {
+        use io_engine::Scenario;
+        // `--mode restart` and `--scenario write;restart` (and wr /
+        // write;readall) must be the same run: every report column and
+        // the tracker agree.
+        for (mode, spelling) in [
+            (RunMode::Write, "write"),
+            (RunMode::Restart, "write;restart"),
+            (RunMode::WriteRead, "write;readall"),
+        ] {
+            let mut by_mode_cfg = base_cfg();
+            by_mode_cfg.mode = mode;
+            let fs_m = MemFs::new();
+            let t_m = IoTracker::new();
+            let model = StorageModel::ideal(2, 1e6);
+            let by_mode = run(&by_mode_cfg, &fs_m, &t_m, Some(&model)).unwrap();
+
+            let mut by_scenario_cfg = base_cfg();
+            by_scenario_cfg.scenario = Some(Scenario::parse(spelling).unwrap());
+            let fs_s = MemFs::new();
+            let t_s = IoTracker::new();
+            let by_scenario = run(&by_scenario_cfg, &fs_s, &t_s, Some(&model)).unwrap();
+
+            assert_eq!(by_mode.scenario, spelling);
+            assert_eq!(by_scenario.scenario, spelling);
+            assert_eq!(t_m.export(), t_s.export(), "{spelling}: write plane");
+            assert_eq!(t_m.export_reads(), t_s.export_reads(), "{spelling}");
+            assert_eq!(by_mode.total_bytes, by_scenario.total_bytes);
+            assert_eq!(by_mode.read_bytes, by_scenario.read_bytes);
+            assert_eq!(by_mode.read_files, by_scenario.read_files);
+            assert_eq!(by_mode.read_wall, by_scenario.read_wall, "{spelling}");
+            assert_eq!(by_mode.wall_time, by_scenario.wall_time, "{spelling}");
+            assert_eq!(by_mode.timeline, by_scenario.timeline);
+        }
+    }
+
+    #[test]
+    fn fail_restart_scenario_recovers_mid_stream() {
+        use io_engine::Scenario;
+        let mut cfg = base_cfg();
+        cfg.compute_time = 10.0;
+        cfg.scenario = Some(Scenario::fail_restart(2));
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let model = StorageModel::ideal(4, 1e6);
+        let report = run(&cfg, &fs, &tracker, Some(&model)).unwrap();
+        assert_eq!(report.restarts, 1);
+        // The recovery read of dump 2 sits *between* the write bursts of
+        // dumps 2 and 3, not after the campaign.
+        let steps: Vec<u32> = report.timeline.bursts().iter().map(|b| b.step).collect();
+        assert_eq!(steps, vec![1, 2, 2, 3], "write, write, recovery, write");
+        // The recovery reads exactly dump 2's logical volume; no dump is
+        // written twice.
+        assert_eq!(report.read_bytes, tracker.bytes_per_step()[&2]);
+        let mut clean_cfg = base_cfg();
+        clean_cfg.compute_time = 10.0;
+        let fs_c = MemFs::new();
+        let t_c = IoTracker::new();
+        let clean = run(&clean_cfg, &fs_c, &t_c, Some(&model)).unwrap();
+        assert_eq!(tracker.export(), t_c.export(), "write plane untouched");
+        assert!(report.wall_time > clean.wall_time, "the failure is priced");
+    }
+
+    #[test]
+    fn in_run_analysis_scenario_interleaves_selective_reads() {
+        use io_engine::Scenario;
+        let mut cfg = base_cfg();
+        cfg.num_dumps = 4;
+        cfg.compute_time = 5.0;
+        cfg.scenario = Some(Scenario::parse("write;analyze_every:2:field:root").unwrap());
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let model = StorageModel::ideal(4, 1e6);
+        let report = run(&cfg, &fs, &tracker, Some(&model)).unwrap();
+        // Dumps 2 and 4 are analyzed in-run.
+        let steps: Vec<u32> = report.timeline.bursts().iter().map(|b| b.step).collect();
+        assert_eq!(steps, vec![1, 2, 2, 3, 4, 4]);
+        assert_eq!(report.restarts, 0, "analysis reads are not restarts");
+        // The field selection narrows each read to the root metadata.
+        assert_eq!(
+            report.read_bytes,
+            tracker.total_read_bytes_of(IoKind::Metadata)
+        );
+        assert_eq!(report.read_files, 2);
+    }
+
+    #[test]
+    fn unsupported_scenario_ops_are_rejected() {
+        use io_engine::Scenario;
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let mut cfg = base_cfg();
+        // No checkpoint plane.
+        cfg.scenario = Some(Scenario::parse("write;check@2").unwrap());
+        assert!(run(&cfg, &fs, &tracker, None).is_err());
+        // No reorganization plane.
+        cfg.scenario = Some(Scenario::parse("write;analyze:field:root,reorg").unwrap());
+        assert!(run(&cfg, &fs, &tracker, None).is_err());
+        // A failure after the last dump can never happen.
+        cfg.scenario = Some(Scenario::fail_restart(99));
+        assert!(run(&cfg, &fs, &tracker, None).is_err());
     }
 
     #[test]

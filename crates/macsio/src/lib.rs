@@ -14,7 +14,11 @@
 //! `compute_time` sets the burst cadence for dynamic studies. Runs can
 //! also read their dumps back (`--mode restart|wr`), selectively so with
 //! `--read_pattern` (one field, a task box) through the io-engine's
-//! selection read plane.
+//! selection read plane — and `--scenario` interprets a full
+//! [`io_engine::Scenario`] program over the dump stream
+//! (`write;fail@2;restart`, `write;analyze_every:2:field:root`), so
+//! mid-run recoveries and in-run analysis interleave with the write
+//! bursts.
 //!
 //! **Layer position:** the second proxy write path, next to `plotfile` —
 //! above `io-engine`, parameterized by `model`'s Listing-1 translation.

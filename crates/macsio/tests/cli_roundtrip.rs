@@ -1,7 +1,7 @@
 //! Property test: any valid MACSio configuration survives the
 //! `command_line()` -> `parse_args()` round trip.
 
-use io_engine::ReadSelection;
+use io_engine::{ReadSelection, Scenario};
 use macsio::{parse_args, FileMode, Interface, MacsioConfig, RunMode};
 use proptest::prelude::*;
 
@@ -29,12 +29,24 @@ fn arb_config() -> impl Strategy<Value = MacsioConfig> {
             Just(ReadSelection::Field("root".to_string())),
             (0u32..4).prop_map(|t| ReadSelection::parse(&format!("box:0,{t}-{}", t + 2)).unwrap()),
         ],
+        prop_oneof![
+            Just(None),
+            Just(Some(Scenario::write_only())),
+            Just(Some(Scenario::write_restart())),
+            (1u64..4).prop_map(|k| Some(Scenario::fail_restart(k))),
+            (1u64..4).prop_map(|m| Some(Scenario::in_run_analysis(
+                m,
+                ReadSelection::Field("root".to_string())
+            ))),
+            Just(Some(Scenario::parse("write;readall").unwrap())),
+        ],
     )
         .prop_map(
             |(
                 (interface, nprocs, mode, dumps, part, avg, vars, meta, growth),
                 run_mode,
                 read_pattern,
+                scenario,
             )| {
                 MacsioConfig {
                     interface,
@@ -52,6 +64,7 @@ fn arb_config() -> impl Strategy<Value = MacsioConfig> {
                     compression: MacsioConfig::default().compression,
                     mode: run_mode,
                     read_pattern,
+                    scenario,
                 }
             },
         )
@@ -79,6 +92,7 @@ proptest! {
         prop_assert!((parsed.dataset_growth - cfg.dataset_growth).abs() < 1e-12);
         prop_assert_eq!(parsed.mode, cfg.mode);
         prop_assert_eq!(parsed.read_pattern, cfg.read_pattern);
+        prop_assert_eq!(parsed.scenario, cfg.scenario);
         // MIF counts are clamped to nprocs when printed.
         match (parsed.parallel_file_mode, cfg.parallel_file_mode) {
             (FileMode::Sif, FileMode::Sif) => {}

@@ -173,6 +173,7 @@ mod tests {
             compression: Default::default(),
             mode: Default::default(),
             read_pattern: Default::default(),
+            scenario: None,
         }
     }
 

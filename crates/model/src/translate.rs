@@ -93,6 +93,7 @@ pub fn translate(inputs: &AmrInputs, model: &TranslationModel) -> MacsioConfig {
         compression: Default::default(),
         mode: Default::default(),
         read_pattern: Default::default(),
+        scenario: None,
     }
 }
 

@@ -61,7 +61,8 @@ pub mod sizer;
 pub mod writer;
 
 pub use checkpoint::{
-    account_checkpoint, checkpoint_header, CheckpointLevel, CheckpointSpec, CheckpointStats,
+    account_checkpoint, account_checkpoint_with, checkpoint_header, CheckpointLevel,
+    CheckpointSpec, CheckpointStats,
 };
 pub use format::{
     castro_sedov_plot_vars, cell_h, fab_header, format_box, job_info, plotfile_header, FabOnDisk,

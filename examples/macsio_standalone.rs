@@ -27,6 +27,7 @@ fn main() {
         compression: Default::default(),
         mode: Default::default(),
         read_pattern: Default::default(),
+        scenario: None,
     };
     println!("# {}", cfg.command_line());
 

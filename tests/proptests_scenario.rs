@@ -1,0 +1,185 @@
+//! Property tests for the scenario plane's compatibility contract: every
+//! legacy boolean-axis configuration (`read_after_write`,
+//! `analysis_read`, `reorganize`, `check_int`) and the *same* config
+//! with its compiled `Scenario` set explicitly produce byte- and
+//! wall-identical `RunResult`s — across the three backends, with and
+//! without a storage model. The booleans are deprecated spelling, not a
+//! second code path.
+
+use amr_proxy_io::amrproxy::{run_simulation, CastroSedovConfig, Engine, RunResult};
+use amr_proxy_io::io_engine::{BackendSpec, CodecSpec, ReadSelection};
+use amr_proxy_io::iosim::StorageModel;
+use proptest::prelude::*;
+
+/// One legacy boolean-axis point.
+#[derive(Clone, Debug)]
+struct LegacyAxes {
+    backend: BackendSpec,
+    codec: CodecSpec,
+    check_int: u64,
+    read_after_write: bool,
+    analysis_read: Option<ReadSelection>,
+    reorganize: bool,
+    timed: bool,
+}
+
+fn arb_axes() -> impl Strategy<Value = LegacyAxes> {
+    (
+        prop_oneof![
+            Just(BackendSpec::FilePerProcess),
+            Just(BackendSpec::Aggregated(2)),
+            Just(BackendSpec::Deferred(1)),
+        ],
+        prop_oneof![Just(CodecSpec::Identity), Just(CodecSpec::Rle(2.0))],
+        prop_oneof![Just(0u64), Just(3), Just(4)],
+        prop_oneof![Just(false), Just(true)],
+        prop_oneof![
+            Just(None),
+            Just(Some(ReadSelection::Level(1))),
+            Just(Some(ReadSelection::Field("Cell".to_string()))),
+            Just(Some(ReadSelection::parse("box:0-1,0-2").unwrap())),
+        ],
+        prop_oneof![Just(false), Just(true)],
+        prop_oneof![Just(false), Just(true)],
+    )
+        .prop_map(
+            |(backend, codec, check_int, read_after_write, analysis_read, reorganize, timed)| {
+                LegacyAxes {
+                    backend,
+                    codec,
+                    check_int,
+                    read_after_write,
+                    analysis_read,
+                    reorganize,
+                    timed,
+                }
+            },
+        )
+}
+
+fn base_config(axes: &LegacyAxes) -> CastroSedovConfig {
+    CastroSedovConfig {
+        name: "compat".into(),
+        engine: Engine::Oracle,
+        n_cell: 64,
+        max_level: 2,
+        max_step: 8,
+        plot_int: 2,
+        nprocs: 4,
+        account_only: true,
+        compute_ns_per_cell: 40_000.0,
+        backend: axes.backend,
+        codec: axes.codec,
+        check_int: axes.check_int,
+        read_after_write: axes.read_after_write,
+        analysis_read: axes.analysis_read.clone(),
+        reorganize: axes.reorganize,
+        ..Default::default()
+    }
+}
+
+/// Byte- and wall-identity of two runs: tracker planes, every byte and
+/// file column, every wall column, and the burst timeline.
+fn assert_identical(a: &RunResult, b: &RunResult) {
+    assert_eq!(a.tracker.export(), b.tracker.export(), "write plane");
+    assert_eq!(a.tracker.export_reads(), b.tracker.export_reads(), "reads");
+    assert_eq!(a.outputs, b.outputs);
+    assert_eq!(a.restarts, b.restarts);
+    assert_eq!(a.files_written, b.files_written);
+    assert_eq!(a.physical_bytes, b.physical_bytes);
+    assert_eq!(a.logical_bytes, b.logical_bytes);
+    assert_eq!(a.overhead_bytes, b.overhead_bytes);
+    assert_eq!(a.check_bytes, b.check_bytes);
+    assert_eq!(a.check_files, b.check_files);
+    assert_eq!(a.read_bytes, b.read_bytes);
+    assert_eq!(a.physical_read_bytes, b.physical_read_bytes);
+    assert_eq!(a.read_files, b.read_files);
+    assert_eq!(a.selective_read_bytes, b.selective_read_bytes);
+    assert_eq!(
+        a.selective_physical_read_bytes,
+        b.selective_physical_read_bytes
+    );
+    assert_eq!(a.selective_read_files, b.selective_read_files);
+    assert_eq!(a.reorg_bytes, b.reorg_bytes);
+    // Wall identity is exact: the same phase program executes the same
+    // clock operations in the same order.
+    assert_eq!(a.wall_time, b.wall_time, "wall");
+    assert_eq!(a.compute_wall, b.compute_wall);
+    assert_eq!(a.plot_wall, b.plot_wall);
+    assert_eq!(a.check_wall, b.check_wall);
+    assert_eq!(a.read_wall, b.read_wall);
+    assert_eq!(a.selective_read_wall, b.selective_read_wall);
+    assert_eq!(a.reorg_wall, b.reorg_wall);
+    assert_eq!(a.drain_wall, b.drain_wall);
+    assert_eq!(a.codec_seconds, b.codec_seconds);
+    assert_eq!(a.timeline, b.timeline);
+    assert_eq!(a.steps.len(), b.steps.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The compatibility contract (see module docs).
+    #[test]
+    fn legacy_booleans_and_compiled_scenario_are_identical(axes in arb_axes()) {
+        let legacy_cfg = base_config(&axes);
+        let compiled = legacy_cfg.effective_scenario();
+        // The explicit-scenario twin clears the booleans: the scenario
+        // alone must reproduce them.
+        let scenario_cfg = CastroSedovConfig {
+            scenario: Some(compiled.clone()),
+            read_after_write: false,
+            analysis_read: None,
+            reorganize: false,
+            ..legacy_cfg.clone()
+        };
+        let storage = StorageModel::ideal(2, 5e7);
+        let storage_ref = axes.timed.then_some(&storage);
+        let legacy = run_simulation(&legacy_cfg, None, storage_ref);
+        let scenario = run_simulation(&scenario_cfg, None, storage_ref);
+        prop_assert_eq!(&legacy.scenario, &compiled.name());
+        prop_assert_eq!(&scenario.scenario, &compiled.name());
+        assert_identical(&legacy, &scenario);
+    }
+}
+
+/// The deterministic corner the sweep above samples: the full
+/// backend × {restart, analysis} grid at one timed point each, so a
+/// regression names its exact cell.
+#[test]
+fn boolean_grid_compat_across_backends() {
+    let storage = StorageModel::ideal(2, 5e7);
+    for backend in [
+        BackendSpec::FilePerProcess,
+        BackendSpec::Aggregated(2),
+        BackendSpec::Deferred(1),
+    ] {
+        for (read_after_write, analysis) in [
+            (false, None),
+            (true, None),
+            (false, Some(ReadSelection::Level(1))),
+            (true, Some(ReadSelection::Level(1))),
+        ] {
+            let axes = LegacyAxes {
+                backend,
+                codec: CodecSpec::Identity,
+                check_int: 4,
+                read_after_write,
+                analysis_read: analysis,
+                reorganize: false,
+                timed: true,
+            };
+            let legacy_cfg = base_config(&axes);
+            let scenario_cfg = CastroSedovConfig {
+                scenario: Some(legacy_cfg.effective_scenario()),
+                read_after_write: false,
+                analysis_read: None,
+                reorganize: false,
+                ..legacy_cfg.clone()
+            };
+            let legacy = run_simulation(&legacy_cfg, None, Some(&storage));
+            let scenario = run_simulation(&scenario_cfg, None, Some(&storage));
+            assert_identical(&legacy, &scenario);
+        }
+    }
+}
