@@ -6,7 +6,7 @@
 //! small scales, oracle at paper scales) and executes it in parallel.
 
 use crate::config::{CastroSedovConfig, Engine};
-use crate::run::{run_simulation, RunResult};
+use crate::run::{run_simulation, run_simulation_attached, RunResult};
 use amr_mesh::GridParams;
 use hydro::TimestepControl;
 use io_engine::{BackendSpec, CodecSpec, ReadSelection, Scenario};
@@ -108,6 +108,32 @@ pub struct RunSummary {
     pub plot_wall: f64,
     /// Simulated seconds the closing flush barrier waited on drains.
     pub drain_wall: f64,
+    /// Tenant index on the shared fabric (0 for solo runs; defaulted so
+    /// pre-tenancy summary blobs still deserialize).
+    #[serde(default)]
+    pub tenant: usize,
+    /// Tenants sharing the fabric during this run (1 for solo runs).
+    #[serde(default)]
+    pub tenants: usize,
+    /// Wall the same workload would have taken alone on the same
+    /// storage (equals `wall_time` for solo runs; 0 in pre-tenancy
+    /// blobs).
+    #[serde(default)]
+    pub solo_wall: f64,
+    /// `wall_time / solo_wall` — the interference slowdown (1.0 solo).
+    #[serde(default)]
+    pub slowdown: f64,
+    /// Simulated seconds lost to other tenants' traffic (fair share
+    /// below solo rate).
+    #[serde(default)]
+    pub contention_stall: f64,
+    /// Simulated seconds lost to this tenant's own QoS cap (rate below
+    /// fair share).
+    #[serde(default)]
+    pub throttle_stall: f64,
+    /// Simulated seconds bursts waited for shared burst-buffer space.
+    #[serde(default)]
+    pub staging_wait: f64,
 }
 
 impl RunSummary {
@@ -165,6 +191,15 @@ impl RunSummary {
             compute_wall: r.compute_wall,
             plot_wall: r.plot_wall,
             drain_wall: r.drain_wall,
+            // Solo tenancy defaults; `run_campaign_fabric` overlays the
+            // shared-fabric columns after the tenants join.
+            tenant: 0,
+            tenants: 1,
+            solo_wall: r.wall_time,
+            slowdown: 1.0,
+            contention_stall: 0.0,
+            throttle_stall: 0.0,
+            staging_wait: 0.0,
         }
     }
 
@@ -504,6 +539,75 @@ pub fn run_campaign_timed(
         .par_iter()
         .map(|cfg| RunSummary::from_result(&run_simulation(cfg, None, Some(storage))))
         .collect()
+}
+
+/// Runs a set of configurations *concurrently* against one shared
+/// storage fabric — the machine-room campaign. Every config becomes a
+/// tenant on the fabric (registration order = input order), all runs
+/// overlap in simulated time, and the returned summaries carry the
+/// tenancy columns: shared wall (`wall_time`), the exact solo wall the
+/// same workload would have taken alone (`solo_wall`), their ratio
+/// (`slowdown`), and the stall attribution split between neighbour
+/// traffic (`contention_stall`) and the tenant's own QoS cap
+/// (`throttle_stall`).
+///
+/// `qos` assigns per-tenant policies positionally; missing entries get
+/// the fair default. `staging_bytes` bounds a shared burst-buffer pool
+/// for deferred-backend tenants (`None` = unbounded).
+///
+/// Tenants run on `std::thread::scope` natives rather than rayon
+/// tasks: a tenant blocks inside the shared event engine while other
+/// tenants make progress, and parking a rayon worker on that condvar
+/// could starve the pool that is supposed to run the peers.
+pub fn run_campaign_fabric(
+    configs: &[CastroSedovConfig],
+    storage: &iosim::StorageModel,
+    staging_bytes: Option<u64>,
+    qos: &[iosim::QosPolicy],
+) -> Vec<RunSummary> {
+    if configs.is_empty() {
+        return Vec::new();
+    }
+    let mut fabric = iosim::Fabric::new(*storage);
+    if let Some(bytes) = staging_bytes {
+        fabric = fabric.with_staging(bytes);
+    }
+    // Register every tenant before the first burst (the fabric's
+    // conservative clock needs the full quorum up front).
+    let handles: Vec<iosim::FabricHandle> = configs
+        .iter()
+        .enumerate()
+        .map(|(i, cfg)| fabric.tenant_with(&cfg.name, qos.get(i).copied().unwrap_or_default()))
+        .collect();
+    let mut summaries: Vec<RunSummary> = std::thread::scope(|s| {
+        let joins: Vec<_> = configs
+            .iter()
+            .zip(handles)
+            .map(|(cfg, handle)| {
+                s.spawn(move || {
+                    RunSummary::from_result(&run_simulation_attached(
+                        cfg,
+                        None,
+                        iosim::StorageAttach::Fabric(handle),
+                    ))
+                })
+            })
+            .collect();
+        joins
+            .into_iter()
+            .map(|j| j.join().expect("fabric tenant run panicked"))
+            .collect()
+    });
+    for (summary, stats) in summaries.iter_mut().zip(fabric.tenant_stats()) {
+        summary.tenant = stats.tenant;
+        summary.tenants = configs.len();
+        summary.solo_wall = stats.solo_wall;
+        summary.slowdown = stats.slowdown();
+        summary.contention_stall = stats.contention_stall;
+        summary.throttle_stall = stats.throttle_stall;
+        summary.staging_wait = stats.staging_wait;
+    }
+    summaries
 }
 
 /// Sequential reference implementation of [`run_campaign_timed`].

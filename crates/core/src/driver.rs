@@ -31,7 +31,7 @@ use crate::config::CastroSedovConfig;
 use crate::run::{compute_phase, dump_burst, RunResult};
 use hydro::{AmrConfig, AmrSim, OracleConfig, OracleSim, StepInfo};
 use io_engine::{IoBackend, ReadSelection, Reorganizer, ScenarioOp};
-use iosim::{BurstScheduler, BurstTimeline, IoTracker, Vfs};
+use iosim::{BurstScheduler, BurstTimeline, IoTracker, StorageAttach, Vfs};
 use mpi_sim::SimComm;
 use plotfile::{
     account_checkpoint_with, account_plotfile_with, castro_sedov_plot_vars, write_plotfile_with,
@@ -566,16 +566,35 @@ fn analysis_read(
 /// program, `fail@` beyond `max_step`) or a phase's I/O fails.
 pub fn run_scenario<S: StepSource>(
     cfg: &CastroSedovConfig,
-    mut src: S,
+    src: S,
     fs: &dyn Vfs,
     storage: Option<&iosim::StorageModel>,
+) -> RunResult {
+    run_scenario_attached(cfg, src, fs, storage.into())
+}
+
+/// [`run_scenario`] with an explicit storage attachment: none, a private
+/// [`iosim::StorageModel`], or one tenant's [`iosim::FabricHandle`] on a
+/// shared [`iosim::Fabric`] — the machine-room path, where this run's
+/// bursts contend with every other tenant's and the scheduler reports
+/// shared vs solo-equivalent walls into the fabric's
+/// [`iosim::TenantStats`] when the run seals.
+///
+/// # Panics
+/// Panics when the config's scenario fails to compile (malformed
+/// program, `fail@` beyond `max_step`) or a phase's I/O fails.
+pub fn run_scenario_attached<S: StepSource>(
+    cfg: &CastroSedovConfig,
+    mut src: S,
+    fs: &dyn Vfs,
+    storage: StorageAttach<'_>,
 ) -> RunResult {
     let program = compile_phases(cfg).unwrap_or_else(|e| panic!("scenario compile: {e}"));
     let scenario_name = cfg.effective_scenario().name();
     let tracker = IoTracker::new();
     let comm = SimComm::summit(cfg.nprocs, 0x5ED0);
     let mut backend = cfg.backend.build_with_codec(cfg.codec, fs, &tracker);
-    let mut scheduler = storage.map(|m| BurstScheduler::new(m, backend.overlapped()));
+    let mut scheduler = storage.scheduler(backend.overlapped());
     let mut timeline = BurstTimeline::new();
     let var_names = castro_sedov_plot_vars();
     let inputs = cfg.inputs();
@@ -762,8 +781,11 @@ pub fn run_scenario<S: StepSource>(
 
     let engine_report = backend.close().expect("backend close");
     drop(backend);
-    let wall_time = match &scheduler {
-        Some(sched) => sched.finish(clock),
+    // Seal rather than just barrier: on the fabric path this reports the
+    // run's shared and solo-equivalent walls to its tenant stats and
+    // retires the tenant from the machine room's quorum.
+    let wall_time = match &mut scheduler {
+        Some(sched) => sched.seal(clock),
         None => clock,
     };
     RunResult {

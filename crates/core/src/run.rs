@@ -10,7 +10,7 @@
 //! [`crate::driver`].
 
 use crate::config::{CastroSedovConfig, Engine};
-use crate::driver::{run_scenario, AmrSource, OracleSource};
+use crate::driver::{run_scenario_attached, AmrSource, OracleSource};
 use hydro::StepInfo;
 use iosim::{BurstScheduler, BurstTimeline, IoTracker, MemFs, StorageModel, Vfs};
 use mpi_sim::{collectives::allreduce_max, SimComm};
@@ -130,6 +130,18 @@ pub fn run_simulation(
     vfs: Option<&dyn Vfs>,
     storage: Option<&StorageModel>,
 ) -> RunResult {
+    run_simulation_attached(cfg, vfs, storage.into())
+}
+
+/// [`run_simulation`] with an explicit storage attachment — pass
+/// [`iosim::StorageAttach::Fabric`] to run as one tenant of a shared
+/// machine room (see [`iosim::Fabric`]), contending with every other
+/// tenant's bursts on one event-driven clock.
+pub fn run_simulation_attached(
+    cfg: &CastroSedovConfig,
+    vfs: Option<&dyn Vfs>,
+    storage: iosim::StorageAttach<'_>,
+) -> RunResult {
     let own_fs;
     let fs: &dyn Vfs = match vfs {
         Some(v) => v,
@@ -139,8 +151,8 @@ pub fn run_simulation(
         }
     };
     match cfg.engine {
-        Engine::Hydro => run_scenario(cfg, AmrSource::new(cfg), fs, storage),
-        Engine::Oracle => run_scenario(cfg, OracleSource::new(cfg), fs, storage),
+        Engine::Hydro => run_scenario_attached(cfg, AmrSource::new(cfg), fs, storage),
+        Engine::Oracle => run_scenario_attached(cfg, OracleSource::new(cfg), fs, storage),
     }
 }
 

@@ -45,6 +45,7 @@
 //! ```
 
 pub mod characterize;
+pub mod fabric;
 pub mod schedule;
 pub mod storage;
 pub mod timeline;
@@ -52,6 +53,7 @@ pub mod tracker;
 pub mod vfs;
 
 pub use characterize::{characterize, IoCharacterization};
+pub use fabric::{Fabric, FabricHandle, QosPolicy, StorageAttach, TenantStats};
 pub use schedule::BurstScheduler;
 pub use storage::{BurstResult, ReadRequest, StorageModel, WriteRequest};
 pub use timeline::{Burst, BurstTimeline};

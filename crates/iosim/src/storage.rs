@@ -18,6 +18,11 @@ use rand::Rng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+/// Remaining-work threshold below which a request retires (seconds of
+/// service demand; floating-point tolerance shared with the fabric's
+/// shared event engine so both retire requests identically).
+pub(crate) const RETIRE_EPS: f64 = 1e-6;
+
 /// Storage system parameters.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct StorageModel {
@@ -44,11 +49,13 @@ pub struct StorageModel {
     pub seed: u64,
 }
 
-/// Internal request view shared by the write and read burst simulations.
-struct ReqView<'a> {
-    path: &'a str,
-    bytes: u64,
-    start: f64,
+/// Internal request view shared by the write and read burst simulations
+/// (and by the multi-tenant fabric engine, which replays the exact same
+/// placement and noise draws).
+pub(crate) struct ReqView<'a> {
+    pub(crate) path: &'a str,
+    pub(crate) bytes: u64,
+    pub(crate) start: f64,
 }
 
 impl StorageModel {
@@ -132,15 +139,54 @@ impl StorageModel {
         self.simulate_views(&views, self.server_read_bandwidth, self.open_latency)
     }
 
-    fn simulate_views(&self, reqs: &[ReqView<'_>], bw: f64, per_file_latency: f64) -> BurstResult {
-        let mut finish = vec![0.0f64; reqs.len()];
+    /// Groups request indices by their file's server (submission order
+    /// preserved within a server).
+    pub(crate) fn place(&self, reqs: &[ReqView<'_>]) -> Vec<Vec<usize>> {
         let mut per_server: Vec<Vec<usize>> = vec![Vec::new(); self.effective_nservers()];
         for (i, r) in reqs.iter().enumerate() {
             per_server[self.server_of(r.path)].push(i);
         }
+        per_server
+    }
+
+    /// Per-request seconds of server demand: noisy transfer time plus the
+    /// per-file charge. The lognormal draws are seeded per burst by the
+    /// request count and consumed server-ascending, submission order
+    /// within a server — the exact sequence `simulate_burst` has always
+    /// used, so the fabric engine (which calls this directly) prices a
+    /// given burst identically to the solo path.
+    pub(crate) fn service_demands(
+        &self,
+        per_server: &[Vec<usize>],
+        reqs: &[ReqView<'_>],
+        bw: f64,
+        per_file_latency: f64,
+    ) -> Vec<f64> {
         let mut rng = rand::rngs::StdRng::seed_from_u64(rank_seed(self.seed, reqs.len()));
+        let mut works = vec![0.0f64; reqs.len()];
         for ids in per_server.iter().filter(|v| !v.is_empty()) {
-            self.simulate_server(ids, reqs, bw, per_file_latency, &mut finish, &mut rng);
+            for &id in ids.iter() {
+                let noise = if self.variability_sigma > 0.0 {
+                    // Lognormal via Box-Muller on two uniform draws.
+                    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    let u2: f64 = rng.gen_range(0.0..1.0);
+                    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                    (self.variability_sigma * z).exp()
+                } else {
+                    1.0
+                };
+                works[id] = reqs[id].bytes as f64 / bw * noise + per_file_latency;
+            }
+        }
+        works
+    }
+
+    fn simulate_views(&self, reqs: &[ReqView<'_>], bw: f64, per_file_latency: f64) -> BurstResult {
+        let mut finish = vec![0.0f64; reqs.len()];
+        let per_server = self.place(reqs);
+        let works = self.service_demands(&per_server, reqs, bw, per_file_latency);
+        for ids in per_server.iter().filter(|v| !v.is_empty()) {
+            self.simulate_server(ids, reqs, &works, &mut finish);
         }
         let total_bytes: u64 = reqs.iter().map(|r| r.bytes).sum();
         let t_start = reqs.iter().map(|r| r.start).fold(f64::INFINITY, f64::min);
@@ -177,10 +223,8 @@ impl StorageModel {
         &self,
         ids: &[usize],
         reqs: &[ReqView<'_>],
-        bw: f64,
-        per_file_latency: f64,
+        works: &[f64],
         finish: &mut [f64],
-        rng: &mut rand::rngs::StdRng,
     ) {
         // Arrival = request start; work = noisy transfer seconds plus the
         // per-file charge (serialized on the server, which is what makes
@@ -196,21 +240,10 @@ impl StorageModel {
         }
         let mut jobs: Vec<Job> = ids
             .iter()
-            .map(|&id| {
-                let noise = if self.variability_sigma > 0.0 {
-                    // Lognormal via Box-Muller on two uniform draws.
-                    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-                    let u2: f64 = rng.gen_range(0.0..1.0);
-                    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-                    (self.variability_sigma * z).exp()
-                } else {
-                    1.0
-                };
-                Job {
-                    id,
-                    arrival: reqs[id].start,
-                    work: reqs[id].bytes as f64 / bw * noise + per_file_latency,
-                }
+            .map(|&id| Job {
+                id,
+                arrival: reqs[id].start,
+                work: works[id],
             })
             .collect();
         jobs.sort_by(|a, b| a.arrival.total_cmp(&b.arrival).then(a.id.cmp(&b.id)));
@@ -248,7 +281,7 @@ impl StorageModel {
             }
             t = t_next;
             // Retire finished jobs (floating-point tolerant; seconds).
-            let eps = 1e-6;
+            let eps = RETIRE_EPS;
             active.retain(|j| {
                 if j.work <= eps {
                     finish[j.id] = t;

@@ -20,7 +20,9 @@ use crate::config::{FileMode, MacsioConfig};
 use crate::marshal::{marshal_part, marshal_root};
 use crate::mesh::MeshPart;
 use io_engine::{IoBackend, Payload, Put, ReadSelection, ScenarioOp};
-use iosim::{BurstScheduler, BurstTimeline, IoKey, IoKind, IoTracker, StorageModel, Vfs};
+use iosim::{
+    BurstScheduler, BurstTimeline, IoKey, IoKind, IoTracker, StorageAttach, StorageModel, Vfs,
+};
 use std::io;
 
 /// Predicted on-disk bytes of one rank's data file at dump `k`, without
@@ -110,10 +112,22 @@ pub fn run(
     tracker: &IoTracker,
     storage: Option<&StorageModel>,
 ) -> io::Result<MacsioReport> {
+    run_attached(cfg, vfs, tracker, storage.into())
+}
+
+/// Like [`run`] but accepting any storage attachment — in particular a
+/// [`iosim::FabricHandle`], which times the run's bursts on a shared
+/// multi-tenant fabric instead of a private storage model.
+pub fn run_attached(
+    cfg: &MacsioConfig,
+    vfs: &dyn Vfs,
+    tracker: &IoTracker,
+    storage: StorageAttach<'_>,
+) -> io::Result<MacsioReport> {
     let mut backend = cfg
         .io_backend
         .build_with_codec(cfg.compression, vfs, tracker);
-    run_with_backend(cfg, backend.as_mut(), storage)
+    run_with_backend_attached(cfg, backend.as_mut(), storage)
 }
 
 /// Runs MACSio through an explicit [`IoBackend`].
@@ -127,6 +141,16 @@ pub fn run_with_backend(
     cfg: &MacsioConfig,
     backend: &mut dyn IoBackend,
     storage: Option<&StorageModel>,
+) -> io::Result<MacsioReport> {
+    run_with_backend_attached(cfg, backend, storage.into())
+}
+
+/// [`run_with_backend`] generalized over the storage attachment: `None`
+/// (untimed), a private [`StorageModel`], or a fabric tenant handle.
+pub fn run_with_backend_attached(
+    cfg: &MacsioConfig,
+    backend: &mut dyn IoBackend,
+    storage: StorageAttach<'_>,
 ) -> io::Result<MacsioReport> {
     cfg.validate();
     let scenario = cfg.effective_scenario();
@@ -172,7 +196,7 @@ pub fn run_with_backend(
         ..MacsioReport::default()
     };
     let mut clock = 0.0f64;
-    let mut scheduler = storage.map(|m| BurstScheduler::new(m, backend.overlapped()));
+    let mut scheduler = storage.scheduler(backend.overlapped());
 
     // Global part ids: prefix sums of per-rank part counts.
     let parts_per_rank: Vec<usize> = (0..cfg.nprocs).map(|r| cfg.parts_of_rank(r)).collect();
@@ -347,8 +371,10 @@ pub fn run_with_backend(
     }
 
     backend.close()?;
-    report.wall_time = match &scheduler {
-        Some(sched) => sched.finish(clock),
+    // seal() both reports the final wall and retires the fabric tenant
+    // (a no-op beyond the barrier for model-backed schedulers).
+    report.wall_time = match &mut scheduler {
+        Some(sched) => sched.seal(clock),
         None => clock,
     };
     Ok(report)

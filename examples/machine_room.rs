@@ -1,0 +1,263 @@
+//! The machine room end-to-end: one shared storage fabric serving N
+//! overlapping campaigns, with solo-equivalence, interference, QoS, and
+//! burst-buffer back-pressure each asserted — this example doubles as
+//! the machine-room smoke suite in CI.
+//!
+//! Demonstrated planes:
+//!
+//! 1. **Solo identity** — a single tenant on the fabric reproduces the
+//!    legacy private-model campaign *exactly* (every summary column).
+//! 2. **Tenancy ladder** — N ∈ {1, 2, 4, 8} identical Sedov campaigns
+//!    sharing the fabric: per-tenant slowdown is 1.0 solo, grows
+//!    monotonically with N, and wall-vs-N fits a positive slope.
+//! 3. **Mixed fleet** — a Sedov AMR campaign and a MACSio dump stream
+//!    overlap on the same servers; both see contention the interference
+//!    plane attributes.
+//! 4. **QoS** — a weight-4 tenant beats its own fair-share wall and
+//!    leads the weighted run (the competitor may *also* improve: faster
+//!    drains desynchronize the fleets and can shrink total
+//!    interference).
+//! 5. **Staging pool** — deferred-backend tenants contending for a
+//!    bounded burst buffer accrue `staging_wait` instead of free
+//!    overlap.
+//!
+//! Writes `BENCH_campaign.json` at the repo root (campaign throughput in
+//! real steps/sec plus the solo vs 4-tenant walls).
+//!
+//! ```text
+//! cargo run --release --example machine_room
+//! ```
+
+use amr_proxy_io::amrproxy::{
+    run_campaign_fabric, run_campaign_timed_serial, run_simulation_attached, CastroSedovConfig,
+    Engine, RunSummary,
+};
+use amr_proxy_io::io_engine::BackendSpec;
+use amr_proxy_io::iosim::{Fabric, IoTracker, MemFs, QosPolicy, StorageAttach, StorageModel};
+use amr_proxy_io::macsio::{self, MacsioConfig};
+use amr_proxy_io::model::linear_fit;
+
+fn sedov(name: &str) -> CastroSedovConfig {
+    CastroSedovConfig {
+        name: name.into(),
+        engine: Engine::Oracle,
+        n_cell: 128,
+        max_level: 2,
+        max_step: 16,
+        plot_int: 4,
+        nprocs: 8,
+        account_only: true,
+        compute_ns_per_cell: 40_000.0,
+        ..Default::default()
+    }
+}
+
+fn storage() -> StorageModel {
+    StorageModel {
+        metadata_latency: 1e-4,
+        ..StorageModel::ideal(4, 5e7)
+    }
+}
+
+fn mean(xs: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = xs.collect();
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+fn row(n: usize, s: &RunSummary) -> String {
+    format!(
+        "{n:>8} {:>12.3} {:>12.3} {:>9.3} {:>12.3} {:>12.3}",
+        s.wall_time, s.solo_wall, s.slowdown, s.contention_stall, s.throttle_stall
+    )
+}
+
+fn main() {
+    let storage = storage();
+
+    // ── 1. Solo identity: fabric with one tenant == legacy model. ──────
+    let legacy = run_campaign_timed_serial(&[sedov("solo")], &storage);
+    let fabric_solo = run_campaign_fabric(&[sedov("solo")], &storage, None, &[]);
+    assert_eq!(legacy, fabric_solo, "solo tenant must be exact");
+    println!(
+        "solo identity: fabric wall {:.3} s == legacy wall {:.3} s (bit-exact)",
+        fabric_solo[0].wall_time, legacy[0].wall_time
+    );
+
+    // ── 2. Tenancy ladder: N identical Sedov campaigns. ────────────────
+    println!(
+        "\n{:>8} {:>12} {:>12} {:>9} {:>12} {:>12}",
+        "tenants", "wall[s]", "solo[s]", "slowdown", "contention", "throttle"
+    );
+    let ladder = [1usize, 2, 4, 8];
+    let started = std::time::Instant::now();
+    let mut total_steps = 0u64;
+    let mut mean_slowdowns = Vec::new();
+    let mut mean_walls = Vec::new();
+    let mut by_n = Vec::new();
+    for &n in &ladder {
+        let configs: Vec<CastroSedovConfig> =
+            (0..n).map(|i| sedov(&format!("sedov_t{i}"))).collect();
+        total_steps += configs.iter().map(|c| c.max_step).sum::<u64>();
+        let summaries = run_campaign_fabric(&configs, &storage, None, &[]);
+        println!("{}", row(n, &summaries[0]));
+        for s in &summaries {
+            assert_eq!(s.tenants, n);
+            assert!(
+                s.slowdown >= 1.0 - 1e-12,
+                "sharing never beats solo: {} at n={n}",
+                s.slowdown
+            );
+            assert!(
+                (s.wall_time / s.solo_wall - s.slowdown).abs() < 1e-9,
+                "slowdown is exactly the wall ratio"
+            );
+        }
+        mean_slowdowns.push(mean(summaries.iter().map(|s| s.slowdown)));
+        mean_walls.push(mean(summaries.iter().map(|s| s.wall_time)));
+        by_n.push(summaries);
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    assert_eq!(by_n[0][0].slowdown, 1.0, "one tenant on the fabric is solo");
+    assert_eq!(by_n[0][0].contention_stall, 0.0);
+    for w in mean_slowdowns.windows(2) {
+        assert!(
+            w[1] >= w[0] - 1e-9,
+            "slowdown is monotone in tenancy: {w:?}"
+        );
+    }
+    assert!(
+        mean_slowdowns[3] > mean_slowdowns[0] + 0.5,
+        "8 tenants must interfere visibly (got {:.3})",
+        mean_slowdowns[3]
+    );
+    let fit = linear_fit(
+        &ladder.map(|n| n as f64),
+        &[mean_walls[0], mean_walls[1], mean_walls[2], mean_walls[3]],
+    );
+    println!(
+        "wall vs tenancy: slope {:.3} s/tenant, r2 {:.4}",
+        fit.slope, fit.r2
+    );
+    assert!(fit.slope > 0.0, "each extra tenant costs wall-clock");
+
+    // ── 3. Mixed fleet: Sedov + MACSio on one fabric. ──────────────────
+    // Slower servers than the ladder, and a back-to-back MACSio dump
+    // stream, so the two fleets' bursts are guaranteed to overlap.
+    let mixed_storage = StorageModel {
+        metadata_latency: 1e-4,
+        ..StorageModel::ideal(2, 5e6)
+    };
+    let fabric = Fabric::new(mixed_storage);
+    let amr_handle = fabric.tenant("sedov");
+    let macsio_handle = fabric.tenant("macsio");
+    let (amr_wall, macsio_wall) = std::thread::scope(|s| {
+        let amr = s.spawn(move || {
+            run_simulation_attached(&sedov("mixed"), None, StorageAttach::Fabric(amr_handle))
+                .wall_time
+        });
+        let mac = s.spawn(move || {
+            let cfg = MacsioConfig {
+                nprocs: 8,
+                num_dumps: 6,
+                part_size: 512 * 1024,
+                compute_time: 0.0,
+                ..Default::default()
+            };
+            let fs = MemFs::with_retention(0);
+            let tracker = IoTracker::new();
+            macsio::dump::run_attached(&cfg, &fs, &tracker, StorageAttach::Fabric(macsio_handle))
+                .expect("macsio run")
+                .wall_time
+        });
+        (amr.join().expect("sedov"), mac.join().expect("macsio"))
+    });
+    let stats = fabric.tenant_stats();
+    println!(
+        "\nmixed fleet: sedov wall {:.3} s (slowdown {:.3}), macsio wall {:.3} s (slowdown {:.3})",
+        amr_wall,
+        stats[0].slowdown(),
+        macsio_wall,
+        stats[1].slowdown()
+    );
+    assert!(stats.iter().all(|t| t.slowdown() >= 1.0 - 1e-12));
+    assert!(
+        stats.iter().any(|t| t.contention_stall > 0.0),
+        "overlapping fleets must contend somewhere"
+    );
+
+    // ── 4. QoS: priority buys wall, the competitor pays. ───────────────
+    let pair = [sedov("hi"), sedov("lo")];
+    let fair = run_campaign_fabric(&pair, &storage, None, &[]);
+    let weighted = run_campaign_fabric(
+        &pair,
+        &storage,
+        None,
+        &[QosPolicy::weighted(4.0), QosPolicy::default()],
+    );
+    println!(
+        "qos: fair walls ({:.3}, {:.3}) s -> weighted walls ({:.3}, {:.3}) s",
+        fair[0].wall_time, fair[1].wall_time, weighted[0].wall_time, weighted[1].wall_time
+    );
+    assert!(
+        weighted[0].wall_time <= fair[0].wall_time + 1e-9,
+        "priority must not hurt the prioritized tenant"
+    );
+    // Note the competitor does not necessarily pay the difference:
+    // faster burst drains desynchronize the fleets, which can lower
+    // *total* interference. The robust invariant is the ordering.
+    assert!(
+        weighted[0].wall_time <= weighted[1].wall_time + 1e-9,
+        "the prioritized tenant leads the weighted run"
+    );
+
+    // ── 5. Staging pool: bounded burst buffer back-pressures. ──────────
+    let deferred: Vec<CastroSedovConfig> = (0..2)
+        .map(|i| CastroSedovConfig {
+            backend: BackendSpec::Deferred(1),
+            ..sedov(&format!("staged_t{i}"))
+        })
+        .collect();
+    let staged = run_campaign_fabric(&deferred, &storage, Some(256 * 1024), &[]);
+    let waited: f64 = staged.iter().map(|s| s.staging_wait).sum();
+    println!("staging: bounded pool adds {waited:.3} s of staging wait");
+    assert!(
+        waited > 0.0,
+        "a pool smaller than the bursts must back-pressure"
+    );
+
+    // ── Benchmark artifact at the repo root. ───────────────────────────
+    let steps_per_sec = total_steps as f64 / elapsed;
+    let bench = serde_json::Value::Object(vec![
+        (
+            "campaign_runs".into(),
+            serde_json::to_value(&ladder.iter().sum::<usize>()),
+        ),
+        (
+            "campaign_wall_seconds".into(),
+            serde_json::to_value(&elapsed),
+        ),
+        (
+            "campaign_steps_per_sec".into(),
+            serde_json::to_value(&steps_per_sec),
+        ),
+        (
+            "solo_wall_seconds".into(),
+            serde_json::to_value(&mean_walls[0]),
+        ),
+        (
+            "four_tenant_wall_seconds".into(),
+            serde_json::to_value(&mean_walls[2]),
+        ),
+        (
+            "four_tenant_slowdown".into(),
+            serde_json::to_value(&mean_slowdowns[2]),
+        ),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_campaign.json");
+    std::fs::write(path, serde_json::to_string_pretty(&bench).unwrap()).expect("write bench");
+    println!(
+        "\n[artifact] {path} ({total_steps} steps in {elapsed:.2} s real, {steps_per_sec:.0} steps/s)"
+    );
+
+    println!("\nall machine-room invariants hold");
+}

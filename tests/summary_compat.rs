@@ -1,0 +1,103 @@
+//! Backward compatibility of the `RunSummary` wire format: summary blobs
+//! serialized before the machine-room tenancy columns existed must still
+//! deserialize, with the new fields landing on their defaults.
+
+use amr_proxy_io::amrproxy::{run_campaign_timed_serial, CastroSedovConfig, Engine, RunSummary};
+use amr_proxy_io::iosim::StorageModel;
+use serde_json::Value;
+
+/// A real summary blob captured before the tenancy columns were added
+/// (checked in, not regenerated — the point is that *old* bytes parse).
+const PRE_TENANCY_BLOB: &str = include_str!("fixtures/run_summary_pre_tenancy.json");
+
+#[test]
+fn pre_tenancy_summary_blob_still_deserializes() {
+    let v: Value = serde_json::from_str(PRE_TENANCY_BLOB).expect("fixture is valid JSON");
+    for field in [
+        "tenant",
+        "tenants",
+        "solo_wall",
+        "slowdown",
+        "contention_stall",
+        "throttle_stall",
+        "staging_wait",
+    ] {
+        assert!(
+            v.get(field).is_none(),
+            "fixture must predate the tenancy column `{field}`"
+        );
+    }
+    let s: RunSummary = serde_json::from_str(PRE_TENANCY_BLOB).expect("old blob deserializes");
+    assert_eq!(s.name, "pre_tenancy_fixture");
+    assert_eq!(s.n_cell, 64);
+    assert!(s.restart, "fixture captured a read-after-write run");
+    assert!(s.wall_time > 0.0);
+    // The missing tenancy columns land on the serde defaults.
+    assert_eq!(s.tenant, 0);
+    assert_eq!(s.tenants, 0);
+    assert_eq!(s.solo_wall, 0.0);
+    assert_eq!(s.slowdown, 0.0);
+    assert_eq!(s.contention_stall, 0.0);
+    assert_eq!(s.throttle_stall, 0.0);
+    assert_eq!(s.staging_wait, 0.0);
+}
+
+#[test]
+fn stripping_tenancy_columns_from_a_fresh_summary_still_parses() {
+    // Forward-looking guard independent of the checked-in fixture: take
+    // a current summary, drop the tenancy keys as an old writer would
+    // never have emitted them, and require the blob to round-trip.
+    let cfg = CastroSedovConfig {
+        name: "strip".into(),
+        engine: Engine::Oracle,
+        n_cell: 32,
+        max_step: 4,
+        plot_int: 2,
+        nprocs: 2,
+        account_only: true,
+        ..Default::default()
+    };
+    let storage = StorageModel::ideal(2, 5e7);
+    let full = run_campaign_timed_serial(&[cfg], &storage).remove(0);
+    let mut v = serde_json::to_value(&full);
+    let tenancy = [
+        "tenant",
+        "tenants",
+        "solo_wall",
+        "slowdown",
+        "contention_stall",
+        "throttle_stall",
+        "staging_wait",
+    ];
+    if let Value::Object(entries) = &mut v {
+        entries.retain(|(k, _)| !tenancy.contains(&k.as_str()));
+    }
+    let stripped: RunSummary =
+        serde_json::from_str(&serde_json::to_string(&v).unwrap()).expect("stripped blob parses");
+    // Everything except the tenancy columns survives the round trip.
+    assert_eq!(stripped.wall_time, full.wall_time);
+    assert_eq!(stripped.series, full.series);
+    assert_eq!(stripped.physical_bytes, full.physical_bytes);
+    assert_eq!(stripped.tenants, 0, "defaulted, not copied");
+}
+
+#[test]
+fn current_summary_round_trips_with_tenancy_columns() {
+    let cfg = CastroSedovConfig {
+        name: "rt".into(),
+        engine: Engine::Oracle,
+        n_cell: 32,
+        max_step: 4,
+        plot_int: 2,
+        nprocs: 2,
+        account_only: true,
+        ..Default::default()
+    };
+    let storage = StorageModel::ideal(2, 5e7);
+    let full = run_campaign_timed_serial(&[cfg], &storage).remove(0);
+    let json = serde_json::to_string(&full).unwrap();
+    let back: RunSummary = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, full);
+    assert_eq!(back.tenants, 1);
+    assert_eq!(back.slowdown, 1.0);
+}

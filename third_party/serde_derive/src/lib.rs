@@ -10,15 +10,22 @@
 //! structs with named fields, unit structs, and enums whose variants are
 //! unit or single-field tuple ("newtype") variants. Anything else fails
 //! with a compile error naming the unsupported construct.
+//!
+//! One field attribute is honoured: `#[serde(default)]` on a named
+//! struct field makes deserialization fall back to `Default::default()`
+//! when the key is absent from the value object (forward compatibility
+//! for results JSON written before the field existed). All other
+//! `#[serde(...)]` forms are rejected with a compile error rather than
+//! silently ignored.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     expand(input, Mode::Serialize)
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     expand(input, Mode::Deserialize)
 }
@@ -30,9 +37,15 @@ enum Mode {
 }
 
 enum Shape {
-    NamedStruct(Vec<String>),
+    NamedStruct(Vec<Field>),
     UnitStruct,
     Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: absent keys deserialize to `Default::default()`.
+    default: bool,
 }
 
 struct Variant {
@@ -129,13 +142,61 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
     }
 }
 
-/// Field names of a named-field struct body.
-fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+/// Like [`skip_attrs_and_vis`], but inspects `#[serde(...)]` attributes
+/// on the way past: returns whether `#[serde(default)]` was present, and
+/// errors on any other serde attribute form (unsupported by the
+/// stand-in — failing loudly beats silently changing the wire format).
+fn skip_field_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> Result<bool, String> {
+    let mut default = false;
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if let Some(TokenTree::Group(attr)) = tokens.get(*i) {
+                    let inner: Vec<TokenTree> = attr.stream().into_iter().collect();
+                    if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde")
+                    {
+                        let args = match inner.get(1) {
+                            Some(TokenTree::Group(g))
+                                if g.delimiter() == Delimiter::Parenthesis =>
+                            {
+                                g.stream().to_string()
+                            }
+                            _ => String::new(),
+                        };
+                        if args.trim() == "default" {
+                            default = true;
+                        } else {
+                            return Err(format!(
+                                "serde_derive: unsupported attribute `#[serde({})]` \
+                                 (the offline stand-in only knows `#[serde(default)]`)",
+                                args.trim()
+                            ));
+                        }
+                    }
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => return Ok(default),
+        }
+    }
+}
+
+/// Fields of a named-field struct body.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
     let tokens: Vec<TokenTree> = body.into_iter().collect();
     let mut i = 0;
     let mut fields = Vec::new();
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        let default = skip_field_attrs_and_vis(&tokens, &mut i)?;
         let Some(TokenTree::Ident(id)) = tokens.get(i) else {
             if i >= tokens.len() {
                 break;
@@ -145,7 +206,10 @@ fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
                 tokens.get(i)
             ));
         };
-        fields.push(id.to_string());
+        fields.push(Field {
+            name: id.to_string(),
+            default,
+        });
         i += 1;
         match tokens.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
@@ -247,6 +311,7 @@ fn gen_serialize(name: &str, shape: &Shape) -> String {
         Shape::NamedStruct(fields) => {
             let mut pushes = String::new();
             for f in fields {
+                let f = &f.name;
                 pushes.push_str(&format!(
                     "__fields.push((::std::string::String::from({f:?}), \
                      ::serde::Serialize::to_value(&self.{f})));\n"
@@ -303,10 +368,21 @@ fn gen_deserialize(name: &str, shape: &Shape) -> String {
         Shape::NamedStruct(fields) => {
             let mut inits = String::new();
             for f in fields {
-                inits.push_str(&format!(
-                    "{f}: ::serde::Deserialize::from_value(__v.get({f:?}).ok_or_else(|| \
-                     ::serde::Error::missing_field(concat!(stringify!({name}), \".\", {f:?})))?)?,\n"
-                ));
+                let (f, default) = (&f.name, f.default);
+                if default {
+                    inits.push_str(&format!(
+                        "{f}: match __v.get({f:?}) {{\n\
+                         ::std::option::Option::Some(__x) => \
+                         ::serde::Deserialize::from_value(__x)?,\n\
+                         ::std::option::Option::None => ::std::default::Default::default(),\n\
+                         }},\n"
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{f}: ::serde::Deserialize::from_value(__v.get({f:?}).ok_or_else(|| \
+                         ::serde::Error::missing_field(concat!(stringify!({name}), \".\", {f:?})))?)?,\n"
+                    ));
+                }
             }
             format!("::std::result::Result::Ok({name} {{\n{inits}}})")
         }
