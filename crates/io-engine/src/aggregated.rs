@@ -28,6 +28,7 @@ use crate::backend::{
     TrackerHandle, VfsHandle,
 };
 use crate::selection::ReadSelection;
+use bytes::Bytes;
 use iosim::{IoKey, IoKind, ReadRequest, WriteRequest};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
@@ -55,10 +56,16 @@ impl Chunk {
     }
 }
 
-/// One aggregator subfile being assembled.
+/// One aggregator subfile being assembled. Payload bytes are adopted as
+/// shared segments (no coalescing copy), and the subfile's slice of the
+/// index chunk table is appended **incrementally at put time** — sealing
+/// a step streams directory + table segments instead of rebuilding the
+/// whole `md.idx` table in one buffer.
 #[derive(Default)]
 struct AggBuild {
-    content: Vec<u8>,
+    segs: Vec<Bytes>,
+    /// This subfile's rows of the index chunk table, grown per put.
+    table: String,
     bytes: u64,
     logical_bytes: u64,
     account_only: bool,
@@ -80,7 +87,7 @@ struct AggStep {
     step: u32,
     dir: String,
     aggs: BTreeMap<usize, AggBuild>,
-    meta: Vec<u8>,
+    meta_segs: Vec<Bytes>,
     meta_bytes: u64,
     meta_logical_bytes: u64,
     meta_account_only: bool,
@@ -197,7 +204,7 @@ impl IoBackend for Aggregated<'_> {
             step,
             dir: Self::step_dir(container, step),
             aggs: BTreeMap::new(),
-            meta: Vec::new(),
+            meta_segs: Vec::new(),
             meta_bytes: 0,
             meta_logical_bytes: 0,
             meta_account_only: false,
@@ -218,6 +225,20 @@ impl IoBackend for Aggregated<'_> {
             IoKind::Data => {
                 let agg = put.key.task as usize / self.ratio;
                 let build = cur.aggs.entry(agg).or_default();
+                // Stream this chunk's index-table row now — the subfile
+                // path, offset, and spans are all known at put time, so
+                // end_step only concatenates per-subfile table segments.
+                let _ = writeln!(
+                    build.table,
+                    "{dir}/data.{agg} {offset} {len} {logical_len} {step} {level} {task} {logical}",
+                    dir = cur.dir,
+                    offset = build.bytes,
+                    logical_len = logical,
+                    step = put.key.step,
+                    level = put.key.level,
+                    task = put.key.task,
+                    logical = put.path,
+                );
                 build.chunks.push(Chunk {
                     path: put.path,
                     step: put.key.step,
@@ -230,9 +251,7 @@ impl IoBackend for Aggregated<'_> {
                 build.bytes += len;
                 build.logical_bytes += logical;
                 match put.payload {
-                    Payload::Bytes(b) | Payload::Encoded { data: b, .. } => {
-                        build.content.extend_from_slice(&b)
-                    }
+                    Payload::Bytes(b) | Payload::Encoded { data: b, .. } => build.segs.push(b),
                     Payload::Size(_) | Payload::EncodedSize { .. } => build.account_only = true,
                 }
             }
@@ -247,9 +266,7 @@ impl IoBackend for Aggregated<'_> {
                 cur.meta_bytes += len;
                 cur.meta_logical_bytes += logical;
                 match put.payload {
-                    Payload::Bytes(b) | Payload::Encoded { data: b, .. } => {
-                        cur.meta.extend_from_slice(&b)
-                    }
+                    Payload::Bytes(b) | Payload::Encoded { data: b, .. } => cur.meta_segs.push(b),
                     Payload::Size(_) | Payload::EncodedSize { .. } => cur.meta_account_only = true,
                 }
             }
@@ -264,30 +281,21 @@ impl IoBackend for Aggregated<'_> {
             ..StepStats::default()
         };
 
-        // Chunk table for the index file, built in subfile order.
-        let mut table = String::new();
-        let _ = writeln!(table, "# io-engine BP-style index, step {}", cur.step);
+        // Index segments: header line, then each subfile's table rows
+        // (already formatted incrementally at put time), then the raw
+        // metadata payload segments — streamed to the filesystem without
+        // ever assembling one contiguous index buffer.
+        let header = format!("# io-engine BP-style index, step {}\n", cur.step);
+        let table_len =
+            header.len() as u64 + cur.aggs.values().map(|b| b.table.len() as u64).sum::<u64>();
 
         for (agg, build) in &cur.aggs {
             let path = format!("{}/data.{agg}", cur.dir);
-            for c in &build.chunks {
-                let _ = writeln!(
-                    table,
-                    "{path} {offset} {len} {logical_len} {step} {level} {task} {logical}",
-                    offset = c.offset,
-                    len = c.len,
-                    logical_len = c.logical_len,
-                    step = c.step,
-                    level = c.level,
-                    task = c.task,
-                    logical = c.path,
-                );
-            }
             // Account-only is decided per subfile (a size-only chunk makes
             // that subfile's coalesced content incomplete), mirroring the
             // per-file handling of the file-per-process backend.
             if !build.account_only {
-                let written = self.vfs.write_file(&path, &build.content)?;
+                let written = self.vfs.write_file_concat(&path, &build.segs)?;
                 debug_assert_eq!(written, build.bytes);
             }
             stats.files += 1;
@@ -304,22 +312,28 @@ impl IoBackend for Aggregated<'_> {
 
         // Index file: chunk table + embedded metadata payloads.
         let index_path = format!("{}/md.idx", cur.dir);
-        let index_bytes = table.len() as u64 + cur.meta_bytes;
+        let index_bytes = table_len + cur.meta_bytes;
         // The index is physically written only when the step materialized
         // content: metadata payloads must all be real bytes, and a step
         // whose every put was size-only stays write-free end to end.
         let wrote_any_data = cur.aggs.values().any(|a| !a.account_only);
         let index_written = !cur.meta_account_only && (wrote_any_data || cur.meta_bytes > 0);
         if index_written {
-            let mut index = table.clone().into_bytes();
-            index.extend_from_slice(&cur.meta);
-            let written = self.vfs.write_file(&index_path, &index)?;
+            let mut segs = Vec::with_capacity(1 + cur.aggs.len() + cur.meta_segs.len());
+            segs.push(Bytes::from(header));
+            for build in cur.aggs.values() {
+                if !build.table.is_empty() {
+                    segs.push(Bytes::from(build.table.clone()));
+                }
+            }
+            segs.extend(cur.meta_segs.iter().cloned());
+            let written = self.vfs.write_file_concat(&index_path, &segs)?;
             debug_assert_eq!(written, index_bytes);
         }
         stats.files += 1;
         stats.bytes += index_bytes;
         stats.logical_bytes += cur.meta_logical_bytes;
-        stats.overhead_bytes += table.len() as u64;
+        stats.overhead_bytes += table_len;
         stats.requests.push(WriteRequest {
             rank: 0,
             path: index_path,
@@ -333,7 +347,7 @@ impl IoBackend for Aggregated<'_> {
             cur.step,
             RetainedStep {
                 dir: cur.dir.clone(),
-                table_len: table.len() as u64,
+                table_len,
                 index_bytes,
                 index_written,
                 subfiles: cur
@@ -386,7 +400,7 @@ impl IoBackend for Aggregated<'_> {
         let index_path = format!("{}/md.idx", info.dir);
         let index_content = info
             .index_written
-            .then(|| self.vfs.read_file_exact(&index_path))
+            .then(|| self.vfs.read_file_exact_shared(&index_path))
             .flatten();
         let (chunks, meta_blob) = match &index_content {
             Some(content) => {
@@ -395,7 +409,8 @@ impl IoBackend for Aggregated<'_> {
                     .and_then(Self::parse_index_table);
                 (
                     table.unwrap_or_else(|| info.data_chunks.clone()),
-                    Some(content[info.table_len as usize..].to_vec()),
+                    // Zero-copy view of the embedded metadata blob.
+                    Some(content.slice(info.table_len as usize..)),
                 )
             }
             None => (info.data_chunks.clone(), None),
@@ -423,7 +438,7 @@ impl IoBackend for Aggregated<'_> {
         // clustered ones. Subfiles none of whose chunks match stay
         // unopened.
         let mut per_subfile_ranges: BTreeMap<usize, crate::fpp::RangeCoalescer> = BTreeMap::new();
-        let mut subfile_content: BTreeMap<usize, Option<Vec<u8>>> = BTreeMap::new();
+        let mut subfile_content: BTreeMap<usize, Option<Bytes>> = BTreeMap::new();
         for (agg, chunk) in &chunks {
             if !sel.matches(&chunk.key(), &chunk.path) {
                 continue;
@@ -452,15 +467,16 @@ impl IoBackend for Aggregated<'_> {
                     }
                     // Present but content-truncated retention degrades
                     // to a modeled read.
-                    self.vfs.read_file_exact(&path)
+                    self.vfs.read_file_exact_shared(&path)
                 };
                 subfile_content.insert(*agg, loaded);
             }
             let content = subfile_content.get(agg).expect("just inserted");
             let payload = match content {
                 Some(bytes) => {
+                    // O(1) sub-view into the subfile's shared buffer.
                     let slice =
-                        bytes[chunk.offset as usize..(chunk.offset + chunk.len) as usize].to_vec();
+                        bytes.slice(chunk.offset as usize..(chunk.offset + chunk.len) as usize);
                     if chunk.len == chunk.logical_len {
                         Payload::Bytes(slice)
                     } else {
@@ -504,7 +520,7 @@ impl IoBackend for Aggregated<'_> {
             }
             let payload = match &meta_blob {
                 Some(blob) if !info.meta_account_only => {
-                    let slice = blob[mc.offset as usize..(mc.offset + mc.len) as usize].to_vec();
+                    let slice = blob.slice(mc.offset as usize..(mc.offset + mc.len) as usize);
                     if mc.len == mc.logical_len {
                         Payload::Bytes(slice)
                     } else {
@@ -549,7 +565,7 @@ mod tests {
             },
             kind,
             path: path.to_string(),
-            payload: Payload::Bytes(data.to_vec()),
+            payload: Payload::Bytes(data.to_vec().into()),
         }
     }
 
@@ -571,6 +587,44 @@ mod tests {
         assert!(fs.file_size("/bp00001/data.0").is_some());
         assert!(fs.file_size("/bp00001/data.3").is_some());
         assert!(fs.file_size("/bp00001/md.idx").is_some());
+    }
+
+    /// Regression: a ratio of 0 must clamp to 1 at construction — a
+    /// zero ratio would divide by zero when mapping tasks to
+    /// aggregators. `BackendSpec::parse` rejects `agg:0`, but specs
+    /// built programmatically (or deserialized from a config) bypass
+    /// that validation and still must not panic.
+    #[test]
+    fn ratio_zero_clamps_to_one() {
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let mut b = Aggregated::new(&fs as &dyn Vfs, &tracker, 0);
+        assert_eq!(b.ratio(), 1);
+        b.begin_step(1, "/");
+        for task in 0..3u32 {
+            b.put(put(task, IoKind::Data, &format!("/f{task}"), b"dddd"))
+                .unwrap();
+        }
+        let stats = b.end_step().unwrap();
+        // Clamped to ratio 1: one subfile per task, plus the index.
+        assert_eq!(stats.files, 3 + 1);
+    }
+
+    /// Same clamp through the spec layer: a deserialized
+    /// `Aggregated(0)` spec (which `parse` would have rejected) builds
+    /// a working ratio-1 backend instead of panicking.
+    #[test]
+    fn spec_built_ratio_zero_does_not_panic() {
+        let spec: crate::BackendSpec =
+            serde_json::from_str("{\"Aggregated\":0}").expect("deserialize spec");
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let mut b = spec.build(&fs as &dyn Vfs, &tracker);
+        b.begin_step(1, "/");
+        b.put(put(0, IoKind::Data, "/f0", b"dddd")).unwrap();
+        let stats = b.end_step().unwrap();
+        assert_eq!(stats.files, 1 + 1);
+        assert_eq!(b.read_step(1, "/").unwrap().chunks.len(), 1);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The backend trait and the types flowing through it.
 
 use crate::selection::ReadSelection;
+use bytes::Bytes;
 use iosim::{IoKey, IoKind, IoTracker, ReadRequest, Vfs, WriteRequest};
 use std::io;
 use std::sync::Arc;
@@ -10,6 +11,12 @@ use std::sync::Arc;
 /// them; backends then skip physical writes but keep layout, file-count,
 /// and request accounting identical).
 ///
+/// Materialized content is held as shared, zero-copy [`Bytes`]: cloning
+/// a payload or slicing a chunk back out of a subfile shares the same
+/// allocation, so stage → backend → filesystem → read-back never
+/// re-copies the buffer (the throughput plane's ownership contract; see
+/// `docs/MODEL.md`).
+///
 /// The `Encoded*` variants are produced by the compression stage and
 /// carry **two** byte counts: the *physical* size (what reaches storage,
 /// [`Payload::len`]) and the *logical* size the workload produced
@@ -18,14 +25,15 @@ use std::sync::Arc;
 /// write requests, and burst timing use physical bytes.
 #[derive(Clone, Debug)]
 pub enum Payload {
-    /// Materialized content to write.
-    Bytes(Vec<u8>),
+    /// Materialized content to write (shared, zero-copy).
+    Bytes(Bytes),
     /// Exact byte count of content that is not materialized.
     Size(u64),
     /// Compressed materialized content plus its logical byte count.
     Encoded {
-        /// The encoded bytes (what is physically written).
-        data: Vec<u8>,
+        /// The encoded bytes (what is physically written), shared
+        /// zero-copy across layer crossings.
+        data: Bytes,
         /// Pre-compression byte count.
         logical: u64,
     },
@@ -228,6 +236,25 @@ impl VfsHandle<'_> {
         }
     }
 
+    /// Creates/overwrites a file from ordered segments without
+    /// flattening them first — the streaming write path (see
+    /// [`Vfs::write_file_concat`]).
+    pub fn write_file_concat(&self, path: &str, segs: &[Bytes]) -> io::Result<u64> {
+        match self {
+            VfsHandle::Borrowed(v) => v.write_file_concat(path, segs),
+            VfsHandle::Shared(v) => v.write_file_concat(path, segs),
+        }
+    }
+
+    /// Retained content as a shared, zero-copy [`Bytes`] handle (see
+    /// [`Vfs::read_file_shared`]).
+    pub fn read_file_shared(&self, path: &str) -> Option<Bytes> {
+        match self {
+            VfsHandle::Borrowed(v) => v.read_file_shared(path),
+            VfsHandle::Shared(v) => v.read_file_shared(path),
+        }
+    }
+
     /// Full content of a file when available (possibly a retained
     /// prefix; see [`iosim::MemFs::with_retention`]).
     pub fn read_file(&self, path: &str) -> Option<Vec<u8>> {
@@ -251,6 +278,15 @@ impl VfsHandle<'_> {
     pub fn read_file_exact(&self, path: &str) -> Option<Vec<u8>> {
         let size = self.file_size(path)?;
         let content = self.read_file(path)?;
+        (content.len() as u64 == size).then_some(content)
+    }
+
+    /// [`VfsHandle::read_file_exact`], but zero-copy: the returned
+    /// [`Bytes`] shares the filesystem's stored buffer, and chunk
+    /// sub-slices of it share it too.
+    pub fn read_file_exact_shared(&self, path: &str) -> Option<Bytes> {
+        let size = self.file_size(path)?;
+        let content = self.read_file_shared(path)?;
         (content.len() as u64 == size).then_some(content)
     }
 

@@ -56,7 +56,11 @@ pub struct CodecContext<'a> {
 ///   a fixed point);
 /// * `cpu_ns_per_byte` is charged per **logical** byte, on both the
 ///   encode (write) and decode (restart read) sides.
-pub trait Codec: Send {
+///
+/// Implementations must be `Sync`: the compression stage's parallel
+/// encode mode shares one codec across rayon workers (per-chunk encode
+/// is a pure function of the chunk and its context).
+pub trait Codec: Send + Sync {
     /// Short human-readable codec name (e.g. `"rle:2"`, `"quant:8"`).
     fn name(&self) -> String;
 
@@ -539,12 +543,14 @@ pub fn encode_payload(
             if (encoded.len() as u64) < logical {
                 (
                     Payload::Encoded {
-                        data: encoded,
+                        data: encoded.into(),
                         logical,
                     },
                     true,
                 )
             } else {
+                // Raw fallback: the original shared buffer flows on
+                // untouched (never-expand keeps it zero-copy too).
                 (Payload::Bytes(b), false)
             }
         }
@@ -794,12 +800,12 @@ mod tests {
         let c = Rle::default();
         // Incompressible bytes stay raw.
         let noise: Vec<u8> = (0..997u32).map(|i| (i * 131 % 251) as u8).collect();
-        let (p, encoded) = encode_payload(&c, Payload::Bytes(noise.clone()), &ctx(0, "/f"));
+        let (p, encoded) = encode_payload(&c, Payload::Bytes(noise.clone().into()), &ctx(0, "/f"));
         assert!(!encoded);
         assert_eq!(p.len(), noise.len() as u64);
         assert_eq!(p.logical_len(), noise.len() as u64);
         // Compressible bytes shrink, logical length preserved.
-        let (p, encoded) = encode_payload(&c, Payload::Bytes(vec![0; 1000]), &ctx(0, "/f"));
+        let (p, encoded) = encode_payload(&c, Payload::Bytes(vec![0; 1000].into()), &ctx(0, "/f"));
         assert!(encoded);
         assert!(p.len() < 1000);
         assert_eq!(p.logical_len(), 1000);

@@ -22,6 +22,7 @@
 use crate::backend::{EngineReport, IoBackend, Put, StepRead, StepStats, TrackerHandle, VfsHandle};
 use crate::fpp::{manifest_of, read_manifest_step, StepBuild, StepManifest};
 use crate::selection::ReadSelection;
+use bytes::Bytes;
 use iosim::{Vfs, WriteRequest};
 use std::collections::HashMap;
 use std::io;
@@ -30,10 +31,12 @@ use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-/// One staged physical file awaiting drain.
+/// One staged physical file awaiting drain. Content is the put
+/// payloads' shared segments — staging holds references to the same
+/// buffers the producer filled, and the drain ships them zero-copy.
 struct StagedFile {
     path: String,
-    content: Option<Vec<u8>>,
+    content: Option<Vec<Bytes>>,
 }
 
 /// Shared drain-pool state: outstanding file count and error latch.
@@ -71,7 +74,7 @@ impl DrainPool {
                     };
                     let Ok(file) = msg else { return };
                     if let Some(content) = &file.content {
-                        if vfs.write_file(&file.path, content).is_err() {
+                        if vfs.write_file_concat(&file.path, content).is_err() {
                             state.io_errors.fetch_add(1, Ordering::Relaxed);
                         }
                     }
@@ -183,7 +186,7 @@ impl<'a> Deferred<'a> {
         }
         for f in self.pending.drain(..) {
             if let Some(content) = &f.content {
-                self.vfs.write_file(&f.path, content)?;
+                self.vfs.write_file_concat(&f.path, content)?;
             }
         }
         Ok(())
@@ -242,7 +245,7 @@ impl IoBackend for Deferred<'_> {
             });
             staged.push(StagedFile {
                 path,
-                content: (!build.account_only).then_some(build.content),
+                content: (!build.account_only).then_some(build.segs),
             });
         }
         if let Some(pool) = &self.pool {
@@ -303,7 +306,7 @@ mod tests {
             },
             kind: IoKind::Data,
             path: path.to_string(),
-            payload: Payload::Bytes(data.to_vec()),
+            payload: Payload::Bytes(data.to_vec().into()),
         }
     }
 

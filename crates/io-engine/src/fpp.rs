@@ -13,6 +13,7 @@ use crate::backend::{
     TrackerHandle, VfsHandle,
 };
 use crate::selection::ReadSelection;
+use bytes::Bytes;
 use iosim::{IoKey, IoKind, ReadRequest, WriteRequest};
 use std::collections::HashMap;
 use std::io;
@@ -36,8 +37,9 @@ pub(crate) struct ChunkSpan {
 pub(crate) struct FileBuild {
     /// Rank attributed to the write request (first producer).
     pub rank: usize,
-    /// Concatenated materialized content (empty in account-only mode).
-    pub content: Vec<u8>,
+    /// Materialized content as shared segments in submission order
+    /// (empty in account-only mode) — adopted zero-copy from the puts.
+    pub segs: Vec<Bytes>,
     /// Total physical payload bytes (tracks `content.len()` unless
     /// account-only).
     pub bytes: u64,
@@ -88,9 +90,7 @@ impl StepBuild {
         build.bytes += put.payload.len();
         build.logical_bytes += put.payload.logical_len();
         match put.payload {
-            Payload::Bytes(b) | Payload::Encoded { data: b, .. } => {
-                build.content.extend_from_slice(&b)
-            }
+            Payload::Bytes(b) | Payload::Encoded { data: b, .. } => build.segs.push(b),
             Payload::Size(_) | Payload::EncodedSize { .. } => build.account_only = true,
         }
     }
@@ -165,7 +165,7 @@ pub(crate) fn read_manifest_step(
         let content = if file.account_only {
             None
         } else {
-            let c = vfs.read_file_exact(&file.path);
+            let c = vfs.read_file_exact_shared(&file.path);
             if c.is_none() && vfs.file_size(&file.path).is_none() {
                 return Err(io::Error::new(
                     io::ErrorKind::NotFound,
@@ -178,8 +178,9 @@ pub(crate) fn read_manifest_step(
         for span in &matched {
             let payload = match &content {
                 Some(bytes) => {
+                    // O(1) sub-view sharing the file's stored buffer.
                     let slice =
-                        bytes[span.offset as usize..(span.offset + span.len) as usize].to_vec();
+                        bytes.slice(span.offset as usize..(span.offset + span.len) as usize);
                     if span.len == span.logical_len {
                         Payload::Bytes(slice)
                     } else {
@@ -321,7 +322,7 @@ impl IoBackend for FilePerProcess<'_> {
         self.manifests.insert(step, manifest_of(&files));
         for (path, build) in files {
             if !build.account_only {
-                let written = self.vfs.write_file(&path, &build.content)?;
+                let written = self.vfs.write_file_concat(&path, &build.segs)?;
                 debug_assert_eq!(written, build.bytes);
             }
             stats.files += 1;
@@ -377,7 +378,7 @@ mod tests {
             },
             kind: IoKind::Data,
             path: path.to_string(),
-            payload: Payload::Bytes(data.to_vec()),
+            payload: Payload::Bytes(data.to_vec().into()),
         }
     }
 

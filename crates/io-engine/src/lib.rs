@@ -94,7 +94,7 @@
 //!             key: IoKey { step: 1, level, task },
 //!             kind: IoKind::Data,
 //!             path: format!("/plt/L{level}/density_{task:05}"),
-//!             payload: Payload::Bytes(vec![level as u8; 64]),
+//!             payload: Payload::Bytes(vec![level as u8; 64].into()),
 //!         })
 //!         .unwrap();
 //! }

@@ -465,7 +465,7 @@ impl<'a> Reorganizer<'a> {
         // (data-only queries, the common analysis case, skip the copy).
         let index_content =
             (!matched_meta.is_empty() && !info.meta_account_only && info.index_written)
-                .then(|| self.vfs.read_file_exact(&info.index_path))
+                .then(|| self.vfs.read_file_exact_shared(&info.index_path))
                 .flatten();
 
         // Data: matched chunks per level cluster, decoded.
@@ -485,7 +485,7 @@ impl<'a> Reorganizer<'a> {
             let content = if cluster.account_only {
                 None
             } else {
-                let c = self.vfs.read_file_exact(&cluster.file);
+                let c = self.vfs.read_file_exact_shared(&cluster.file);
                 if c.is_none() && self.vfs.file_size(&cluster.file).is_none() {
                     return Err(io::Error::new(
                         io::ErrorKind::NotFound,
@@ -499,9 +499,10 @@ impl<'a> Reorganizer<'a> {
                 decode_ns += chunk.logical_len as f64 * self.codec.cpu_ns_per_byte();
                 let payload = match &content {
                     Some(bytes) => {
-                        let slice = bytes
-                            [chunk.offset as usize..(chunk.offset + chunk.len) as usize]
-                            .to_vec();
+                        // Zero-copy view into the level file; decode only
+                        // when the chunk was actually encoded.
+                        let slice =
+                            bytes.slice(chunk.offset as usize..(chunk.offset + chunk.len) as usize);
                         if chunk.len == chunk.logical_len {
                             Payload::Bytes(slice)
                         } else {
@@ -510,7 +511,9 @@ impl<'a> Reorganizer<'a> {
                                 kind: IoKind::Data,
                                 path: &chunk.path,
                             };
-                            Payload::Bytes(self.codec.decode(&slice, chunk.logical_len, &ctx))
+                            Payload::Bytes(
+                                self.codec.decode(&slice, chunk.logical_len, &ctx).into(),
+                            )
                         }
                     }
                     None => Payload::Size(chunk.logical_len),
@@ -541,7 +544,7 @@ impl<'a> Reorganizer<'a> {
             let payload = match &index_content {
                 Some(content) if !info.meta_account_only => {
                     let start = (info.blob_offset + m.offset) as usize;
-                    Payload::Bytes(content[start..start + m.len as usize].to_vec())
+                    Payload::Bytes(content.slice(start..start + m.len as usize))
                 }
                 _ => Payload::Size(m.logical_len),
             };
@@ -600,7 +603,7 @@ mod tests {
                         },
                         kind: IoKind::Data,
                         path: format!("/plt/L{level}/{field}_{task:05}"),
-                        payload: Payload::Bytes(data),
+                        payload: Payload::Bytes(data.into()),
                     })
                     .unwrap();
                 }
@@ -614,7 +617,7 @@ mod tests {
             },
             kind: IoKind::Metadata,
             path: "/plt/Header".to_string(),
-            payload: Payload::Bytes(vec![b'h'; 400]),
+            payload: Payload::Bytes(vec![b'h'; 400].into()),
         })
         .unwrap();
         b.end_step().unwrap();
@@ -640,7 +643,7 @@ mod tests {
             .iter()
             .map(|c| {
                 let bytes = match &c.payload {
-                    Payload::Bytes(b) => b.clone(),
+                    Payload::Bytes(b) => b.to_vec(),
                     Payload::Size(n) => format!("size:{n}").into_bytes(),
                     other => panic!("undecoded payload in read: {other:?}"),
                 };

@@ -22,11 +22,23 @@
 //! uncompressed-logical-size record a reader needs to undo the stage.
 //! Sidecar bytes are counted as backend overhead, like the aggregation
 //! index — they never enter the tracker.
+//!
+//! ## Parallel encode
+//!
+//! By default the stage buffers the open step's puts and encodes every
+//! data chunk **in parallel** at seal time (per-chunk encode is a pure
+//! function of the chunk and its [`CodecContext`]), then forwards all
+//! puts to the inner backend in their original submission order. Output
+//! is therefore byte-identical to the serial reference mode
+//! ([`CompressionStage::serial`]) — file contents, sidecar line order,
+//! and modeled `codec_seconds` alike — which a 3×3 backend × codec
+//! property test pins.
 
 use crate::backend::{EngineReport, IoBackend, Payload, Put, StepRead, StepStats, VfsHandle};
 use crate::codec::{encode_payload, Codec, CodecContext};
 use crate::selection::ReadSelection;
 use iosim::{IoKind, ReadRequest, WriteRequest};
+use rayon::prelude::*;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::io;
@@ -58,6 +70,12 @@ pub struct CompressionStage<'a> {
     inner: Box<dyn IoBackend + 'a>,
     codec: Box<dyn Codec>,
     vfs: VfsHandle<'a>,
+    /// Encode data chunks in parallel at seal time (the default); the
+    /// serial mode is the byte-identical reference implementation.
+    parallel: bool,
+    /// Buffered puts of the open step (parallel mode only), in
+    /// submission order.
+    pending: Vec<Put>,
     cur: Option<StageStep>,
     /// Steps that wrote (or modeled) a sidecar, for read accounting.
     sidecars: HashMap<u32, SidecarInfo>,
@@ -69,16 +87,40 @@ pub struct CompressionStage<'a> {
 
 impl<'a> CompressionStage<'a> {
     /// Wraps `inner` with `codec`, writing sidecars through `vfs` (the
-    /// same filesystem the inner backend writes to).
+    /// same filesystem the inner backend writes to). Data chunks are
+    /// encoded in parallel at seal time; use
+    /// [`CompressionStage::serial`] for the reference serial mode.
     pub fn new(
         inner: Box<dyn IoBackend + 'a>,
         codec: Box<dyn Codec>,
         vfs: impl Into<VfsHandle<'a>>,
     ) -> Self {
+        Self::with_parallel(inner, codec, vfs, true)
+    }
+
+    /// The serial reference stage: encodes each put inline on the
+    /// calling thread. Byte-identical output to the parallel default —
+    /// kept for the property tests that pin that equivalence.
+    pub fn serial(
+        inner: Box<dyn IoBackend + 'a>,
+        codec: Box<dyn Codec>,
+        vfs: impl Into<VfsHandle<'a>>,
+    ) -> Self {
+        Self::with_parallel(inner, codec, vfs, false)
+    }
+
+    fn with_parallel(
+        inner: Box<dyn IoBackend + 'a>,
+        codec: Box<dyn Codec>,
+        vfs: impl Into<VfsHandle<'a>>,
+        parallel: bool,
+    ) -> Self {
         Self {
             inner,
             codec,
             vfs: vfs.into(),
+            parallel,
+            pending: Vec::new(),
             cur: None,
             sidecars: HashMap::new(),
             sidecar_files: 0,
@@ -86,10 +128,40 @@ impl<'a> CompressionStage<'a> {
         }
     }
 
+    /// True when the stage encodes in parallel at seal time.
+    pub fn is_parallel(&self) -> bool {
+        self.parallel
+    }
+
     /// Sidecar path for a step under `container`.
     fn sidecar_path(container: &str, step: u32) -> String {
         let base = container.trim_end_matches('/');
         format!("{base}/compression_{step:05}.csc")
+    }
+
+    /// Books one encoded data chunk and forwards it to the inner
+    /// backend — the common tail of the serial and parallel paths, so
+    /// chunk records, codec-time accumulation (same f64 summation
+    /// order), and forwarding order are identical by construction.
+    fn forward_encoded(
+        cur: &mut StageStep,
+        inner: &mut (dyn IoBackend + 'a),
+        codec_ns_per_byte: f64,
+        put: Put,
+        payload: Payload,
+        encoded: bool,
+    ) -> io::Result<()> {
+        let logical = put.payload.logical_len();
+        let materialized = matches!(put.payload, Payload::Bytes(_) | Payload::Encoded { .. });
+        cur.codec_ns += logical as f64 * codec_ns_per_byte;
+        cur.any_materialized |= materialized;
+        cur.chunks.push(ChunkRec {
+            path: put.path.clone(),
+            logical,
+            physical: payload.len(),
+            encoded,
+        });
+        inner.put(Put { payload, ..put })
     }
 }
 
@@ -120,6 +192,12 @@ impl IoBackend for CompressionStage<'_> {
 
     fn put(&mut self, put: Put) -> io::Result<()> {
         let cur = self.cur.as_mut().expect("put: no open step");
+        if self.parallel {
+            // Defer: the whole step encodes in parallel at seal time,
+            // then forwards in this submission order.
+            self.pending.push(put);
+            return Ok(());
+        }
         if put.kind != IoKind::Data {
             // Metadata stays uncompressed and readable.
             return self.inner.put(put);
@@ -129,22 +207,60 @@ impl IoBackend for CompressionStage<'_> {
             kind: put.kind,
             path: &put.path,
         };
-        let logical = put.payload.logical_len();
-        let materialized = matches!(put.payload, Payload::Bytes(_) | Payload::Encoded { .. });
-        let (payload, encoded) = encode_payload(self.codec.as_ref(), put.payload, &ctx);
-        cur.codec_ns += logical as f64 * self.codec.cpu_ns_per_byte();
-        cur.any_materialized |= materialized;
-        cur.chunks.push(ChunkRec {
-            path: put.path.clone(),
-            logical,
-            physical: payload.len(),
+        let (payload, encoded) = encode_payload(self.codec.as_ref(), put.payload.clone(), &ctx);
+        Self::forward_encoded(
+            cur,
+            self.inner.as_mut(),
+            self.codec.cpu_ns_per_byte(),
+            put,
+            payload,
             encoded,
-        });
-        self.inner.put(Put { payload, ..put })
+        )
     }
 
     fn end_step(&mut self) -> io::Result<StepStats> {
-        let cur = self.cur.take().expect("end_step: no open step");
+        let mut cur = self.cur.take().expect("end_step: no open step");
+        if self.parallel {
+            let puts = std::mem::take(&mut self.pending);
+            // Parallel map over the buffered puts: each data chunk is
+            // encoded independently (payload clones are O(1) shared
+            // views, not copies). The vendored rayon preserves input
+            // order, so results line up with submissions.
+            let codec = self.codec.as_ref();
+            let results: Vec<Option<(Payload, bool)>> = puts
+                .par_iter()
+                .map(|p| {
+                    if p.kind != IoKind::Data {
+                        return None;
+                    }
+                    let ctx = CodecContext {
+                        level: p.key.level,
+                        kind: p.kind,
+                        path: &p.path,
+                    };
+                    Some(encode_payload(codec, p.payload.clone(), &ctx))
+                })
+                .collect();
+            // Serial drain in submission order: bookkeeping and the
+            // forwarding sequence the inner backend sees are exactly the
+            // serial mode's.
+            let ns_per_byte = self.codec.cpu_ns_per_byte();
+            for (put, result) in puts.into_iter().zip(results) {
+                match result {
+                    Some((payload, encoded)) => Self::forward_encoded(
+                        &mut cur,
+                        self.inner.as_mut(),
+                        ns_per_byte,
+                        put,
+                        payload,
+                        encoded,
+                    )?,
+                    // Metadata stays uncompressed and readable.
+                    None => self.inner.put(put)?,
+                }
+            }
+        }
+        let cur = cur;
         let mut stats = self.inner.end_step()?;
         stats.codec_seconds += cur.codec_ns / 1e9;
         if !cur.chunks.is_empty() {
@@ -227,7 +343,7 @@ impl IoBackend for CompressionStage<'_> {
                 };
                 let decoded = self.codec.decode(data, *logical, &ctx);
                 debug_assert_eq!(decoded.len() as u64, *logical, "decode length");
-                chunk.payload = Payload::Bytes(decoded);
+                chunk.payload = Payload::Bytes(decoded.into());
             }
         }
         read.stats.codec_seconds += decode_ns / 1e9;
@@ -296,8 +412,13 @@ mod tests {
         let tracker = IoTracker::new();
         let mut b = stage(&fs, &tracker, Box::new(Rle::default()));
         b.begin_step(1, "/");
-        b.put(put(0, IoKind::Data, "/f", Payload::Bytes(vec![0u8; 4096])))
-            .unwrap();
+        b.put(put(
+            0,
+            IoKind::Data,
+            "/f",
+            Payload::Bytes(vec![0u8; 4096].into()),
+        ))
+        .unwrap();
         let stats = b.end_step().unwrap();
         b.close().unwrap();
         // Logical accounting is codec-invariant.
@@ -325,7 +446,7 @@ mod tests {
             0,
             IoKind::Data,
             "/plt/a",
-            Payload::Bytes(vec![1u8; 500]),
+            Payload::Bytes(vec![1u8; 500].into()),
         ))
         .unwrap();
         // Incompressible payload falls back to raw.
@@ -334,7 +455,7 @@ mod tests {
             1,
             IoKind::Data,
             "/plt/b",
-            Payload::Bytes(noise.clone()),
+            Payload::Bytes(noise.clone().into()),
         ))
         .unwrap();
         b.end_step().unwrap();
@@ -356,7 +477,7 @@ mod tests {
             0,
             IoKind::Metadata,
             "/hdr",
-            Payload::Bytes(vec![7u8; 300]),
+            Payload::Bytes(vec![7u8; 300].into()),
         ))
         .unwrap();
         let stats = b.end_step().unwrap();
@@ -406,7 +527,7 @@ mod tests {
             stats.bytes - stats.overhead_bytes
         };
         assert_eq!(
-            run(Payload::Bytes(data.clone())),
+            run(Payload::Bytes(data.clone().into())),
             run(Payload::Size(data.len() as u64))
         );
     }
@@ -424,7 +545,7 @@ mod tests {
                 0,
                 IoKind::Data,
                 &format!("/f{step}"),
-                Payload::Bytes(vec![0u8; 600]),
+                Payload::Bytes(vec![0u8; 600].into()),
             ))
             .unwrap();
             let stats = b.end_step().unwrap();
@@ -450,16 +571,21 @@ mod tests {
             0,
             IoKind::Data,
             "/a",
-            Payload::Bytes(compressible.clone()),
+            Payload::Bytes(compressible.clone().into()),
         ))
         .unwrap();
-        b.put(put(1, IoKind::Data, "/b", Payload::Bytes(noise.clone())))
-            .unwrap();
+        b.put(put(
+            1,
+            IoKind::Data,
+            "/b",
+            Payload::Bytes(noise.clone().into()),
+        ))
+        .unwrap();
         b.put(put(
             0,
             IoKind::Metadata,
             "/hdr",
-            Payload::Bytes(vec![7u8; 64]),
+            Payload::Bytes(vec![7u8; 64].into()),
         ))
         .unwrap();
         b.end_step().unwrap();
@@ -500,6 +626,57 @@ mod tests {
             "physical read is the modeled encoded size"
         );
         assert!(read.stats.codec_seconds > 0.0);
+    }
+
+    /// Parallel encode must not let worker scheduling leak into the
+    /// sidecar: chunk lines appear in submission order, every run, and
+    /// match the serial reference byte for byte.
+    #[test]
+    fn sidecar_chunk_order_is_deterministic_under_parallel_encode() {
+        let run = |parallel: bool| {
+            let fs = MemFs::new();
+            let tracker = IoTracker::new();
+            let inner = Box::new(FilePerProcess::new(&fs as &dyn Vfs, &tracker));
+            let codec: Box<dyn Codec> = Box::new(Rle::default());
+            let mut b = if parallel {
+                CompressionStage::new(inner, codec, &fs as &dyn Vfs)
+            } else {
+                CompressionStage::serial(inner, codec, &fs as &dyn Vfs)
+            };
+            b.begin_step(1, "/plt");
+            // Mix of compressible and raw-fallback chunks, sizes varied
+            // so encode times differ across workers.
+            for task in 0..32u32 {
+                let data: Vec<u8> = if task % 3 == 0 {
+                    (0..(200 + task * 37))
+                        .map(|i| (i * 131 % 251) as u8)
+                        .collect()
+                } else {
+                    vec![task as u8; (64 + task * 97) as usize]
+                };
+                b.put(put(
+                    task,
+                    IoKind::Data,
+                    &format!("/plt/L{}/f_{task:05}", task % 4),
+                    Payload::Bytes(data.into()),
+                ))
+                .unwrap();
+            }
+            b.end_step().unwrap();
+            String::from_utf8(fs.read_file("/plt/compression_00001.csc").unwrap()).unwrap()
+        };
+        let parallel_a = run(true);
+        let parallel_b = run(true);
+        let serial = run(false);
+        assert_eq!(parallel_a, parallel_b, "repeat runs agree");
+        assert_eq!(parallel_a, serial, "parallel matches serial reference");
+        // Lines after the header follow submission order.
+        for (i, line) in parallel_a.lines().skip(1).enumerate() {
+            assert!(
+                line.ends_with(&format!("/f_{i:05}")),
+                "line {i} out of order: {line}"
+            );
+        }
     }
 
     #[test]

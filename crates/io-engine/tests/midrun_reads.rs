@@ -27,7 +27,7 @@ fn write_step(backend: &mut dyn IoBackend, step: u32, ntasks: u32) {
                     key: IoKey { step, level, task },
                     kind: IoKind::Data,
                     path: format!("/plt/s{step}/L{level}/Cell_D_{task:05}"),
-                    payload: Payload::Bytes(vec![(step as u8) ^ (task as u8); 96]),
+                    payload: Payload::Bytes(vec![(step as u8) ^ (task as u8); 96].into()),
                 })
                 .unwrap();
         }

@@ -52,6 +52,7 @@ pub mod timeline;
 pub mod tracker;
 pub mod vfs;
 
+pub use bytes::Bytes;
 pub use characterize::{characterize, IoCharacterization};
 pub use fabric::{Fabric, FabricHandle, QosPolicy, StorageAttach, TenantStats};
 pub use schedule::BurstScheduler;

@@ -5,6 +5,7 @@
 //! deterministic in-memory filesystem (campaigns at scale, where the paper
 //! wrote terabytes to GPFS that we must account for without storing).
 
+use bytes::Bytes;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::io;
@@ -18,6 +19,22 @@ pub trait Vfs: Send + Sync {
     /// Creates/overwrites a file with `data`; returns the byte count.
     fn write_file(&self, path: &str, data: &[u8]) -> io::Result<u64>;
 
+    /// Creates/overwrites a file from an ordered list of segments;
+    /// returns the total byte count. This is the streaming write path:
+    /// in-memory backends adopt the shared [`Bytes`] segments without
+    /// flattening them, so a producer can ship (header, table, blob)
+    /// pieces as it seals a step instead of building one contiguous
+    /// buffer first. The default implementation concatenates and
+    /// delegates to [`Vfs::write_file`].
+    fn write_file_concat(&self, path: &str, segs: &[Bytes]) -> io::Result<u64> {
+        let total: usize = segs.iter().map(|s| s.len()).sum();
+        let mut buf = Vec::with_capacity(total);
+        for s in segs {
+            buf.extend_from_slice(s);
+        }
+        self.write_file(path, &buf)
+    }
+
     /// Size of a file, or `None` when absent.
     fn file_size(&self, path: &str) -> Option<u64>;
 
@@ -25,6 +42,14 @@ pub trait Vfs: Send + Sync {
     /// truncate retained content (see [`MemFs::with_retention`]); the
     /// returned bytes are the retained prefix.
     fn read_file(&self, path: &str) -> Option<Vec<u8>>;
+
+    /// Retained content of a file as a shared, zero-copy [`Bytes`]
+    /// handle when available. In-memory backends return a view into the
+    /// stored buffer (no copy); the default implementation copies via
+    /// [`Vfs::read_file`].
+    fn read_file_shared(&self, path: &str) -> Option<Bytes> {
+        self.read_file(path).map(Bytes::from)
+    }
 
     /// Paths of all files under `prefix`, sorted.
     fn list(&self, prefix: &str) -> Vec<String>;
@@ -39,8 +64,25 @@ pub trait Vfs: Send + Sync {
 #[derive(Clone, Debug)]
 struct MemFile {
     size: u64,
-    /// Retained prefix of the content (full content when small enough).
-    head: Vec<u8>,
+    /// Retained prefix of the content (full content when small enough),
+    /// held as shared segments so writers and readers can exchange the
+    /// same allocation. Multi-segment files are flattened lazily on the
+    /// first shared read.
+    segs: Vec<Bytes>,
+}
+
+impl MemFile {
+    fn retained_len(&self) -> usize {
+        self.segs.iter().map(|s| s.len()).sum()
+    }
+
+    fn flatten(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.retained_len());
+        for s in &self.segs {
+            out.extend_from_slice(s);
+        }
+        out
+    }
 }
 
 /// Deterministic in-memory filesystem.
@@ -114,10 +156,38 @@ impl Vfs for MemFs {
             norm,
             MemFile {
                 size: data.len() as u64,
-                head: data[..head_len].to_vec(),
+                segs: vec![Bytes::copy_from_slice(&data[..head_len])],
             },
         );
         Ok(data.len() as u64)
+    }
+
+    fn write_file_concat(&self, path: &str, segs: &[Bytes]) -> io::Result<u64> {
+        let norm = normalize(path);
+        let size: u64 = segs.iter().map(|s| s.len() as u64).sum();
+        // Adopt the shared segments zero-copy, clipping at the retention
+        // limit (a partial final segment is an O(1) sub-slice).
+        let mut kept = Vec::with_capacity(segs.len());
+        let mut retained = 0usize;
+        for s in segs {
+            if retained >= self.retention {
+                break;
+            }
+            let take = s.len().min(self.retention - retained);
+            if take == 0 {
+                continue;
+            }
+            kept.push(if take == s.len() {
+                s.clone()
+            } else {
+                s.slice(..take)
+            });
+            retained += take;
+        }
+        self.files
+            .write()
+            .insert(norm, MemFile { size, segs: kept });
+        Ok(size)
     }
 
     fn file_size(&self, path: &str) -> Option<u64> {
@@ -125,10 +195,26 @@ impl Vfs for MemFs {
     }
 
     fn read_file(&self, path: &str) -> Option<Vec<u8>> {
-        self.files
-            .read()
-            .get(&normalize(path))
-            .map(|f| f.head.clone())
+        self.files.read().get(&normalize(path)).map(|f| f.flatten())
+    }
+
+    fn read_file_shared(&self, path: &str) -> Option<Bytes> {
+        let norm = normalize(path);
+        {
+            let files = self.files.read();
+            let f = files.get(&norm)?;
+            if let [one] = f.segs.as_slice() {
+                return Some(one.clone());
+            }
+        }
+        // Multi-segment file: flatten once under the write lock and
+        // cache the contiguous buffer so later reads are zero-copy.
+        let mut files = self.files.write();
+        let f = files.get_mut(&norm)?;
+        if f.segs.len() != 1 {
+            f.segs = vec![Bytes::from(f.flatten())];
+        }
+        Some(f.segs[0].clone())
     }
 
     fn list(&self, prefix: &str) -> Vec<String> {
@@ -288,6 +374,41 @@ mod tests {
         assert!(fs.dir_exists("/x/y"));
         assert!(fs.dir_exists("/x/y/z"));
         assert!(!fs.dir_exists("/q"));
+    }
+
+    #[test]
+    fn memfs_segmented_write_and_shared_read() {
+        let fs = MemFs::new();
+        let a = Bytes::from(b"# header\n".to_vec());
+        let b = Bytes::from(b"row one\n".to_vec());
+        let c = Bytes::from(b"blob".to_vec());
+        fs.write_file_concat("/step/md.idx", &[a.clone(), b, c])
+            .unwrap();
+        assert_eq!(fs.file_size("/step/md.idx"), Some(21));
+        assert_eq!(
+            fs.read_file("/step/md.idx").unwrap(),
+            b"# header\nrow one\nblob"
+        );
+        // Shared read flattens once, then hands out zero-copy views.
+        let s1 = fs.read_file_shared("/step/md.idx").unwrap();
+        let s2 = fs.read_file_shared("/step/md.idx").unwrap();
+        assert_eq!(&s1[..], b"# header\nrow one\nblob");
+        assert_eq!(s1, s2);
+        // A single-segment file round-trips the very same allocation.
+        fs.write_file_concat("/one", std::slice::from_ref(&a))
+            .unwrap();
+        let shared = fs.read_file_shared("/one").unwrap();
+        assert_eq!(shared, a);
+    }
+
+    #[test]
+    fn memfs_segmented_write_respects_retention() {
+        let fs = MemFs::with_retention(6);
+        let segs = [Bytes::from(b"abcd".to_vec()), Bytes::from(b"efgh".to_vec())];
+        fs.write_file_concat("/clip", &segs).unwrap();
+        assert_eq!(fs.file_size("/clip"), Some(8));
+        assert_eq!(fs.read_file("/clip").unwrap(), b"abcdef");
+        assert_eq!(fs.read_file_shared("/clip").unwrap().len(), 6);
     }
 
     #[test]

@@ -248,7 +248,7 @@ pub fn run_with_backend_attached(
                     },
                     kind: IoKind::Data,
                     path: path.clone(),
-                    payload: Payload::Bytes(std::mem::take(&mut rank_blobs[rank])),
+                    payload: Payload::Bytes(std::mem::take(&mut rank_blobs[rank]).into()),
                 })?;
             }
         }
@@ -263,7 +263,7 @@ pub fn run_with_backend_attached(
             },
             kind: IoKind::Metadata,
             path: format!("/macsio_json_root_{dump:03}.json"),
-            payload: Payload::Bytes(root),
+            payload: Payload::Bytes(root.into()),
         })?;
 
         let mut stats = backend.end_step()?;

@@ -7,7 +7,31 @@
 //! *bytes produced*, and header/metadata bytes are part of the workload.
 
 use amr_mesh::{Geometry, IndexBox};
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::fmt::Write as _;
+
+thread_local! {
+    static E17_CACHE: RefCell<HashMap<u64, String>> = RefCell::new(HashMap::new());
+}
+
+/// Appends `v` formatted exactly as `{v:.17e}` would, memoized per bit
+/// pattern. Header synthesis formats the same values over and over —
+/// grid-aligned box extents, placeholder min/max entries, per-level cell
+/// sizes — and `f64` scientific formatting dominates account-only dump
+/// cost, so repeat values come from the cache instead.
+fn push_e17(out: &mut String, v: f64) {
+    E17_CACHE.with(|c| {
+        let mut map = c.borrow_mut();
+        if map.len() > 8192 {
+            map.clear();
+        }
+        let s = map
+            .entry(v.to_bits())
+            .or_insert_with(|| format!("{v:.17e}"));
+        out.push_str(s);
+    });
+}
 
 /// Formats a box the way AMReX prints 2-D boxes in headers:
 /// `((lo_x,lo_y) (hi_x,hi_y) (0,0))`.
@@ -66,10 +90,17 @@ pub fn plotfile_header(
         s.push('\n');
     }
     s.push_str("2\n"); // spacedim
-    let _ = writeln!(s, "{time:.17e}");
+    push_e17(&mut s, time);
+    s.push('\n');
     let _ = writeln!(s, "{finest}");
-    let _ = writeln!(s, "{:.17e} {:.17e}", g0.prob_lo[0], g0.prob_lo[1]);
-    let _ = writeln!(s, "{:.17e} {:.17e}", g0.prob_hi[0], g0.prob_hi[1]);
+    push_e17(&mut s, g0.prob_lo[0]);
+    s.push(' ');
+    push_e17(&mut s, g0.prob_lo[1]);
+    s.push('\n');
+    push_e17(&mut s, g0.prob_hi[0]);
+    s.push(' ');
+    push_e17(&mut s, g0.prob_hi[1]);
+    s.push('\n');
     // Refinement ratios between consecutive levels.
     for _ in 0..finest {
         let _ = write!(s, "{ref_ratio} ");
@@ -88,12 +119,17 @@ pub fn plotfile_header(
     // Cell sizes per level.
     for l in levels {
         let dx = l.geom.dx();
-        let _ = writeln!(s, "{:.17e} {:.17e}", dx[0], dx[1]);
+        push_e17(&mut s, dx[0]);
+        s.push(' ');
+        push_e17(&mut s, dx[1]);
+        s.push('\n');
     }
     s.push_str("0\n"); // coord sys (0 = Cartesian)
     s.push_str("0\n"); // boundary width
     for (i, l) in levels.iter().enumerate() {
-        let _ = writeln!(s, "{} {} {:.17e}", i, l.boxes.len(), time);
+        let _ = write!(s, "{} {} ", i, l.boxes.len());
+        push_e17(&mut s, time);
+        s.push('\n');
         let _ = writeln!(s, "{}", l.level_steps);
         let dx = l.geom.dx();
         for b in &l.boxes {
@@ -104,7 +140,10 @@ pub fn plotfile_header(
                     + (b.lo().get(dir) - l.geom.domain.lo().get(dir)) as f64 * dx[dir];
                 let hi = l.geom.prob_lo[dir]
                     + (b.hi().get(dir) - l.geom.domain.lo().get(dir) + 1) as f64 * dx[dir];
-                let _ = writeln!(s, "{lo:.17e} {hi:.17e}");
+                push_e17(&mut s, lo);
+                s.push(' ');
+                push_e17(&mut s, hi);
+                s.push('\n');
             }
         }
         let _ = writeln!(s, "Level_{i}/Cell");
@@ -154,15 +193,17 @@ pub fn cell_h(
     }
     let _ = writeln!(s, "{},{}", boxes.len(), ncomp);
     for row in mins {
-        for v in row {
-            let _ = write!(s, "{v:.17e},");
+        for &v in row {
+            push_e17(&mut s, v);
+            s.push(',');
         }
         s.push('\n');
     }
     let _ = writeln!(s, "{},{}", boxes.len(), ncomp);
     for row in maxs {
-        for v in row {
-            let _ = write!(s, "{v:.17e},");
+        for &v in row {
+            push_e17(&mut s, v);
+            s.push(',');
         }
         s.push('\n');
     }

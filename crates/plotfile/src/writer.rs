@@ -169,7 +169,7 @@ pub fn write_plotfile_with(
                 },
                 kind: IoKind::Data,
                 path,
-                payload: Payload::Bytes(buf.into_vec()),
+                payload: Payload::Bytes(buf.freeze()),
             })?;
         }
 
@@ -202,7 +202,7 @@ pub fn write_plotfile_with(
             },
             kind: IoKind::Metadata,
             path: format!("{lev_dir}/Cell_H"),
-            payload: Payload::Bytes(cell_h_content.into_bytes()),
+            payload: Payload::Bytes(cell_h_content.into()),
         })?;
     }
 
@@ -232,7 +232,7 @@ pub fn write_plotfile_with(
             },
             kind: IoKind::Metadata,
             path: format!("{}/{}", spec.dir, name),
-            payload: Payload::Bytes(content.into_bytes()),
+            payload: Payload::Bytes(content.into()),
         })?;
     }
 

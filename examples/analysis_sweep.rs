@@ -70,7 +70,7 @@ fn write_step<'a>(
                     },
                     kind: IoKind::Data,
                     path: format!("/plt/L{level}/{field}_{task:05}"),
-                    payload: Payload::Bytes(data),
+                    payload: Payload::Bytes(data.into()),
                 })
                 .unwrap();
             }
@@ -85,7 +85,7 @@ fn write_step<'a>(
             },
             kind: IoKind::Metadata,
             path: format!("/plt/{meta}"),
-            payload: Payload::Bytes(vec![b'#'; 600]),
+            payload: Payload::Bytes(vec![b'#'; 600].into()),
         })
         .unwrap();
     }

@@ -21,8 +21,12 @@
 //!    bounded burst buffer accrue `staging_wait` instead of free
 //!    overlap.
 //!
-//! Writes `BENCH_campaign.json` at the repo root (campaign throughput in
-//! real steps/sec plus the solo vs 4-tenant walls).
+//! Writes `BENCH_campaign.json` at the repo root: campaign throughput in
+//! real steps/sec plus the solo vs 4-tenant walls, the parallel-encode
+//! bandwidth (`encode_mbps`), and the selective-read latency
+//! (`selective_read_latency`). Every timing self-calibrates to a minimum
+//! measurement window and reports the median of 3 repetitions — a single
+//! ~10 ms pass is scheduler noise, not a benchmark.
 //!
 //! ```text
 //! cargo run --release --example machine_room
@@ -32,8 +36,12 @@ use amr_proxy_io::amrproxy::{
     run_campaign_fabric, run_campaign_timed_serial, run_simulation_attached, CastroSedovConfig,
     Engine, RunSummary,
 };
-use amr_proxy_io::io_engine::BackendSpec;
-use amr_proxy_io::iosim::{Fabric, IoTracker, MemFs, QosPolicy, StorageAttach, StorageModel};
+use amr_proxy_io::io_engine::{
+    BackendSpec, CodecSpec, CompressionStage, IoBackend, Payload, Put, ReadSelection,
+};
+use amr_proxy_io::iosim::{
+    Fabric, IoKey, IoKind, IoTracker, MemFs, QosPolicy, StorageAttach, StorageModel, Vfs,
+};
 use amr_proxy_io::macsio::{self, MacsioConfig};
 use amr_proxy_io::model::linear_fit;
 
@@ -64,6 +72,31 @@ fn mean(xs: impl Iterator<Item = f64>) -> f64 {
     v.iter().sum::<f64>() / v.len() as f64
 }
 
+/// Minimum length of one timed window. Anything shorter measures the
+/// scheduler, not the workload.
+const MIN_WINDOW: f64 = 0.25;
+
+/// Times `f`, self-calibrated: first sizes a repetition count so one
+/// window runs at least [`MIN_WINDOW`] seconds, then takes 3 such
+/// windows and returns the median seconds *per call* of `f`.
+fn measure_seconds_per_call(mut f: impl FnMut()) -> f64 {
+    let t0 = std::time::Instant::now();
+    f();
+    let once = t0.elapsed().as_secs_f64().max(1e-9);
+    let reps = ((MIN_WINDOW / once).ceil() as usize).max(1);
+    let mut per_call: Vec<f64> = (0..3)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            for _ in 0..reps {
+                f();
+            }
+            t.elapsed().as_secs_f64() / reps as f64
+        })
+        .collect();
+    per_call.sort_by(f64::total_cmp);
+    per_call[1]
+}
+
 fn row(n: usize, s: &RunSummary) -> String {
     format!(
         "{n:>8} {:>12.3} {:>12.3} {:>9.3} {:>12.3} {:>12.3}",
@@ -89,7 +122,6 @@ fn main() {
         "tenants", "wall[s]", "solo[s]", "slowdown", "contention", "throttle"
     );
     let ladder = [1usize, 2, 4, 8];
-    let started = std::time::Instant::now();
     let mut total_steps = 0u64;
     let mut mean_slowdowns = Vec::new();
     let mut mean_walls = Vec::new();
@@ -116,7 +148,6 @@ fn main() {
         mean_walls.push(mean(summaries.iter().map(|s| s.wall_time)));
         by_n.push(summaries);
     }
-    let elapsed = started.elapsed().as_secs_f64();
     assert_eq!(by_n[0][0].slowdown, 1.0, "one tenant on the fabric is solo");
     assert_eq!(by_n[0][0].contention_stall, 0.0);
     for w in mean_slowdowns.windows(2) {
@@ -226,7 +257,97 @@ fn main() {
     );
 
     // ── Benchmark artifact at the repo root. ───────────────────────────
-    let steps_per_sec = total_steps as f64 / elapsed;
+    // Campaign throughput: the whole tenancy ladder (240 real engine
+    // steps) as one repeatable unit, self-calibrated and medianed.
+    let ladder_seconds = measure_seconds_per_call(|| {
+        for &n in &ladder {
+            let configs: Vec<CastroSedovConfig> =
+                (0..n).map(|i| sedov(&format!("sedov_t{i}"))).collect();
+            let summaries = run_campaign_fabric(&configs, &storage, None, &[]);
+            assert_eq!(summaries.len(), n);
+        }
+    });
+    let steps_per_sec = total_steps as f64 / ladder_seconds;
+
+    // Parallel-encode bandwidth: real bytes through the default
+    // (parallel) compression stage; logical MB per second of wall time.
+    let encode_chunks: Vec<amr_proxy_io::iosim::Bytes> = (0..64u32)
+        .map(|i| {
+            // Half-compressible mix, 256 KiB per chunk: runs of the task
+            // id interleaved with a rolling pattern RLE cannot fold.
+            let data: Vec<u8> = (0..256 * 1024usize)
+                .map(|j| {
+                    if (j / 4096) % 2 == 0 {
+                        (i % 7) as u8
+                    } else {
+                        ((j as u32 * 131 + i) % 251) as u8
+                    }
+                })
+                .collect();
+            data.into()
+        })
+        .collect();
+    let logical_mb =
+        encode_chunks.iter().map(|c| c.len()).sum::<usize>() as f64 / (1024.0 * 1024.0);
+    let encode_seconds = measure_seconds_per_call(|| {
+        let fs = MemFs::with_retention(0);
+        let tracker = IoTracker::new();
+        let inner = BackendSpec::FilePerProcess.build(&fs as &dyn Vfs, &tracker);
+        let mut stack = CompressionStage::new(inner, CodecSpec::Rle(2.0).build(), &fs as &dyn Vfs);
+        stack.begin_step(1, "/plt");
+        for (i, chunk) in encode_chunks.iter().enumerate() {
+            stack
+                .put(Put {
+                    key: IoKey {
+                        step: 1,
+                        level: 0,
+                        task: i as u32,
+                    },
+                    kind: IoKind::Data,
+                    path: format!("/plt/f{i:05}"),
+                    // O(1) shared view — the stage encodes the same
+                    // buffers every repetition.
+                    payload: Payload::Bytes(chunk.clone()),
+                })
+                .unwrap();
+        }
+        stack.end_step().unwrap();
+    });
+    let encode_mbps = logical_mb / encode_seconds;
+
+    // Selective-read latency: one materialized aggregated step, then a
+    // by-level selection served from the on-disk index; median seconds
+    // per query.
+    let sel_fs = MemFs::new();
+    let sel_tracker = IoTracker::new();
+    let mut sel_backend = BackendSpec::Aggregated(4).build(&sel_fs as &dyn Vfs, &sel_tracker);
+    sel_backend.begin_step(1, "/plt");
+    for level in 0..3u32 {
+        for task in 0..32u32 {
+            for field in ["density", "pressure", "temp"] {
+                sel_backend
+                    .put(Put {
+                        key: IoKey {
+                            step: 1,
+                            level,
+                            task,
+                        },
+                        kind: IoKind::Data,
+                        path: format!("/plt/L{level}/{field}_{task:05}"),
+                        payload: Payload::Bytes(vec![(level + task) as u8; 2048].into()),
+                    })
+                    .unwrap();
+            }
+        }
+    }
+    sel_backend.end_step().unwrap();
+    let selective_read_latency = measure_seconds_per_call(|| {
+        let read = sel_backend
+            .read_selection(1, "/plt", &ReadSelection::Level(1))
+            .unwrap();
+        assert_eq!(read.chunks.len(), 32 * 3);
+    });
+
     let bench = serde_json::Value::Object(vec![
         (
             "campaign_runs".into(),
@@ -234,7 +355,7 @@ fn main() {
         ),
         (
             "campaign_wall_seconds".into(),
-            serde_json::to_value(&elapsed),
+            serde_json::to_value(&ladder_seconds),
         ),
         (
             "campaign_steps_per_sec".into(),
@@ -252,11 +373,20 @@ fn main() {
             "four_tenant_slowdown".into(),
             serde_json::to_value(&mean_slowdowns[2]),
         ),
+        ("encode_mbps".into(), serde_json::to_value(&encode_mbps)),
+        (
+            "selective_read_latency".into(),
+            serde_json::to_value(&selective_read_latency),
+        ),
     ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_campaign.json");
     std::fs::write(path, serde_json::to_string_pretty(&bench).unwrap()).expect("write bench");
     println!(
-        "\n[artifact] {path} ({total_steps} steps in {elapsed:.2} s real, {steps_per_sec:.0} steps/s)"
+        "\n[artifact] {path}\n  ladder: {total_steps} steps in {ladder_seconds:.3} s \
+         (median of 3 calibrated windows) = {steps_per_sec:.0} steps/s\n  \
+         encode: {logical_mb:.0} MiB logical through the parallel stage = {encode_mbps:.0} MB/s\n  \
+         selective read: {:.1} us by-level query latency",
+        selective_read_latency * 1e6
     );
 
     println!("\nall machine-room invariants hold");

@@ -74,7 +74,7 @@ fn main() {
                         },
                         kind: IoKind::Data,
                         path,
-                        payload: Payload::Bytes(data),
+                        payload: Payload::Bytes(data.into()),
                     })
                     .unwrap();
             }
@@ -87,7 +87,7 @@ fn main() {
                     },
                     kind: IoKind::Metadata,
                     path: "/plt00001/Header".into(),
-                    payload: Payload::Bytes(b"restart header".to_vec()),
+                    payload: Payload::Bytes(b"restart header".to_vec().into()),
                 })
                 .unwrap();
             let stats = stack.end_step().unwrap();

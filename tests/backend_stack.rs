@@ -208,7 +208,7 @@ fn deferred_drain_pool_lands_every_staged_byte() {
                     },
                     kind: amr_proxy_io::iosim::IoKind::Data,
                     path: format!("/s{step}_t{task}"),
-                    payload: amr_proxy_io::io_engine::Payload::Bytes(vec![task as u8; 256]),
+                    payload: amr_proxy_io::io_engine::Payload::Bytes(vec![task as u8; 256].into()),
                 })
                 .unwrap();
         }

@@ -1,0 +1,83 @@
+//! Schema check for the `BENCH_campaign.json` artifact the machine-room
+//! smoke emits at the repo root: every consumer-visible column must be
+//! present and sane — the six legacy columns plus the throughput-plane
+//! additions (`encode_mbps`, `selective_read_latency`). CI runs this
+//! right after regenerating the artifact, so a column rename or a
+//! broken measurement fails the bench-smoke job instead of shipping a
+//! silently incomplete artifact.
+
+use serde_json::Value;
+
+/// A column's name paired with its sanity predicate.
+type Column = (&'static str, fn(f64) -> bool);
+
+/// Columns the artifact must carry, with their sanity predicate.
+const COLUMNS: &[Column] = &[
+    // Legacy columns (PR 6 machine room).
+    ("campaign_runs", |v| v == 15.0),
+    ("campaign_wall_seconds", |v| v > 0.0 && v < 3600.0),
+    ("campaign_steps_per_sec", |v| v > 0.0),
+    ("solo_wall_seconds", |v| v > 0.0),
+    ("four_tenant_wall_seconds", |v| v > 0.0),
+    ("four_tenant_slowdown", |v| v >= 1.0),
+    // Throughput-plane columns (this PR).
+    ("encode_mbps", |v| v > 0.0),
+    ("selective_read_latency", |v| v > 0.0 && v < 1.0),
+];
+
+fn load() -> Value {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_campaign.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_campaign.json exists at the repo root");
+    serde_json::from_str(&text).expect("BENCH_campaign.json parses as JSON")
+}
+
+fn fields(bench: &Value) -> Vec<(String, f64)> {
+    let obj = bench.as_object().expect("artifact is a JSON object");
+    obj.iter()
+        .map(|(k, v)| {
+            let n = v
+                .as_f64()
+                .unwrap_or_else(|| panic!("bench column '{k}' is not numeric"));
+            (k.clone(), n)
+        })
+        .collect()
+}
+
+#[test]
+fn bench_artifact_has_every_column() {
+    let bench = load();
+    let fields = fields(&bench);
+    for (key, ok) in COLUMNS {
+        let v = fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .unwrap_or_else(|| panic!("missing bench column '{key}'"))
+            .1;
+        assert!(v.is_finite(), "bench column '{key}' is not finite: {v}");
+        assert!(ok(v), "bench column '{key}' fails its sanity check: {v}");
+    }
+}
+
+#[test]
+fn bench_artifact_has_no_unknown_columns() {
+    let bench = load();
+    for (key, _) in fields(&bench) {
+        assert!(
+            COLUMNS.iter().any(|(k, _)| *k == key),
+            "unexpected bench column '{key}' — add it to the schema check"
+        );
+    }
+}
+
+#[test]
+fn four_tenant_slowdown_is_consistent_with_walls() {
+    let bench = load();
+    let fields = fields(&bench);
+    let get = |k: &str| fields.iter().find(|(f, _)| f == k).unwrap().1;
+    let ratio = get("four_tenant_wall_seconds") / get("solo_wall_seconds");
+    let slowdown = get("four_tenant_slowdown");
+    assert!(
+        (ratio - slowdown).abs() < 0.25,
+        "slowdown {slowdown} inconsistent with wall ratio {ratio}"
+    );
+}

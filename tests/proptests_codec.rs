@@ -170,14 +170,14 @@ proptest! {
                             key: IoKey { step, level: task % 3, task },
                             kind: IoKind::Data,
                             path,
-                            payload: Payload::Bytes(data),
+                            payload: Payload::Bytes(data.into()),
                         }).expect("put");
                     }
                     stack.put(Put {
                         key: IoKey { step, level: 0, task: 0 },
                         kind: IoKind::Metadata,
                         path: format!("/plt/s{step}/hdr"),
-                        payload: Payload::Bytes(vec![b'h'; 100]),
+                        payload: Payload::Bytes(vec![b'h'; 100].into()),
                     }).expect("meta put");
                     stack.end_step().expect("end_step");
 

@@ -48,7 +48,8 @@ fn write_step<'a>(
                             .flat_map(|i| {
                                 ((i + task * 7 + level * 31 + fi as u32) as f64 * 0.5).to_le_bytes()
                             })
-                            .collect(),
+                            .collect::<Vec<u8>>()
+                            .into(),
                     )
                 };
                 b.put(Put {
@@ -76,7 +77,7 @@ fn write_step<'a>(
         payload: if account_only {
             Payload::Size(300)
         } else {
-            Payload::Bytes(vec![b'h'; 300])
+            Payload::Bytes(vec![b'h'; 300].into())
         },
     })
     .unwrap();
@@ -92,7 +93,7 @@ fn contents(read: &StepRead) -> Contents {
         .iter()
         .map(|c| {
             let bytes = match &c.payload {
-                Payload::Bytes(b) => b.clone(),
+                Payload::Bytes(b) => b.to_vec(),
                 Payload::Size(n) => format!("size:{n}").into_bytes(),
                 other => panic!("undecoded payload in read: {other:?}"),
             };

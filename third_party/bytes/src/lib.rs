@@ -1,7 +1,153 @@
 //! Offline stand-in for `bytes`: a growable byte buffer with the
-//! little-endian `put_*` API subset the plotfile writer uses.
+//! little-endian `put_*` API subset the plotfile writer uses, plus the
+//! zero-copy [`Bytes`] handle the io-engine's payload plumbing shares
+//! across layer crossings.
 
-use std::ops::{Deref, DerefMut};
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, sliceable view into a shared immutable byte
+/// buffer — the stand-in for `bytes::Bytes`.
+///
+/// Cloning and [`Bytes::slice`] are O(1): both share the same backing
+/// allocation (an `Arc<[u8]>`), so encoded payloads can cross the
+/// stage → backend → filesystem → read-back layers without a copy.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies `data` into a fresh shared buffer (the one unavoidable
+    /// copy at the producer boundary).
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self::from(data.to_vec())
+    }
+
+    /// Bytes in this view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A zero-copy sub-view sharing this buffer's allocation.
+    ///
+    /// # Panics
+    /// Panics when the range is out of bounds (like slice indexing).
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            lo <= hi && hi <= self.len,
+            "slice {lo}..{hi} of {}",
+            self.len
+        );
+        Self {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            len: hi - lo,
+        }
+    }
+
+    /// Copies the view out into an owned `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.start + self.len]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let len = v.len();
+        Self {
+            data: v.into(),
+            start: 0,
+            len,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Self::copy_from_slice(v)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    fn from(v: &[u8; N]) -> Self {
+        Self::copy_from_slice(v)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Self::from(s.into_bytes())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_ref() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_ref() == other.as_slice()
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state);
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len)
+    }
+}
 
 /// Extension trait for appending raw values to a byte buffer.
 pub trait BufMut {
@@ -77,6 +223,11 @@ impl BytesMut {
     pub fn into_vec(self) -> Vec<u8> {
         self.inner
     }
+
+    /// Freezes the buffer into an immutable, shareable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.inner)
+    }
 }
 
 impl BufMut for BytesMut {
@@ -126,6 +277,29 @@ impl From<BytesMut> for Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bytes_slice_is_zero_copy() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        assert_eq!(s.slice(1..).as_ref(), &[3, 4]);
+        // Clones and slices share the same backing allocation.
+        let c = b.clone();
+        assert!(Arc::ptr_eq(&b.data, &c.data));
+        assert!(Arc::ptr_eq(&b.data, &s.data));
+        assert_eq!(b, c);
+        assert_eq!(s, vec![2u8, 3, 4]);
+    }
+
+    #[test]
+    fn bytes_mut_freezes() {
+        let mut m = BytesMut::new();
+        m.put_slice(b"abc");
+        let b = m.freeze();
+        assert_eq!(&b[..], b"abc");
+        assert_eq!(b.to_vec(), b"abc".to_vec());
+    }
 
     #[test]
     fn put_values_little_endian() {

@@ -10,12 +10,18 @@
 //! the output.
 
 use std::num::NonZeroUsize;
+use std::sync::OnceLock;
 
-/// Number of worker threads the stand-in fans out to.
+/// Number of worker threads the stand-in fans out to. The OS query is
+/// surprisingly expensive (cgroup/affinity reads, ~10µs on some
+/// kernels) and sits on every `par_apply` call, so it is made once.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
 }
 
 /// Applies `f` to every item in parallel, preserving order.
