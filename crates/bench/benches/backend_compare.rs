@@ -3,14 +3,20 @@
 //! dump times, file counts, physical volume, and wall clock from the
 //! storage model — the backend-level counterpart of the paper's MIF/SIF
 //! comparison, extended with the AMRIC-style data-reduction lever.
+//!
+//! Results persist in the append-only store at
+//! `results/store/backend_compare/` (the old `results/backend_compare.json`
+//! blob is readable via `amrproxy::store::read_legacy_blob`); re-running
+//! the bench resumes every already-persisted cell instead of
+//! re-executing it.
 
-use amrproxy::{backend_codec_sweep, run_campaign_timed, CastroSedovConfig, Engine};
-use bench::{banner, human_bytes, write_artifact};
+use amrproxy::spec::ExperimentSpec;
+use amrproxy::store::{run_spec, ResultsStore};
+use amrproxy::{CastroSedovConfig, Engine};
+use bench::{banner, human_bytes};
 use io_engine::{BackendSpec, CodecSpec};
 use iosim::StorageModel;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     backend: String,
     codec: String,
@@ -49,13 +55,30 @@ fn main() {
     ];
     let codecs = [CodecSpec::Identity, CodecSpec::LossyQuant(8)];
     let storage = StorageModel::summit_alpine(1.0 / 9.0);
-    let summaries = run_campaign_timed(&backend_codec_sweep(&[base], &backends, &codecs), &storage);
 
-    let fpp_wall = summaries
-        .iter()
-        .find(|s| s.backend == "fpp" && s.codec == "identity")
-        .expect("fpp baseline present")
-        .wall_time;
+    // The sweep as a declarative spec, executed against the append-only
+    // store: already-persisted cells are served back from disk.
+    let spec = ExperimentSpec::over("backend_compare", &[base])
+        .backends(&backends)
+        .codecs(&codecs);
+    let mut store = ResultsStore::open(bench::results_dir().join("store/backend_compare"))
+        .expect("open results store");
+    let report = run_spec(&spec, &mut store, Some(&storage)).expect("run spec");
+    println!(
+        "store {}: {} cells executed, {} resumed",
+        store.dir().display(),
+        report.executed,
+        report.resumed
+    );
+    let summaries = report.summaries;
+
+    // The baseline wall comes back out through the query plane.
+    let fpp_walls = store
+        .query()
+        .filter("backend", "fpp")
+        .filter("codec", "identity")
+        .numbers("wall_time");
+    let fpp_wall = *fpp_walls.first().expect("fpp baseline present");
     let mut rows = Vec::new();
     println!(
         "\n{:<12} {:>10} {:>12} {:>12} {:>8} {:>12} {:>10}",
@@ -114,5 +137,10 @@ fn main() {
             r.backend
         );
     }
-    write_artifact("backend_compare", &rows);
+
+    // The per-backend aggregate, straight from the store.
+    println!("\nmean wall by backend (store group_mean):");
+    for (backend, wall) in store.query().group_mean("backend", "wall_time") {
+        println!("  {backend:<12} {wall:.4} s");
+    }
 }

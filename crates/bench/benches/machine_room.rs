@@ -1,12 +1,17 @@
 //! Machine-room campaign throughput: real steps/sec of the fabric-backed
 //! campaign runner, and the solo vs 4-tenant simulated walls.
 //!
-//! Writes the artifact twice: `results/machine_room.json` (the usual
-//! bench drop) and `BENCH_campaign.json` at the repo root (the CI-facing
-//! benchmark contract for this subsystem).
+//! Each run appends one row to the append-only store at
+//! `results/store/machine_room/` — the store accumulates a history of
+//! bench runs instead of overwriting one blob (old
+//! `results/machine_room.json` artifacts load via
+//! `amrproxy::store::read_legacy_blob`) — and still writes
+//! `BENCH_campaign.json` at the repo root (the CI-facing benchmark
+//! contract for this subsystem).
 
+use amrproxy::store::ResultsStore;
 use amrproxy::{run_campaign_fabric, run_campaign_timed_serial, CastroSedovConfig, Engine};
-use bench::{banner, write_artifact};
+use bench::banner;
 use iosim::StorageModel;
 use serde::Serialize;
 
@@ -93,7 +98,18 @@ fn main() {
         "solo wall {:.3} s, 4-tenant wall {:.3} s (slowdown {:.3})",
         result.solo_wall_seconds, result.four_tenant_wall_seconds, result.four_tenant_slowdown
     );
-    write_artifact("machine_room", &result);
+    // One appended row per bench run; the store keeps the history.
+    let mut store = ResultsStore::open(bench::results_dir().join("store/machine_room"))
+        .expect("open results store");
+    store
+        .append_row("bench:machine_room", &serde_json::to_value(&result))
+        .expect("append bench row");
+    println!(
+        "[store] {} ({} runs on record, mean {:.0} steps/s)",
+        store.dir().display(),
+        store.len(),
+        store.query().mean("campaign_steps_per_sec")
+    );
 
     // The repo-root benchmark contract for the machine-room subsystem.
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");

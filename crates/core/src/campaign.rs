@@ -322,21 +322,19 @@ pub fn table3_campaign() -> Vec<CastroSedovConfig> {
 /// backend)` pair becomes one scenario, with the backend name suffixed to
 /// the run label. This is the scenario-matrix product the backend sweeps
 /// (example `backend_sweep`, bench `backend_compare`) build on.
+///
+/// *Legacy shim:* compiles through [`crate::spec::ExperimentSpec`] —
+/// prefer declaring the axis on a spec directly (you also get excludes,
+/// zips, collision-checked labels, and store resume). Property-tested
+/// byte-identical to the original hand-written enumeration.
 pub fn backend_sweep(
     configs: &[CastroSedovConfig],
     backends: &[BackendSpec],
 ) -> Vec<CastroSedovConfig> {
-    let mut out = Vec::with_capacity(configs.len() * backends.len());
-    for cfg in configs {
-        for &backend in backends {
-            out.push(CastroSedovConfig {
-                name: format!("{}_{}", cfg.name, backend.name().replace(':', "")),
-                backend,
-                ..cfg.clone()
-            });
-        }
-    }
-    out
+    crate::spec::ExperimentSpec::over("backend_sweep", configs)
+        .backends(backends)
+        .compile_configs()
+        .expect("backend_sweep: base run labels collide")
 }
 
 /// Expands a set of configurations across the backend × codec plane:
@@ -344,32 +342,19 @@ pub fn backend_sweep(
 /// compression-axis generalization of [`backend_sweep`] — the identity
 /// codec column reproduces `backend_sweep` exactly, non-identity columns
 /// add the data-reduction lever (AMRIC-style) on top of each layout.
+///
+/// *Legacy shim:* compiles through [`crate::spec::ExperimentSpec`];
+/// prefer declaring the axes on a spec directly.
 pub fn backend_codec_sweep(
     configs: &[CastroSedovConfig],
     backends: &[BackendSpec],
     codecs: &[CodecSpec],
 ) -> Vec<CastroSedovConfig> {
-    let mut out = Vec::with_capacity(configs.len() * backends.len() * codecs.len());
-    for cfg in configs {
-        for &backend in backends {
-            for &codec in codecs {
-                // Codec spellings keep '.' distinct ('p', as in "2p5") so
-                // fractional Rle ratios cannot collide (2.1 vs 21).
-                out.push(CastroSedovConfig {
-                    name: format!(
-                        "{}_{}_{}",
-                        cfg.name,
-                        backend.name().replace(':', ""),
-                        codec.name().replace(':', "").replace('.', "p")
-                    ),
-                    backend,
-                    codec,
-                    ..cfg.clone()
-                });
-            }
-        }
-    }
-    out
+    crate::spec::ExperimentSpec::over("backend_codec_sweep", configs)
+        .backends(backends)
+        .codecs(codecs)
+        .compile_configs()
+        .expect("backend_codec_sweep: base run labels collide")
 }
 
 /// Expands a set of configurations across the backend × codec ×
@@ -378,21 +363,20 @@ pub fn backend_codec_sweep(
 /// (suffix `_restart`). This is the read-plane generalization of the
 /// sweep — the write half reproduces `backend_codec_sweep` exactly, the
 /// restart half additionally prices recovery reads.
+///
+/// *Legacy shim:* compiles through [`crate::spec::ExperimentSpec`]'s
+/// `mode` axis; prefer declaring the axes on a spec directly.
 pub fn restart_sweep(
     configs: &[CastroSedovConfig],
     backends: &[BackendSpec],
     codecs: &[CodecSpec],
 ) -> Vec<CastroSedovConfig> {
-    let mut out = Vec::new();
-    for cfg in backend_codec_sweep(configs, backends, codecs) {
-        out.push(cfg.clone());
-        out.push(CastroSedovConfig {
-            name: format!("{}_restart", cfg.name),
-            read_after_write: true,
-            ..cfg
-        });
-    }
-    out
+    crate::spec::ExperimentSpec::over("restart_sweep", configs)
+        .backends(backends)
+        .codecs(codecs)
+        .modes(&[crate::spec::RunMode::Write, crate::spec::RunMode::Restart])
+        .compile_configs()
+        .expect("restart_sweep: base run labels collide")
 }
 
 /// Expands a set of configurations across the backend × codec ×
@@ -404,69 +388,27 @@ pub fn restart_sweep(
 /// each read pattern" (Wan et al.) a priced campaign question: the
 /// summaries carry selective-read physical bytes and wall for both
 /// layouts, plus the reorganization cost the savings must amortize.
+///
+/// Pattern spellings flatten to name-safe tokens (`level:1` ->
+/// `level1`, `box:0-1,2-5` -> `box0to1_2to5`); lossy collisions are
+/// index-disambiguated (`io_engine::grammar::disambiguate_tags`).
+///
+/// *Legacy shim:* compiles through [`crate::spec::ExperimentSpec`]'s
+/// `pattern` and `layout` axes; prefer declaring the axes on a spec
+/// directly.
 pub fn analysis_sweep(
     configs: &[CastroSedovConfig],
     backends: &[BackendSpec],
     codecs: &[CodecSpec],
     patterns: &[ReadSelection],
 ) -> Vec<CastroSedovConfig> {
-    // Pattern spellings flatten to name-safe tokens (`level:1` ->
-    // `level1`, `box:0-1,2-5` -> `box0to1_2to5`). The flattening is
-    // lossy (distinct field substrings can collapse), so colliding tags
-    // are disambiguated with their pattern index to keep scenario names
-    // unique.
-    let mut tags: Vec<String> = patterns
-        .iter()
-        .map(|p| {
-            p.name()
-                .replace(':', "")
-                .replace('-', "to")
-                .replace([',', '/', '.'], "_")
-        })
-        .collect();
-    disambiguate_tags(&mut tags, 'p');
-    let mut out = Vec::new();
-    for cfg in backend_codec_sweep(configs, backends, codecs) {
-        for (pattern, tag) in patterns.iter().zip(&tags) {
-            for reorganize in [false, true] {
-                out.push(CastroSedovConfig {
-                    name: format!(
-                        "{}_{}_{}",
-                        cfg.name,
-                        tag,
-                        if reorganize { "reorg" } else { "raw" }
-                    ),
-                    analysis_read: Some(pattern.clone()),
-                    reorganize,
-                    ..cfg.clone()
-                });
-            }
-        }
-    }
-    out
-}
-
-/// Disambiguates lossy name-safe tags in place: every member of a
-/// colliding group gets `_{prefix}{index}` appended, and the pass
-/// repeats until the whole set is unique — a single pass is not enough,
-/// because a renamed tag can itself collide with a *different* entry's
-/// original flattening (e.g. `x`, `x` and a third entry already named
-/// `x_s1`). Indices are per-entry, so renamed tags never collide with
-/// each other and the fixed point is reached in a few rounds.
-fn disambiguate_tags(tags: &mut [String], prefix: char) {
-    loop {
-        let snapshot: Vec<String> = tags.to_vec();
-        let mut changed = false;
-        for i in 0..tags.len() {
-            if snapshot.iter().filter(|t| **t == snapshot[i]).count() > 1 {
-                tags[i] = format!("{}_{prefix}{i}", snapshot[i]);
-                changed = true;
-            }
-        }
-        if !changed {
-            return;
-        }
-    }
+    crate::spec::ExperimentSpec::over("analysis_sweep", configs)
+        .backends(backends)
+        .codecs(codecs)
+        .patterns(patterns)
+        .layouts(&[crate::spec::Layout::Raw, crate::spec::Layout::Reorg])
+        .compile_configs()
+        .expect("analysis_sweep: base run labels collide")
 }
 
 /// Expands a set of configurations across a scenario axis: every
@@ -476,35 +418,20 @@ fn disambiguate_tags(tags: &mut [String], prefix: char) {
 /// `write`, `write;check@4;fail@10;restart`, and
 /// `write;analyze_every:2:level:1` prices what failures, checkpoint
 /// cadence, and in-run analysis each cost on the same workload.
+///
+/// Scenario spellings flatten to name-safe tokens (`write;check@4` ->
+/// `write_check4`); lossy collisions are index-disambiguated.
+///
+/// *Legacy shim:* compiles through [`crate::spec::ExperimentSpec`]'s
+/// `scenario` axis; prefer declaring the axis on a spec directly.
 pub fn scenario_sweep(
     configs: &[CastroSedovConfig],
     scenarios: &[Scenario],
 ) -> Vec<CastroSedovConfig> {
-    // Scenario spellings flatten to name-safe tokens (`write;check@4` ->
-    // `write_check4`). The flattening is lossy (field substrings can
-    // collapse), so colliding tags are index-disambiguated like
-    // `analysis_sweep`'s pattern tags.
-    let mut tags: Vec<String> = scenarios
-        .iter()
-        .map(|s| {
-            s.name()
-                .replace([';', ','], "_")
-                .replace('-', "to")
-                .replace([':', '@', '.', '/'], "")
-        })
-        .collect();
-    disambiguate_tags(&mut tags, 's');
-    let mut out = Vec::with_capacity(configs.len() * scenarios.len());
-    for cfg in configs {
-        for (scenario, tag) in scenarios.iter().zip(&tags) {
-            out.push(CastroSedovConfig {
-                name: format!("{}_{}", cfg.name, tag),
-                scenario: Some(scenario.clone()),
-                ..cfg.clone()
-            });
-        }
-    }
-    out
+    crate::spec::ExperimentSpec::over("scenario_sweep", configs)
+        .scenarios(scenarios)
+        .compile_configs()
+        .expect("scenario_sweep: base run labels collide")
 }
 
 /// Runs a set of configurations in parallel (the rayon stand-in fans

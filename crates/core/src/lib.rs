@@ -30,6 +30,8 @@ pub mod compare;
 pub mod config;
 pub mod driver;
 pub mod run;
+pub mod spec;
+pub mod store;
 
 pub use campaign::{
     analysis_sweep, backend_codec_sweep, backend_sweep, restart_sweep, run_campaign,
@@ -45,3 +47,5 @@ pub use driver::{
 };
 pub use io_engine::{Scenario, ScenarioOp};
 pub use run::{run_simulation, run_simulation_attached, RunResult};
+pub use spec::{ExperimentSpec, Layout, RunMode, ScalingMode, SpecCell, SpecError, StorageProfile};
+pub use store::{ResultsStore, SpecReport};

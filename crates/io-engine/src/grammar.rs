@@ -1,0 +1,584 @@
+//! The declarative experiment grammar's shared substrate.
+//!
+//! Two pieces live here because *every* spec consumer needs them and
+//! they must not be re-implemented per crate (the hand-enumerated
+//! `*_sweep` functions this layer replaces were five copies of the same
+//! cross-product loop):
+//!
+//! * a **mini-TOML reader** ([`TomlDoc`]) covering exactly the subset an
+//!   experiment spec file uses — `[section]` / `[[section]]` headers and
+//!   `key = value` entries with string/integer/float/boolean scalars and
+//!   single-line arrays — parsed without any external crate (this
+//!   workspace builds offline);
+//! * the **axis-matrix engine** ([`MatrixShape`]): given named axes with
+//!   lengths and optional `zip` groups (axes that advance in lockstep,
+//!   benchpark-style), it enumerates every cell as one index per axis,
+//!   deterministically — declaration order is loop order, the last
+//!   declared slot varies fastest, exactly like the nested loops the
+//!   legacy sweeps wrote by hand.
+//!
+//! Value interpretation (what an axis *means*) stays with the callers:
+//! `amrproxy::spec` maps axes onto `CastroSedovConfig` fields, `macsio`
+//! maps them onto command-line flags. Both share this enumeration, so
+//! zips, excludes, and ordering behave identically everywhere.
+
+/// A scalar or array value from a spec file.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TomlValue {
+    /// A quoted string.
+    Str(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// A single-line array of values.
+    Array(Vec<TomlValue>),
+}
+
+impl TomlValue {
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            TomlValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an integer (floats with zero fraction qualify).
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            TomlValue::Int(v) => Some(v),
+            TomlValue::Float(v) if v.fract() == 0.0 => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            TomlValue::Int(v) => Some(v as f64),
+            TomlValue::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            TomlValue::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_array(&self) -> Option<&[TomlValue]> {
+        match self {
+            TomlValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders the value the way a spec label would spell it (`"x"` →
+    /// `x`, `4` → `4`, `2.5` → `2.5`).
+    pub fn render(&self) -> String {
+        match self {
+            TomlValue::Str(s) => s.clone(),
+            TomlValue::Int(v) => v.to_string(),
+            TomlValue::Float(v) => format!("{v}"),
+            TomlValue::Bool(b) => b.to_string(),
+            TomlValue::Array(items) => items
+                .iter()
+                .map(TomlValue::render)
+                .collect::<Vec<_>>()
+                .join(","),
+        }
+    }
+}
+
+/// One `[name]` or `[[name]]` table, entries in file order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TomlSection {
+    /// Section name (the part inside the brackets).
+    pub name: String,
+    /// True for `[[name]]` array-of-tables headers.
+    pub array: bool,
+    /// `key = value` entries in declaration order (order is meaningful:
+    /// the `[axes]` section's entry order is the sweep's loop order).
+    pub entries: Vec<(String, TomlValue)>,
+}
+
+impl TomlSection {
+    /// Looks up an entry by key.
+    pub fn get(&self, key: &str) -> Option<&TomlValue> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// A parsed spec file: sections in file order. Top-level keys before the
+/// first header land in an implicit section named `""`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TomlDoc {
+    /// All sections, in file order.
+    pub sections: Vec<TomlSection>,
+}
+
+impl TomlDoc {
+    /// Parses the TOML subset. Errors carry the 1-based line number.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut sections: Vec<TomlSection> = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            let at = |msg: String| format!("line {}: {msg}", lineno + 1);
+            if let Some(header) = line.strip_prefix("[[") {
+                let name = header
+                    .strip_suffix("]]")
+                    .ok_or_else(|| at(format!("malformed table header '{line}'")))?
+                    .trim();
+                sections.push(TomlSection {
+                    name: name.to_string(),
+                    array: true,
+                    entries: Vec::new(),
+                });
+            } else if let Some(header) = line.strip_prefix('[') {
+                let name = header
+                    .strip_suffix(']')
+                    .ok_or_else(|| at(format!("malformed section header '{line}'")))?
+                    .trim();
+                sections.push(TomlSection {
+                    name: name.to_string(),
+                    array: false,
+                    entries: Vec::new(),
+                });
+            } else {
+                let (key, value) = line
+                    .split_once('=')
+                    .ok_or_else(|| at(format!("expected 'key = value', got '{line}'")))?;
+                let value = parse_value(value.trim()).map_err(&at)?;
+                if sections.is_empty() {
+                    sections.push(TomlSection {
+                        name: String::new(),
+                        array: false,
+                        entries: Vec::new(),
+                    });
+                }
+                let section = sections.last_mut().expect("section pushed above");
+                let key = key.trim().to_string();
+                if section.get(&key).is_some() {
+                    return Err(at(format!(
+                        "duplicate key '{key}' in section [{}]",
+                        section.name
+                    )));
+                }
+                section.entries.push((key, value));
+            }
+        }
+        Ok(Self { sections })
+    }
+
+    /// The first `[name]` section, if present.
+    pub fn section(&self, name: &str) -> Option<&TomlSection> {
+        self.sections.iter().find(|s| s.name == name)
+    }
+
+    /// Every `[name]` / `[[name]]` section, in file order.
+    pub fn all(&self, name: &str) -> Vec<&TomlSection> {
+        self.sections.iter().filter(|s| s.name == name).collect()
+    }
+}
+
+/// Strips a `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(text: &str) -> Result<TomlValue, String> {
+    let text = text.trim();
+    if let Some(body) = text.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or_else(|| format!("unterminated array '{text}'"))?;
+        let mut items = Vec::new();
+        for part in split_array_items(body)? {
+            let part = part.trim();
+            if part.is_empty() {
+                continue; // trailing comma
+            }
+            items.push(parse_value(part)?);
+        }
+        return Ok(TomlValue::Array(items));
+    }
+    if let Some(body) = text.strip_prefix('"') {
+        let body = body
+            .strip_suffix('"')
+            .ok_or_else(|| format!("unterminated string {text}"))?;
+        if body.contains('"') {
+            return Err(format!("embedded quote in string {text}"));
+        }
+        return Ok(TomlValue::Str(body.to_string()));
+    }
+    match text {
+        "true" => return Ok(TomlValue::Bool(true)),
+        "false" => return Ok(TomlValue::Bool(false)),
+        _ => {}
+    }
+    if text.contains(['.', 'e', 'E']) {
+        if let Ok(v) = text.parse::<f64>() {
+            return Ok(TomlValue::Float(v));
+        }
+    }
+    if let Ok(v) = text.parse::<i64>() {
+        return Ok(TomlValue::Int(v));
+    }
+    Err(format!("cannot parse value '{text}'"))
+}
+
+/// Splits an array body on commas that are not inside quotes.
+fn split_array_items(body: &str) -> Result<Vec<&str>, String> {
+    let mut items = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    for (i, c) in body.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                items.push(&body[start..i]);
+                start = i + 1;
+            }
+            '[' | ']' if !in_str => {
+                return Err("nested arrays are not supported".to_string());
+            }
+            _ => {}
+        }
+    }
+    if in_str {
+        return Err(format!("unterminated string in array '{body}'"));
+    }
+    items.push(&body[start..]);
+    Ok(items)
+}
+
+/// The shape of an experiment matrix: named axes with lengths, plus
+/// `zip` groups whose members advance together (and must therefore have
+/// equal lengths). [`MatrixShape::enumerate`] yields every cell as one
+/// value index per axis, in declaration order.
+#[derive(Clone, Debug, Default)]
+pub struct MatrixShape {
+    axes: Vec<(String, usize)>,
+    zips: Vec<Vec<String>>,
+}
+
+impl MatrixShape {
+    /// Empty shape (a single cell with no axes).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares an axis. Declaration order is loop order: later axes
+    /// vary faster.
+    pub fn axis(mut self, name: impl Into<String>, len: usize) -> Self {
+        self.axes.push((name.into(), len));
+        self
+    }
+
+    /// Declares a zip group: the named axes advance in lockstep. The
+    /// group occupies the loop position of its earliest-declared member.
+    pub fn zip(mut self, members: &[&str]) -> Self {
+        self.zips
+            .push(members.iter().map(|m| m.to_string()).collect());
+        self
+    }
+
+    /// Number of declared axes.
+    pub fn num_axes(&self) -> usize {
+        self.axes.len()
+    }
+
+    /// Enumerates every cell of the (zipped) cross product. Each cell is
+    /// one value index per axis, ordered like the axis declarations.
+    ///
+    /// Errors when a zip names an unknown axis, an axis twice, or
+    /// members of unequal lengths — the spec mistakes that silently
+    /// corrupt a hand-written sweep.
+    pub fn enumerate(&self) -> Result<Vec<Vec<usize>>, String> {
+        // Resolve each axis to its slot: zipped axes share one.
+        let find = |name: &str| self.axes.iter().position(|(n, _)| n == name);
+        let mut slot_of_axis: Vec<Option<usize>> = vec![None; self.axes.len()];
+        let mut slots: Vec<(Vec<usize>, usize)> = Vec::new(); // (member axes, len)
+        for zip in &self.zips {
+            if zip.len() < 2 {
+                return Err(format!("zip group {zip:?} needs at least two axes"));
+            }
+            let mut members = Vec::new();
+            let mut len = None;
+            for name in zip {
+                let idx = find(name).ok_or_else(|| format!("zip names unknown axis '{name}'"))?;
+                if slot_of_axis[idx].is_some() {
+                    return Err(format!("axis '{name}' appears in two zip groups"));
+                }
+                let axis_len = self.axes[idx].1;
+                match len {
+                    None => len = Some(axis_len),
+                    Some(l) if l != axis_len => {
+                        return Err(format!(
+                            "zip group {zip:?} has unequal lengths ({l} vs {axis_len} for '{name}')"
+                        ));
+                    }
+                    Some(_) => {}
+                }
+                members.push(idx);
+            }
+            // The slot sits at the earliest member's declaration position;
+            // record placeholders now, order slots after the loop.
+            let slot_id = slots.len();
+            for &idx in &members {
+                slot_of_axis[idx] = Some(slot_id);
+            }
+            slots.push((members, len.expect("non-empty zip")));
+        }
+        for (idx, (_, len)) in self.axes.iter().enumerate() {
+            if slot_of_axis[idx].is_none() {
+                slot_of_axis[idx] = Some(slots.len());
+                slots.push((vec![idx], *len));
+            }
+        }
+        // Loop order: slots sorted by their earliest member's position.
+        let mut order: Vec<usize> = (0..slots.len()).collect();
+        order.sort_by_key(|&s| slots[s].0.iter().min().copied().unwrap_or(usize::MAX));
+
+        let mut cells = Vec::new();
+        let mut current = vec![0usize; self.axes.len()];
+        fn recurse(
+            order: &[usize],
+            slots: &[(Vec<usize>, usize)],
+            depth: usize,
+            current: &mut Vec<usize>,
+            cells: &mut Vec<Vec<usize>>,
+        ) {
+            if depth == order.len() {
+                cells.push(current.clone());
+                return;
+            }
+            let (members, len) = &slots[order[depth]];
+            for k in 0..*len {
+                for &axis in members {
+                    current[axis] = k;
+                }
+                recurse(order, slots, depth + 1, current, cells);
+            }
+        }
+        recurse(&order, &slots, 0, &mut current, &mut cells);
+        Ok(cells)
+    }
+}
+
+/// Disambiguates lossy name-safe tags in place: every member of a
+/// colliding group gets `_{prefix}{index}` appended, and the pass
+/// repeats until the whole set is unique — a single pass is not enough,
+/// because a renamed tag can itself collide with a *different* entry's
+/// original flattening (e.g. `x`, `x` and a third entry already named
+/// `x_s1`). Indices are per-entry, so renamed tags never collide with
+/// each other and the fixed point is reached in a few rounds.
+pub fn disambiguate_tags(tags: &mut [String], prefix: char) {
+    loop {
+        let snapshot: Vec<String> = tags.to_vec();
+        let mut changed = false;
+        for i in 0..tags.len() {
+            if snapshot.iter().filter(|t| **t == snapshot[i]).count() > 1 {
+                tags[i] = format!("{}_{prefix}{i}", snapshot[i]);
+                changed = true;
+            }
+        }
+        if !changed {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_scalars_and_arrays() {
+        let doc = TomlDoc::parse(
+            r#"
+            # an experiment
+            [experiment]
+            name = "smoke"   # trailing comment
+            scaling = "strong"
+            zip = ["backend+codec"]
+
+            [base]
+            n_cell = 64
+            cfl = 0.5
+            account_only = true
+
+            [axes]
+            backend = ["fpp", "agg:4"]
+            scale = [2, 4, 8]
+
+            [[exclude]]
+            backend = "agg:4"
+            "#,
+        )
+        .unwrap();
+        let exp = doc.section("experiment").unwrap();
+        assert_eq!(exp.get("name").unwrap().as_str(), Some("smoke"));
+        let base = doc.section("base").unwrap();
+        assert_eq!(base.get("n_cell").unwrap().as_i64(), Some(64));
+        assert_eq!(base.get("cfl").unwrap().as_f64(), Some(0.5));
+        assert_eq!(base.get("account_only").unwrap().as_bool(), Some(true));
+        let axes = doc.section("axes").unwrap();
+        assert_eq!(
+            axes.entries
+                .iter()
+                .map(|(k, _)| k.as_str())
+                .collect::<Vec<_>>(),
+            vec!["backend", "scale"],
+            "entry order is declaration order"
+        );
+        let scale = axes.get("scale").unwrap().as_array().unwrap();
+        assert_eq!(
+            scale
+                .iter()
+                .filter_map(TomlValue::as_i64)
+                .collect::<Vec<_>>(),
+            [2, 4, 8]
+        );
+        let ex = doc.all("exclude");
+        assert_eq!(ex.len(), 1);
+        assert!(ex[0].array);
+        assert_eq!(ex[0].get("backend").unwrap().as_str(), Some("agg:4"));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = TomlDoc::parse("[ok]\nkey value_without_equals").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = TomlDoc::parse("x = [1, 2").unwrap_err();
+        assert!(err.contains("unterminated array"), "{err}");
+        let err = TomlDoc::parse("x = \"unclosed").unwrap_err();
+        assert!(err.contains("unterminated string"), "{err}");
+        let err = TomlDoc::parse("[s]\na = 1\na = 2").unwrap_err();
+        assert!(err.contains("duplicate key"), "{err}");
+        let err = TomlDoc::parse("x = [[1], [2]]").unwrap_err();
+        assert!(err.contains("nested"), "{err}");
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let doc = TomlDoc::parse("k = \"a#b\" # real comment").unwrap();
+        assert_eq!(
+            doc.sections[0].get("k").unwrap().as_str(),
+            Some("a#b"),
+            "the # inside quotes survives"
+        );
+    }
+
+    #[test]
+    fn cross_product_matches_nested_loops() {
+        let cells = MatrixShape::new()
+            .axis("b", 2)
+            .axis("c", 3)
+            .enumerate()
+            .unwrap();
+        // b outermost, c fastest — the legacy sweep loop order.
+        assert_eq!(
+            cells,
+            vec![
+                vec![0, 0],
+                vec![0, 1],
+                vec![0, 2],
+                vec![1, 0],
+                vec![1, 1],
+                vec![1, 2],
+            ]
+        );
+    }
+
+    #[test]
+    fn zip_advances_members_in_lockstep() {
+        let cells = MatrixShape::new()
+            .axis("a", 2)
+            .axis("b", 3)
+            .axis("c", 2)
+            .zip(&["a", "c"])
+            .enumerate()
+            .unwrap();
+        // The a+c zip occupies a's (outermost) slot; b stays inner.
+        assert_eq!(
+            cells,
+            vec![
+                vec![0, 0, 0],
+                vec![0, 1, 0],
+                vec![0, 2, 0],
+                vec![1, 0, 1],
+                vec![1, 1, 1],
+                vec![1, 2, 1],
+            ]
+        );
+    }
+
+    #[test]
+    fn zip_validation_catches_spec_mistakes() {
+        let err = MatrixShape::new()
+            .axis("a", 2)
+            .axis("b", 3)
+            .zip(&["a", "b"])
+            .enumerate()
+            .unwrap_err();
+        assert!(err.contains("unequal lengths"), "{err}");
+        let err = MatrixShape::new()
+            .axis("a", 2)
+            .zip(&["a", "ghost"])
+            .enumerate()
+            .unwrap_err();
+        assert!(err.contains("unknown axis"), "{err}");
+        let err = MatrixShape::new()
+            .axis("a", 2)
+            .axis("b", 2)
+            .axis("c", 2)
+            .zip(&["a", "b"])
+            .zip(&["b", "c"])
+            .enumerate()
+            .unwrap_err();
+        assert!(err.contains("two zip groups"), "{err}");
+        let err = MatrixShape::new()
+            .axis("a", 2)
+            .zip(&["a"])
+            .enumerate()
+            .unwrap_err();
+        assert!(err.contains("at least two"), "{err}");
+    }
+
+    #[test]
+    fn empty_shape_is_one_cell() {
+        assert_eq!(
+            MatrixShape::new().enumerate().unwrap(),
+            vec![Vec::<usize>::new()]
+        );
+    }
+
+    #[test]
+    fn disambiguation_reaches_a_fixed_point() {
+        let mut tags = vec!["x".to_string(), "x".to_string(), "x_s1".to_string()];
+        disambiguate_tags(&mut tags, 's');
+        let mut sorted = tags.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3, "{tags:?}");
+    }
+}

@@ -117,6 +117,7 @@ pub mod backend;
 pub mod codec;
 pub mod deferred;
 pub mod fpp;
+pub mod grammar;
 pub mod reorg;
 pub mod scenario;
 pub mod selection;
@@ -131,6 +132,7 @@ pub use backend::{
 pub use codec::{Codec, CodecContext, CodecSpec, Identity, LossyQuant, Rle};
 pub use deferred::Deferred;
 pub use fpp::FilePerProcess;
+pub use grammar::{disambiguate_tags, MatrixShape, TomlDoc, TomlSection, TomlValue};
 pub use reorg::{ReorgStats, Reorganizer};
 pub use scenario::{Scenario, ScenarioOp};
 pub use selection::{KeyBox, ReadSelection};

@@ -3,8 +3,12 @@
 //! Accepts the Table II flags plus:
 //! * `--output_dir DIR` — write real files under DIR (default: in-memory)
 //! * `--summit_scale X` — attach the Summit-like storage timing model
+//! * `--spec FILE` — run every cell of a TOML experiment spec instead of
+//!   a single flag set; remaining flags are rejected (the spec's `[base]`
+//!   section owns them)
 //!
-//! Prints a per-dump table and a JSON report to stdout.
+//! Prints a per-dump table and a JSON report to stdout; in spec mode,
+//! one summary row per cell.
 
 use iosim::{IoTracker, MemFs, RealFs, StorageModel, Vfs};
 
@@ -12,6 +16,7 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut output_dir: Option<String> = None;
     let mut summit_scale: Option<f64> = None;
+    let mut spec_path: Option<String> = None;
 
     // Strip binary-local flags before handing the rest to the MACSio parser.
     let mut rest = Vec::new();
@@ -29,9 +34,28 @@ fn main() {
                 i += 1;
                 summit_scale = args.get(i).and_then(|v| v.parse().ok());
             }
+            "--spec" => {
+                i += 1;
+                spec_path = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("missing value for --spec");
+                    std::process::exit(2);
+                }));
+            }
             _ => rest.push(std::mem::take(&mut args[i])),
         }
         i += 1;
+    }
+
+    if let Some(path) = spec_path {
+        if !rest.is_empty() {
+            eprintln!(
+                "macsio: --spec replaces per-flag configuration; move {:?} into the spec's [base] section",
+                rest[0]
+            );
+            std::process::exit(2);
+        }
+        run_spec_mode(&path, output_dir.as_deref(), summit_scale);
+        return;
     }
 
     let cfg = match macsio::parse_args(rest.iter().map(String::as_str)) {
@@ -81,6 +105,51 @@ fn main() {
             report.physical_read_bytes,
             report.read_files,
             report.read_wall
+        );
+    }
+}
+
+/// Run every cell of a TOML experiment spec, one fresh filesystem per
+/// cell, and print a per-cell summary table.
+fn run_spec_mode(path: &str, output_dir: Option<&str>, summit_scale: Option<f64>) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("macsio: cannot read spec {path}: {e}");
+        std::process::exit(2);
+    });
+    let cells = macsio::parse_spec(&text).unwrap_or_else(|e| {
+        eprintln!("macsio: {e}");
+        std::process::exit(2);
+    });
+    let storage = summit_scale.map(StorageModel::summit_alpine);
+
+    println!("# spec {path}: {} cells", cells.len());
+    println!("# label  total_bytes  files  read_bytes  wall_time");
+    for (label, cfg) in &cells {
+        // Each cell writes into its own namespace: a subdirectory when
+        // backed by real files, a fresh MemFs otherwise.
+        let fs: Box<dyn Vfs> = match output_dir {
+            Some(dir) => {
+                let cell_dir = format!("{dir}/{label}");
+                std::fs::create_dir_all(&cell_dir).unwrap_or_else(|e| {
+                    eprintln!("macsio: cannot create {cell_dir}: {e}");
+                    std::process::exit(1);
+                });
+                Box::new(RealFs::new(&cell_dir).unwrap_or_else(|e| {
+                    eprintln!("macsio: cannot open output dir: {e}");
+                    std::process::exit(1);
+                }))
+            }
+            None => Box::new(MemFs::with_retention(4096)),
+        };
+        let tracker = IoTracker::new();
+        let report =
+            macsio::run(cfg, fs.as_ref(), &tracker, storage.as_ref()).unwrap_or_else(|e| {
+                eprintln!("macsio: cell {label} failed: {e}");
+                std::process::exit(1);
+            });
+        println!(
+            "{label}  {}  {}  {}  {:.3}s",
+            report.total_bytes, report.files_written, report.read_bytes, report.wall_time
         );
     }
 }

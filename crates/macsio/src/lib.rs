@@ -42,7 +42,7 @@ pub mod dump;
 pub mod marshal;
 pub mod mesh;
 
-pub use cli::{parse_args, usage};
+pub use cli::{parse_args, parse_spec, usage};
 pub use config::{FileMode, Interface, MacsioConfig, RunMode};
 pub use dump::{run, run_with_backend, MacsioReport};
 pub use marshal::{marshal_part, marshal_root};

@@ -53,6 +53,22 @@ impl XySeries {
         (label.into(), series)
     }
 
+    /// Builds a series from raw `(x, y)` pairs — the bridge from the
+    /// results-store query plane (`amrproxy::store::Query::xy`) and any
+    /// other tabular source into the regression plane.
+    pub fn from_pairs(label: impl Into<String>, pairs: &[(f64, f64)]) -> Self {
+        Self {
+            label: label.into(),
+            points: pairs.iter().map(|&(x, y)| Sample { x, y }).collect(),
+        }
+    }
+
+    /// Least-squares line over this series (`linear_fit`); requires at
+    /// least two points.
+    pub fn fit(&self) -> crate::LinearFit {
+        crate::linear_fit(&self.xs(), &self.ys())
+    }
+
     /// x values.
     pub fn xs(&self) -> Vec<f64> {
         self.points.iter().map(|p| p.x).collect()
@@ -114,6 +130,18 @@ mod tests {
         let s = XySeries::from_tracker("run", &t, 4);
         assert!(s.points.is_empty());
         assert_eq!(s.final_bytes(), 0.0);
+    }
+
+    #[test]
+    fn from_pairs_round_trips_and_fits() {
+        let s = XySeries::from_pairs("store", &[(1.0, 2.0), (2.0, 4.0), (3.0, 6.0)]);
+        assert_eq!(s.label, "store");
+        assert_eq!(s.xs(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(s.ys(), vec![2.0, 4.0, 6.0]);
+        let fit = s.fit();
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!(fit.intercept.abs() < 1e-9);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! cargo run --release --example backend_codec_sweep
 //! ```
 
-use amr_proxy_io::amrproxy::{backend_codec_sweep, run_campaign_timed, CastroSedovConfig, Engine};
+use amr_proxy_io::amrproxy::{run_campaign_timed, CastroSedovConfig, Engine, ExperimentSpec};
 use amr_proxy_io::io_engine::{BackendSpec, CodecSpec};
 use amr_proxy_io::iosim::StorageModel;
 
@@ -35,7 +35,11 @@ fn main() {
         CodecSpec::Rle(2.0),
         CodecSpec::LossyQuant(8),
     ];
-    let matrix = backend_codec_sweep(&[base], &backends, &codecs);
+    let matrix = ExperimentSpec::over("backend_codec_sweep", &[base])
+        .backends(&backends)
+        .codecs(&codecs)
+        .compile_configs()
+        .expect("unique run labels");
     println!(
         "running {} scenarios ({} backends x {} codecs) on a bandwidth-bound storage model ...\n",
         matrix.len(),

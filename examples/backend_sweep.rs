@@ -6,7 +6,7 @@
 //! cargo run --release --example backend_sweep
 //! ```
 
-use amr_proxy_io::amrproxy::{backend_sweep, run_campaign_timed, CastroSedovConfig, Engine};
+use amr_proxy_io::amrproxy::{run_campaign_timed, CastroSedovConfig, Engine, ExperimentSpec};
 use amr_proxy_io::io_engine::BackendSpec;
 use amr_proxy_io::iosim::StorageModel;
 
@@ -35,7 +35,10 @@ fn main() {
         BackendSpec::Aggregated(nprocs),
         BackendSpec::Deferred(1),
     ];
-    let matrix = backend_sweep(&[base], &backends);
+    let matrix = ExperimentSpec::over("backend_sweep", &[base])
+        .backends(&backends)
+        .compile_configs()
+        .expect("unique run labels");
     println!(
         "running {} scenarios ({} backends) on a 1/9-Summit storage model ...\n",
         matrix.len(),

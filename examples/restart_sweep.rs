@@ -19,7 +19,8 @@
 //! cargo run --release --example restart_sweep
 //! ```
 
-use amr_proxy_io::amrproxy::{restart_sweep, run_campaign_timed, CastroSedovConfig, Engine};
+use amr_proxy_io::amrproxy::store::{run_spec, ResultsStore};
+use amr_proxy_io::amrproxy::{CastroSedovConfig, Engine, ExperimentSpec, RunMode};
 use amr_proxy_io::io_engine::{BackendSpec, CodecSpec, Payload, Put};
 use amr_proxy_io::iosim::{IoKey, IoKind, IoTracker, MemFs, StorageModel, Vfs};
 use amr_proxy_io::model;
@@ -139,9 +140,24 @@ fn main() {
         compute_ns_per_cell: 2_000.0,
         ..Default::default()
     };
-    let matrix = restart_sweep(&[base], &backends, &codecs);
+    let spec = ExperimentSpec::over("restart_sweep", &[base])
+        .backends(&backends)
+        .codecs(&codecs)
+        .modes(&[RunMode::Write, RunMode::Restart]);
     let storage = StorageModel::ideal(8, 2.5e8);
-    let summaries = run_campaign_timed(&matrix, &storage);
+    let mut store = ResultsStore::open(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/results/store/restart_sweep"
+    ))
+    .expect("open results store");
+    let report = run_spec(&spec, &mut store, Some(&storage)).expect("run spec");
+    println!(
+        "store {}: {} cells executed, {} resumed\n",
+        store.dir().display(),
+        report.executed,
+        report.resumed
+    );
+    let summaries = report.summaries;
     println!(
         "{:<10} {:>10} {:>8} {:>13} {:>13} {:>10} {:>10}",
         "backend", "codec", "mode", "phys bytes", "read bytes", "read wall", "wall (s)"
@@ -179,13 +195,16 @@ fn main() {
         assert!(r.read_wall > 0.0);
     }
 
-    // The read-time regression: restart wall vs physical read volume.
-    let xs: Vec<f64> = restarts
-        .iter()
-        .map(|s| s.physical_read_bytes as f64)
-        .collect();
-    let ys: Vec<f64> = restarts.iter().map(|s| s.read_wall).collect();
-    let fit = model::fit_read_time(&xs, &ys);
+    // The read-time regression, served by the store's query plane:
+    // filter the restart rows, project the two columns as an XySeries,
+    // and hand it to the model crate's read-time fit.
+    let series = store.query().filter("restart", "true").xy(
+        "physical_read_bytes",
+        "read_wall",
+        "restart reads",
+    );
+    assert_eq!(series.points.len(), restarts.len());
+    let fit = model::fit_read_time(&series.xs(), &series.ys());
     println!(
         "\nread-time regression over the 9 restart rows: \
          wall = {:.4} s + bytes / {:.3e} B/s (r2 = {:.4})",

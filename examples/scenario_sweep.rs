@@ -28,7 +28,7 @@
 //! ```
 
 use amr_proxy_io::amrproxy::{
-    run_campaign_serial, run_campaign_timed, scenario_sweep, CastroSedovConfig, Engine, RunSummary,
+    run_campaign_serial, run_campaign_timed, CastroSedovConfig, Engine, ExperimentSpec, RunSummary,
     Scenario,
 };
 use amr_proxy_io::io_engine::ReadSelection;
@@ -77,7 +77,10 @@ fn main() {
         Scenario::in_run_analysis(2, ReadSelection::Level(1)),
         Scenario::parse("write;fail@17;restart;analyze:level:2,reorg").unwrap(),
     ];
-    let matrix = scenario_sweep(&[base(20)], &scenarios);
+    let matrix = ExperimentSpec::over("scenario_sweep", &[base(20)])
+        .scenarios(&scenarios)
+        .compile_configs()
+        .expect("unique run labels");
     let summaries = run_campaign_timed(&matrix, &storage);
     for s in &summaries {
         println!("{}", row(s));
@@ -134,13 +137,13 @@ fn main() {
         plot_int: 20,
         ..base(20)
     };
-    let replay_matrix = scenario_sweep(
-        &[sparse],
-        &[
+    let replay_matrix = ExperimentSpec::over("replay", &[sparse])
+        .scenarios(&[
             Scenario::parse("write;fail@10;restart").unwrap(),
             Scenario::parse("write;check@4;fail@10;restart").unwrap(),
-        ],
-    );
+        ])
+        .compile_configs()
+        .expect("unique run labels");
     let replay = run_campaign_serial(&replay_matrix);
     assert!(
         replay[1].compute_wall < replay[0].compute_wall,

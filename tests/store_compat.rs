@@ -1,0 +1,138 @@
+//! Backward compatibility of the results plane: the single-blob JSON
+//! artifacts the benches wrote before the append-only store existed
+//! (`results/backend_compare.json` rows, `results/machine_room.json`
+//! object) must keep loading — through `read_legacy_blob` — into the
+//! same `Query` surface store-native rows use, so analyses written
+//! against the store can still read pre-store results. Mirrors
+//! `tests/summary_compat.rs`: the fixtures are checked in, not
+//! regenerated — the point is that *old* bytes parse.
+
+use amr_proxy_io::amrproxy::store::{read_legacy_blob, Query, ResultsStore};
+use amr_proxy_io::amrproxy::{run_campaign_timed_serial, CastroSedovConfig, Engine};
+use amr_proxy_io::iosim::StorageModel;
+use serde_json::Value;
+
+/// A `results/backend_compare.json` captured before the store (an array
+/// of per-cell rows with the old bench's column set).
+const BACKEND_COMPARE_BLOB: &str = include_str!("fixtures/backend_compare_legacy.json");
+
+/// A `results/machine_room.json` captured before the store (one
+/// aggregate object per bench run).
+const MACHINE_ROOM_BLOB: &str = include_str!("fixtures/machine_room_legacy.json");
+
+fn fixture_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn legacy_backend_compare_rows_load_into_a_query() {
+    let q = read_legacy_blob(fixture_path("backend_compare_legacy.json")).expect("old blob loads");
+    assert_eq!(q.len(), 4, "one query row per legacy array element");
+
+    // The old column set is addressable exactly like store columns.
+    assert_eq!(
+        q.strings("backend"),
+        vec!["fpp", "agg:4", "agg:4", "deferred:1"]
+    );
+    let fpp = q.clone().filter("backend", "fpp");
+    assert_eq!(fpp.numbers("wall_time"), vec![0.1338]);
+    assert_eq!(fpp.numbers("speedup_vs_fpp"), vec![1.0]);
+
+    // Filters compose, aggregates reduce, exactly as on store rows.
+    let agg = q.clone().filter("backend", "agg:4");
+    assert_eq!(agg.len(), 2);
+    assert_eq!(
+        agg.clone()
+            .filter("codec", "quant:8")
+            .numbers("physical_bytes"),
+        vec![69352440.0]
+    );
+    let by_backend = q.group_mean("backend", "wall_time");
+    assert_eq!(by_backend.len(), 3);
+    assert_eq!(by_backend[0].0, "fpp");
+    assert!((by_backend[1].1 - (0.1166 + 0.8873) / 2.0).abs() < 1e-12);
+
+    // The model bridge works on legacy rows too.
+    let fit = q.fit("physical_bytes", "wall_time");
+    assert!(fit.slope.is_finite());
+}
+
+#[test]
+fn legacy_machine_room_object_loads_as_one_row() {
+    let q = read_legacy_blob(fixture_path("machine_room_legacy.json")).expect("old blob loads");
+    assert_eq!(q.len(), 1, "a single legacy object becomes one row");
+    assert_eq!(q.numbers("campaign_runs"), vec![15.0]);
+    assert_eq!(q.numbers("four_tenant_slowdown"), vec![1.462]);
+    assert_eq!(q.mean("solo_wall_seconds"), 1.928);
+    // Columns the old writer never had project as empty, not as errors.
+    assert!(q.numbers("encode_mbps").is_empty());
+}
+
+#[test]
+fn fixtures_match_the_checked_in_bytes() {
+    // `read_legacy_blob` must see the same JSON the compile-time
+    // includes pin, so the fixtures cannot drift silently.
+    let from_disk: Value = serde_json::from_str(
+        &std::fs::read_to_string(fixture_path("backend_compare_legacy.json")).unwrap(),
+    )
+    .unwrap();
+    let included: Value = serde_json::from_str(BACKEND_COMPARE_BLOB).unwrap();
+    assert_eq!(from_disk, included);
+    let from_disk: Value = serde_json::from_str(
+        &std::fs::read_to_string(fixture_path("machine_room_legacy.json")).unwrap(),
+    )
+    .unwrap();
+    let included: Value = serde_json::from_str(MACHINE_ROOM_BLOB).unwrap();
+    assert_eq!(from_disk, included);
+}
+
+#[test]
+fn legacy_rows_and_store_rows_share_one_query_surface() {
+    // A legacy blob and a store-native campaign answer the same query
+    // shapes: project a column, filter on it, aggregate — no special
+    // cases for where the rows came from.
+    let legacy = read_legacy_blob(fixture_path("backend_compare_legacy.json")).unwrap();
+
+    let dir = std::env::temp_dir().join(format!("amrproxy_store_compat_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut store = ResultsStore::open(&dir).unwrap();
+    let cfg = CastroSedovConfig {
+        name: "compat".into(),
+        engine: Engine::Oracle,
+        n_cell: 32,
+        max_step: 4,
+        plot_int: 2,
+        nprocs: 2,
+        account_only: true,
+        ..Default::default()
+    };
+    let storage = StorageModel::ideal(2, 5e7);
+    let summary = run_campaign_timed_serial(&[cfg], &storage).remove(0);
+    store.append("cell", &summary).unwrap();
+
+    for q in [legacy, store.query()] {
+        let walls = q.numbers("wall_time");
+        assert!(!walls.is_empty());
+        assert!(walls.iter().all(|w| *w > 0.0));
+        let backends = q.strings("backend");
+        assert_eq!(backends.len(), q.len());
+        let narrowed = q.clone().filter("backend", &backends[0]);
+        assert!(!narrowed.is_empty());
+        assert!(q.mean("wall_time") > 0.0);
+    }
+
+    // Mixed-source analysis: chain both row sets through one Query.
+    let mut rows: Vec<Value> = read_legacy_blob(fixture_path("backend_compare_legacy.json"))
+        .unwrap()
+        .rows()
+        .iter()
+        .map(|(_, v)| v.clone())
+        .collect();
+    rows.extend(store.query().rows().iter().map(|(_, v)| v.clone()));
+    let merged = Query::from_values(rows);
+    assert_eq!(merged.len(), 5);
+    assert_eq!(merged.numbers("wall_time").len(), 5);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
