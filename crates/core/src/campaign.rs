@@ -134,6 +134,19 @@ pub struct RunSummary {
     /// Simulated seconds bursts waited for shared burst-buffer space.
     #[serde(default)]
     pub staging_wait: f64,
+    /// Bytes shipped over the modeled interconnect instead of storage
+    /// (in-transit streaming backends only; defaulted so pre-streaming
+    /// summary blobs still deserialize).
+    #[serde(default)]
+    pub net_bytes: u64,
+    /// Link-transfer seconds for `net_bytes` (inside
+    /// `plot_wall`/`check_wall`).
+    #[serde(default)]
+    pub net_wall: f64,
+    /// Producer seconds stalled on consumer-window back-pressure
+    /// (disjoint from `net_wall`; the streaming twin of `staging_wait`).
+    #[serde(default)]
+    pub window_stall: f64,
 }
 
 impl RunSummary {
@@ -200,6 +213,9 @@ impl RunSummary {
             contention_stall: 0.0,
             throttle_stall: 0.0,
             staging_wait: 0.0,
+            net_bytes: r.net_bytes,
+            net_wall: r.net_wall,
+            window_stall: r.window_stall,
         }
     }
 
@@ -492,12 +508,31 @@ pub fn run_campaign_fabric(
     staging_bytes: Option<u64>,
     qos: &[iosim::QosPolicy],
 ) -> Vec<RunSummary> {
+    run_campaign_fabric_linked(configs, storage, staging_bytes, qos, None)
+}
+
+/// [`run_campaign_fabric`] with a shared interconnect: streamed
+/// (in-transit) tenants split `link`'s bandwidth evenly — the network
+/// twin of stored tenants sharing the servers — while stored tenants
+/// never touch it. Without a link, streamed tenants keep the solo link
+/// their own backend spec configured.
+pub fn run_campaign_fabric_linked(
+    configs: &[CastroSedovConfig],
+    storage: &iosim::StorageModel,
+    staging_bytes: Option<u64>,
+    qos: &[iosim::QosPolicy],
+    link: Option<mpi_sim::NetworkModel>,
+) -> Vec<RunSummary> {
     if configs.is_empty() {
         return Vec::new();
     }
     let mut fabric = iosim::Fabric::new(*storage);
     if let Some(bytes) = staging_bytes {
         fabric = fabric.with_staging(bytes);
+    }
+    if let Some(net) = link {
+        fabric = fabric.with_link(net);
+        fabric.set_stream_tenants(configs.iter().filter(|c| c.backend.in_transit()).count());
     }
     // Register every tenant before the first burst (the fabric's
     // conservative clock needs the full quorum up front).
@@ -613,6 +648,34 @@ mod tests {
             .iter()
             .any(|c| c.backend == BackendSpec::Aggregated(4)));
         assert!(matrix.iter().any(|c| c.name == "a_agg4"));
+    }
+
+    #[test]
+    fn streamed_tenant_attributes_stall_to_the_window_not_contention() {
+        // A lone streamed tenant on a linked fabric: the slow consumer
+        // (10 MB/s behind the shared 100 MB/s link) stalls the producer,
+        // and the stall lands in `window_stall` — never in the fabric's
+        // `contention_stall`, which belongs to server-plane neighbours.
+        let cfg = CastroSedovConfig {
+            name: "streamed".into(),
+            engine: Engine::Oracle,
+            n_cell: 64,
+            max_step: 8,
+            plot_int: 2,
+            nprocs: 4,
+            account_only: true,
+            backend: BackendSpec::parse("streaming:100:1:10").unwrap(),
+            ..Default::default()
+        };
+        let storage = iosim::StorageModel::ideal(2, 5e7);
+        let link = mpi_sim::NetworkModel::ideal(100e6);
+        let summaries = run_campaign_fabric_linked(&[cfg], &storage, None, &[], Some(link));
+        let s = &summaries[0];
+        assert!(s.net_bytes > 0, "the run streamed");
+        assert!(s.net_wall > 0.0);
+        assert!(s.window_stall > 0.0, "slow consumer must back-pressure");
+        assert_eq!(s.contention_stall, 0.0, "no server-plane neighbours");
+        assert_eq!(s.physical_bytes, 0, "nothing reached the servers");
     }
 
     #[test]

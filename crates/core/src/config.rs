@@ -60,7 +60,8 @@ pub struct CastroSedovConfig {
     /// payloads (always true for the oracle engine).
     pub account_only: bool,
     /// I/O backend the plot dumps write through (the campaign's backend
-    /// axis): N-to-N, BP-style aggregation, or deferred staging.
+    /// axis): N-to-N, BP-style aggregation, deferred staging, or
+    /// in-transit streaming over the modeled interconnect.
     pub backend: BackendSpec,
     /// In-situ compression codec applied to plot data (the campaign's
     /// compression axis, crossed with the backend axis).

@@ -432,16 +432,14 @@ fn restart_read(
     clock: &mut f64,
     output_counter: u32,
     dir: &str,
-) -> ReadPhase {
+) -> std::io::Result<ReadPhase> {
     let read_start = match &scheduler {
         // Recovery starts after the in-flight drain lands.
         Some(sched) => sched.finish(*clock),
         None => *clock,
     };
     *clock = read_start;
-    let read = backend
-        .read_step(output_counter, dir)
-        .expect("restart read of a written step");
+    let read = backend.read_step(output_counter, dir)?;
     let mut requests = read.stats.requests;
     if let Some(sched) = scheduler.as_mut() {
         let (burst, next_clock) =
@@ -450,13 +448,13 @@ fn restart_read(
         *clock = next_clock;
     }
     *clock += read.stats.codec_seconds;
-    ReadPhase {
+    Ok(ReadPhase {
         read_bytes: read.stats.logical_bytes,
         physical_read_bytes: read.stats.bytes,
         read_files: read.stats.files,
         read_wall: *clock - read_start,
         codec_seconds: read.stats.codec_seconds,
-    }
+    })
 }
 
 /// Totals of one selective analysis phase.
@@ -491,7 +489,7 @@ fn analysis_read(
     clock: &mut f64,
     output_counter: u32,
     dir: &str,
-) -> AnalysisPhase {
+) -> std::io::Result<AnalysisPhase> {
     let mut phase = AnalysisPhase::default();
     // Analysis barriers the in-flight drain, like a restart.
     let start = match &scheduler {
@@ -502,9 +500,7 @@ fn analysis_read(
 
     let read = if reorganize {
         let mut reorg = Reorganizer::new(fs, tracker, codec);
-        let stats = reorg
-            .reorganize(backend, output_counter, dir)
-            .expect("reorganize a written step");
+        let stats = reorg.reorganize(backend, output_counter, dir)?;
         // Price the rewrite: the source fetch as a read burst, its
         // decode CPU, then the clustered rewrite as a write burst with
         // the re-encode CPU charged up front.
@@ -530,13 +526,9 @@ fn analysis_read(
         phase.reorg_wall = *clock - start;
         phase.reorg_bytes = stats.read.bytes + stats.bytes;
         phase.codec_seconds += stats.read.codec_seconds + stats.codec_seconds;
-        reorg
-            .read_selection(output_counter, sel)
-            .expect("selective read of a reorganized step")
+        reorg.read_selection(output_counter, sel)?
     } else {
-        backend
-            .read_selection(output_counter, dir, sel)
-            .expect("selective read of a written step")
+        backend.read_selection(output_counter, dir, sel)?
     };
 
     let sel_start = *clock;
@@ -553,7 +545,7 @@ fn analysis_read(
     phase.selective_read_files = read.stats.files;
     phase.selective_read_wall = *clock - sel_start;
     phase.codec_seconds += read.stats.codec_seconds;
-    phase
+    Ok(phase)
 }
 
 /// Executes a compiled scenario program over `src` — the single run loop
@@ -585,15 +577,45 @@ pub fn run_scenario<S: StepSource>(
 /// program, `fail@` beyond `max_step`) or a phase's I/O fails.
 pub fn run_scenario_attached<S: StepSource>(
     cfg: &CastroSedovConfig,
-    mut src: S,
+    src: S,
     fs: &dyn Vfs,
     storage: StorageAttach<'_>,
 ) -> RunResult {
+    try_run_scenario_attached(cfg, src, fs, storage).unwrap_or_else(|e| panic!("scenario I/O: {e}"))
+}
+
+/// [`run_scenario_attached`], but propagating phase I/O errors instead of
+/// panicking: a scenario that asks a backend for a read it cannot serve
+/// (the typed [`std::io::ErrorKind::Unsupported`] error from
+/// [`io_engine::unsupported_read`], naming the backend and selection)
+/// surfaces as an `Err`, never a panic.
+///
+/// # Panics
+/// Panics when the config's scenario fails to compile (malformed
+/// program, `fail@` beyond `max_step`) — a configuration error, not an
+/// I/O outcome.
+pub fn try_run_scenario_attached<S: StepSource>(
+    cfg: &CastroSedovConfig,
+    mut src: S,
+    fs: &dyn Vfs,
+    storage: StorageAttach<'_>,
+) -> std::io::Result<RunResult> {
     let program = compile_phases(cfg).unwrap_or_else(|e| panic!("scenario compile: {e}"));
     let scenario_name = cfg.effective_scenario().name();
     let tracker = IoTracker::new();
     let comm = SimComm::summit(cfg.nprocs, 0x5ED0);
     let mut backend = cfg.backend.build_with_codec(cfg.codec, fs, &tracker);
+    // On a machine room with an interconnect, a streamed tenant draws
+    // its fair share of the shared link — the stream-plane twin of
+    // stored tenants sharing the servers.
+    if backend.in_transit() {
+        if let StorageAttach::Fabric(h) = &storage {
+            if let Some(net) = h.stream_link() {
+                backend.attach_network(net);
+            }
+        }
+    }
+    let in_transit = backend.in_transit();
     let mut scheduler = storage.scheduler(backend.overlapped());
     let mut timeline = BurstTimeline::new();
     let var_names = castro_sedov_plot_vars();
@@ -624,6 +646,25 @@ pub fn run_scenario_attached<S: StepSource>(
     let mut read_phase = ReadPhase::default();
     let mut analysis = AnalysisPhase::default();
     let mut restarts = 0u32;
+    // The network plane: bytes and seconds streamed dumps spend on the
+    // modeled link instead of a storage burst, plus producer stall on
+    // consumer-window back-pressure.
+    let mut net_bytes = 0u64;
+    let mut net_wall = 0.0f64;
+    let mut window_stall = 0.0f64;
+    // Ships one in-transit dump on the application clock: encode CPU,
+    // then the link transfer, then any back-pressure stall — no storage
+    // burst, no timeline entry.
+    let ship_dump = |clock: &mut f64,
+                     net_bytes: &mut u64,
+                     net_wall: &mut f64,
+                     window_stall: &mut f64,
+                     stats: &PlotfileStats| {
+        *clock += stats.codec_seconds + stats.net_seconds + stats.window_stall;
+        *net_bytes += stats.net_bytes;
+        *net_wall += stats.net_seconds;
+        *window_stall += stats.window_stall;
+    };
 
     for sp in &program {
         if let (Some(h), Some(g)) = (halted_at, sp.gate) {
@@ -668,18 +709,28 @@ pub fn run_scenario_attached<S: StepSource>(
                     &dir,
                     &var_names,
                     &inputs,
-                );
+                )?;
                 codec_seconds += stats.codec_seconds;
                 let before = clock;
-                dump_burst(
-                    &mut timeline,
-                    &mut clock,
-                    &mut scheduler,
-                    outputs,
-                    stats.codec_seconds,
-                    &mut stats.requests,
-                    stats.total_bytes,
-                );
+                if in_transit {
+                    ship_dump(
+                        &mut clock,
+                        &mut net_bytes,
+                        &mut net_wall,
+                        &mut window_stall,
+                        &stats,
+                    );
+                } else {
+                    dump_burst(
+                        &mut timeline,
+                        &mut clock,
+                        &mut scheduler,
+                        outputs,
+                        stats.codec_seconds,
+                        &mut stats.requests,
+                        stats.total_bytes,
+                    );
+                }
                 plot_wall += clock - before;
                 plot_dumps.push((step, outputs, dir));
             }
@@ -694,21 +745,30 @@ pub fn run_scenario_attached<S: StepSource>(
                     ref_ratio: cfg.grid.ref_ratio,
                     levels: src.checkpoint_levels(last_dt),
                 };
-                let mut stats =
-                    account_checkpoint_with(backend.as_mut(), &spec).expect("checkpoint dump");
+                let mut stats = account_checkpoint_with(backend.as_mut(), &spec)?;
                 codec_seconds += stats.codec_seconds;
                 check_bytes += stats.total_bytes;
                 check_files += stats.nfiles;
                 let before = clock;
-                dump_burst(
-                    &mut timeline,
-                    &mut clock,
-                    &mut scheduler,
-                    outputs,
-                    stats.codec_seconds,
-                    &mut stats.requests,
-                    stats.total_bytes,
-                );
+                if in_transit {
+                    ship_dump(
+                        &mut clock,
+                        &mut net_bytes,
+                        &mut net_wall,
+                        &mut window_stall,
+                        &stats,
+                    );
+                } else {
+                    dump_burst(
+                        &mut timeline,
+                        &mut clock,
+                        &mut scheduler,
+                        outputs,
+                        stats.codec_seconds,
+                        &mut stats.requests,
+                        stats.total_bytes,
+                    );
+                }
                 check_wall += clock - before;
                 check_dumps.push((step, outputs, spec.dir));
             }
@@ -735,7 +795,7 @@ pub fn run_scenario_attached<S: StepSource>(
                     &mut clock,
                     counter,
                     &dir,
-                );
+                )?;
                 read_phase.read_bytes += phase.read_bytes;
                 read_phase.physical_read_bytes += phase.physical_read_bytes;
                 read_phase.read_files += phase.read_files;
@@ -760,7 +820,7 @@ pub fn run_scenario_attached<S: StepSource>(
                     &mut clock,
                     counter,
                     &dir,
-                );
+                )?;
                 analysis.selective_read_bytes += phase.selective_read_bytes;
                 analysis.selective_physical_read_bytes += phase.selective_physical_read_bytes;
                 analysis.selective_read_files += phase.selective_read_files;
@@ -779,7 +839,7 @@ pub fn run_scenario_attached<S: StepSource>(
         }
     }
 
-    let engine_report = backend.close().expect("backend close");
+    let engine_report = backend.close()?;
     drop(backend);
     // Seal rather than just barrier: on the fabric path this reports the
     // run's shared and solo-equivalent walls to its tenant stats and
@@ -788,7 +848,7 @@ pub fn run_scenario_attached<S: StepSource>(
         Some(sched) => sched.seal(clock),
         None => clock,
     };
-    RunResult {
+    Ok(RunResult {
         config: cfg.clone(),
         scenario: scenario_name,
         tracker,
@@ -816,9 +876,12 @@ pub fn run_scenario_attached<S: StepSource>(
         compute_wall,
         plot_wall,
         drain_wall,
+        net_bytes,
+        net_wall,
+        window_stall,
         timeline,
         wall_time,
-    }
+    })
 }
 
 /// Writes (or accounts) one plot dump of the source's current hierarchy
@@ -832,7 +895,7 @@ fn plot_dump_stats<S: StepSource>(
     dir: &str,
     var_names: &[String],
     inputs: &[(String, String)],
-) -> PlotfileStats {
+) -> std::io::Result<PlotfileStats> {
     if !cfg.account_only {
         if let Some(levels) = src.plot_levels() {
             let spec = PlotfileSpec {
@@ -844,7 +907,7 @@ fn plot_dump_stats<S: StepSource>(
                 levels,
                 inputs: inputs.to_vec(),
             };
-            return write_plotfile_with(backend, &spec).expect("plotfile write");
+            return write_plotfile_with(backend, &spec);
         }
     }
     let layout = PlotfileLayout {
@@ -856,7 +919,7 @@ fn plot_dump_stats<S: StepSource>(
         levels: src.layout_levels(),
         inputs: inputs.to_vec(),
     };
-    account_plotfile_with(backend, &layout)
+    Ok(account_plotfile_with(backend, &layout))
 }
 
 #[cfg(test)]

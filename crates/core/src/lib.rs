@@ -35,17 +35,19 @@ pub mod store;
 
 pub use campaign::{
     analysis_sweep, backend_codec_sweep, backend_sweep, restart_sweep, run_campaign,
-    run_campaign_fabric, run_campaign_serial, run_campaign_timed, run_campaign_timed_serial,
-    scenario_sweep, table3_campaign, RunSummary,
+    run_campaign_fabric, run_campaign_fabric_linked, run_campaign_serial, run_campaign_timed,
+    run_campaign_timed_serial, scenario_sweep, table3_campaign, RunSummary,
 };
 pub use cases::{big8192, case27, case4, case4_hydro_scaled};
 pub use compare::{compare_with_macsio, Comparison};
 pub use config::{CastroSedovConfig, Engine};
 pub use driver::{
-    compile_phases, run_scenario, run_scenario_attached, AmrSource, DumpSource, OracleSource,
-    Phase, ScheduledPhase, StepSource,
+    compile_phases, run_scenario, run_scenario_attached, try_run_scenario_attached, AmrSource,
+    DumpSource, OracleSource, Phase, ScheduledPhase, StepSource,
 };
 pub use io_engine::{Scenario, ScenarioOp};
-pub use run::{run_simulation, run_simulation_attached, RunResult};
-pub use spec::{ExperimentSpec, Layout, RunMode, ScalingMode, SpecCell, SpecError, StorageProfile};
+pub use run::{run_simulation, run_simulation_attached, try_run_simulation_attached, RunResult};
+pub use spec::{
+    Delivery, ExperimentSpec, Layout, RunMode, ScalingMode, SpecCell, SpecError, StorageProfile,
+};
 pub use store::{ResultsStore, SpecReport};

@@ -10,7 +10,7 @@
 //! [`crate::driver`].
 
 use crate::config::{CastroSedovConfig, Engine};
-use crate::driver::{run_scenario_attached, AmrSource, OracleSource};
+use crate::driver::{try_run_scenario_attached, AmrSource, OracleSource};
 use hydro::StepInfo;
 use iosim::{BurstScheduler, BurstTimeline, IoTracker, MemFs, StorageModel, Vfs};
 use mpi_sim::{collectives::allreduce_max, SimComm};
@@ -94,6 +94,17 @@ pub struct RunResult {
     /// Simulated seconds the closing flush barrier waited on in-flight
     /// drains (inside `wall_time`).
     pub drain_wall: f64,
+    /// Bytes shipped over the modeled interconnect instead of storage
+    /// (in-transit streaming backends only; 0 for every storage
+    /// backend) — the network plane's priced column.
+    pub net_bytes: u64,
+    /// Link-transfer seconds for `net_bytes` (inside `plot_wall` /
+    /// `check_wall`: streamed dumps ship where stored dumps burst).
+    pub net_wall: f64,
+    /// Simulated seconds the producer stalled on consumer-window
+    /// back-pressure (inside `plot_wall`/`check_wall`, disjoint from
+    /// `net_wall`) — accounted like the staging pool's `staging_wait`.
+    pub window_stall: f64,
     /// Burst timeline (empty without a storage model).
     pub timeline: BurstTimeline,
     /// Final simulated wall-clock seconds (compute + I/O).
@@ -142,6 +153,19 @@ pub fn run_simulation_attached(
     vfs: Option<&dyn Vfs>,
     storage: iosim::StorageAttach<'_>,
 ) -> RunResult {
+    try_run_simulation_attached(cfg, vfs, storage).unwrap_or_else(|e| panic!("scenario I/O: {e}"))
+}
+
+/// [`run_simulation_attached`], but propagating phase I/O errors instead
+/// of panicking — the path callers take when a scenario may legitimately
+/// ask a backend for something it cannot serve (e.g. `analyze:SEL`
+/// against a step the backend never saw returns the typed
+/// [`std::io::ErrorKind::Unsupported`] error naming the backend).
+pub fn try_run_simulation_attached(
+    cfg: &CastroSedovConfig,
+    vfs: Option<&dyn Vfs>,
+    storage: iosim::StorageAttach<'_>,
+) -> std::io::Result<RunResult> {
     let own_fs;
     let fs: &dyn Vfs = match vfs {
         Some(v) => v,
@@ -151,8 +175,8 @@ pub fn run_simulation_attached(
         }
     };
     match cfg.engine {
-        Engine::Hydro => run_scenario_attached(cfg, AmrSource::new(cfg), fs, storage),
-        Engine::Oracle => run_scenario_attached(cfg, OracleSource::new(cfg), fs, storage),
+        Engine::Hydro => try_run_scenario_attached(cfg, AmrSource::new(cfg), fs, storage),
+        Engine::Oracle => try_run_scenario_attached(cfg, OracleSource::new(cfg), fs, storage),
     }
 }
 
@@ -649,6 +673,104 @@ mod tests {
             r.tracker.total_read_bytes(),
             r.tracker.total_bytes(),
             "full campaign read-back"
+        );
+    }
+
+    #[test]
+    fn streaming_backend_ships_over_the_link_not_storage() {
+        let mut cfg = small(Engine::Oracle);
+        cfg.account_only = true;
+        let fpp = run_simulation(&cfg, None, None);
+        cfg.backend = io_engine::BackendSpec::parse("streaming").unwrap();
+        let model = StorageModel::ideal(2, 1e6);
+        let streamed = run_simulation(&cfg, None, Some(&model));
+        // Tracker-plane invariance: logical totals identical to storage.
+        assert_eq!(streamed.tracker.export(), fpp.tracker.export());
+        assert_eq!(streamed.logical_bytes, fpp.logical_bytes);
+        // Nothing touches the storage plane.
+        assert_eq!(streamed.physical_bytes, 0);
+        assert_eq!(streamed.files_written, 0);
+        assert_eq!(streamed.timeline.len(), 0, "no storage bursts");
+        // The network plane is priced instead (identity codec: shipped
+        // bytes equal the logical payload).
+        assert_eq!(streamed.net_bytes, streamed.logical_bytes);
+        assert!(streamed.net_wall > 0.0);
+        assert_eq!(streamed.window_stall, 0.0, "unbounded window");
+        // The wall decomposition still closes: streamed ship time lives
+        // inside plot_wall, where stored dumps' bursts live.
+        assert!(
+            (streamed.compute_wall + streamed.plot_wall + streamed.drain_wall - streamed.wall_time)
+                .abs()
+                < 1e-9 + streamed.wall_time * 1e-12
+        );
+        assert!(streamed.plot_wall >= streamed.net_wall);
+    }
+
+    #[test]
+    fn streamed_analysis_reads_cost_zero_physical_bytes() {
+        use io_engine::ReadSelection;
+        let mut cfg = small(Engine::Oracle);
+        cfg.account_only = true;
+        cfg.scenario = Some(Scenario::in_run_analysis(2, ReadSelection::Level(1)));
+        let stored = run_simulation(&cfg, None, None);
+        cfg.backend = io_engine::BackendSpec::parse("streaming").unwrap();
+        let streamed = run_simulation(&cfg, None, None);
+        // Logical selection volume is backend-invariant...
+        assert!(streamed.selective_read_bytes > 0);
+        assert_eq!(streamed.selective_read_bytes, stored.selective_read_bytes);
+        assert_eq!(
+            streamed.tracker.total_read_bytes(),
+            stored.tracker.total_read_bytes()
+        );
+        // ...but the streamed reads come from the consumer window, not
+        // storage: zero physical read bytes, zero files opened.
+        assert_eq!(streamed.selective_physical_read_bytes, 0);
+        assert_eq!(streamed.selective_read_files, 0);
+        assert!(stored.selective_physical_read_bytes > 0);
+    }
+
+    #[test]
+    fn checkpoints_stream_like_plot_dumps() {
+        let mut cfg = small(Engine::Oracle);
+        cfg.account_only = true;
+        cfg.check_int = 4;
+        cfg.backend = io_engine::BackendSpec::parse("streaming").unwrap();
+        let r = run_simulation(&cfg, None, None);
+        // Checkpoint state ships over the link too: no physical bytes,
+        // but the checkpoint plane's wall is still charged.
+        assert_eq!(r.check_bytes, 0);
+        assert_eq!(r.check_files, 0);
+        assert!(r.check_wall > 0.0);
+        assert!(r.net_bytes > 0);
+    }
+
+    #[test]
+    fn slow_consumer_back_pressure_stalls_the_producer() {
+        // Satellite regression: a deliberately slow consumer (10 MB/s
+        // behind a 100 MB/s link) must fill the bounded 1 MiB window and
+        // stall the producer on the simulated clock — strictly slower
+        // than the same run with an unbounded window, with the whole gap
+        // attributed to `window_stall`.
+        let mut cfg = small(Engine::Oracle);
+        cfg.account_only = true;
+        cfg.backend = io_engine::BackendSpec::parse("streaming:100:1:10").unwrap();
+        let bounded = run_simulation(&cfg, None, None);
+        cfg.backend = io_engine::BackendSpec::parse("streaming:100:0:10").unwrap();
+        let unbounded = run_simulation(&cfg, None, None);
+        assert!(bounded.window_stall > 0.0, "the window must back-pressure");
+        assert_eq!(unbounded.window_stall, 0.0, "unbounded: no stall");
+        assert_eq!(bounded.net_bytes, unbounded.net_bytes);
+        assert!(
+            bounded.wall_time > unbounded.wall_time,
+            "bounded {} must be strictly slower than unbounded {}",
+            bounded.wall_time,
+            unbounded.wall_time
+        );
+        // The entire gap is the stall (transfers and compute match).
+        assert!(
+            (bounded.wall_time - unbounded.wall_time - bounded.window_stall).abs()
+                < 1e-9 + bounded.wall_time * 1e-12,
+            "the wall gap is exactly the window stall"
         );
     }
 

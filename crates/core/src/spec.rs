@@ -183,6 +183,40 @@ pub enum Layout {
     Reorg,
 }
 
+/// How a dump leaves the application — the `delivery` axis. A coarse
+/// three-way cut across the backend space for sweeps that compare
+/// delivery *strategies* rather than backend parameters: each value maps
+/// to a canonical backend (use the `backend` axis for tuned variants).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Delivery {
+    /// Synchronous storage writes ([`BackendSpec::FilePerProcess`]).
+    Storage,
+    /// In-transit streaming over the modeled interconnect
+    /// ([`BackendSpec::Streaming`] with the default link).
+    Stream,
+    /// Overlapped burst-buffer staging ([`BackendSpec::Deferred`]).
+    Deferred,
+}
+
+impl Delivery {
+    /// The canonical backend this delivery strategy maps to.
+    pub fn backend(self) -> BackendSpec {
+        match self {
+            Delivery::Storage => BackendSpec::FilePerProcess,
+            Delivery::Stream => BackendSpec::Streaming(io_engine::StreamSpec::default()),
+            Delivery::Deferred => BackendSpec::Deferred(1),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Delivery::Storage => "storage",
+            Delivery::Stream => "stream",
+            Delivery::Deferred => "deferred",
+        }
+    }
+}
+
 /// One named axis with its values. Declaration order is loop order.
 #[derive(Clone, Debug)]
 enum Axis {
@@ -195,6 +229,7 @@ enum Axis {
     Scale(Vec<usize>),
     Rung(Vec<i64>),
     Storage(Vec<StorageProfile>),
+    Delivery(Vec<Delivery>),
 }
 
 impl Axis {
@@ -209,6 +244,7 @@ impl Axis {
             Axis::Scale(_) => "scale",
             Axis::Rung(_) => "rung",
             Axis::Storage(_) => "storage",
+            Axis::Delivery(_) => "delivery",
         }
     }
 
@@ -223,6 +259,7 @@ impl Axis {
             Axis::Scale(v) => v.len(),
             Axis::Rung(v) => v.len(),
             Axis::Storage(v) => v.len(),
+            Axis::Delivery(v) => v.len(),
         }
     }
 
@@ -245,6 +282,7 @@ impl Axis {
             Axis::Scale(v) => v[i].to_string(),
             Axis::Rung(v) => v[i].to_string(),
             Axis::Storage(v) => v[i].name(),
+            Axis::Delivery(v) => v[i].name().to_string(),
         }
     }
 
@@ -310,6 +348,7 @@ impl Axis {
                 .collect(),
             Axis::Rung(v) => v.iter().map(|n| format!("n{n}")).collect(),
             Axis::Storage(v) => v.iter().map(StorageProfile::tag).collect(),
+            Axis::Delivery(v) => v.iter().map(|d| d.name().to_string()).collect(),
         }
     }
 }
@@ -488,6 +527,12 @@ impl ExperimentSpec {
         self
     }
 
+    /// Declares the delivery axis (storage / stream / deferred).
+    pub fn deliveries(mut self, deliveries: &[Delivery]) -> Self {
+        self.axes.push(Axis::Delivery(deliveries.to_vec()));
+        self
+    }
+
     /// Zips the named axes: they advance in lockstep instead of
     /// crossing (members must have equal lengths).
     pub fn zip(mut self, members: &[&str]) -> Self {
@@ -635,6 +680,7 @@ impl ExperimentSpec {
                 },
                 Axis::Rung(v) => cfg.n_cell = v[i],
                 Axis::Storage(v) => storage = Some(v[i]),
+                Axis::Delivery(v) => cfg.backend = v[i].backend(),
             }
         }
         cfg.name = label;
@@ -916,6 +962,19 @@ fn parse_axis(key: &str, value: &TomlValue) -> Result<Axis, SpecError> {
                 .collect::<Result<_, _>>()
                 .map_err(SpecError::Parse)?,
         )),
+        "delivery" => Ok(Axis::Delivery(
+            strings()?
+                .into_iter()
+                .map(|s| match s {
+                    "storage" => Ok(Delivery::Storage),
+                    "stream" => Ok(Delivery::Stream),
+                    "deferred" => Ok(Delivery::Deferred),
+                    other => Err(SpecError::Parse(format!(
+                        "unknown delivery '{other}' (storage, stream, deferred)"
+                    ))),
+                })
+                .collect::<Result<_, _>>()?,
+        )),
         other => Err(SpecError::UnknownAxis(other.to_string())),
     }
 }
@@ -1135,6 +1194,41 @@ mod tests {
             .compile()
             .unwrap();
         assert_ne!(stored[0].key, a[0].key);
+    }
+
+    #[test]
+    fn delivery_axis_maps_to_canonical_backends() {
+        let cells = ExperimentSpec::new("t")
+            .base(base("m"))
+            .deliveries(&[Delivery::Storage, Delivery::Stream, Delivery::Deferred])
+            .compile()
+            .unwrap();
+        let labels: Vec<&str> = cells.iter().map(|c| c.config.name.as_str()).collect();
+        assert_eq!(labels, ["m_storage", "m_stream", "m_deferred"]);
+        let backends: Vec<String> = cells.iter().map(|c| c.config.backend.name()).collect();
+        assert_eq!(backends, ["fpp", "streaming", "deferred:1"]);
+        assert!(cells[1].config.backend.in_transit());
+    }
+
+    #[test]
+    fn delivery_axis_parses_from_toml() {
+        let spec = ExperimentSpec::from_toml(
+            r#"
+            [experiment]
+            name = "d"
+            [axes]
+            delivery = ["storage", "stream"]
+            "#,
+        )
+        .unwrap();
+        let cells = spec.compile().unwrap();
+        assert_eq!(cells.len(), 2);
+        assert!(cells[1].config.backend.in_transit());
+
+        let bad = ExperimentSpec::from_toml("[axes]\ndelivery = [\"carrier-pigeon\"]").unwrap_err();
+        assert!(bad
+            .to_string()
+            .contains("unknown delivery 'carrier-pigeon'"));
     }
 
     #[test]

@@ -24,8 +24,8 @@
 //! (the format a golden-file test pins byte-exactly).
 
 use crate::backend::{
-    ChunkRead, EngineReport, IoBackend, Payload, Put, ReadStats, StepRead, StepStats,
-    TrackerHandle, VfsHandle,
+    unsupported_read, ChunkRead, EngineReport, IoBackend, Payload, Put, ReadStats, StepRead,
+    StepStats, TrackerHandle, VfsHandle,
 };
 use crate::selection::ReadSelection;
 use bytes::Bytes;
@@ -380,12 +380,10 @@ impl IoBackend for Aggregated<'_> {
         sel: &ReadSelection,
     ) -> io::Result<StepRead> {
         assert!(self.cur.is_none(), "read_step: step still open");
-        let info = self.retained.get(&step).ok_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::NotFound,
-                format!("read_step: step {step} was never written"),
-            )
-        })?;
+        let info = self
+            .retained
+            .get(&step)
+            .ok_or_else(|| unsupported_read(&self.name(), step, sel, "step was never written"))?;
         let mut out = StepRead {
             stats: ReadStats {
                 step,
@@ -610,13 +608,13 @@ mod tests {
         assert_eq!(stats.files, 3 + 1);
     }
 
-    /// Same clamp through the spec layer: a deserialized
-    /// `Aggregated(0)` spec (which `parse` would have rejected) builds
-    /// a working ratio-1 backend instead of panicking.
+    /// Same clamp through the spec layer: a directly-constructed
+    /// `Aggregated(0)` spec (which `parse` — and therefore serde, which
+    /// round-trips through the CLI spelling — would have rejected)
+    /// builds a working ratio-1 backend instead of panicking.
     #[test]
     fn spec_built_ratio_zero_does_not_panic() {
-        let spec: crate::BackendSpec =
-            serde_json::from_str("{\"Aggregated\":0}").expect("deserialize spec");
+        let spec = crate::BackendSpec::Aggregated(0);
         let fs = MemFs::new();
         let tracker = IoTracker::new();
         let mut b = spec.build(&fs as &dyn Vfs, &tracker);

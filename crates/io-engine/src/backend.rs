@@ -3,6 +3,7 @@
 use crate::selection::ReadSelection;
 use bytes::Bytes;
 use iosim::{IoKey, IoKind, IoTracker, ReadRequest, Vfs, WriteRequest};
+use mpi_sim::NetworkModel;
 use std::io;
 use std::sync::Arc;
 
@@ -192,6 +193,16 @@ pub struct StepStats {
     pub codec_seconds: f64,
     /// Write requests for burst-timing simulation, in write order.
     pub requests: Vec<WriteRequest>,
+    /// Bytes shipped over the modeled interconnect instead of through
+    /// storage this step (0 for storage-backed backends) — the
+    /// in-transit plane's priced column.
+    pub net_bytes: u64,
+    /// Link-transfer seconds for `net_bytes` on the simulated clock
+    /// (latency + bytes/bandwidth; 0 for storage-backed backends).
+    pub net_seconds: f64,
+    /// Producer seconds stalled on consumer-window back-pressure this
+    /// step — accounted like `staging_wait`, never negative.
+    pub window_stall: f64,
 }
 
 /// Whole-run totals returned by [`IoBackend::close`].
@@ -375,6 +386,23 @@ pub trait IoBackend: Send {
         false
     }
 
+    /// True when the backend ships steps over the modeled interconnect
+    /// instead of through storage (in-transit streaming). Wrapping
+    /// stages consult this: a [`crate::CompressionStage`] over an
+    /// in-transit backend keeps its sidecar out of the storage plane,
+    /// so streamed runs touch zero physical bytes end to end.
+    fn in_transit(&self) -> bool {
+        false
+    }
+
+    /// Replaces the backend's interconnect link (no-op for
+    /// storage-backed backends). The fabric uses this to hand streamed
+    /// tenants their fair share of a shared link the way stored tenants
+    /// share servers; wrappers delegate to their inner backend.
+    fn attach_network(&mut self, net: NetworkModel) {
+        let _ = net;
+    }
+
     /// Opens a step. `container` is the logical directory of the dump
     /// (e.g. the plotfile directory, or `"/"` for MACSio's flat layout);
     /// aggregating backends place their subfiles under it.
@@ -437,13 +465,30 @@ pub trait IoBackend: Send {
         container: &str,
         sel: &ReadSelection,
     ) -> io::Result<StepRead> {
-        let _ = (step, container, sel);
-        Err(io::Error::new(
-            io::ErrorKind::Unsupported,
-            format!("backend '{}' has no read path", self.name()),
+        let _ = container;
+        Err(unsupported_read(
+            &self.name(),
+            step,
+            sel,
+            "backend has no read path",
         ))
     }
 
     /// Flushes staged work and returns run totals.
     fn close(&mut self) -> io::Result<EngineReport>;
+}
+
+/// The typed error every backend returns for a selection it cannot
+/// serve: [`io::ErrorKind::Unsupported`], naming the backend, the step,
+/// the selection, and the reason. One constructor so the driver's
+/// `analyze:SEL` error path reads identically across the whole backend
+/// matrix (and so tests can pin the shape without string drift).
+pub fn unsupported_read(backend: &str, step: u32, sel: &ReadSelection, why: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::Unsupported,
+        format!(
+            "backend '{backend}' cannot serve read selection '{}' for step {step}: {why}",
+            sel.name()
+        ),
+    )
 }

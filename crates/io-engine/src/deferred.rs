@@ -19,7 +19,9 @@
 //! compute phase — which is what makes deferred runs finish in less
 //! simulated wall-clock than file-per-process for the same byte volume.
 
-use crate::backend::{EngineReport, IoBackend, Put, StepRead, StepStats, TrackerHandle, VfsHandle};
+use crate::backend::{
+    unsupported_read, EngineReport, IoBackend, Put, StepRead, StepStats, TrackerHandle, VfsHandle,
+};
 use crate::fpp::{manifest_of, read_manifest_step, StepBuild, StepManifest};
 use crate::selection::ReadSelection;
 use bytes::Bytes;
@@ -271,12 +273,10 @@ impl IoBackend for Deferred<'_> {
         // staged (in the drain pool or the inline pending buffer) —
         // barrier every in-flight drain before touching the filesystem.
         self.drain_previous()?;
-        let manifest = self.manifests.get(&step).ok_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::NotFound,
-                format!("read_step: step {step} was never written"),
-            )
-        })?;
+        let manifest = self
+            .manifests
+            .get(&step)
+            .ok_or_else(|| unsupported_read(&self.name(), step, sel, "step was never written"))?;
         read_manifest_step(&self.vfs, &self.tracker, manifest, step, sel)
     }
 

@@ -9,8 +9,8 @@
 //! (baton-passing appends).
 
 use crate::backend::{
-    ChunkRead, EngineReport, IoBackend, Payload, Put, ReadStats, StepRead, StepStats,
-    TrackerHandle, VfsHandle,
+    unsupported_read, ChunkRead, EngineReport, IoBackend, Payload, Put, ReadStats, StepRead,
+    StepStats, TrackerHandle, VfsHandle,
 };
 use crate::selection::ReadSelection;
 use bytes::Bytes;
@@ -349,12 +349,10 @@ impl IoBackend for FilePerProcess<'_> {
         sel: &ReadSelection,
     ) -> io::Result<StepRead> {
         assert!(self.cur.is_none(), "read_step: step still open");
-        let manifest = self.manifests.get(&step).ok_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::NotFound,
-                format!("read_step: step {step} was never written"),
-            )
-        })?;
+        let manifest = self
+            .manifests
+            .get(&step)
+            .ok_or_else(|| unsupported_read(&self.name(), step, sel, "step was never written"))?;
         read_manifest_step(&self.vfs, &self.tracker, manifest, step, sel)
     }
 

@@ -16,6 +16,13 @@
 //! * [`Deferred`] — a burst-buffer model: puts stage in memory,
 //!   double-buffered; a drain pool flushes the previous step's staging
 //!   while the application computes, so compute and flush overlap.
+//! * [`Streaming`] — ADIOS2/SST-style in-transit staging: steps ship to
+//!   consumer ranks as point-to-point transfers over a modeled
+//!   interconnect ([`mpi_sim::NetworkModel`]), and analysis reads are
+//!   served from a bounded in-memory consumer window — zero physical
+//!   bytes on either plane, network bytes a priced column of their own,
+//!   producer stalls on window back-pressure accounted like staging
+//!   waits.
 //!
 //! In front of any backend sits an optional **compression stage**
 //! ([`CompressionStage`]) applying a [`Codec`] — [`Identity`], lossless
@@ -123,11 +130,12 @@ pub mod scenario;
 pub mod selection;
 pub mod spec;
 pub mod stage;
+pub mod streaming;
 
 pub use aggregated::Aggregated;
 pub use backend::{
-    ChunkRead, EngineReport, IoBackend, Payload, Put, ReadStats, StepRead, StepStats,
-    TrackerHandle, VfsHandle,
+    unsupported_read, ChunkRead, EngineReport, IoBackend, Payload, Put, ReadStats, StepRead,
+    StepStats, TrackerHandle, VfsHandle,
 };
 pub use codec::{Codec, CodecContext, CodecSpec, Identity, LossyQuant, Rle};
 pub use deferred::Deferred;
@@ -136,5 +144,6 @@ pub use grammar::{disambiguate_tags, MatrixShape, TomlDoc, TomlSection, TomlValu
 pub use reorg::{ReorgStats, Reorganizer};
 pub use scenario::{Scenario, ScenarioOp};
 pub use selection::{KeyBox, ReadSelection};
-pub use spec::BackendSpec;
+pub use spec::{BackendSpec, StreamSpec};
 pub use stage::CompressionStage;
+pub use streaming::Streaming;

@@ -174,6 +174,14 @@ impl IoBackend for CompressionStage<'_> {
         self.inner.overlapped()
     }
 
+    fn in_transit(&self) -> bool {
+        self.inner.in_transit()
+    }
+
+    fn attach_network(&mut self, net: mpi_sim::NetworkModel) {
+        self.inner.attach_network(net);
+    }
+
     fn begin_step(&mut self, step: u32, container: &str) {
         assert!(self.cur.is_none(), "begin_step: step already open");
         self.cur = Some(StageStep {
@@ -263,7 +271,11 @@ impl IoBackend for CompressionStage<'_> {
         let cur = cur;
         let mut stats = self.inner.end_step()?;
         stats.codec_seconds += cur.codec_ns / 1e9;
-        if !cur.chunks.is_empty() {
+        // In-transit backends never touch the storage plane: the stream
+        // carries each chunk's logical/physical framing in-band (the
+        // consumer window retains the spans), so no sidecar exists to
+        // write — or to fetch back on the read side.
+        if !cur.chunks.is_empty() && !self.inner.in_transit() {
             // The uncompressed-logical-size sidecar.
             let mut body = String::new();
             let _ = writeln!(

@@ -66,6 +66,8 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
+use mpi_sim::NetworkModel;
+
 use crate::schedule::BurstScheduler;
 use crate::storage::{BurstResult, ReadRequest, ReqView, StorageModel, WriteRequest, RETIRE_EPS};
 
@@ -380,6 +382,11 @@ struct Engine {
     time: f64,
     next_burst: u64,
     staging: Option<StagingState>,
+    /// The fabric's interconnect, when one is attached: streamed
+    /// (in-transit) tenants split its bandwidth instead of the servers'.
+    link: Option<NetworkModel>,
+    /// How many registered tenants stream over the shared link.
+    stream_tenants: usize,
 }
 
 /// Per-job rates over one event interval: actual, uncapped-fair (for
@@ -754,6 +761,26 @@ impl Fabric {
         self
     }
 
+    /// Attaches a modeled interconnect: streamed (in-transit) tenants
+    /// share this link's bandwidth the way stored tenants share the
+    /// servers. Pair with [`Fabric::set_stream_tenants`]; each streamed
+    /// tenant then draws its fair share via [`FabricHandle::stream_link`].
+    pub fn with_link(self, net: NetworkModel) -> Self {
+        {
+            let mut g = self.shared.state.lock().expect("fabric lock");
+            g.link = Some(net);
+        }
+        self
+    }
+
+    /// Declares how many registered tenants stream over the shared link
+    /// (stored tenants never touch it). Zero is treated as one when
+    /// shares are computed, so a lone caller can skip the declaration.
+    pub fn set_stream_tenants(&self, n: usize) {
+        let mut g = self.shared.state.lock().expect("fabric lock");
+        g.stream_tenants = n;
+    }
+
     /// The storage model the fabric wraps.
     pub fn model(&self) -> StorageModel {
         self.shared.model
@@ -825,6 +852,17 @@ impl FabricHandle {
     /// The tenant slot this handle occupies.
     pub fn tenant(&self) -> usize {
         self.tenant
+    }
+
+    /// One streamed tenant's share of the fabric's interconnect: the
+    /// link's bandwidth split evenly over the declared stream-tenant
+    /// count ([`NetworkModel::fair_share`]) — static fair sharing, the
+    /// stream-plane analogue of the servers' processor sharing. `None`
+    /// when the fabric has no link attached, in which case an in-transit
+    /// backend keeps the solo link its own spec configured.
+    pub fn stream_link(&self) -> Option<NetworkModel> {
+        let g = self.shared.state.lock().expect("fabric lock");
+        g.link.map(|net| net.fair_share(g.stream_tenants.max(1)))
     }
 
     /// Fabric twin of [`StorageModel::simulate_burst`]: request `start`
@@ -1303,5 +1341,26 @@ mod tests {
         assert!((rb.0.t_end - 2.0).abs() < 1e-9);
         // b's second burst runs alone after a retired: 7 -> 8.
         assert!((rb.1.t_end - 8.0).abs() < 1e-9, "{}", rb.1.t_end);
+    }
+
+    #[test]
+    fn stream_link_is_none_without_a_link() {
+        let fabric = Fabric::new(StorageModel::ideal(1, 100.0));
+        let t = fabric.tenant("solo");
+        assert!(t.stream_link().is_none());
+    }
+
+    #[test]
+    fn stream_link_fair_shares_across_declared_tenants() {
+        let fabric =
+            Fabric::new(StorageModel::ideal(1, 100.0)).with_link(NetworkModel::ideal(1000.0));
+        fabric.set_stream_tenants(4);
+        let t = fabric.tenant("streamer");
+        let net = t.stream_link().expect("link attached");
+        assert!((net.link_bandwidth - 250.0).abs() < 1e-9, "{net:?}");
+        // A lone streamer that never declared a count gets the full link.
+        fabric.set_stream_tenants(0);
+        let solo = t.stream_link().expect("link attached");
+        assert!((solo.link_bandwidth - 1000.0).abs() < 1e-9, "{solo:?}");
     }
 }

@@ -97,6 +97,12 @@ fn main() {
         report.wall_time,
         report.timeline.duty_cycle()
     );
+    if report.net_bytes > 0 {
+        println!(
+            "# net_bytes={} net_seconds={:.3}s window_stall={:.3}s",
+            report.net_bytes, report.net_seconds, report.window_stall
+        );
+    }
     if report.read_bytes > 0 || report.restarts > 0 {
         println!(
             "# restarts={} read_bytes={} physical_read_bytes={} read_files={} read_wall={:.3}s",

@@ -40,7 +40,10 @@ pub fn usage() -> &'static str {
        --io_backend SPEC               write path: fpp (N-to-N, default),\n\
                                        agg:<ratio> (BP-style two-level\n\
                                        aggregation), deferred[:<workers>]\n\
-                                       (burst-buffer staging, async drain)\n\
+                                       (burst-buffer staging, async drain),\n\
+                                       streaming[:<link>[:<win>[:<cons>]]]\n\
+                                       (in-transit: dumps ship over a\n\
+                                       modeled link, no files written)\n\
        --compression SPEC              in-situ codec for data puts:\n\
                                        identity (default), rle[:<ratio>]\n\
                                        (lossless run-length), quant[:<bits>]\n\
@@ -378,6 +381,9 @@ mod tests {
         assert_eq!(cfg.io_backend, BackendSpec::Aggregated(16));
         let cfg = parse_args(["--io_backend", "deferred"]).unwrap();
         assert_eq!(cfg.io_backend, BackendSpec::Deferred(1));
+        let cfg = parse_args(["--io_backend", "streaming:100:64:50"]).unwrap();
+        assert!(cfg.io_backend.in_transit());
+        assert_eq!(cfg.io_backend.name(), "streaming:100:64:50");
         assert!(parse_args(["--io_backend", "hdf5"]).is_err());
     }
 
@@ -386,6 +392,8 @@ mod tests {
         assert!(usage().contains("--io_backend"));
         assert!(usage().contains("agg:<ratio>"));
         assert!(usage().contains("deferred"));
+        assert!(usage().contains("streaming"));
+        assert!(usage().contains("in-transit"));
     }
 
     #[test]

@@ -93,6 +93,14 @@ pub struct MacsioReport {
     pub read_wall: f64,
     /// Burst timeline (empty when no storage model was supplied).
     pub timeline: BurstTimeline,
+    /// Bytes shipped over the modeled interconnect instead of through
+    /// storage (0 for storage-backed backends).
+    pub net_bytes: u64,
+    /// Link-transfer seconds for `net_bytes` (inside `wall_time`).
+    pub net_seconds: f64,
+    /// Producer stall on consumer-window back-pressure (inside
+    /// `wall_time`, disjoint from `net_seconds`).
+    pub window_stall: f64,
     /// Final simulated wall time in seconds.
     pub wall_time: f64,
 }
@@ -270,8 +278,15 @@ pub fn run_with_backend_attached(
         report.files_written += stats.files;
 
         // Timing: the codec's CPU cost lands on the application clock
-        // whether or not a storage model times the drain.
-        if let Some(sched) = scheduler.as_mut() {
+        // whether or not a storage model times the drain. In-transit
+        // dumps never reach the storage scheduler: encode, link
+        // transfer, and window back-pressure are the whole cost.
+        if backend.in_transit() {
+            clock += stats.codec_seconds + stats.net_seconds + stats.window_stall;
+            report.net_bytes += stats.net_bytes;
+            report.net_seconds += stats.net_seconds;
+            report.window_stall += stats.window_stall;
+        } else if let Some(sched) = scheduler.as_mut() {
             let (burst, next_clock) = sched.submit_with_compute(
                 step_key,
                 clock,
@@ -443,6 +458,35 @@ mod tests {
         assert!(files.contains(&"/macsio_json_root_000.json".to_string()));
         assert!(files.contains(&"/macsio_json_root_002.json".to_string()));
         assert_eq!(files.len(), 15);
+    }
+
+    #[test]
+    fn streaming_backend_ships_dumps_over_the_link() {
+        let mut cfg = base_cfg();
+        cfg.io_backend = io_engine::BackendSpec::parse("streaming:100").unwrap();
+        cfg.compute_time = 1.5;
+        let fs = MemFs::new();
+        let tracker = IoTracker::new();
+        let report = run(&cfg, &fs, &tracker, None).unwrap();
+        // The storage plane stays untouched; the tracker's logical plane
+        // matches the stored run's exactly.
+        assert_eq!(report.total_bytes, 0);
+        assert_eq!(report.files_written, 0);
+        assert!(fs.list("/").is_empty(), "nothing reaches the filesystem");
+        let stored_tracker = IoTracker::new();
+        let stored = run(&base_cfg(), &MemFs::new(), &stored_tracker, None).unwrap();
+        assert_eq!(tracker.export(), stored_tracker.export());
+        assert_eq!(report.logical_bytes, stored.logical_bytes);
+        // The network plane is priced instead, inside wall_time.
+        assert_eq!(report.net_bytes, report.logical_bytes);
+        assert!(report.net_seconds > 0.0);
+        assert_eq!(report.window_stall, 0.0, "unbounded window");
+        let compute = 3.0 * 1.5;
+        assert!(
+            (report.wall_time - (compute + report.net_seconds + report.codec_seconds)).abs() < 1e-9,
+            "streamed wall = compute + transfer: {}",
+            report.wall_time
+        );
     }
 
     #[test]

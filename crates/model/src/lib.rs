@@ -19,6 +19,9 @@
 //! [`fit_read_time`] (restart wall vs physical read volume) and
 //! [`fit_selective_read`] (selective analysis-read wall vs *touched*
 //! physical bytes, across read patterns and raw/reorganized layouts).
+//! The network plane adds a third: [`fit_stream_time`] (streamed
+//! transfer wall vs network bytes — `1/slope` recovers the effective
+//! link bandwidth, the intercept the accumulated transfer latency).
 //!
 //! **Layer position:** analysis layer — consumes tracker samples and
 //! campaign summaries produced by `core`, emits calibrated `macsio`
@@ -59,8 +62,8 @@ pub use metrics::{final_rel_err, mape, rmse};
 pub use partsize::{fit_f, part_size, Case4Constant, PAPER_F_RANGE};
 pub use predict::{GrowthPredictor, Observation};
 pub use regression::{
-    fit_bytes_with_ratio, fit_read_time, fit_selective_read, linear_fit, multi_linear_fit,
-    powerlaw_fit, LinearFit, MultiFit,
+    fit_bytes_with_ratio, fit_read_time, fit_selective_read, fit_stream_time, linear_fit,
+    multi_linear_fit, powerlaw_fit, LinearFit, MultiFit,
 };
 pub use samples::{Sample, XySeries};
 pub use translate::{default_growth_guess, translate, AmrInputs, TranslationModel};

@@ -222,6 +222,35 @@ pub fn fit_selective_read(touched_physical_bytes: &[f64], selective_walls: &[f64
     linear_fit(&xs, &ys)
 }
 
+/// Fits streamed-transfer wall-clock against network bytes:
+/// `net_wall = a + b * net_bytes` — the network plane's regression
+/// target, fitted from `RunSummary::{net_bytes, net_wall}` across a
+/// streaming sweep. `1 / b` is the effective link bandwidth actually
+/// achieved (fair-shared across streamed tenants when a fabric link is
+/// attached), `a` the accumulated per-transfer latency — the same
+/// intercept/slope split `fit_read_time` gives the storage plane, but
+/// priced on the interconnect instead of the servers. Storage-backend
+/// rows (net_bytes == 0) carry no link information and are skipped, so
+/// a mixed campaign can be fed in unfiltered.
+///
+/// # Panics
+/// Panics when fewer than 2 usable samples remain or all x are
+/// identical.
+pub fn fit_stream_time(net_bytes: &[f64], net_walls: &[f64]) -> LinearFit {
+    assert_eq!(
+        net_bytes.len(),
+        net_walls.len(),
+        "fit_stream_time: length mismatch"
+    );
+    let (xs, ys): (Vec<f64>, Vec<f64>) = net_bytes
+        .iter()
+        .zip(net_walls)
+        .filter(|(&x, &y)| x.is_finite() && y.is_finite() && x > 0.0)
+        .map(|(&x, &y)| (x, y))
+        .unzip();
+    linear_fit(&xs, &ys)
+}
+
 /// Fits a power law `y = c * x^p` by regressing in log-log space.
 /// Requires strictly positive data.
 pub fn powerlaw_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
@@ -372,6 +401,26 @@ mod tests {
         let fit = fit_selective_read(&xs, &ys);
         assert!((1.0 / fit.slope - 2e7).abs() / 2e7 < 1e-9, "{fit:?}");
         assert!((fit.intercept - 0.005).abs() < 1e-9);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stream_fit_recovers_link_bandwidth_from_a_mixed_campaign() {
+        // Streamed rows pay a fixed per-transfer latency total plus
+        // bytes over a 12.5 GB/s link; storage rows report net_bytes
+        // == 0 and must be skipped rather than dragging the intercept.
+        let link = 12.5e9;
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for bytes in [1e7, 5e7, 2e8, 1e9, 8e9] {
+            xs.push(bytes);
+            ys.push(0.002 + bytes / link);
+        }
+        xs.push(0.0);
+        ys.push(0.0); // a storage-backend row from the same campaign
+        let fit = fit_stream_time(&xs, &ys);
+        assert!((1.0 / fit.slope - link).abs() / link < 1e-9, "{fit:?}");
+        assert!((fit.intercept - 0.002).abs() < 1e-9);
         assert!((fit.r2 - 1.0).abs() < 1e-12);
     }
 

@@ -7,6 +7,7 @@
 //! a sequential execution.
 
 use crate::clock::SimClock;
+use crate::network::NetworkModel;
 use crate::rng::rank_rng;
 use rand::rngs::StdRng;
 use rayon::prelude::*;
@@ -31,6 +32,15 @@ pub struct RankCtx {
     pub clock: SimClock,
     /// This rank's deterministic RNG stream.
     pub rng: StdRng,
+}
+
+impl RankCtx {
+    /// Times a point-to-point send of `bytes` over `net` on this rank's
+    /// clock and returns the transfer duration — the rank-loop spelling
+    /// of [`NetworkModel::send`].
+    pub fn send(&mut self, net: &NetworkModel, bytes: u64) -> f64 {
+        net.send(&mut self.clock, bytes)
+    }
 }
 
 impl SimComm {
@@ -183,5 +193,17 @@ mod tests {
     #[should_panic(expected = "zero ranks")]
     fn zero_ranks_panics() {
         SimComm::new(0, 1, 0);
+    }
+
+    #[test]
+    fn rank_send_prices_the_transfer_on_the_rank_clock() {
+        let c = SimComm::new(2, 2, 0);
+        let net = NetworkModel::new(1e6, 0.5);
+        let ends = c.run(0.0, |ctx| {
+            let dt = ctx.send(&net, 1_000_000);
+            assert!((dt - 1.5).abs() < 1e-12);
+            ctx.clock.now()
+        });
+        assert!(ends.iter().all(|&t| (t - 1.5).abs() < 1e-12));
     }
 }

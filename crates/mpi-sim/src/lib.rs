@@ -9,7 +9,11 @@
 //! * [`RankCtx`] — per-rank clock and deterministic RNG stream;
 //! * [`clock::barrier`] — synchronization that produces the "burst" I/O
 //!   timing pattern the paper describes;
-//! * [`collectives`] — the reductions/gathers the I/O path needs.
+//! * [`collectives`] — the reductions/gathers the I/O path needs;
+//! * [`NetworkModel`] — per-link bandwidth/latency with a
+//!   transfer-timing API on the simulated clock, for in-transit
+//!   streaming backends that ship steps over the interconnect instead
+//!   of through storage.
 //!
 //! Rank loops execute through rayon but are bit-reproducible: each rank's
 //! context is derived only from `(seed, rank)`.
@@ -35,8 +39,10 @@
 pub mod clock;
 pub mod collectives;
 pub mod comm;
+pub mod network;
 pub mod rng;
 
 pub use clock::{barrier, SimClock};
 pub use comm::{RankCtx, SimComm};
+pub use network::NetworkModel;
 pub use rng::{rank_rng, rank_seed};

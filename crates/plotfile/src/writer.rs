@@ -60,6 +60,13 @@ pub struct PlotfileStats {
     /// The write requests issued (physical sizes), suitable for
     /// [`iosim::StorageModel::simulate_burst`].
     pub requests: Vec<WriteRequest>,
+    /// Bytes shipped over the modeled interconnect instead of storage
+    /// (in-transit backends only; 0 for every storage backend).
+    pub net_bytes: u64,
+    /// Link-transfer seconds for `net_bytes` on the simulated clock.
+    pub net_seconds: f64,
+    /// Producer seconds stalled on consumer-window back-pressure.
+    pub window_stall: f64,
 }
 
 impl PlotfileStats {
@@ -71,6 +78,9 @@ impl PlotfileStats {
             codec_seconds: step.codec_seconds,
             nfiles: step.files,
             requests: step.requests,
+            net_bytes: step.net_bytes,
+            net_seconds: step.net_seconds,
+            window_stall: step.window_stall,
         }
     }
 }

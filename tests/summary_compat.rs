@@ -1,14 +1,24 @@
 //! Backward compatibility of the `RunSummary` wire format: summary blobs
-//! serialized before the machine-room tenancy columns existed must still
-//! deserialize, with the new fields landing on their defaults.
+//! serialized before the machine-room tenancy columns existed — and ones
+//! from after tenancy but before the network-plane columns — must still
+//! deserialize, with the new fields landing on their defaults, and a
+//! `runs.jsonl` mixing generations must replay through `ResultsStore`.
 
-use amr_proxy_io::amrproxy::{run_campaign_timed_serial, CastroSedovConfig, Engine, RunSummary};
+use amr_proxy_io::amrproxy::store::STORE_SCHEMA;
+use amr_proxy_io::amrproxy::{
+    run_campaign_timed_serial, CastroSedovConfig, Engine, ResultsStore, RunSummary,
+};
+use amr_proxy_io::io_engine::BackendSpec;
 use amr_proxy_io::iosim::StorageModel;
 use serde_json::Value;
 
 /// A real summary blob captured before the tenancy columns were added
 /// (checked in, not regenerated — the point is that *old* bytes parse).
 const PRE_TENANCY_BLOB: &str = include_str!("fixtures/run_summary_pre_tenancy.json");
+
+/// A summary blob captured after the tenancy columns but before the
+/// network plane (`net_bytes` / `net_wall` / `window_stall`) existed.
+const PRE_STREAMING_BLOB: &str = include_str!("fixtures/run_summary_pre_streaming.json");
 
 #[test]
 fn pre_tenancy_summary_blob_still_deserializes() {
@@ -40,6 +50,79 @@ fn pre_tenancy_summary_blob_still_deserializes() {
     assert_eq!(s.contention_stall, 0.0);
     assert_eq!(s.throttle_stall, 0.0);
     assert_eq!(s.staging_wait, 0.0);
+}
+
+#[test]
+fn pre_streaming_summary_blob_still_deserializes() {
+    let v: Value = serde_json::from_str(PRE_STREAMING_BLOB).expect("fixture is valid JSON");
+    assert!(
+        v.get("staging_wait").is_some(),
+        "fixture postdates the tenancy columns"
+    );
+    for field in ["net_bytes", "net_wall", "window_stall"] {
+        assert!(
+            v.get(field).is_none(),
+            "fixture must predate the network column `{field}`"
+        );
+    }
+    let s: RunSummary = serde_json::from_str(PRE_STREAMING_BLOB).expect("old blob deserializes");
+    assert_eq!(s.name, "pre_streaming_fixture");
+    assert_eq!(s.tenants, 1, "tenancy columns parse as written");
+    assert_eq!(s.slowdown, 1.0);
+    // The missing network columns land on the serde defaults.
+    assert_eq!(s.net_bytes, 0);
+    assert_eq!(s.net_wall, 0.0);
+    assert_eq!(s.window_stall, 0.0);
+}
+
+#[test]
+fn mixed_generation_log_replays_through_the_store() {
+    // A `runs.jsonl` whose first record was written by a pre-streaming
+    // writer and whose second comes from a current streamed run: `open`
+    // must replay both, and queries must see the old row's network
+    // columns as zero rather than rejecting the log.
+    let dir = std::env::temp_dir().join(format!("amrproxy_summary_compat_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let old_record = serde_json::to_string(&serde_json::json!({
+        "schema": STORE_SCHEMA,
+        "cell": "old",
+        "summary": serde_json::from_str::<Value>(PRE_STREAMING_BLOB).unwrap(),
+    }))
+    .unwrap();
+    std::fs::write(dir.join("runs.jsonl"), format!("{old_record}\n")).unwrap();
+
+    let cfg = CastroSedovConfig {
+        name: "streamed".into(),
+        engine: Engine::Oracle,
+        n_cell: 32,
+        max_step: 4,
+        plot_int: 2,
+        nprocs: 2,
+        account_only: true,
+        backend: BackendSpec::parse("streaming").unwrap(),
+        ..Default::default()
+    };
+    let storage = StorageModel::ideal(2, 5e7);
+    let new = run_campaign_timed_serial(&[cfg], &storage).remove(0);
+    {
+        let mut store = ResultsStore::open(&dir).expect("store opens over the old log");
+        assert_eq!(store.len(), 1, "the pre-streaming record replayed");
+        store.append("new", &new).unwrap();
+    }
+
+    // Reopen: both generations replay from disk.
+    let store = ResultsStore::open(&dir).expect("mixed log replays");
+    assert_eq!(store.len(), 2);
+    let old = store.get("old").remove(0);
+    assert_eq!(old.name, "pre_streaming_fixture");
+    assert_eq!(old.net_bytes, 0, "defaulted on the old row");
+    let replayed = store.get("new").remove(0);
+    assert_eq!(replayed, new, "the streamed row round-trips the log");
+    assert!(replayed.net_bytes > 0, "the new generation prices the link");
+    let net = store.query().numbers("net_bytes");
+    assert_eq!(net.len(), 1, "only the streamed row carries the column");
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]
