@@ -572,6 +572,155 @@ pub fn run_campaign_fabric_linked(
     summaries
 }
 
+/// [`run_campaign_fabric`] with a memoized solo shadow: the fleet still
+/// runs one native thread per tenant on one shared fabric, but the solo
+/// baseline is priced once per `solo_key` across a campaign. On a memo
+/// hit every tenant's scheduler gets [`iosim::SoloPricing::Known`] and
+/// skips its shadow replay; on a miss the replay runs cold and the
+/// first tenant's solo wall fills the memo. The shadow is a passive
+/// observer (a private model copy), so pricing mode never perturbs the
+/// shared simulation — `known_solo_pricing_matches_the_cold_shadow_bit_for_bit`
+/// in `iosim::schedule` pins that.
+///
+/// This is also the *semantic anchor* for the solo columns: one
+/// configuration has one solo baseline, taken from the first cell that
+/// prices it. Re-deriving it per tenancy rung reproduces the same
+/// number only to within an ulp (the shared clock's magnitude leaks
+/// into the float rounding of the replayed compute deltas), so the
+/// spec executors — serial and parallel alike — route every tenancy
+/// cell through a memo to keep their outputs bit-identical.
+pub fn run_campaign_fabric_memoized(
+    configs: &[CastroSedovConfig],
+    storage: &iosim::StorageModel,
+    memo: &iosim::SoloMemo,
+    solo_key: &str,
+) -> Vec<RunSummary> {
+    if configs.is_empty() {
+        return Vec::new();
+    }
+    let fabric = iosim::Fabric::new(*storage);
+    let mut handles: Vec<iosim::FabricHandle> =
+        configs.iter().map(|cfg| fabric.tenant(&cfg.name)).collect();
+    let hit = memo.get(solo_key);
+    if let Some(wall) = hit {
+        for handle in handles.iter_mut() {
+            handle.set_solo_pricing(iosim::SoloPricing::Known(wall));
+        }
+    }
+    let mut summaries: Vec<RunSummary> = std::thread::scope(|s| {
+        let joins: Vec<_> = configs
+            .iter()
+            .zip(handles)
+            .map(|(cfg, handle)| {
+                s.spawn(move || {
+                    RunSummary::from_result(&run_simulation_attached(
+                        cfg,
+                        None,
+                        iosim::StorageAttach::Fabric(handle),
+                    ))
+                })
+            })
+            .collect();
+        joins
+            .into_iter()
+            .map(|j| j.join().expect("fabric tenant run panicked"))
+            .collect()
+    });
+    let stats = fabric.tenant_stats();
+    if hit.is_none() {
+        memo.fill(solo_key, stats[0].solo_wall);
+    }
+    for (summary, stats) in summaries.iter_mut().zip(stats) {
+        summary.tenant = stats.tenant;
+        summary.tenants = configs.len();
+        summary.solo_wall = stats.solo_wall;
+        summary.slowdown = stats.slowdown();
+        summary.contention_stall = stats.contention_stall;
+        summary.throttle_stall = stats.throttle_stall;
+        summary.staging_wait = stats.staging_wait;
+    }
+    summaries
+}
+
+/// [`run_campaign_fabric`] specialized to *identical clones* — the
+/// throughput-scaling cells, N copies of one configuration differing
+/// only in display name. Instead of N application runs on N native
+/// threads, the single real run drives a clone group
+/// ([`iosim::Fabric::tenant_clones`]): the engine synthesizes the
+/// mirrors' traffic, prices contention over the full N-tenant job set,
+/// and the clones' summaries are composed from the real run plus each
+/// mirror slot's stats. Clone symmetry makes this bit-identical to the
+/// threaded fleet (request paths and noise draws are independent of the
+/// display name), which the spec-parallel property tests pin against
+/// [`run_campaign_fabric`].
+///
+/// `memo` optionally memoizes the solo shadow replay under `solo_key`
+/// (the cell's label/tenancy-independent config key): a hit hands the
+/// scheduler the known wall ([`iosim::SoloPricing::Known`]) and skips
+/// the replay; a miss runs the exact replay and fills the memo.
+///
+/// # Panics
+/// Panics if `configs` are not identical modulo `name` — the caller
+/// (the spec executor) constructs them as clones by definition.
+pub fn run_campaign_fabric_cloned(
+    configs: &[CastroSedovConfig],
+    storage: &iosim::StorageModel,
+    memo: Option<(&iosim::SoloMemo, &str)>,
+) -> Vec<RunSummary> {
+    if configs.is_empty() {
+        return Vec::new();
+    }
+    assert!(
+        configs.iter().all(|c| {
+            let mut normalized = c.clone();
+            normalized.name.clone_from(&configs[0].name);
+            normalized == configs[0]
+        }),
+        "run_campaign_fabric_cloned: configs must be identical modulo name"
+    );
+    let fabric = iosim::Fabric::new(*storage);
+    let names: Vec<&str> = configs.iter().map(|c| c.name.as_str()).collect();
+    let mut group = fabric.tenant_clones(&names);
+    let mut memo_hit = false;
+    if let Some((memo, solo_key)) = memo {
+        if let Some(wall) = memo.get(solo_key) {
+            group.set_solo_pricing(iosim::SoloPricing::Known(wall));
+            memo_hit = true;
+        }
+    }
+    // One real application run; the mirror slots' traffic and stats are
+    // synthesized inside the engine. No threads: with every mirror seat
+    // permanently parked, the lone real tenant always holds the quorum
+    // and the engine advances inline.
+    let real = RunSummary::from_result(&run_simulation_attached(
+        &configs[0],
+        None,
+        iosim::StorageAttach::Fabric(group),
+    ));
+    let stats = fabric.tenant_stats();
+    if !memo_hit {
+        if let Some((memo, solo_key)) = memo {
+            memo.fill(solo_key, stats[0].solo_wall);
+        }
+    }
+    configs
+        .iter()
+        .zip(stats)
+        .map(|(cfg, st)| {
+            let mut summary = real.clone();
+            summary.name.clone_from(&cfg.name);
+            summary.tenant = st.tenant;
+            summary.tenants = configs.len();
+            summary.solo_wall = st.solo_wall;
+            summary.slowdown = st.slowdown();
+            summary.contention_stall = st.contention_stall;
+            summary.throttle_stall = st.throttle_stall;
+            summary.staging_wait = st.staging_wait;
+            summary
+        })
+        .collect()
+}
+
 /// Sequential reference implementation of [`run_campaign_timed`].
 pub fn run_campaign_timed_serial(
     configs: &[CastroSedovConfig],

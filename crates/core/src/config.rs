@@ -15,7 +15,7 @@ pub enum Engine {
 }
 
 /// A Castro-Sedov run description (Table I + Listing 2 + execution).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct CastroSedovConfig {
     /// Run label (e.g. `case4_cfl0.4_maxl4`).
     pub name: String,

@@ -35,7 +35,8 @@ pub mod store;
 
 pub use campaign::{
     analysis_sweep, backend_codec_sweep, backend_sweep, restart_sweep, run_campaign,
-    run_campaign_fabric, run_campaign_fabric_linked, run_campaign_serial, run_campaign_timed,
+    run_campaign_fabric, run_campaign_fabric_cloned, run_campaign_fabric_linked,
+    run_campaign_fabric_memoized, run_campaign_serial, run_campaign_timed,
     run_campaign_timed_serial, scenario_sweep, table3_campaign, RunSummary,
 };
 pub use cases::{big8192, case27, case4, case4_hydro_scaled};
@@ -50,4 +51,4 @@ pub use run::{run_simulation, run_simulation_attached, try_run_simulation_attach
 pub use spec::{
     Delivery, ExperimentSpec, Layout, RunMode, ScalingMode, SpecCell, SpecError, StorageProfile,
 };
-pub use store::{ResultsStore, SpecReport};
+pub use store::{run_spec, run_spec_serial, update_bench_artifact, ResultsStore, SpecReport};

@@ -417,6 +417,12 @@ pub struct SpecCell {
     /// and tenancy — what the append-only store indexes persistence and
     /// resume by. Identical cell, identical key, across processes.
     pub key: String,
+    /// Solo-profile key: the same content hash with the display label
+    /// cleared and tenancy fixed at 1 — label- and tenancy-independent,
+    /// so every throughput rung over one base shares it. The parallel
+    /// executor memoizes solo shadow replays under this key
+    /// ([`iosim::SoloMemo`]).
+    pub solo_key: String,
     /// Canonical `(axis, value)` coordinates (base first) — the
     /// queryable identity of the cell, also used by exclude matching
     /// and collision diagnostics.
@@ -615,11 +621,17 @@ impl ExperimentSpec {
                 }
                 let (config, storage, tenants) = self.apply(base, cell_idx, label.clone());
                 let key = cell_key(&config, storage.as_ref(), tenants);
+                let solo_key = {
+                    let mut solo = config.clone();
+                    solo.name = String::new();
+                    cell_key(&solo, storage.as_ref(), 1)
+                };
                 cells.push(SpecCell {
                     config,
                     storage,
                     tenants,
                     key,
+                    solo_key,
                     coords,
                 });
             }
@@ -1194,6 +1206,33 @@ mod tests {
             .compile()
             .unwrap();
         assert_ne!(stored[0].key, a[0].key);
+    }
+
+    #[test]
+    fn throughput_rungs_share_one_solo_key() {
+        // x2/x4/x8 over one base are identical runs modulo label and
+        // tenancy, so they share a solo-profile key (the memo key) while
+        // keeping distinct cell keys (the store identity).
+        let cells = ExperimentSpec::new("t")
+            .base(base("ladder"))
+            .scales(&[2, 4, 8])
+            .scaling(ScalingMode::Throughput)
+            .compile()
+            .unwrap();
+        assert_eq!(cells.len(), 3);
+        assert_eq!(cells[0].solo_key, cells[1].solo_key);
+        assert_eq!(cells[1].solo_key, cells[2].solo_key);
+        assert_ne!(cells[0].key, cells[1].key);
+        assert_ne!(cells[1].key, cells[2].key);
+        // A different base config gets a different solo profile.
+        let other = ExperimentSpec::new("t")
+            .base(base("ladder"))
+            .backends(&[BackendSpec::Aggregated(4)])
+            .scales(&[2])
+            .scaling(ScalingMode::Throughput)
+            .compile()
+            .unwrap();
+        assert_ne!(other[0].solo_key, cells[0].solo_key);
     }
 
     #[test]

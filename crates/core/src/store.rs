@@ -15,11 +15,16 @@
 //!   so every present *and future* `RunSummary` column is addressable
 //!   without store migrations. `model` fits plug in via
 //!   [`Query::xy`] / [`Query::fit`].
-//! * **Resumable campaigns** ([`run_spec`]): executing an
+//! * **Resumable, parallel campaigns** ([`run_spec`]): executing an
 //!   [`ExperimentSpec`] against a populated store runs only the cells
 //!   whose content hash is missing; everything already persisted is
 //!   served back from disk, byte-identical. Add one value to an axis
-//!   and only the new cells execute.
+//!   and only the new cells execute. Pending cells run concurrently —
+//!   storage cells on the rayon pool, tenancy cells as mirrored clone
+//!   groups on native threads with a per-invocation solo-shadow memo —
+//!   and each finished cell batch-appends under one short lock, so the
+//!   log stays cell-contiguous whatever the completion order.
+//!   [`run_spec_serial`] is the order-faithful sequential reference.
 //! * **A compat reader** ([`read_legacy_blob`]): the old single-blob
 //!   artifacts (`results/backend_compare.json`,
 //!   `results/machine_room.json`) load into the same [`Query`] surface,
@@ -41,14 +46,16 @@
 //! ```
 
 use crate::campaign::{
-    run_campaign_fabric, run_campaign_serial, run_campaign_timed_serial, RunSummary,
+    run_campaign_fabric_cloned, run_campaign_fabric_memoized, run_campaign_serial,
+    run_campaign_timed_serial, RunSummary,
 };
 use crate::spec::{ExperimentSpec, SpecCell, SpecError};
 use serde::{Deserialize, Serialize, Value};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 /// Wire schema of a store record. Bump when a record's *envelope*
 /// changes shape; `RunSummary` column additions ride on serde defaults
@@ -67,6 +74,44 @@ pub struct ResultsStore {
     rows: Vec<(String, Value)>,
     /// Row indices per cell key, in append order.
     index: HashMap<String, Vec<usize>>,
+    /// Bytes of `runs.jsonl` already replayed into `rows` — the
+    /// [`Self::refresh`] fast path's cursor. Every append (ours or a
+    /// replayed one) advances it, so a reused store object never
+    /// re-reads bytes it has already ingested.
+    log_len: u64,
+}
+
+/// Parses one log line into its `(cell, summary)` pair, or `None` for a
+/// blank line. `at` renders the error location (`path:line` on open,
+/// `path@byte` on [`ResultsStore::refresh`]).
+fn parse_record(line: &str, at: impl Fn() -> String) -> std::io::Result<Option<(String, Value)>> {
+    let line = line.trim();
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let record: Value = serde_json::from_str(line).map_err(|e| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{}: {e}", at()))
+    })?;
+    let schema = record
+        .get("schema")
+        .and_then(Value::as_u64)
+        .unwrap_or_default() as u32;
+    if schema != STORE_SCHEMA {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "{}: record schema {schema}, this reader speaks {STORE_SCHEMA}",
+                at()
+            ),
+        ));
+    }
+    let cell = record
+        .get("cell")
+        .and_then(Value::as_str)
+        .unwrap_or_default()
+        .to_string();
+    let summary = record.get("summary").cloned().unwrap_or(Value::Null);
+    Ok(Some((cell, summary)))
 }
 
 impl ResultsStore {
@@ -79,41 +124,24 @@ impl ResultsStore {
         let path = dir.join("runs.jsonl");
         let mut rows = Vec::new();
         let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut log_len = 0u64;
         if path.exists() {
-            let reader = BufReader::new(File::open(&path)?);
-            for (lineno, line) in reader.lines().enumerate() {
-                let line = line?;
-                if line.trim().is_empty() {
-                    continue;
+            let mut reader = BufReader::new(File::open(&path)?);
+            let mut line = String::new();
+            let mut lineno = 0usize;
+            loop {
+                line.clear();
+                let n = reader.read_line(&mut line)?;
+                if n == 0 {
+                    break;
                 }
-                let record: Value = serde_json::from_str(&line).map_err(|e| {
-                    std::io::Error::new(
-                        std::io::ErrorKind::InvalidData,
-                        format!("{}:{}: {e}", path.display(), lineno + 1),
-                    )
-                })?;
-                let schema = record
-                    .get("schema")
-                    .and_then(Value::as_u64)
-                    .unwrap_or_default() as u32;
-                if schema != STORE_SCHEMA {
-                    return Err(std::io::Error::new(
-                        std::io::ErrorKind::InvalidData,
-                        format!(
-                            "{}:{}: record schema {schema}, this reader speaks {STORE_SCHEMA}",
-                            path.display(),
-                            lineno + 1
-                        ),
-                    ));
+                log_len += n as u64;
+                lineno += 1;
+                let at = || format!("{}:{lineno}", path.display());
+                if let Some((cell, summary)) = parse_record(&line, at)? {
+                    index.entry(cell.clone()).or_default().push(rows.len());
+                    rows.push((cell, summary));
                 }
-                let cell = record
-                    .get("cell")
-                    .and_then(Value::as_str)
-                    .unwrap_or_default()
-                    .to_string();
-                let summary = record.get("summary").cloned().unwrap_or(Value::Null);
-                index.entry(cell.clone()).or_default().push(rows.len());
-                rows.push((cell, summary));
             }
         }
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
@@ -122,7 +150,57 @@ impl ResultsStore {
             file,
             rows,
             index,
+            log_len,
         })
+    }
+
+    /// Ingests any log bytes appended *behind this store object's back*
+    /// (a second handle, another process) without re-reading the whole
+    /// file: stats `runs.jsonl`, and when it grew past the bytes already
+    /// replayed, parses only the tail. Returns the number of rows added
+    /// — `Ok(0)` without touching file contents when nothing changed,
+    /// which makes reopening-by-refresh O(1) instead of O(log).
+    pub fn refresh(&mut self) -> std::io::Result<usize> {
+        let path = self.dir.join("runs.jsonl");
+        let size = std::fs::metadata(&path)?.len();
+        if size == self.log_len {
+            return Ok(0);
+        }
+        if size < self.log_len {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "{}: log shrank ({} bytes, {} already replayed) — appends never rewrite",
+                    path.display(),
+                    size,
+                    self.log_len
+                ),
+            ));
+        }
+        let mut f = File::open(&path)?;
+        f.seek(SeekFrom::Start(self.log_len))?;
+        let mut reader = BufReader::new(f);
+        let mut line = String::new();
+        let mut added = 0usize;
+        loop {
+            line.clear();
+            let n = reader.read_line(&mut line)?;
+            if n == 0 {
+                break;
+            }
+            let offset = self.log_len;
+            self.log_len += n as u64;
+            let at = || format!("{}@{offset}", path.display());
+            if let Some((cell, summary)) = parse_record(&line, at)? {
+                self.index
+                    .entry(cell.clone())
+                    .or_default()
+                    .push(self.rows.len());
+                self.rows.push((cell, summary));
+                added += 1;
+            }
+        }
+        Ok(added)
     }
 
     /// The store directory.
@@ -155,6 +233,49 @@ impl ResultsStore {
     /// artifacts (non-`RunSummary` tables) persist through; [`Self::append`]
     /// is the typed wrapper campaigns use.
     pub fn append_row(&mut self, cell: &str, row: &Value) -> std::io::Result<()> {
+        let mut batch = String::new();
+        Self::encode_record(&mut batch, cell, row)?;
+        self.file.write_all(batch.as_bytes())?;
+        self.file.flush()?;
+        self.log_len += batch.len() as u64;
+        self.index
+            .entry(cell.to_string())
+            .or_default()
+            .push(self.rows.len());
+        self.rows.push((cell.to_string(), row.clone()));
+        Ok(())
+    }
+
+    /// Appends a fully-executed cell's summaries as one batch: every
+    /// record is encoded first, then written with a single `write_all`
+    /// and one flush. The parallel spec executor commits each finished
+    /// cell through here under one short lock, so a cell's rows are
+    /// always contiguous in the log regardless of completion order, and
+    /// a crash between cells never leaves a partially-appended cell
+    /// (the whole batch reaches the kernel in one call or not at all).
+    /// Byte-for-byte, the log is identical to `summaries.len()` calls
+    /// to [`Self::append`] — resume readers cannot tell them apart.
+    pub fn append_cell(&mut self, cell: &str, summaries: &[RunSummary]) -> std::io::Result<()> {
+        let mut batch = String::new();
+        let values: Vec<Value> = summaries.iter().map(RunSummary::to_value).collect();
+        for row in &values {
+            Self::encode_record(&mut batch, cell, row)?;
+        }
+        self.file.write_all(batch.as_bytes())?;
+        self.file.flush()?;
+        self.log_len += batch.len() as u64;
+        for row in values {
+            self.index
+                .entry(cell.to_string())
+                .or_default()
+                .push(self.rows.len());
+            self.rows.push((cell.to_string(), row));
+        }
+        Ok(())
+    }
+
+    /// Encodes one wire record (envelope + newline) onto `batch`.
+    fn encode_record(batch: &mut String, cell: &str, row: &Value) -> std::io::Result<()> {
         let record = Value::Object(vec![
             ("schema".to_string(), serde_json::to_value(&STORE_SCHEMA)),
             ("cell".to_string(), Value::String(cell.to_string())),
@@ -162,13 +283,8 @@ impl ResultsStore {
         ]);
         let line = serde_json::to_string(&record)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-        writeln!(self.file, "{line}")?;
-        self.file.flush()?;
-        self.index
-            .entry(cell.to_string())
-            .or_default()
-            .push(self.rows.len());
-        self.rows.push((cell.to_string(), row.clone()));
+        batch.push_str(&line);
+        batch.push('\n');
         Ok(())
     }
 
@@ -391,12 +507,141 @@ pub struct SpecReport {
 /// `default_storage` prices cells without a `storage` axis value
 /// (`None` runs them untimed). Throughput cells (tenants > 1) require a
 /// storage model — they are priced on a shared fabric by construction.
+///
+/// Pending cells execute **concurrently**: pure-storage cells fan out
+/// over the rayon pool, while fabric/tenancy cells run on dedicated
+/// `std::thread::scope` natives (same rule as
+/// [`crate::campaign::run_campaign_fabric`] — fabric code may park on
+/// the quorum condvar, and a parked rayon worker would starve the
+/// pool). Tenancy cells themselves execute as *mirrored clone groups*
+/// ([`run_campaign_fabric_cloned`]): one real application run, the
+/// clones' traffic synthesized inside the engine, with the solo shadow
+/// memoized per [`SpecCell::solo_key`] across the invocation — so a
+/// throughput ladder prices its solo baseline once. Each finished cell
+/// commits through [`ResultsStore::append_cell`] under one short lock,
+/// in completion order; a row is written only when its whole cell is
+/// done, so a crash never leaves a partial cell and resume (which is
+/// keyed, not ordered) is insensitive to the interleaving. Returned
+/// summaries stay in spec cell order.
+///
+/// [`run_spec_serial`] is the sequential reference with identical
+/// results (the parallel-equivalence property tests pin one against
+/// the other).
 pub fn run_spec(
     spec: &ExperimentSpec,
     store: &mut ResultsStore,
     default_storage: Option<&iosim::StorageModel>,
 ) -> Result<SpecReport, SpecError> {
+    use rayon::prelude::*;
+
     let cells = spec.compile()?;
+    let mut slots: Vec<Option<Vec<RunSummary>>> = vec![None; cells.len()];
+    let mut pending: Vec<(usize, &SpecCell)> = Vec::new();
+    let mut resumed = 0usize;
+    for (i, cell) in cells.iter().enumerate() {
+        if store.contains(&cell.key) {
+            slots[i] = Some(store.get(&cell.key));
+            resumed += 1;
+        } else {
+            pending.push((i, cell));
+        }
+    }
+    let executed = pending.len();
+    if executed > 0 {
+        let memo = iosim::SoloMemo::new();
+        let (fabric_cells, solo_cells): (Vec<_>, Vec<_>) =
+            pending.into_iter().partition(|(_, c)| c.tenants > 1);
+        // Tenancy cells sharing a solo baseline form one *chain*, run in
+        // spec order on one native thread: the chain's head prices the
+        // solo shadow cold and fills the memo, every later rung hits it.
+        // Chaining (rather than racing) keeps the memo's filler — and so
+        // the solo columns — deterministic and equal to the serial
+        // reference's, which also meets the head first.
+        let mut chains: Vec<(&str, Vec<(usize, &SpecCell)>)> = Vec::new();
+        for (slot, cell) in fabric_cells {
+            match chains.iter_mut().find(|(k, _)| *k == cell.solo_key) {
+                Some((_, chain)) => chain.push((slot, cell)),
+                None => chains.push((&cell.solo_key, vec![(slot, cell)])),
+            }
+        }
+        // Completion-order sink: a worker that finishes a cell takes the
+        // lock just long enough to batch-append the cell's rows and park
+        // the summaries in their spec-order slot.
+        struct Sink<'a> {
+            store: &'a mut ResultsStore,
+            slots: &'a mut [Option<Vec<RunSummary>>],
+            errors: Vec<SpecError>,
+        }
+        let sink = Mutex::new(Sink {
+            store,
+            slots: &mut slots,
+            errors: Vec::new(),
+        });
+        let commit = |slot: usize, key: &str, produced: Result<Vec<RunSummary>, SpecError>| {
+            let mut sink = sink.lock().unwrap();
+            match produced {
+                Ok(rows) => match sink.store.append_cell(key, &rows) {
+                    Ok(()) => sink.slots[slot] = Some(rows),
+                    Err(e) => sink
+                        .errors
+                        .push(SpecError::Parse(format!("store append failed: {e}"))),
+                },
+                Err(e) => sink.errors.push(e),
+            }
+        };
+        std::thread::scope(|scope| {
+            for (_, chain) in &chains {
+                let commit = &commit;
+                let memo = &memo;
+                scope.spawn(move || {
+                    for &(slot, cell) in chain {
+                        commit(
+                            slot,
+                            &cell.key,
+                            execute_cell_fast(cell, default_storage, memo),
+                        );
+                    }
+                });
+            }
+            solo_cells.par_iter().for_each(|&(slot, cell)| {
+                commit(slot, &cell.key, execute_cell(cell, default_storage, &memo))
+            });
+        });
+        let sink = sink.into_inner().unwrap();
+        if let Some(err) = sink.errors.into_iter().next() {
+            return Err(err);
+        }
+    }
+    let mut report = SpecReport {
+        summaries: Vec::with_capacity(cells.len()),
+        executed,
+        resumed,
+    };
+    for slot in slots {
+        report
+            .summaries
+            .extend(slot.expect("every cell is either resumed or committed"));
+    }
+    Ok(report)
+}
+
+/// Sequential reference implementation of [`run_spec`]: one cell at a
+/// time in spec order, tenancy cells priced as a *threaded* fleet (one
+/// native thread per tenant — no clone mirroring). The solo baseline
+/// still goes through a per-invocation memo, because that defines the
+/// solo columns' semantics (see [`run_campaign_fabric_memoized`]); the
+/// first pending cell per [`SpecCell::solo_key`] fills it in spec
+/// order, exactly the cell the parallel executor's chains elect. The
+/// parallel executor must be indistinguishable from this by results —
+/// same summary multiset, same resume mask, same persisted rows — and
+/// `tests/proptests_spec_parallel.rs` holds it to that.
+pub fn run_spec_serial(
+    spec: &ExperimentSpec,
+    store: &mut ResultsStore,
+    default_storage: Option<&iosim::StorageModel>,
+) -> Result<SpecReport, SpecError> {
+    let cells = spec.compile()?;
+    let memo = iosim::SoloMemo::new();
     let mut report = SpecReport {
         summaries: Vec::with_capacity(cells.len()),
         executed: 0,
@@ -408,12 +653,10 @@ pub fn run_spec(
             report.resumed += 1;
             continue;
         }
-        let produced = execute_cell(cell, default_storage)?;
-        for summary in &produced {
-            store
-                .append(&cell.key, summary)
-                .map_err(|e| SpecError::Parse(format!("store append failed: {e}")))?;
-        }
+        let produced = execute_cell(cell, default_storage, &memo)?;
+        store
+            .append_cell(&cell.key, &produced)
+            .map_err(|e| SpecError::Parse(format!("store append failed: {e}")))?;
         report.summaries.extend(produced);
         report.executed += 1;
     }
@@ -421,10 +664,13 @@ pub fn run_spec(
 }
 
 /// Runs one compiled cell: solo cells on their (or the default) storage
-/// model, throughput cells as N clones on one shared fabric.
+/// model, throughput cells as N clones on one shared fabric (a threaded
+/// fleet with the memoized solo baseline — the serial reference
+/// semantics the parallel fast path must match).
 fn execute_cell(
     cell: &SpecCell,
     default_storage: Option<&iosim::StorageModel>,
+    memo: &iosim::SoloMemo,
 ) -> Result<Vec<RunSummary>, SpecError> {
     let storage = cell.storage.map(|p| p.build());
     let storage = storage.as_ref().or(default_storage);
@@ -435,19 +681,91 @@ fn execute_cell(
                 cell.config.name
             ))
         })?;
-        let clones: Vec<_> = (0..cell.tenants)
-            .map(|i| crate::config::CastroSedovConfig {
-                name: format!("{}_t{i}", cell.config.name),
-                ..cell.config.clone()
-            })
-            .collect();
-        return Ok(run_campaign_fabric(&clones, storage, None, &[]));
+        let clones = cell_clones(cell);
+        return Ok(run_campaign_fabric_memoized(
+            &clones,
+            storage,
+            memo,
+            &cell.solo_key,
+        ));
     }
     let cfg = std::slice::from_ref(&cell.config);
     Ok(match storage {
         Some(s) => run_campaign_timed_serial(cfg, s),
         None => run_campaign_serial(cfg),
     })
+}
+
+/// The N tenant configurations of a throughput cell: identical clones
+/// under `_t{i}` names.
+fn cell_clones(cell: &SpecCell) -> Vec<crate::config::CastroSedovConfig> {
+    (0..cell.tenants)
+        .map(|i| crate::config::CastroSedovConfig {
+            name: format!("{}_t{i}", cell.config.name),
+            ..cell.config.clone()
+        })
+        .collect()
+}
+
+/// [`execute_cell`] for the parallel executor's tenancy cells: the N
+/// clones (identical by construction — one spec config fanned out under
+/// `_t{i}` names) run as a mirrored clone group, one real application
+/// run instead of N, with the solo shadow served from `memo` when an
+/// earlier cell on the same [`SpecCell::solo_key`] already priced it.
+/// Bit-identical to [`execute_cell`]'s threaded fleet.
+fn execute_cell_fast(
+    cell: &SpecCell,
+    default_storage: Option<&iosim::StorageModel>,
+    memo: &iosim::SoloMemo,
+) -> Result<Vec<RunSummary>, SpecError> {
+    debug_assert!(cell.tenants > 1, "fast path is the tenancy path");
+    let storage = cell.storage.map(|p| p.build());
+    let storage = storage.as_ref().or(default_storage).ok_or_else(|| {
+        SpecError::Parse(format!(
+            "throughput cell '{}' needs a storage model (storage axis or default)",
+            cell.config.name
+        ))
+    })?;
+    let clones = cell_clones(cell);
+    Ok(run_campaign_fabric_cloned(
+        &clones,
+        storage,
+        Some((memo, &cell.solo_key)),
+    ))
+}
+
+/// Merges columns into a JSON-object bench artifact without clobbering
+/// columns other writers own: reads `path` if it already holds a JSON
+/// object, overwrites/inserts the given keys (preserving the existing
+/// key order for the rest), and writes the result back. The machine-room
+/// artifact (`BENCH_campaign.json`) has three writers — the example, the
+/// criterion bench, and the spec-campaign example — and a plain
+/// serialize-and-write from any one of them silently drops the others'
+/// columns.
+pub fn update_bench_artifact(
+    path: impl AsRef<Path>,
+    columns: &[(&str, Value)],
+) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut entries: Vec<(String, Value)> = match std::fs::read_to_string(path) {
+        Ok(text) => match serde_json::from_str::<Value>(&text) {
+            Ok(Value::Object(entries)) => entries,
+            _ => Vec::new(),
+        },
+        Err(_) => Vec::new(),
+    };
+    for (key, value) in columns {
+        match entries.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = value.clone(),
+            None => entries.push((key.to_string(), value.clone())),
+        }
+    }
+    let text = serde_json::to_string_pretty(&Value::Object(entries))
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(path, text)
 }
 
 #[cfg(test)]
@@ -608,6 +926,134 @@ mod tests {
         assert!(err.to_string().contains("storage"), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
         std::fs::remove_dir_all(dry.dir()).unwrap();
+    }
+
+    #[test]
+    fn batched_append_is_wire_byte_identical_to_row_appends() {
+        let dir_a = tmp_dir("wire_a");
+        let dir_b = tmp_dir("wire_b");
+        let storage = iosim::StorageModel::ideal(2, 5e7);
+        let summaries: Vec<_> = ["one", "two", "three"]
+            .iter()
+            .map(|n| run_campaign_timed_serial(&[small_base(n)], &storage).remove(0))
+            .collect();
+        let mut row_wise = ResultsStore::open(&dir_a).unwrap();
+        for s in &summaries {
+            row_wise.append("cell_k", s).unwrap();
+        }
+        let mut batched = ResultsStore::open(&dir_b).unwrap();
+        batched.append_cell("cell_k", &summaries).unwrap();
+        let bytes_a = std::fs::read(dir_a.join("runs.jsonl")).unwrap();
+        let bytes_b = std::fs::read(dir_b.join("runs.jsonl")).unwrap();
+        assert_eq!(bytes_a, bytes_b, "batch must not change the wire format");
+        assert_eq!(batched.get("cell_k"), summaries);
+        // Regression pin on the wire format itself: envelope key order,
+        // schema tag, one object per line.
+        let text = String::from_utf8(bytes_a).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        for line in text.lines() {
+            assert!(
+                line.starts_with("{\"schema\":1,\"cell\":\"cell_k\",\"summary\":{"),
+                "wire envelope changed: {line}"
+            );
+        }
+        std::fs::remove_dir_all(&dir_a).unwrap();
+        std::fs::remove_dir_all(&dir_b).unwrap();
+    }
+
+    #[test]
+    fn refresh_ingests_only_the_tail() {
+        let dir = tmp_dir("refresh");
+        let storage = iosim::StorageModel::ideal(2, 5e7);
+        let s1 = run_campaign_timed_serial(&[small_base("a")], &storage).remove(0);
+        let s2 = run_campaign_timed_serial(&[small_base("b")], &storage).remove(0);
+        let mut writer = ResultsStore::open(&dir).unwrap();
+        writer.append("k1", &s1).unwrap();
+        // A second handle on the same directory: sees k1 on open, then
+        // k2 only after a refresh, which reads only the appended tail.
+        let mut reader = ResultsStore::open(&dir).unwrap();
+        assert!(reader.contains("k1"));
+        assert_eq!(reader.refresh().unwrap(), 0, "nothing new: O(1) stat only");
+        writer.append("k2", &s2).unwrap();
+        assert!(!reader.contains("k2"));
+        assert_eq!(reader.refresh().unwrap(), 1);
+        assert_eq!(reader.get("k2"), vec![s2.clone()]);
+        assert_eq!(reader.len(), writer.len());
+        assert_eq!(reader.refresh().unwrap(), 0);
+        // The reader's own appends keep its cursor current.
+        reader.append("k3", &s1).unwrap();
+        assert_eq!(reader.refresh().unwrap(), 0);
+        // A shrunken log is corruption, not a resume point.
+        drop(writer);
+        let log = dir.join("runs.jsonl");
+        let full = std::fs::read(&log).unwrap();
+        std::fs::write(&log, &full[..full.len() / 2]).unwrap();
+        assert!(reader.refresh().unwrap_err().to_string().contains("shrank"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn parallel_run_spec_matches_the_serial_reference() {
+        use crate::spec::ScalingMode;
+        let storage = iosim::StorageModel::ideal(2, 5e7);
+        // Mixed spec: solo cells (rayon pool) and tenancy cells (native
+        // threads + mirrored clones) in one compile.
+        let spec = ExperimentSpec::new("par")
+            .base(small_base("p"))
+            .backends(&[BackendSpec::FilePerProcess, BackendSpec::Aggregated(2)])
+            .scales(&[1, 2, 4])
+            .scaling(ScalingMode::Throughput);
+        let mut serial_store = ResultsStore::open(tmp_dir("par_serial")).unwrap();
+        let serial = run_spec_serial(&spec, &mut serial_store, Some(&storage)).unwrap();
+        let mut parallel_store = ResultsStore::open(tmp_dir("par_parallel")).unwrap();
+        let parallel = run_spec(&spec, &mut parallel_store, Some(&storage)).unwrap();
+        assert_eq!(parallel.executed, serial.executed);
+        assert_eq!(parallel.resumed, 0);
+        assert_eq!(
+            parallel.summaries, serial.summaries,
+            "mirrored clones + memo must be invisible in the results"
+        );
+        // Both stores replay to the same queryable state (row order may
+        // differ: parallel commits in completion order).
+        let mut a = serial_store.query().summaries();
+        let mut b = parallel_store.query().summaries();
+        a.sort_by(|x, y| x.name.cmp(&y.name));
+        b.sort_by(|x, y| x.name.cmp(&y.name));
+        assert_eq!(a, b);
+        // Resuming the parallel store is a no-op second time around.
+        let again = run_spec(&spec, &mut parallel_store, Some(&storage)).unwrap();
+        assert_eq!(again.executed, 0);
+        assert_eq!(again.summaries, parallel.summaries);
+        std::fs::remove_dir_all(serial_store.dir()).unwrap();
+        std::fs::remove_dir_all(parallel_store.dir()).unwrap();
+    }
+
+    #[test]
+    fn bench_artifact_updates_merge_instead_of_clobbering() {
+        let dir = tmp_dir("artifact");
+        let path = dir.join("BENCH_test.json");
+        update_bench_artifact(
+            &path,
+            &[
+                ("alpha", serde_json::to_value(&1.5)),
+                ("beta", Value::String("keep me".into())),
+            ],
+        )
+        .unwrap();
+        // A second writer updates one key and adds another: beta survives.
+        update_bench_artifact(
+            &path,
+            &[
+                ("alpha", serde_json::to_value(&2.0)),
+                ("gamma", serde_json::to_value(&3_u64)),
+            ],
+        )
+        .unwrap();
+        let q = read_legacy_blob(&path).unwrap();
+        assert_eq!(q.numbers("alpha"), vec![2.0]);
+        assert_eq!(q.strings("beta"), vec!["keep me".to_string()]);
+        assert_eq!(q.numbers("gamma"), vec![3.0]);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

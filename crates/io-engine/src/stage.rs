@@ -33,12 +33,16 @@
 //! ([`CompressionStage::serial`]) — file contents, sidecar line order,
 //! and modeled `codec_seconds` alike — which a 3×3 backend × codec
 //! property test pins.
+//!
+//! The seal-time buffers form a reused *encode arena*: the pending-put
+//! list, the per-put result slots, the chunk records, and the sidecar
+//! body all keep their capacity from step to step, so a steady-state
+//! step allocates only the encoded payloads themselves.
 
 use crate::backend::{EngineReport, IoBackend, Payload, Put, StepRead, StepStats, VfsHandle};
 use crate::codec::{encode_payload, Codec, CodecContext};
 use crate::selection::ReadSelection;
 use iosim::{IoKind, ReadRequest, WriteRequest};
-use rayon::prelude::*;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::io;
@@ -76,6 +80,16 @@ pub struct CompressionStage<'a> {
     /// Buffered puts of the open step (parallel mode only), in
     /// submission order.
     pending: Vec<Put>,
+    /// Seal-time encode results, one slot per buffered put (`None` =
+    /// metadata, forwarded untouched). Part of the reused encode arena:
+    /// `pending`, `results`, the chunk records, and the sidecar body all
+    /// keep their capacity across steps, so a steady-state step
+    /// allocates only the encoded payloads themselves.
+    results: Vec<Option<(Payload, bool)>>,
+    /// Recycled chunk-record buffer handed to each step's `StageStep`.
+    chunk_pool: Vec<ChunkRec>,
+    /// Recycled sidecar body.
+    sidecar_buf: String,
     cur: Option<StageStep>,
     /// Steps that wrote (or modeled) a sidecar, for read accounting.
     sidecars: HashMap<u32, SidecarInfo>,
@@ -121,6 +135,9 @@ impl<'a> CompressionStage<'a> {
             vfs: vfs.into(),
             parallel,
             pending: Vec::new(),
+            results: Vec::new(),
+            chunk_pool: Vec::new(),
+            sidecar_buf: String::new(),
             cur: None,
             sidecars: HashMap::new(),
             sidecar_files: 0,
@@ -187,7 +204,7 @@ impl IoBackend for CompressionStage<'_> {
         self.cur = Some(StageStep {
             step,
             dir: container.to_string(),
-            chunks: Vec::new(),
+            chunks: std::mem::take(&mut self.chunk_pool),
             any_materialized: false,
             codec_ns: 0.0,
         });
@@ -229,31 +246,52 @@ impl IoBackend for CompressionStage<'_> {
     fn end_step(&mut self) -> io::Result<StepStats> {
         let mut cur = self.cur.take().expect("end_step: no open step");
         if self.parallel {
-            let puts = std::mem::take(&mut self.pending);
             // Parallel map over the buffered puts: each data chunk is
             // encoded independently (payload clones are O(1) shared
-            // views, not copies). The vendored rayon preserves input
-            // order, so results line up with submissions.
+            // views, not copies) into its slot of the reused result
+            // table, so results line up with submissions and the arena
+            // keeps its capacity across steps.
             let codec = self.codec.as_ref();
-            let results: Vec<Option<(Payload, bool)>> = puts
-                .par_iter()
-                .map(|p| {
-                    if p.kind != IoKind::Data {
-                        return None;
+            self.results.clear();
+            self.results.resize_with(self.pending.len(), || None);
+            let encode_slot = |p: &Put, out: &mut Option<(Payload, bool)>| {
+                if p.kind != IoKind::Data {
+                    return;
+                }
+                let ctx = CodecContext {
+                    level: p.key.level,
+                    kind: p.kind,
+                    path: &p.path,
+                };
+                *out = Some(encode_payload(codec, p.payload.clone(), &ctx));
+            };
+            let threads = rayon::current_num_threads().min(self.pending.len()).max(1);
+            if threads <= 1 {
+                for (p, out) in self.pending.iter().zip(self.results.iter_mut()) {
+                    encode_slot(p, out);
+                }
+            } else {
+                let chunk_len = self.pending.len().div_ceil(threads);
+                std::thread::scope(|scope| {
+                    for (puts, outs) in self
+                        .pending
+                        .chunks(chunk_len)
+                        .zip(self.results.chunks_mut(chunk_len))
+                    {
+                        let encode_slot = &encode_slot;
+                        scope.spawn(move || {
+                            for (p, out) in puts.iter().zip(outs) {
+                                encode_slot(p, out);
+                            }
+                        });
                     }
-                    let ctx = CodecContext {
-                        level: p.key.level,
-                        kind: p.kind,
-                        path: &p.path,
-                    };
-                    Some(encode_payload(codec, p.payload.clone(), &ctx))
-                })
-                .collect();
+                });
+            }
             // Serial drain in submission order: bookkeeping and the
             // forwarding sequence the inner backend sees are exactly the
             // serial mode's.
             let ns_per_byte = self.codec.cpu_ns_per_byte();
-            for (put, result) in puts.into_iter().zip(results) {
+            for (put, result) in self.pending.drain(..).zip(self.results.drain(..)) {
                 match result {
                     Some((payload, encoded)) => Self::forward_encoded(
                         &mut cur,
@@ -268,7 +306,6 @@ impl IoBackend for CompressionStage<'_> {
                 }
             }
         }
-        let cur = cur;
         let mut stats = self.inner.end_step()?;
         stats.codec_seconds += cur.codec_ns / 1e9;
         // In-transit backends never touch the storage plane: the stream
@@ -276,12 +313,14 @@ impl IoBackend for CompressionStage<'_> {
         // consumer window retains the spans), so no sidecar exists to
         // write — or to fetch back on the read side.
         if !cur.chunks.is_empty() && !self.inner.in_transit() {
-            // The uncompressed-logical-size sidecar.
-            let mut body = String::new();
+            // The uncompressed-logical-size sidecar, composed in the
+            // recycled body buffer.
+            let codec_name = self.codec.name();
+            self.sidecar_buf.clear();
+            let body = &mut self.sidecar_buf;
             let _ = writeln!(
                 body,
-                "# io-engine compression sidecar, codec {}, step {}",
-                self.codec.name(),
+                "# io-engine compression sidecar, codec {codec_name}, step {}",
                 cur.step
             );
             for c in &cur.chunks {
@@ -290,11 +329,7 @@ impl IoBackend for CompressionStage<'_> {
                     "{logical} {physical} {method} {path}",
                     logical = c.logical,
                     physical = c.physical,
-                    method = if c.encoded {
-                        self.codec.name()
-                    } else {
-                        "raw".to_string()
-                    },
+                    method = if c.encoded { &codec_name } else { "raw" },
                     path = c.path,
                 );
             }
@@ -325,6 +360,9 @@ impl IoBackend for CompressionStage<'_> {
                 start: 0.0,
             });
         }
+        // Recycle the step's chunk records into the arena.
+        cur.chunks.clear();
+        self.chunk_pool = cur.chunks;
         Ok(stats)
     }
 

@@ -64,6 +64,7 @@
 //! ```
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use mpi_sim::NetworkModel;
@@ -207,6 +208,86 @@ impl<'a> StorageAttach<'a> {
 }
 
 /// Which bandwidth/latency class a burst runs in.
+/// How a fabric tenant's solo-equivalent wall is produced at seal time.
+///
+/// The default is an exact shadow replay (the scheduler re-runs the
+/// tenant's burst sequence against a private model copy). When many
+/// tenants share one solo profile — the throughput-scaling cells, which
+/// are N clones of one configuration — the replay prices the identical
+/// sequence N times; [`SoloMemo`] lets an executor pay it once and hand
+/// the remaining tenants the answer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SoloPricing {
+    /// Exact solo shadow replay against a private model copy (the
+    /// default, and the pinned bit-identical fallback on a memo miss).
+    Replay,
+    /// The solo wall is already known (a memoized shadow replay for the
+    /// same canonical config): skip the replay, report this value.
+    Known(f64),
+}
+
+/// A concurrency-safe memo of solo-equivalent walls, keyed by the
+/// caller's canonical config key (the spec plane uses the tenancy- and
+/// label-independent cell key). First pricing of a key runs the exact
+/// shadow replay and [`SoloMemo::fill`]s the result; later tenants with
+/// the same key [`SoloMemo::get`] it and skip their replays entirely.
+/// Because clone tenants replay bit-identical burst sequences, a memo
+/// hit reproduces the cold replay's wall exactly (pinned by tests).
+#[derive(Debug, Default)]
+pub struct SoloMemo {
+    map: Mutex<HashMap<String, f64>>,
+    hits: AtomicU64,
+    fills: AtomicU64,
+}
+
+impl SoloMemo {
+    /// An empty memo (one per spec execution; keys are only comparable
+    /// under one canonical-key scheme).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The memoized solo wall for `key`, counting a hit when present.
+    pub fn get(&self, key: &str) -> Option<f64> {
+        let found = self.map.lock().expect("solo memo lock").get(key).copied();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Records the solo wall replayed for `key`. First writer wins:
+    /// concurrent replays of the same key are bit-identical anyway, and
+    /// keeping the first keeps the memo append-only.
+    pub fn fill(&self, key: &str, solo_wall: f64) {
+        let mut map = self.map.lock().expect("solo memo lock");
+        if !map.contains_key(key) {
+            map.insert(key.to_string(), solo_wall);
+            self.fills.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Replays skipped thanks to the memo.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Distinct keys priced (each one exact shadow replay).
+    pub fn fills(&self) -> u64 {
+        self.fills.load(Ordering::Relaxed)
+    }
+
+    /// Distinct keys currently memoized.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("solo memo lock").len()
+    }
+
+    /// True when nothing has been priced yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[derive(Clone, Copy, Debug, PartialEq)]
 enum Class {
     Write,
@@ -281,6 +362,9 @@ struct PendingBurst {
     key: u64,
     remaining: usize,
     finish: Vec<f64>,
+    /// True for a mirror slot's copy of a clone-group burst: no thread
+    /// is parked on it, so resolving it must not touch `Engine::parked`.
+    mirror: bool,
 }
 
 /// A resolved burst, keyed by burst in `Engine::results`.
@@ -387,6 +471,9 @@ struct Engine {
     link: Option<NetworkModel>,
     /// How many registered tenants stream over the shared link.
     stream_tenants: usize,
+    /// True once a clone group registered mirror slots (mirror slots and
+    /// the bounded staging pool are mutually exclusive).
+    mirrored: bool,
 }
 
 /// Per-job rates over one event interval: actual, uncapped-fair (for
@@ -695,10 +782,13 @@ impl Engine {
             if p.remaining == 0 {
                 let key = p.key;
                 let finish = std::mem::take(&mut p.finish);
+                let mirror = p.mirror;
                 self.pending.retain(|p| p.key != key);
                 self.results.insert(key, BurstDone { finish });
                 self.time = t;
-                self.parked -= 1;
+                if !mirror {
+                    self.parked -= 1;
+                }
                 resolved_any = true;
                 if let Some(staging) = &mut self.staging {
                     if let Some(a) = staging.allocs.iter_mut().find(|a| a.burst == key) {
@@ -752,6 +842,11 @@ impl Fabric {
     pub fn with_staging(self, bytes: u64) -> Self {
         {
             let mut g = self.shared.state.lock().expect("fabric lock");
+            assert!(
+                !g.mirrored,
+                "Fabric::with_staging: clone groups (tenant_clones) do not \
+                 support a bounded staging pool"
+            );
             g.staging = Some(StagingState {
                 capacity: bytes,
                 allocs: Vec::new(),
@@ -820,8 +915,69 @@ impl Fabric {
         FabricHandle {
             shared: Arc::clone(&self.shared),
             tenant,
+            mirrors: 0,
+            pricing: SoloPricing::Replay,
             finished: false,
         }
+    }
+
+    /// Registers a *clone group*: one tenant slot per name, all driven by
+    /// the **single** returned handle. The first slot is the real tenant;
+    /// the rest are mirror slots whose traffic the engine synthesizes —
+    /// every burst the handle submits is enqueued once per slot (distinct
+    /// tenant ids, own burst keys), so contention pricing sees the full
+    /// N-tenant job set while only one application run executes.
+    ///
+    /// This is exact, not an approximation, for *identical clones*: the
+    /// engine orders and rates jobs by `(arrival, tenant, seq, req)` and
+    /// request placement/service demands depend only on the request set,
+    /// so N clone tenants' job sets are copies of each other and every
+    /// per-tenant outcome (burst results, stall attribution, walls) is
+    /// bit-identical to N threaded tenants submitting the same sequence
+    /// (pinned by tests). Callers remain responsible for only grouping
+    /// runs that are identical modulo their display name.
+    ///
+    /// Mirror slots hold a permanent seat in the engine's quorum (they
+    /// are "always parked"), leaving the real tenant free to advance the
+    /// clock alone — no threads, no condvar hand-offs.
+    ///
+    /// # Panics
+    /// Panics if `names` is empty, if any burst was already submitted, or
+    /// if the fabric has a bounded staging pool (clone groups and staged
+    /// back-pressure are mutually exclusive; spec throughput cells run
+    /// unstaged).
+    pub fn tenant_clones(&self, names: &[&str]) -> FabricHandle {
+        assert!(!names.is_empty(), "Fabric::tenant_clones: empty group");
+        let mut first = self.tenant(names[0]);
+        let mirrors = names.len() - 1;
+        if mirrors > 0 {
+            let mut g = self.shared.state.lock().expect("fabric lock");
+            assert!(
+                g.staging.is_none(),
+                "Fabric::tenant_clones: clone groups do not support a \
+                 bounded staging pool"
+            );
+            g.mirrored = true;
+            for name in &names[1..] {
+                let tenant = g.tenants.len();
+                g.tenants.push(TenantSlot {
+                    qos: QosPolicy::default(),
+                    finished: false,
+                    seq: 0,
+                    stats: TenantStats {
+                        tenant,
+                        name: name.to_string(),
+                        ..TenantStats::default()
+                    },
+                });
+            }
+            // Mirror slots never park in a call; seat them permanently so
+            // the quorum check (`parked == live`) still means "every real
+            // tenant is blocked and all arrivals are known".
+            g.parked += mirrors;
+        }
+        first.mirrors = mirrors;
+        first
     }
 
     /// Per-tenant interference stats, in registration order. Meaningful
@@ -839,6 +995,11 @@ impl Fabric {
 pub struct FabricHandle {
     shared: Arc<FabricShared>,
     tenant: usize,
+    /// Mirror slots after `tenant` driven by this handle (clone groups;
+    /// 0 for an ordinary tenant).
+    mirrors: usize,
+    /// How the scheduler prices this tenant's solo-equivalent wall.
+    pricing: SoloPricing,
     finished: bool,
 }
 
@@ -852,6 +1013,25 @@ impl FabricHandle {
     /// The tenant slot this handle occupies.
     pub fn tenant(&self) -> usize {
         self.tenant
+    }
+
+    /// Mirror slots this handle drives ([`Fabric::tenant_clones`]); 0
+    /// for an ordinary tenant.
+    pub fn mirrors(&self) -> usize {
+        self.mirrors
+    }
+
+    /// Sets how the scheduler prices this tenant's solo-equivalent wall
+    /// (default [`SoloPricing::Replay`]). Set before attaching the
+    /// handle to a run; a [`SoloPricing::Known`] wall skips the shadow
+    /// replay entirely.
+    pub fn set_solo_pricing(&mut self, pricing: SoloPricing) {
+        self.pricing = pricing;
+    }
+
+    /// The solo-wall pricing mode the scheduler will use.
+    pub fn solo_pricing(&self) -> SoloPricing {
+        self.pricing
     }
 
     /// One streamed tenant's share of the fabric's interconnect: the
@@ -975,23 +1155,30 @@ impl FabricHandle {
     }
 
     /// Reports the run's final shared wall and the scheduler shadow's
-    /// exact solo-equivalent wall into the tenant's stats.
+    /// exact solo-equivalent wall into the tenant's stats (all slots of
+    /// a clone group: the mirrors' runs are copies of the real one).
     pub fn record_walls(&self, shared_wall: f64, solo_wall: f64) {
         let mut g = self.shared.state.lock().expect("fabric lock");
-        g.tenants[self.tenant].stats.shared_wall = shared_wall;
-        g.tenants[self.tenant].stats.solo_wall = solo_wall;
+        for t in self.tenant..=self.tenant + self.mirrors {
+            g.tenants[t].stats.shared_wall = shared_wall;
+            g.tenants[t].stats.solo_wall = solo_wall;
+        }
     }
 
     /// Marks the tenant done: it leaves the engine's quorum so the
-    /// remaining tenants can advance without it. Idempotent; also called
-    /// on drop.
+    /// remaining tenants can advance without it. A clone group retires
+    /// all its slots (and releases the mirrors' permanent quorum seats).
+    /// Idempotent; also called on drop.
     pub fn finish(&mut self) {
         if self.finished {
             return;
         }
         self.finished = true;
         let mut g = self.shared.state.lock().expect("fabric lock");
-        g.tenants[self.tenant].finished = true;
+        for t in self.tenant..=self.tenant + self.mirrors {
+            g.tenants[t].finished = true;
+        }
+        g.parked -= self.mirrors;
         drop(g);
         self.shared.cv.notify_all();
     }
@@ -1041,6 +1228,7 @@ impl FabricHandle {
             key,
             remaining: views.len(),
             finish: vec![0.0; views.len()],
+            mirror: false,
         });
         let total_bytes: u64 = views.iter().map(|v| v.bytes).sum();
         {
@@ -1050,6 +1238,44 @@ impl FabricHandle {
                 Class::Write => st.write_bytes += total_bytes,
                 Class::Read => st.read_bytes += total_bytes,
             }
+        }
+        // Clone group: synthesize the mirrors' copies of this burst —
+        // same arrivals, same placement, same service demands (placement
+        // and noise depend only on the request set), distinct tenant ids
+        // and burst keys. The engine then prices exactly the job set N
+        // threaded clones would have submitted.
+        let mut mirror_keys: Vec<u64> = Vec::with_capacity(self.mirrors);
+        for m in 1..=self.mirrors {
+            let tenant = self.tenant + m;
+            let mseq = g.tenants[tenant].seq;
+            g.tenants[tenant].seq += 1;
+            let mkey = g.next_burst;
+            g.next_burst += 1;
+            for (s, ids) in per_server.iter().enumerate() {
+                for &id in ids {
+                    g.servers[s].enqueue(Job {
+                        tenant,
+                        seq: mseq,
+                        burst: mkey,
+                        req: id,
+                        arrival: views[id].start,
+                        work: works[id],
+                    });
+                }
+            }
+            g.pending.push(PendingBurst {
+                key: mkey,
+                remaining: views.len(),
+                finish: vec![0.0; views.len()],
+                mirror: true,
+            });
+            let st = &mut g.tenants[tenant].stats;
+            st.bursts += 1;
+            match class {
+                Class::Write => st.write_bytes += total_bytes,
+                Class::Read => st.read_bytes += total_bytes,
+            }
+            mirror_keys.push(mkey);
         }
         g.parked += 1;
         let done = loop {
@@ -1063,6 +1289,15 @@ impl FabricHandle {
             }
             g = shared.cv.wait(g).expect("fabric lock");
         };
+        // Mirror copies are symmetric to the real burst, so they resolve
+        // at the same engine event; their results are never read.
+        for mkey in mirror_keys {
+            let mirrored = g.results.remove(&mkey);
+            debug_assert!(
+                mirrored.is_some(),
+                "clone-group mirror burst must resolve with its original"
+            );
+        }
         drop(g);
         // Epilogue identical to the solo `simulate_views`.
         let finish = done.finish;
@@ -1341,6 +1576,143 @@ mod tests {
         assert!((rb.0.t_end - 2.0).abs() < 1e-9);
         // b's second burst runs alone after a retired: 7 -> 8.
         assert!((rb.1.t_end - 8.0).abs() < 1e-9, "{}", rb.1.t_end);
+    }
+
+    /// One clone tenant's driver loop: identical bursts (writes and a
+    /// read), clocks chained through the previous result — the shape a
+    /// scheduler-driven run produces.
+    fn clone_driver(h: &FabricHandle) -> Vec<f64> {
+        let mut ends = Vec::new();
+        let mut clock = 0.0;
+        for step in 0..3 {
+            let r = h.simulate_burst(&burst(
+                &format!("s{step}/f"),
+                6,
+                120_000 + step as u64,
+                clock,
+            ));
+            ends.push(r.t_end);
+            clock = r.t_end + 0.75;
+        }
+        let reads: Vec<ReadRequest> = (0..4)
+            .map(|i| ReadRequest {
+                rank: i,
+                path: format!("/s0/f{i}"),
+                bytes: 120_000,
+                start: clock,
+            })
+            .collect();
+        let r = h.simulate_read_burst(&reads);
+        ends.push(r.t_end);
+        ends
+    }
+
+    #[test]
+    fn clone_group_is_bit_identical_to_threaded_clones() {
+        // The mirrored-clone engine mode (one real tenant + N-1 mirror
+        // slots, no threads) must reproduce N threaded clone tenants bit
+        // for bit: burst end times, walls, and the full per-tenant stats
+        // including contention attribution.
+        let model = StorageModel {
+            variability_sigma: 0.2,
+            metadata_latency: 0.01,
+            ..StorageModel::ideal(3, 1e6)
+        };
+        let n = 4;
+        let names: Vec<String> = (0..n).map(|i| format!("c_t{i}")).collect();
+
+        // Threaded reference: every clone on its own native thread.
+        let threaded_fabric = Fabric::new(model);
+        let handles: Vec<FabricHandle> = names
+            .iter()
+            .map(|name| threaded_fabric.tenant(name))
+            .collect();
+        let threaded_ends: Vec<Vec<f64>> = std::thread::scope(|s| {
+            handles
+                .into_iter()
+                .map(|mut h| {
+                    s.spawn(move || {
+                        let ends = clone_driver(&h);
+                        let wall = *ends.last().unwrap();
+                        h.record_walls(wall, wall * 0.5);
+                        h.finish();
+                        ends
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|j| j.join().unwrap())
+                .collect()
+        });
+        let threaded_stats = threaded_fabric.tenant_stats();
+
+        // Mirrored mode: one real tenant drives the whole group inline.
+        let mirrored_fabric = Fabric::new(model);
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let mut group = mirrored_fabric.tenant_clones(&name_refs);
+        assert_eq!(group.mirrors(), n - 1);
+        let mirrored_ends = clone_driver(&group);
+        let wall = *mirrored_ends.last().unwrap();
+        group.record_walls(wall, wall * 0.5);
+        group.finish();
+        let mirrored_stats = mirrored_fabric.tenant_stats();
+
+        for ends in &threaded_ends {
+            assert_eq!(ends, &mirrored_ends, "clone burst ends must match");
+        }
+        assert_eq!(threaded_stats, mirrored_stats);
+        // The workload genuinely contends (stats are not trivial).
+        assert!(mirrored_stats.iter().all(|s| s.contention_stall > 0.0));
+        assert_eq!(mirrored_stats.len(), n);
+    }
+
+    #[test]
+    fn clone_group_of_one_is_a_plain_tenant() {
+        let model = StorageModel::ideal(2, 1e6);
+        let fabric = Fabric::new(model);
+        let solo = fabric.tenant_clones(&["only"]);
+        assert_eq!(solo.mirrors(), 0);
+        let ends = clone_driver(&solo);
+        let legacy: Vec<f64> = {
+            let f2 = Fabric::new(model);
+            clone_driver(&f2.tenant("only"))
+        };
+        assert_eq!(ends, legacy);
+    }
+
+    #[test]
+    fn clone_group_coexists_with_other_tenants() {
+        // A clone pair plus an independent threaded tenant: the group's
+        // mirror seat must not wedge the quorum, and results must match
+        // the fully threaded 3-tenant run.
+        let model = StorageModel::ideal(1, 1000.0);
+        let run_threaded = || {
+            let fabric = Fabric::new(model);
+            let ha = fabric.tenant("a0");
+            let hb = fabric.tenant("a1");
+            let hc = fabric.tenant("b");
+            std::thread::scope(|s| {
+                let ta = s.spawn(move || ha.simulate_burst(&burst("x/f", 2, 500, 0.0)).t_end);
+                let tb = s.spawn(move || hb.simulate_burst(&burst("x/f", 2, 500, 0.0)).t_end);
+                let tc = s.spawn(move || hc.simulate_burst(&burst("y/f", 2, 500, 0.0)).t_end);
+                (ta.join().unwrap(), tb.join().unwrap(), tc.join().unwrap())
+            })
+        };
+        let run_mirrored = || {
+            let fabric = Fabric::new(model);
+            let group = fabric.tenant_clones(&["a0", "a1"]);
+            let hc = fabric.tenant("b");
+            std::thread::scope(|s| {
+                let tg = s.spawn(move || group.simulate_burst(&burst("x/f", 2, 500, 0.0)).t_end);
+                let tc = s.spawn(move || hc.simulate_burst(&burst("y/f", 2, 500, 0.0)).t_end);
+                (tg.join().unwrap(), tc.join().unwrap())
+            })
+        };
+        let (a0, a1, b) = run_threaded();
+        let (ga, gb) = run_mirrored();
+        assert_eq!(a0, a1);
+        assert_eq!(ga, a0, "clone group must price like threaded clones");
+        assert_eq!(gb, b);
     }
 
     #[test]

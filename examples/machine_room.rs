@@ -348,39 +348,41 @@ fn main() {
         assert_eq!(read.chunks.len(), 32 * 3);
     });
 
-    let bench = serde_json::Value::Object(vec![
-        (
-            "campaign_runs".into(),
-            serde_json::to_value(&ladder.iter().sum::<usize>()),
-        ),
-        (
-            "campaign_wall_seconds".into(),
-            serde_json::to_value(&ladder_seconds),
-        ),
-        (
-            "campaign_steps_per_sec".into(),
-            serde_json::to_value(&steps_per_sec),
-        ),
-        (
-            "solo_wall_seconds".into(),
-            serde_json::to_value(&mean_walls[0]),
-        ),
-        (
-            "four_tenant_wall_seconds".into(),
-            serde_json::to_value(&mean_walls[2]),
-        ),
-        (
-            "four_tenant_slowdown".into(),
-            serde_json::to_value(&mean_slowdowns[2]),
-        ),
-        ("encode_mbps".into(), serde_json::to_value(&encode_mbps)),
-        (
-            "selective_read_latency".into(),
-            serde_json::to_value(&selective_read_latency),
-        ),
-    ]);
+    // Merged into the artifact, not overwritten: the spec-campaign
+    // smoke owns the spec-executor columns of the same file.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_campaign.json");
-    std::fs::write(path, serde_json::to_string_pretty(&bench).unwrap()).expect("write bench");
+    amr_proxy_io::amrproxy::store::update_bench_artifact(
+        path,
+        &[
+            (
+                "campaign_runs",
+                serde_json::to_value(&ladder.iter().sum::<usize>()),
+            ),
+            (
+                "campaign_wall_seconds",
+                serde_json::to_value(&ladder_seconds),
+            ),
+            (
+                "campaign_steps_per_sec",
+                serde_json::to_value(&steps_per_sec),
+            ),
+            ("solo_wall_seconds", serde_json::to_value(&mean_walls[0])),
+            (
+                "four_tenant_wall_seconds",
+                serde_json::to_value(&mean_walls[2]),
+            ),
+            (
+                "four_tenant_slowdown",
+                serde_json::to_value(&mean_slowdowns[2]),
+            ),
+            ("encode_mbps", serde_json::to_value(&encode_mbps)),
+            (
+                "selective_read_latency",
+                serde_json::to_value(&selective_read_latency),
+            ),
+        ],
+    )
+    .expect("update bench artifact");
     println!(
         "\n[artifact] {path}\n  ladder: {total_steps} steps in {ladder_seconds:.3} s \
          (median of 3 calibrated windows) = {steps_per_sec:.0} steps/s\n  \

@@ -1,9 +1,14 @@
-//! Schema check for the `BENCH_campaign.json` artifact the machine-room
-//! smoke emits at the repo root: every consumer-visible column must be
-//! present and sane — the six legacy columns plus the throughput-plane
-//! additions (`encode_mbps`, `selective_read_latency`). CI runs this
-//! right after regenerating the artifact, so a column rename or a
-//! broken measurement fails the bench-smoke job instead of shipping a
+//! Schema check for the `BENCH_campaign.json` artifact at the repo
+//! root: every consumer-visible column must be present and sane — the
+//! six legacy machine-room columns, the throughput-plane additions
+//! (`encode_mbps`, `selective_read_latency`), and the parallel
+//! spec-executor columns (`spec_serial_wall_seconds`,
+//! `spec_cells_per_sec`, `spec_parallel_speedup`,
+//! `store_append_rows_per_sec`). The artifact has multiple writers,
+//! each merging its own columns via
+//! `amrproxy::store::update_bench_artifact`; CI runs this right after
+//! regenerating it, so a column rename, a clobbering writer, or a
+//! broken measurement fails the smoke job instead of shipping a
 //! silently incomplete artifact.
 
 use serde_json::Value;
@@ -20,9 +25,17 @@ const COLUMNS: &[Column] = &[
     ("solo_wall_seconds", |v| v > 0.0),
     ("four_tenant_wall_seconds", |v| v > 0.0),
     ("four_tenant_slowdown", |v| v >= 1.0),
-    // Throughput-plane columns (this PR).
+    // Throughput-plane columns (PR 8 machine room).
     ("encode_mbps", |v| v > 0.0),
     ("selective_read_latency", |v| v > 0.0 && v < 1.0),
+    // Parallel spec-executor columns (spec_campaign smoke). The serial
+    // wall is kept as the baseline the speedup is measured against; the
+    // speedup floor is algorithmic (mirrored clone groups replace N app
+    // runs per tenancy cell with one), so it holds on a 1-CPU runner.
+    ("spec_serial_wall_seconds", |v| v > 0.0 && v < 3600.0),
+    ("spec_cells_per_sec", |v| v > 0.0),
+    ("spec_parallel_speedup", |v| v > 1.2),
+    ("store_append_rows_per_sec", |v| v > 1000.0),
 ];
 
 fn load() -> Value {
